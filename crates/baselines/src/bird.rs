@@ -1,0 +1,199 @@
+//! Bird's time-counter Monte Carlo selection (the classical DSMC scheme).
+//!
+//! "The most common approach is that used in Bird's Monte Carlo method
+//! where pairs of molecules within a cell are randomly chosen and collided
+//! until the asynchronous cell time exceeds the global simulation time."
+//!
+//! Each cell keeps its own clock; every accepted collision advances it by
+//! `Δt_c = 2·n∞ / (P∞ · n²)` steps (so the per-particle collision
+//! frequency matches the Maxwell-molecule rate `ν = P∞·n/n∞` used by the
+//! pairwise rule, making the schemes directly comparable).  Within a cell
+//! the process is inherently sequential — the parallelism ceiling the
+//! paper criticises — so the step loop here is parallel only across cells.
+
+use crate::harness::UniformBox;
+use dsmc_fixed::{Fx, Rounding};
+use dsmc_kinetics::collision::collide_pair;
+use dsmc_rng::{Perm5, XorShift32};
+use rayon::prelude::*;
+
+/// Bird time-counter driver over a [`UniformBox`].
+pub struct BirdBox {
+    /// The shared particle state.
+    pub state: UniformBox,
+    /// Per-cell asynchronous clocks (in steps).
+    pub cell_time: Vec<f64>,
+    /// Global time (steps).
+    pub time: f64,
+    /// `P∞` of the matched pairwise scheme.
+    pub p_inf: f64,
+    /// Freestream particles-per-cell `n∞`.
+    pub n_inf: f64,
+    /// Rounding policy for the shared kernel.
+    pub rounding: Rounding,
+    collisions: u64,
+}
+
+/// One cell's mutable view, carved safely out of the SoA columns.
+struct CellTask<'a> {
+    vel: &'a mut [[Fx; 5]],
+    rng: &'a mut [XorShift32],
+    perm: &'a mut [Perm5],
+    t_cell: &'a mut f64,
+}
+
+impl BirdBox {
+    /// Wrap a box with Bird's clocks.
+    pub fn new(state: UniformBox, p_inf: f64, n_inf: f64) -> Self {
+        let n_cells = state.n_cells();
+        Self {
+            state,
+            cell_time: vec![0.0; n_cells],
+            time: 0.0,
+            p_inf,
+            n_inf,
+            rounding: Rounding::Stochastic,
+            collisions: 0,
+        }
+    }
+
+    /// Advance one global step: every cell collides random pairs until its
+    /// clock catches up.  Parallel across cells only.
+    pub fn step(&mut self) {
+        self.time += 1.0;
+        let time = self.time;
+        let p_inf = self.p_inf;
+        let n_inf = self.n_inf;
+        let rounding = self.rounding;
+        let n_cells = self.state.n_cells();
+
+        // Carve disjoint per-cell windows (safe: progressive split_at_mut).
+        let mut tasks: Vec<CellTask<'_>> = Vec::with_capacity(n_cells);
+        let mut vs: &mut [[Fx; 5]] = &mut self.state.vel;
+        let mut rs: &mut [XorShift32] = &mut self.state.rng;
+        let mut ps: &mut [Perm5] = &mut self.state.perm;
+        let mut ts: &mut [f64] = &mut self.cell_time;
+        for c in 0..n_cells {
+            let len = (self.state.offsets[c + 1] - self.state.offsets[c]) as usize;
+            let (v0, v1) = core::mem::take(&mut vs).split_at_mut(len);
+            vs = v1;
+            let (r0, r1) = core::mem::take(&mut rs).split_at_mut(len);
+            rs = r1;
+            let (p0, p1) = core::mem::take(&mut ps).split_at_mut(len);
+            ps = p1;
+            let (t0, t1) = core::mem::take(&mut ts).split_at_mut(1);
+            ts = t1;
+            tasks.push(CellTask {
+                vel: v0,
+                rng: r0,
+                perm: p0,
+                t_cell: &mut t0[0],
+            });
+        }
+
+        let counts: u64 = tasks
+            .into_par_iter()
+            .map(|task| {
+                let n = task.vel.len();
+                if n < 2 {
+                    *task.t_cell = time;
+                    return 0u64;
+                }
+                let dt_per_collision = 2.0 * n_inf / (p_inf * (n as f64) * (n as f64));
+                let mut local = 0u64;
+                let mut guard = 0u32;
+                // Use the first particle's stream as the cell's clock RNG.
+                let mut cell_stream = task.rng[0];
+                while *task.t_cell < time && guard < 1_000_000 {
+                    guard += 1;
+                    let i = cell_stream.next_below(n as u32) as usize;
+                    let mut j = cell_stream.next_below(n as u32) as usize;
+                    if i == j {
+                        j = (j + 1) % n;
+                    }
+                    let (a_idx, b_idx) = (i.min(j), i.max(j));
+                    let (head, tail) = task.vel.split_at_mut(b_idx);
+                    let p = task.perm[a_idx];
+                    collide_pair(&mut head[a_idx], &mut tail[0], p, rounding, &mut cell_stream);
+                    task.perm[a_idx] = task.perm[a_idx].top_transpose(cell_stream.next_below(5));
+                    task.perm[b_idx] = task.perm[b_idx].top_transpose(cell_stream.next_below(5));
+                    *task.t_cell += dt_per_collision;
+                    local += 1;
+                }
+                task.rng[0] = cell_stream;
+                local
+            })
+            .sum();
+        self.collisions += counts;
+    }
+
+    /// Collisions performed so far.
+    pub fn collisions(&self) -> u64 {
+        self.collisions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collision_rate_matches_target_frequency() {
+        // ν per particle = P∞·n/n∞; with n = n∞ = 30, ν = P∞ = 0.2:
+        // expected collisions/step = N·ν/2.
+        let b = UniformBox::rectangular(64, 30, 0.05, 7);
+        let n = b.len() as f64;
+        let mut bird = BirdBox::new(b, 0.2, 30.0);
+        let steps = 50;
+        for _ in 0..steps {
+            bird.step();
+        }
+        let per_step = bird.collisions() as f64 / steps as f64;
+        let expected = n * 0.2 / 2.0;
+        assert!(
+            (per_step / expected - 1.0).abs() < 0.05,
+            "collisions/step {per_step} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn conserves_energy_and_momentum_statistically() {
+        let b = UniformBox::rectangular(16, 40, 0.05, 8);
+        let e0 = b.total_energy_raw();
+        let m0 = b.total_momentum_raw();
+        let mut bird = BirdBox::new(b, 0.5, 40.0);
+        for _ in 0..30 {
+            bird.step();
+        }
+        let e1 = bird.state.total_energy_raw();
+        let rel = (e1 - e0) as f64 / e0 as f64;
+        assert!(rel.abs() < 1e-3, "energy drift {rel}");
+        let m1 = bird.state.total_momentum_raw();
+        let cols = bird.collisions() as i64;
+        for k in 0..5 {
+            assert!((m1[k] - m0[k]).abs() <= cols, "momentum {k} drift");
+        }
+    }
+
+    #[test]
+    fn relaxes_rectangular_to_maxwellian() {
+        let b = UniformBox::rectangular(32, 50, 0.05, 9);
+        let mut bird = BirdBox::new(b, 1.0, 50.0);
+        let k0 = bird.state.kurtosis(0);
+        assert!(k0 < -1.0);
+        for _ in 0..40 {
+            bird.step();
+        }
+        let k1 = bird.state.kurtosis(0);
+        assert!(k1.abs() < 0.15, "kurtosis after relaxation: {k1}");
+    }
+
+    #[test]
+    fn empty_and_singleton_cells_no_hang() {
+        let mut b = UniformBox::rectangular(3, 1, 0.05, 10);
+        b.offsets = vec![0, 1, 1, 3];
+        let mut bird = BirdBox::new(b, 0.5, 1.0);
+        bird.step(); // must terminate
+        assert!(bird.collisions() < 100_000);
+    }
+}

@@ -1,0 +1,194 @@
+//! A shared uniform-box harness for comparing selection schemes.
+//!
+//! A periodic box of `n_cells` unit cells with ~`n_per_cell` particles
+//! each, no bodies, no inflow: the only physics is collisions.  Every
+//! scheme advances the same state layout so relaxation behaviour,
+//! conservation quality and runtime can be compared per-scheme.
+
+use dsmc_fixed::Fx;
+use dsmc_kinetics::sampling::moments;
+use dsmc_rng::{PermTable, SplitMix64, XorShift32};
+
+/// Particle state of the box: SoA of the five velocity components, plus a
+/// per-particle stream, grouped by cell (cell `c` owns the index range
+/// `offsets[c]..offsets[c+1]`).
+pub struct UniformBox {
+    /// Five velocity components per particle.
+    pub vel: Vec<[Fx; 5]>,
+    /// Per-particle random streams.
+    pub rng: Vec<XorShift32>,
+    /// Per-particle permutation vectors.
+    pub perm: Vec<dsmc_rng::Perm5>,
+    /// Cell start offsets (length `n_cells + 1`).
+    pub offsets: Vec<u32>,
+    /// Host-side stream for pairing shuffles.
+    pub host: XorShift32,
+}
+
+impl UniformBox {
+    /// Build a box of `n_cells` cells × `n_per_cell` particles with
+    /// velocities drawn from the *rectangular* distribution of standard
+    /// deviation `sigma` per component (the reservoir-entry state, so the
+    /// relaxation experiments start from the paper's worst case).
+    pub fn rectangular(n_cells: u32, n_per_cell: u32, sigma: f64, seed: u64) -> Self {
+        let mut seeder = SplitMix64::new(seed);
+        let mut host = XorShift32::new(seeder.next_seed32());
+        let table = PermTable::generate_default(seeder.next_seed32());
+        let n = (n_cells * n_per_cell) as usize;
+        let a = sigma * 3f64.sqrt();
+        let mut vel = Vec::with_capacity(n);
+        let mut rng = Vec::with_capacity(n);
+        let mut perm = Vec::with_capacity(n);
+        for i in 0..n {
+            let draw = |h: &mut XorShift32| Fx::from_f64(a * (2.0 * h.next_f64() - 1.0));
+            vel.push([
+                draw(&mut host),
+                draw(&mut host),
+                draw(&mut host),
+                draw(&mut host),
+                draw(&mut host),
+            ]);
+            rng.push(XorShift32::new(seeder.next_seed32()));
+            perm.push(table.deal(i));
+        }
+        let offsets = (0..=n_cells).map(|c| c * n_per_cell).collect();
+        Self {
+            vel,
+            rng,
+            perm,
+            offsets,
+            host,
+        }
+    }
+
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.vel.len()
+    }
+
+    /// True if the box is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vel.is_empty()
+    }
+
+    /// Number of cells.
+    pub fn n_cells(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Shuffle particle order within every cell (stands in for the
+    /// engine's jittered sort between steps).
+    pub fn remix(&mut self) {
+        let n_cells = self.n_cells();
+        for c in 0..n_cells {
+            let lo = self.offsets[c] as usize;
+            let hi = self.offsets[c + 1] as usize;
+            for i in ((lo + 1)..hi).rev() {
+                let j = lo + self.host.next_below((i - lo + 1) as u32) as usize;
+                self.vel.swap(i, j);
+                self.rng.swap(i, j);
+                self.perm.swap(i, j);
+            }
+        }
+    }
+
+    /// Exact total momentum per component (raw units).
+    pub fn total_momentum_raw(&self) -> [i64; 5] {
+        let mut m = [0i64; 5];
+        for v in &self.vel {
+            for k in 0..5 {
+                m[k] += v[k].raw() as i64;
+            }
+        }
+        m
+    }
+
+    /// Exact total energy (raw² units).
+    pub fn total_energy_raw(&self) -> i128 {
+        self.vel
+            .iter()
+            .map(|v| v.iter().map(|c| c.sq_raw_wide()).sum::<i64>() as i128)
+            .sum()
+    }
+
+    /// Excess kurtosis of one velocity component across the box — the
+    /// relaxation observable (rectangular: −1.2; Maxwellian: 0).
+    pub fn kurtosis(&self, component: usize) -> f64 {
+        let (_, _, k) = moments(self.vel.iter().map(|v| v[component].to_f64()));
+        k
+    }
+
+    /// Energy share of each of the five modes (should equalise at 1/5).
+    pub fn mode_shares(&self) -> [f64; 5] {
+        let mut e = [0f64; 5];
+        for v in &self.vel {
+            for k in 0..5 {
+                e[k] += v[k].sq_raw_wide() as f64;
+            }
+        }
+        let tot: f64 = e.iter().sum();
+        if tot > 0.0 {
+            for s in &mut e {
+                *s /= tot;
+            }
+        }
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_layout() {
+        let b = UniformBox::rectangular(10, 20, 0.05, 1);
+        assert_eq!(b.len(), 200);
+        assert_eq!(b.n_cells(), 10);
+        assert_eq!(b.offsets[10], 200);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn rectangular_kurtosis_is_flat() {
+        let b = UniformBox::rectangular(100, 100, 0.05, 2);
+        for c in 0..5 {
+            let k = b.kurtosis(c);
+            assert!((k + 1.2).abs() < 0.1, "component {c} kurtosis {k}");
+        }
+    }
+
+    #[test]
+    fn remix_permutes_within_cells_only() {
+        let mut b = UniformBox::rectangular(5, 30, 0.05, 3);
+        let before: Vec<[Fx; 5]> = b.vel.clone();
+        b.remix();
+        // Multiset per cell is unchanged.
+        for c in 0..5 {
+            let lo = b.offsets[c] as usize;
+            let hi = b.offsets[c + 1] as usize;
+            let mut a: Vec<i32> = before[lo..hi].iter().map(|v| v[0].raw()).collect();
+            let mut d: Vec<i32> = b.vel[lo..hi].iter().map(|v| v[0].raw()).collect();
+            a.sort_unstable();
+            d.sort_unstable();
+            assert_eq!(a, d, "cell {c} contents changed");
+        }
+        assert_ne!(
+            before.iter().map(|v| v[0].raw()).collect::<Vec<_>>(),
+            b.vel.iter().map(|v| v[0].raw()).collect::<Vec<_>>(),
+            "order should change"
+        );
+    }
+
+    #[test]
+    fn conservation_accumulators_consistent() {
+        let b = UniformBox::rectangular(4, 25, 0.05, 4);
+        let shares = b.mode_shares();
+        let sum: f64 = shares.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        for s in shares {
+            assert!((0.1..0.3).contains(&s), "share {s}");
+        }
+        assert!(b.total_energy_raw() > 0);
+    }
+}

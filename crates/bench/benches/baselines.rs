@@ -1,0 +1,60 @@
+//! Scheme and backend comparisons: the engine vs the serial comparator
+//! (the paper's CM-2 vs Cray-2 axis) and the three selection schemes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dsmc_baselines::nanbu::pairwise_step;
+use dsmc_baselines::{BirdBox, NanbuBox, SerialSim, UniformBox};
+use dsmc_engine::{SimConfig, Simulation};
+use dsmc_fixed::Rounding;
+
+fn workload() -> SimConfig {
+    let mut cfg = SimConfig::paper(0.0);
+    cfg.n_per_cell = 15.0;
+    cfg.reservoir_fill = 21.0;
+    cfg
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backend_step");
+    g.sample_size(10);
+    let mut par = Simulation::new(workload());
+    par.run(20);
+    g.throughput(Throughput::Elements(par.n_particles() as u64));
+    g.bench_function("parallel_engine", |b| b.iter(|| par.step()));
+    let mut ser = SerialSim::new(workload());
+    ser.run(20);
+    g.throughput(Throughput::Elements(ser.n_particles() as u64));
+    g.bench_function("serial_comparator", |b| b.iter(|| ser.step()));
+    g.finish();
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("selection_scheme_step");
+    g.sample_size(10);
+    let (cells, per_cell, sigma) = (128u32, 40u32, 0.05);
+    let n = (cells * per_cell) as u64;
+    g.throughput(Throughput::Elements(n));
+
+    let mut mb = UniformBox::rectangular(cells, per_cell, sigma, 1);
+    g.bench_function("pairwise_mb", |b| {
+        b.iter(|| pairwise_step(&mut mb, 0.5, per_cell as f64, Rounding::Stochastic));
+    });
+
+    let mut bird = BirdBox::new(
+        UniformBox::rectangular(cells, per_cell, sigma, 2),
+        0.5,
+        per_cell as f64,
+    );
+    g.bench_function("bird_time_counter", |b| b.iter(|| bird.step()));
+
+    let mut nanbu = NanbuBox::new(
+        UniformBox::rectangular(cells, per_cell, sigma, 3),
+        0.5,
+        per_cell as f64,
+    );
+    g.bench_function("nanbu_ploss", |b| b.iter(|| nanbu.step()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_backends, bench_schemes);
+criterion_main!(benches);

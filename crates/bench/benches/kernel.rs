@@ -1,0 +1,73 @@
+//! Micro-benchmarks of the per-pair hot path: the 5-vector collision
+//! kernel (39% of the paper's step) and the selection test (20%).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dsmc_fixed::{Fx, Rounding};
+use dsmc_kinetics::collision::collide_pair;
+use dsmc_kinetics::{MolecularModel, SelectionTable};
+use dsmc_rng::{perm::knuth_shuffle, XorShift32};
+
+fn bench_collide(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collide_pair");
+    g.throughput(Throughput::Elements(1));
+    let mut rng = XorShift32::new(7);
+    let perm = knuth_shuffle(&mut rng);
+    let mut a = [Fx::from_f64(0.1); 5];
+    let mut b = [Fx::from_f64(-0.07); 5];
+    g.bench_function("stochastic", |bch| {
+        bch.iter(|| {
+            collide_pair(
+                black_box(&mut a),
+                black_box(&mut b),
+                perm,
+                Rounding::Stochastic,
+                &mut rng,
+            )
+        });
+    });
+    g.bench_function("truncate", |bch| {
+        bch.iter(|| {
+            collide_pair(
+                black_box(&mut a),
+                black_box(&mut b),
+                perm,
+                Rounding::Truncate,
+                &mut rng,
+            )
+        });
+    });
+    g.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("selection_decide");
+    g.throughput(Throughput::Elements(1));
+    let table = SelectionTable::uniform(6872, 0.2, 75.0, MolecularModel::Maxwell, 0.128);
+    let mut rng = XorShift32::new(3);
+    g.bench_function("maxwell", |bch| {
+        bch.iter(|| table.decide(black_box(42), black_box(75), rng.next_bits(24)));
+    });
+    let hs = SelectionTable::uniform(6872, 0.2, 75.0, MolecularModel::HardSphere, 0.128);
+    g.bench_function("hard_sphere", |bch| {
+        bch.iter(|| hs.decide_power_law(black_box(42), black_box(75), 0.1, rng.next_bits(24)));
+    });
+    g.finish();
+}
+
+fn bench_perm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("perm5");
+    g.throughput(Throughput::Elements(1));
+    let mut rng = XorShift32::new(5);
+    let p = knuth_shuffle(&mut rng);
+    g.bench_function("top_transpose", |b| {
+        b.iter(|| black_box(p).top_transpose(rng.next_below(5)));
+    });
+    let vals = [1i32, 2, 3, 4, 5];
+    g.bench_function("apply", |b| {
+        b.iter(|| black_box(p).apply(black_box(vals)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_collide, bench_selection, bench_perm);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion benches for the data-parallel substrate: the CM-2 primitive
+//! vocabulary at engine-realistic sizes (the sort is 27% of the paper's
+//! step; here we pin its absolute throughput and the scans around it).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsmc_datapar::{
+    apply_perm, pack_indices, scan_add_inclusive_u32, segmented_broadcast_count,
+    sort_perm_by_key,
+};
+
+fn keys_like_engine(n: usize, cells: u32, jitter_bits: u32) -> Vec<u32> {
+    (0..n as u32)
+        .map(|i| {
+            let c = i.wrapping_mul(2654435761) % cells;
+            let j = i.wrapping_mul(0x9E3779B9) & ((1 << jitter_bits) - 1);
+            (c << jitter_bits) | j
+        })
+        .collect()
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sort_perm_by_key");
+    g.sample_size(10);
+    for &n in &[65_536usize, 262_144, 524_288] {
+        let keys = keys_like_engine(n, 6872, 8);
+        let bits = 22;
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &keys, |b, keys| {
+            b.iter(|| sort_perm_by_key(keys, bits));
+        });
+    }
+    g.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan_add_inclusive");
+    g.sample_size(10);
+    for &n in &[262_144usize, 1_048_576] {
+        let xs: Vec<u32> = (0..n as u32).map(|i| i % 7).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &xs, |b, xs| {
+            b.iter(|| scan_add_inclusive_u32(xs));
+        });
+    }
+    g.finish();
+}
+
+fn bench_segments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("segmented_broadcast_count");
+    g.sample_size(10);
+    let n = 262_144usize;
+    let mut keys: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761) % 6272).collect();
+    keys.sort_unstable();
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("262144", |b| b.iter(|| segmented_broadcast_count(&keys)));
+    g.finish();
+}
+
+fn bench_gather(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apply_perm");
+    g.sample_size(10);
+    let n = 262_144usize;
+    let keys = keys_like_engine(n, 6872, 8);
+    let perm = sort_perm_by_key(&keys, 22);
+    let src: Vec<u64> = (0..n as u64).collect();
+    let mut out = Vec::new();
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("262144_u64", |b| {
+        b.iter(|| apply_perm(&src, &perm, &mut out));
+    });
+    g.finish();
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pack_indices");
+    g.sample_size(10);
+    let n = 262_144usize;
+    let mask: Vec<bool> = (0..n as u32).map(|i| i.wrapping_mul(0x9E3779B9) & 63 == 0).collect();
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("262144_sparse", |b| b.iter(|| pack_indices(&mask)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sort,
+    bench_scan,
+    bench_segments,
+    bench_gather,
+    bench_pack
+);
+criterion_main!(benches);

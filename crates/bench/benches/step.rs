@@ -1,0 +1,36 @@
+//! Full-step throughput on the paper's wind-tunnel workload (the
+//! wall-clock companion of figure 7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsmc_engine::{SimConfig, Simulation};
+
+fn sim_with_total(total: usize, lambda: f64) -> Simulation {
+    let mut cfg = SimConfig::paper(lambda);
+    let free_cells = 6092.0 + 640.0;
+    cfg.n_per_cell = (total as f64 / free_cells).max(1.0);
+    cfg.reservoir_fill = cfg.n_per_cell * 1.4;
+    let mut sim = Simulation::new(cfg);
+    sim.run(30); // settle past the initial transient
+    sim
+}
+
+fn bench_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wedge_step");
+    g.sample_size(10);
+    for &n in &[65_536usize, 262_144] {
+        let mut sim = sim_with_total(n, 0.0);
+        g.throughput(Throughput::Elements(sim.n_particles() as u64));
+        g.bench_with_input(BenchmarkId::new("near_continuum", n), &n, |b, _| {
+            b.iter(|| sim.step());
+        });
+    }
+    let mut sim = sim_with_total(262_144, 0.5);
+    g.throughput(Throughput::Elements(sim.n_particles() as u64));
+    g.bench_function(BenchmarkId::new("rarefied", 262_144usize), |b| {
+        b.iter(|| sim.step());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_step);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! PERF-H: the headline per-particle cost and the serial comparator.
+//!
+//! The paper: 7.2 µs/particle/step on the 32k-processor CM-2 versus
+//! 0.5 µs for the hand-vectorized Cray-2 code (a 14.4× gap in favour of
+//! the conventional supercomputer, narrowed by the CM's price/size).  Our
+//! analogue: the rayon data-parallel engine versus the tuned serial
+//! implementation of the same physics, on the same workload.
+//!
+//! `cargo run --release -p dsmc-bench --bin headline_perf [--full]`
+
+use dsmc_baselines::SerialSim;
+use dsmc_bench::{report, write_artifact, RunScale};
+use dsmc_engine::{SimConfig, Simulation};
+use std::time::Instant;
+
+fn main() {
+    let scale = RunScale::from_args();
+    println!("== PERF-H: parallel engine vs serial comparator ==");
+    let mut cfg = SimConfig::paper(0.0);
+    cfg.n_per_cell = (75.0 * scale.density).max(4.0);
+    cfg.reservoir_fill = cfg.n_per_cell * 1.4;
+    let warm = (200.0 * scale.steps) as usize;
+    let measure = (200.0 * scale.steps).max(20.0) as usize;
+
+    // Parallel engine.
+    let mut par = Simulation::new(cfg.clone());
+    par.run(warm);
+    let n_flow = par.diagnostics().n_flow;
+    let t0 = Instant::now();
+    par.run(measure);
+    let t_par = t0.elapsed().as_secs_f64() * 1e6 / (measure as f64 * n_flow as f64);
+
+    // Serial comparator (same physics, one core).
+    let mut ser = SerialSim::new(cfg);
+    ser.run(warm);
+    let n_flow_s = ser.n_flow();
+    let t0 = Instant::now();
+    ser.run(measure);
+    let t_ser = t0.elapsed().as_secs_f64() * 1e6 / (measure as f64 * n_flow_s as f64);
+
+    println!(
+        "workload: {} flow particles, {} measured steps, {} threads",
+        n_flow,
+        measure,
+        rayon::current_num_threads()
+    );
+    report(
+        "data-parallel engine (us/p/step)",
+        "7.2 (CM-2, 32k PEs)",
+        &format!("{t_par:.3} (rayon)"),
+    );
+    report(
+        "serial same-physics comparator",
+        "0.5 (Cray-2, hand-vectorized)",
+        &format!("{t_ser:.3} (one core)"),
+    );
+    report(
+        "parallel/serial ratio",
+        "14.4x slower on CM-2",
+        &format!("{:.2}x {} here", (t_par / t_ser).max(t_ser / t_par),
+            if t_par < t_ser { "FASTER" } else { "slower" }),
+    );
+    println!(
+        "\nnote: the data-parallel formulation pays overheads (per-step sort,\n\
+         gathers) that a tuned serial loop avoids; it loses on few processors\n\
+         (1989: the CM-2 against one Cray-2 CPU; equally on a low-core host)\n\
+         and wins as the processor count grows — the paper's point."
+    );
+    let json = format!(
+        "{{\n  \"us_parallel\": {t_par:.4},\n  \"us_serial\": {t_ser:.4},\n  \
+         \"threads\": {},\n  \"flow_particles\": {n_flow}\n}}\n",
+        rayon::current_num_threads()
+    );
+    write_artifact("headline_perf.json", json.as_bytes());
+}

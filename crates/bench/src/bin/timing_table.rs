@@ -1,0 +1,77 @@
+//! TAB-T: the distribution of computational time over the four sub-steps.
+//!
+//! The paper (CM-2): motion+boundaries 14%, sort 27%, selection 20%,
+//! collision 39%.  This binary reports (a) the CM-2 model's shares at the
+//! paper's operating point and (b) the measured wall-clock shares of the
+//! rayon backend on the same workload — the machine balance differs, which
+//! is itself a result worth recording.
+//!
+//! `cargo run --release -p dsmc-bench --bin timing_table [--full]`
+
+use dsmc_bench::{report, write_artifact, RunScale};
+use dsmc_engine::{SimConfig, Simulation};
+use dsmc_perfmodel::{offchip_pair_fraction, offchip_sort_fraction, Cm2};
+
+fn main() {
+    let scale = RunScale::from_args();
+    println!("== TAB-T: timing distribution over the four sub-steps ==");
+    let mut cfg = SimConfig::paper(0.0);
+    cfg.n_per_cell = (75.0 * scale.density).max(4.0);
+    cfg.reservoir_fill = cfg.n_per_cell * 1.4;
+    let mut sim = Simulation::new(cfg);
+    let settle = (300.0 * scale.steps) as usize;
+    sim.run(settle);
+    sim.reset_timings();
+    let measure = (300.0 * scale.steps).max(30.0) as usize;
+
+    let machine = Cm2::paper();
+    let vp = machine.vp_ratio(sim.n_particles()).round().max(1.0) as u32;
+    let mut f_sort = 0.0;
+    let mut f_pair = 0.0;
+    let d0 = sim.diagnostics();
+    for _ in 0..measure {
+        sim.step();
+        f_sort += offchip_sort_fraction(sim.last_sort_order(), vp);
+        f_pair += offchip_pair_fraction(sim.segment_bounds(), vp);
+    }
+    let d1 = sim.diagnostics();
+    f_sort /= measure as f64;
+    f_pair /= measure as f64;
+    let cols_pp = (d1.collisions - d0.collisions) as f64 / (measure as f64 * d1.n_flow as f64);
+
+    let model = machine.step_cost(sim.n_particles(), f_sort, f_pair, cols_pp);
+    let model_shares = model.shares();
+    let wall = sim.timings().paper_buckets();
+    let wall_uspp = sim.timings().us_per_particle_step(d1.n_flow);
+
+    println!(
+        "workload: {} particles, VP ratio {:.1}, {} measured steps",
+        sim.n_particles(),
+        machine.vp_ratio(sim.n_particles()),
+        measure
+    );
+    println!("\n{:<22} {:>8} {:>12} {:>14}", "substep", "paper", "CM-2 model", "rayon backend");
+    let paper = [0.14, 0.27, 0.20, 0.39];
+    let names = ["motion+boundary", "sort", "select", "collide"];
+    let mut csv = String::from("substep,paper,cm2_model,rayon_wall\n");
+    for i in 0..4 {
+        println!(
+            "{:<22} {:>7.0}% {:>11.1}% {:>13.1}%",
+            names[i],
+            paper[i] * 100.0,
+            model_shares[i] * 100.0,
+            wall[i] * 100.0
+        );
+        csv.push_str(&format!(
+            "{},{:.3},{:.3},{:.3}\n",
+            names[i], paper[i], model_shares[i], wall[i]
+        ));
+    }
+    write_artifact("timing_table.csv", csv.as_bytes());
+    println!();
+    report(
+        "total (us/particle/step)",
+        "7.2 on 32k-PE CM-2",
+        &format!("model {:.2}, this machine {:.3}", model.total(), wall_uspp),
+    );
+}

@@ -1,0 +1,417 @@
+//! Sub-step 2: boundary conditions.
+//!
+//! In one parallel pass over the flow particles: reflect off the moving
+//! plunger face (hard upstream boundary), specularly reflect off the tunnel
+//! walls and off the body, and flag particles that crossed the soft
+//! downstream boundary.  Flagged particles are *moved to the reservoir*:
+//! their position is re-drawn inside the periodic reservoir strip and their
+//! velocities are re-drawn from the rectangular distribution with
+//! freestream variance — "after a few time steps collisions with other
+//! reservoir particles relaxes these to the correct Gaussian distributions".
+//!
+//! When the plunger face crosses its trigger it snaps back and the swept
+//! void is refilled with particles *taken from the reservoir*, which is the
+//! whole point of the reservoir: freestream injection without a single
+//! Gaussian sample in the step loop.
+
+use crate::config::{ResLayout, WallModel};
+use crate::particles::ParticleStore;
+use dsmc_datapar::pack_indices;
+use dsmc_fixed::Fx;
+use dsmc_geom::{Body, Plunger, PlungerEvent, Tunnel, WallOutcome};
+use rayon::prelude::*;
+
+/// Constant parameters of the boundary pass.
+pub struct BoundaryParams<'a> {
+    /// The tunnel box.
+    pub tunnel: &'a Tunnel,
+    /// The body in the test section.
+    pub body: &'a dyn Body,
+    /// First reservoir cell index.
+    pub res_base: u32,
+    /// Reservoir box layout.
+    pub res: ResLayout,
+    /// Freestream drift velocity `u∞`.
+    pub u_drift: Fx,
+    /// Half-width (raw units) of the rectangular velocity distribution:
+    /// `√3·σ∞` (same variance as the freestream Maxwellian).
+    pub rect_half_raw: i32,
+    /// Freestream number density (particles per unit cell) used to size
+    /// plunger refills.
+    pub n_inf: f64,
+    /// Wall interaction model.
+    pub walls: WallModel,
+    /// Wall-temperature velocity scale `σ_w = σ∞·√(T_wall/T∞)` (raw units;
+    /// used only by the diffuse model).
+    pub sigma_wall_raw: i32,
+}
+
+/// Tallies of one boundary pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BoundaryOutcome {
+    /// Particles moved to the reservoir (downstream exits).
+    pub exited: u32,
+    /// Particles introduced into the void behind the withdrawn plunger.
+    pub introduced: u32,
+    /// Whether the plunger withdrew this step.
+    pub withdrew: bool,
+    /// Particles the refill wanted but the reservoir could not supply.
+    pub shortfall: u32,
+}
+
+/// Enforce all boundaries; see module docs for the sequence.
+pub fn enforce(
+    parts: &mut ParticleStore,
+    p: &BoundaryParams<'_>,
+    plunger: &mut Plunger,
+) -> BoundaryOutcome {
+    let mut out = BoundaryOutcome::default();
+    let n = parts.len();
+
+    // Parallel wall/body/plunger pass over flow particles, producing the
+    // downstream-exit mask and (for diffuse walls) the wall-hit mask.
+    let mut exit_mask = vec![false; n];
+    let mut wall_hit = vec![0u8; n]; // 0 none, 1 bottom, 2 top
+    let diffuse = matches!(p.walls, WallModel::Diffuse { .. });
+    {
+        let tunnel = p.tunnel;
+        let body = p.body;
+        let plunger_now = *plunger;
+        let res_base = p.res_base;
+        let cells = &parts.cell;
+        parts
+            .x
+            .par_iter_mut()
+            .zip(parts.y.par_iter_mut())
+            .zip(parts.u.par_iter_mut())
+            .zip(parts.v.par_iter_mut())
+            .zip(cells.par_iter())
+            .zip(exit_mask.par_iter_mut())
+            .zip(wall_hit.par_iter_mut())
+            .for_each(|((((((x, y), u), v), &cell), exit), hit)| {
+                if cell >= res_base {
+                    return;
+                }
+                plunger_now.reflect(x, u);
+                if diffuse {
+                    *hit = if *y < Fx::ZERO {
+                        1
+                    } else if *y >= tunnel.height_fx() {
+                        2
+                    } else {
+                        0
+                    };
+                }
+                // Position always folds specularly (keeps the spatial
+                // distribution right); the diffuse model re-draws the
+                // velocity afterwards.
+                let wall = tunnel.enforce_walls(y, v, *x);
+                body.resolve(x, y, u, v);
+                *exit = wall == WallOutcome::ExitedDownstream || *x >= tunnel.width_fx();
+            });
+    }
+
+    // Diffuse re-emission: full accommodation — tangential and rotational
+    // components Maxwellian at T_wall, wall-normal component from the
+    // effusive (flux-weighted) distribution, directed into the gas.
+    if let WallModel::Diffuse { .. } = p.walls {
+        let sigma_w = p.sigma_wall_raw as f64;
+        for i in 0..n {
+            let which = wall_hit[i];
+            if which == 0 || exit_mask[i] {
+                continue;
+            }
+            let rng = &mut parts.rng[i];
+            let mut gauss = || {
+                let (g, _) = dsmc_kinetics::sampling::box_muller(rng);
+                g
+            };
+            parts.u[i] = Fx::from_raw((sigma_w * gauss()) as i32);
+            parts.w[i] = Fx::from_raw((sigma_w * gauss()) as i32);
+            parts.r1[i] = Fx::from_raw((sigma_w * gauss()) as i32);
+            parts.r2[i] = Fx::from_raw((sigma_w * gauss()) as i32);
+            let speed = sigma_w * (-2.0 * parts.rng[i].next_f64().max(1e-12).ln()).sqrt();
+            let vn = Fx::from_raw(speed as i32);
+            parts.v[i] = if which == 1 { vn } else { -vn };
+        }
+    }
+
+    // Downstream exits → reservoir (sequential: a small, data-dependent set).
+    let exits = pack_indices(&exit_mask);
+    out.exited = exits.len() as u32;
+    let res_w_fx = Fx::from_int(p.res.w as i32);
+    let res_h_fx = Fx::from_int(p.res.h as i32);
+    for &i in &exits {
+        let i = i as usize;
+        let rng = &mut parts.rng[i];
+        // Position uniformly in the reservoir box.
+        parts.x[i] = Fx::from_raw(
+            ((rng.next_u32() as u64 * res_w_fx.raw() as u64) >> 32) as i32,
+        );
+        parts.y[i] = Fx::from_raw(
+            ((rng.next_u32() as u64 * res_h_fx.raw() as u64) >> 32) as i32,
+        );
+        // Rectangular velocities with freestream variance about the drift.
+        let span = (2 * p.rect_half_raw + 1) as u32;
+        let draw = |rng: &mut dsmc_rng::XorShift32| {
+            Fx::from_raw(rng.next_below(span) as i32 - p.rect_half_raw)
+        };
+        let du = draw(rng);
+        let dv = draw(rng);
+        let dw = draw(rng);
+        let dr1 = draw(rng);
+        let dr2 = draw(rng);
+        parts.u[i] = p.u_drift + du;
+        parts.v[i] = dv;
+        parts.w[i] = dw;
+        parts.r1[i] = dr1;
+        parts.r2[i] = dr2;
+        parts.cell[i] = p.res_base + p.res.cell(parts.x[i], parts.y[i]);
+    }
+
+    // Plunger: advance, and refill the void on withdrawal.
+    if let PlungerEvent::Withdrawn { void_end } = plunger.advance() {
+        out.withdrew = true;
+        let need = (p.n_inf * void_end.to_f64() * p.tunnel.height as f64).round() as usize;
+        // Reservoir census (the reservoir is cell-sorted, so a strided take
+        // draws roughly uniformly across reservoir cells).
+        let res_mask: Vec<bool> = parts.cell.par_iter().map(|&c| c >= p.res_base).collect();
+        let res_idx = pack_indices(&res_mask);
+        let avail = res_idx.len();
+        let take = need.min(avail);
+        out.shortfall = (need - take) as u32;
+        if take > 0 {
+            let stride = (avail as f64 / take as f64).max(1.0);
+            let h = p.tunnel.height as f64;
+            let void_f = void_end.to_f64();
+            for k in 0..take {
+                let i = res_idx[(k as f64 * stride) as usize % avail] as usize;
+                let rng = &mut parts.rng[i];
+                let x = Fx::from_f64(void_f * rng.next_f64());
+                let y = Fx::from_f64((h * rng.next_f64()).min(h - 1e-6));
+                parts.x[i] = x;
+                parts.y[i] = y;
+                // Velocities stay as relaxed in the reservoir: they *are*
+                // the freestream sample.
+                parts.cell[i] = p.tunnel.cell_index(x, y);
+            }
+            out.introduced = take as u32;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsmc_geom::{NoBody, Wedge};
+    use dsmc_rng::{Perm5, XorShift32};
+
+    fn fx(v: f64) -> Fx {
+        Fx::from_f64(v)
+    }
+
+    fn push_flow(s: &mut ParticleStore, x: f64, y: f64, u: f64, v: f64) {
+        // Well-mixed per-particle seeds, as the engine's init provides
+        // (raw small seeds bias xorshift's first outputs).
+        let seed = dsmc_rng::SplitMix64::new(s.len() as u64 + 1).next_seed32();
+        s.push(
+            fx(x),
+            fx(y),
+            [fx(u), fx(v), Fx::ZERO, Fx::ZERO, Fx::ZERO],
+            Perm5::IDENTITY,
+            XorShift32::new(seed),
+            0,
+        );
+    }
+
+    fn push_res(s: &mut ParticleStore, base: u32, x: f64) {
+        s.push(
+            fx(x),
+            fx(0.5),
+            [fx(0.26), Fx::ZERO, Fx::ZERO, Fx::ZERO, Fx::ZERO],
+            Perm5::IDENTITY,
+            XorShift32::new(s.len() as u32 + 77),
+            base + x as u32,
+        );
+    }
+
+    fn params<'a>(tunnel: &'a Tunnel, body: &'a dyn Body) -> BoundaryParams<'a> {
+        BoundaryParams {
+            tunnel,
+            body,
+            res_base: tunnel.n_cells(),
+            res: ResLayout::for_cells(16),
+            u_drift: fx(0.26),
+            rect_half_raw: Fx::from_f64(0.08 * 1.2247).raw(),
+            n_inf: 4.0,
+            walls: WallModel::Specular,
+            sigma_wall_raw: 0,
+        }
+    }
+
+    #[test]
+    fn wall_bounce_applied_to_flow_only() {
+        let tunnel = Tunnel::new(20, 10);
+        let body = NoBody;
+        let p = params(&tunnel, &body);
+        let mut plunger = Plunger::new(fx(0.25), fx(3.0));
+        let mut s = ParticleStore::default();
+        push_flow(&mut s, 5.0, -0.25, 0.1, -0.2);
+        push_res(&mut s, p.res_base, 3.0);
+        let res_y = s.y[1];
+        let out = enforce(&mut s, &p, &mut plunger);
+        assert_eq!(out.exited, 0);
+        assert_eq!(s.y[0], fx(0.25));
+        assert_eq!(s.v[0], fx(0.2));
+        assert_eq!(s.y[1], res_y, "reservoir particle untouched");
+    }
+
+    #[test]
+    fn downstream_exit_moves_to_reservoir_with_rect_velocities() {
+        let tunnel = Tunnel::new(20, 10);
+        let body = NoBody;
+        let p = params(&tunnel, &body);
+        let mut plunger = Plunger::new(fx(0.25), fx(30.0)); // never withdraws soon
+        let mut s = ParticleStore::default();
+        push_flow(&mut s, 20.5, 5.0, 0.9, 0.0);
+        let out = enforce(&mut s, &p, &mut plunger);
+        assert_eq!(out.exited, 1);
+        assert!(s.cell[0] >= p.res_base);
+        assert!(s.x[0] >= Fx::ZERO && s.x[0] < fx(16.0));
+        assert!(s.y[0] >= Fx::ZERO && s.y[0] < Fx::ONE);
+        // Velocity was re-drawn near the drift with bounded support.
+        let du = (s.u[0] - p.u_drift).raw().abs();
+        assert!(du <= p.rect_half_raw, "u out of rectangular support");
+        assert!(s.v[0].raw().abs() <= p.rect_half_raw);
+    }
+
+    #[test]
+    fn plunger_withdrawal_pulls_from_reservoir() {
+        let tunnel = Tunnel::new(20, 10);
+        let body = NoBody;
+        let p = params(&tunnel, &body);
+        // Face right at the trigger: next advance withdraws.
+        let mut plunger = Plunger::new(fx(1.0), fx(1.0));
+        let mut s = ParticleStore::default();
+        for i in 0..200 {
+            push_res(&mut s, p.res_base, (i % 16) as f64 + 0.5);
+        }
+        let out = enforce(&mut s, &p, &mut plunger);
+        assert!(out.withdrew);
+        // need = n_inf · void(1.0) · H(10) = 40.
+        assert_eq!(out.introduced, 40);
+        assert_eq!(out.shortfall, 0);
+        let in_flow = s.cell.iter().filter(|&&c| c < p.res_base).count();
+        assert_eq!(in_flow, 40);
+        // Introduced particles sit in the void and keep the drift velocity.
+        for i in 0..s.len() {
+            if s.cell[i] < p.res_base {
+                assert!(s.x[i] < fx(1.0));
+                assert_eq!(s.u[i], fx(0.26));
+            }
+        }
+    }
+
+    #[test]
+    fn refill_shortfall_reported() {
+        let tunnel = Tunnel::new(20, 10);
+        let body = NoBody;
+        let p = params(&tunnel, &body);
+        let mut plunger = Plunger::new(fx(1.0), fx(1.0));
+        let mut s = ParticleStore::default();
+        for _ in 0..10 {
+            push_res(&mut s, p.res_base, 2.5);
+        }
+        let out = enforce(&mut s, &p, &mut plunger);
+        assert_eq!(out.introduced, 10);
+        assert_eq!(out.shortfall, 30);
+    }
+
+    #[test]
+    fn wedge_reflection_happens_in_boundary_pass() {
+        let tunnel = Tunnel::new(64, 40);
+        let body = Wedge::new(14.0, 16.0, 30.0);
+        let p = BoundaryParams {
+            tunnel: &tunnel,
+            body: &body,
+            res_base: tunnel.n_cells(),
+            res: ResLayout::for_cells(16),
+            u_drift: fx(0.26),
+            rect_half_raw: Fx::from_f64(0.1).raw(),
+            n_inf: 4.0,
+            walls: WallModel::Specular,
+            sigma_wall_raw: 0,
+        };
+        let mut plunger = Plunger::new(fx(0.25), fx(60.0));
+        let mut s = ParticleStore::default();
+        push_flow(&mut s, 16.0, 0.5, 0.3, -0.1); // inside the ramp toe
+        assert!(body.contains(s.x[0], s.y[0]));
+        enforce(&mut s, &p, &mut plunger);
+        assert!(!body.contains(s.x[0], s.y[0]), "particle pushed out of body");
+    }
+
+    #[test]
+    fn plunger_face_sweeps_particles() {
+        let tunnel = Tunnel::new(20, 10);
+        let body = NoBody;
+        let p = params(&tunnel, &body);
+        let mut plunger = Plunger::new(fx(0.5), fx(10.0));
+        plunger.face = fx(2.0);
+        let mut s = ParticleStore::default();
+        push_flow(&mut s, 1.5, 5.0, -0.1, 0.0);
+        enforce(&mut s, &p, &mut plunger);
+        assert!(s.x[0] > fx(2.0), "swept ahead of the face");
+        assert!(s.u[0] > fx(0.5), "picked up at least the face speed");
+    }
+
+    #[test]
+    fn diffuse_wall_re_emits_into_the_gas() {
+        let tunnel = Tunnel::new(20, 10);
+        let body = NoBody;
+        let mut p = params(&tunnel, &body);
+        let sigma = Fx::from_f64(0.06);
+        p.walls = WallModel::Diffuse { t_wall: 1.0 };
+        p.sigma_wall_raw = sigma.raw();
+        let mut plunger = Plunger::new(fx(0.25), fx(60.0));
+        let mut s = ParticleStore::default();
+        // A swarm of particles that just crossed the bottom wall with a
+        // common incoming velocity.
+        for k in 0..400 {
+            push_flow(&mut s, 2.0 + (k % 16) as f64, -0.2, 0.3, -0.4);
+        }
+        enforce(&mut s, &p, &mut plunger);
+        let mut mean_u = 0.0;
+        for i in 0..s.len() {
+            assert!(s.y[i] >= Fx::ZERO, "position folded back inside");
+            assert!(s.v[i] > Fx::ZERO, "re-emitted away from the bottom wall");
+            mean_u += s.u[i].to_f64();
+        }
+        mean_u /= s.len() as f64;
+        // Full accommodation: the tangential drift (0.3) is destroyed.
+        assert!(mean_u.abs() < 0.02, "no-slip: mean u after re-emission {mean_u}");
+        // The speeds are thermal at sigma, not the incoming 0.5-magnitude.
+        let var_u: f64 = s.u.iter().map(|u| u.to_f64().powi(2)).sum::<f64>() / s.len() as f64;
+        assert!((var_u / (0.06 * 0.06) - 1.0).abs() < 0.3, "wall-temperature variance");
+    }
+
+    #[test]
+    fn hot_diffuse_wall_heats_the_re_emitted_gas() {
+        let tunnel = Tunnel::new(20, 10);
+        let body = NoBody;
+        let mut p = params(&tunnel, &body);
+        let sigma = 0.06f64;
+        p.walls = WallModel::Diffuse { t_wall: 4.0 };
+        p.sigma_wall_raw = Fx::from_f64(sigma * 2.0).raw(); // sqrt(4) = 2
+        let mut plunger = Plunger::new(fx(0.25), fx(60.0));
+        let mut s = ParticleStore::default();
+        for k in 0..400 {
+            push_flow(&mut s, 2.0 + (k % 16) as f64, 10.1, 0.0, 0.3);
+        }
+        enforce(&mut s, &p, &mut plunger);
+        let var_u: f64 = s.u.iter().map(|u| u.to_f64().powi(2)).sum::<f64>() / s.len() as f64;
+        let ratio = var_u / (sigma * sigma);
+        assert!((ratio - 4.0).abs() < 1.2, "T_wall = 4 T_inf: variance ratio {ratio}");
+        assert!(s.v.iter().all(|v| *v < Fx::ZERO), "emitted downward from the top wall");
+    }
+}

@@ -1,0 +1,347 @@
+//! Simulation configuration.
+
+use dsmc_fixed::Rounding;
+use dsmc_geom::{Body, FlatPlate, ForwardStep, NoBody, Wedge};
+use dsmc_kinetics::MolecularModel;
+use std::sync::Arc;
+
+/// Which body sits in the test section.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BodySpec {
+    /// Empty tunnel (uniform flow / relaxation studies).
+    None,
+    /// The paper's wedge: leading edge `x0`, base length, ramp angle (deg).
+    Wedge {
+        /// Leading-edge station in cells.
+        x0: f64,
+        /// Base length in cells.
+        base: f64,
+        /// Ramp angle in degrees.
+        angle_deg: f64,
+    },
+    /// Rectangular forward step.
+    Step {
+        /// Upstream face station.
+        x0: f64,
+        /// Downstream face station.
+        x1: f64,
+        /// Step height.
+        h: f64,
+    },
+    /// Thin vertical plate.
+    Plate {
+        /// Plate station.
+        x0: f64,
+        /// Plate height.
+        h: f64,
+    },
+}
+
+impl BodySpec {
+    /// Instantiate the geometry object.
+    pub fn build(&self) -> Arc<dyn Body> {
+        match *self {
+            BodySpec::None => Arc::new(NoBody),
+            BodySpec::Wedge { x0, base, angle_deg } => Arc::new(Wedge::new(x0, base, angle_deg)),
+            BodySpec::Step { x0, x1, h } => Arc::new(ForwardStep::new(x0, x1, h)),
+            BodySpec::Plate { x0, h } => Arc::new(FlatPlate::new(x0, h)),
+        }
+    }
+}
+
+/// Geometry of the reservoir region: its own small periodic box, sized so
+/// positions stay well inside the Q8.23 range regardless of how many
+/// reservoir cells are requested.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResLayout {
+    /// Box width in cells (≤ 64).
+    pub w: u32,
+    /// Box height in cells.
+    pub h: u32,
+}
+
+impl ResLayout {
+    /// Layout covering at least `cells` unit cells.
+    pub fn for_cells(cells: u32) -> Self {
+        let cells = cells.max(1);
+        let w = cells.min(64);
+        Self {
+            w,
+            h: cells.div_ceil(w),
+        }
+    }
+
+    /// Total cells in the box (≥ the requested count).
+    pub fn total(&self) -> u32 {
+        self.w * self.h
+    }
+
+    /// Cell index inside the box for a box-frame position.
+    #[inline]
+    pub fn cell(&self, x: dsmc_fixed::Fx, y: dsmc_fixed::Fx) -> u32 {
+        let ix = x.floor_int();
+        let iy = y.floor_int();
+        debug_assert!(ix >= 0 && (ix as u32) < self.w && iy >= 0 && (iy as u32) < self.h);
+        iy as u32 * self.w + ix as u32
+    }
+}
+
+/// Tunnel-wall interaction model.
+///
+/// The paper implements specular (inviscid) walls and names "no slip
+/// adiabatic and isothermal walls" as future work; the diffuse model is
+/// that extension: particles striking the top/bottom walls are re-emitted
+/// with a half-space Maxwellian at the wall temperature and zero mean
+/// tangential velocity (full accommodation).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WallModel {
+    /// Specular reflection (the paper's inviscid walls; default).
+    Specular,
+    /// Fully accommodating diffuse re-emission at wall temperature
+    /// `t_wall` in units of the freestream temperature.
+    Diffuse {
+        /// Wall temperature / freestream temperature.
+        t_wall: f64,
+    },
+}
+
+/// Where the per-particle random bits come from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RngMode {
+    /// One explicit xorshift32 stream per particle (default: reproducible,
+    /// well distributed).
+    Explicit,
+    /// The paper's frugal mode: "a quick but dirty random number in the low
+    /// order bits of a physical state quantity".  Saves the per-particle
+    /// generator state and its update at the cost of weaker randomness;
+    /// the `ablation_rng` experiment quantifies the difference.
+    DirtyBits,
+}
+
+/// Full configuration of a [`crate::Simulation`].
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Tunnel width in unit cells (98 in the paper's runs).
+    pub tunnel_w: u32,
+    /// Tunnel height in unit cells (64 in the paper's runs).
+    pub tunnel_h: u32,
+    /// Body in the test section.
+    pub body: BodySpec,
+    /// Freestream Mach number.
+    pub mach: f64,
+    /// Most probable thermal speed in cells/step.
+    pub c_m: f64,
+    /// Freestream mean free path in cells; `0.0` = near-continuum (every
+    /// candidate pair collides).
+    pub lambda: f64,
+    /// Freestream number density in particles per (full) cell.
+    pub n_per_cell: f64,
+    /// Number of unit cells in the reservoir strip.
+    pub reservoir_cells: u32,
+    /// Initial reservoir population per reservoir cell (defaults to
+    /// `n_per_cell` via [`SimConfig::validated`]; may exceed it to buffer
+    /// the plunger's batched demand).
+    pub reservoir_fill: f64,
+    /// Plunger trigger station in cells: the piston face advances with the
+    /// freestream and snaps back after sweeping this far.
+    pub plunger_trigger: f64,
+    /// Bits of random jitter in the sort key ("a random number less than
+    /// the scale factor is added" so partner pairings decorrelate between
+    /// steps).
+    pub jitter_bits: u32,
+    /// Halving/rounding policy (the paper's fix is stochastic rounding).
+    pub rounding: Rounding,
+    /// Randomness source for the step loop.
+    pub rng_mode: RngMode,
+    /// Molecular interaction model (the paper: Maxwell molecules).
+    pub model: MolecularModel,
+    /// Tunnel-wall interaction (the paper: specular; diffuse is the
+    /// future-work extension).
+    pub walls: WallModel,
+    /// Master seed; every run with the same config and seed is bit-identical.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's headline configuration at full scale: 98×64 grid, 30°
+    /// wedge of base 25 at x = 20, ~75 particles per cell (512k total with
+    /// the reservoir), Mach 4.
+    pub fn paper(lambda: f64) -> Self {
+        Self {
+            tunnel_w: 98,
+            tunnel_h: 64,
+            body: BodySpec::Wedge {
+                x0: 20.0,
+                base: 25.0,
+                angle_deg: 30.0,
+            },
+            mach: 4.0,
+            c_m: dsmc_kinetics::FreeStream::DEFAULT_CM,
+            lambda,
+            n_per_cell: 75.0,
+            reservoir_cells: 600,
+            reservoir_fill: 75.0,
+            plunger_trigger: 4.0,
+            jitter_bits: 8,
+            rounding: Rounding::Stochastic,
+            rng_mode: RngMode::Explicit,
+            model: MolecularModel::Maxwell,
+            walls: WallModel::Specular,
+            seed: 0xD5_4C_19_89,
+        }
+    }
+
+    /// A scaled-down wedge configuration that runs a full shock study in
+    /// seconds (used by examples and integration tests).
+    pub fn small_wedge(lambda: f64) -> Self {
+        let mut c = Self::paper(lambda);
+        c.tunnel_w = 64;
+        c.tunnel_h = 40;
+        c.body = BodySpec::Wedge {
+            x0: 14.0,
+            base: 16.0,
+            angle_deg: 30.0,
+        };
+        c.n_per_cell = 40.0;
+        c.reservoir_cells = 200;
+        c.reservoir_fill = 40.0;
+        c
+    }
+
+    /// A tiny empty-tunnel configuration for unit tests.
+    pub fn small_test() -> Self {
+        Self {
+            tunnel_w: 16,
+            tunnel_h: 12,
+            body: BodySpec::None,
+            mach: 4.0,
+            c_m: 0.08,
+            lambda: 0.5,
+            n_per_cell: 10.0,
+            reservoir_cells: 48,
+            reservoir_fill: 10.0,
+            plunger_trigger: 3.0,
+            jitter_bits: 6,
+            rounding: Rounding::Stochastic,
+            rng_mode: RngMode::Explicit,
+            model: MolecularModel::Maxwell,
+            walls: WallModel::Specular,
+            seed: 1,
+        }
+    }
+
+    /// Validate and normalise (fills defaulted fields, checks ranges).
+    ///
+    /// Panics with a descriptive message on nonsense configurations — the
+    /// library's contract is that a validated config cannot crash the step
+    /// loop.
+    pub fn validated(mut self) -> Self {
+        assert!(self.tunnel_w >= 4 && self.tunnel_h >= 2, "tunnel too small");
+        assert!(
+            self.tunnel_w < 250 && self.tunnel_h < 250,
+            "tunnel exceeds the Q8.23 position range"
+        );
+        assert!(self.n_per_cell >= 1.0, "need at least ~1 particle per cell");
+        assert!(self.reservoir_cells >= 1, "reservoir must exist");
+        assert!(
+            self.plunger_trigger >= 1.0 && self.plunger_trigger < self.tunnel_w as f64 / 2.0,
+            "plunger trigger out of range"
+        );
+        assert!(self.jitter_bits <= 12, "jitter beyond 12 bits is wasteful");
+        if self.reservoir_fill <= 0.0 {
+            self.reservoir_fill = self.n_per_cell;
+        }
+        let fs = dsmc_kinetics::FreeStream::new(self.mach, self.c_m, self.lambda);
+        // Soft check of the eq.-(4) constraint; a violating config is
+        // physically questionable but numerically safe, so warn only.
+        if !(fs.time_step_constraint_ok() || self.lambda == 0.0) {
+            eprintln!(
+                "cm-dsmc warning: P∞ = {:.3} > 1/3 violates the one-collision-per-step \
+                 assumption behind the selection rule (paper eq. 4); reduce c_m or \
+                 increase λ∞ for quantitative work",
+                fs.p_inf()
+            );
+        }
+        // The reservoir must be able to supply one plunger refill.
+        let refill = self.n_per_cell * self.plunger_trigger * self.tunnel_h as f64;
+        let res_cap = self.reservoir_fill * self.reservoir_cells as f64;
+        assert!(
+            res_cap >= refill,
+            "reservoir ({res_cap:.0}) cannot buffer one plunger refill ({refill:.0}); \
+             increase reservoir_cells"
+        );
+        self
+    }
+
+    /// The freestream state implied by this configuration.
+    pub fn freestream(&self) -> dsmc_kinetics::FreeStream {
+        dsmc_kinetics::FreeStream::new(self.mach, self.c_m, self.lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_validates() {
+        let c = SimConfig::paper(0.5).validated();
+        assert_eq!(c.tunnel_w, 98);
+        assert_eq!(c.tunnel_h, 64);
+        // ~6100 free cells × 75 ≈ 460k flow particles, as in the paper.
+        let body = c.body.build();
+        let mut free = 0.0;
+        for iy in 0..c.tunnel_h {
+            for ix in 0..c.tunnel_w {
+                free += body.free_volume_fraction(ix, iy);
+            }
+        }
+        let n_flow = free * c.n_per_cell;
+        assert!(
+            (430_000.0..480_000.0).contains(&n_flow),
+            "flow population {n_flow}"
+        );
+    }
+
+    #[test]
+    fn near_continuum_config() {
+        let c = SimConfig::paper(0.0).validated();
+        assert_eq!(c.freestream().p_inf(), 1.0);
+    }
+
+    #[test]
+    fn reservoir_default_fill() {
+        let mut c = SimConfig::small_test();
+        c.reservoir_fill = 0.0;
+        let c = c.validated();
+        assert_eq!(c.reservoir_fill, c.n_per_cell);
+    }
+
+    #[test]
+    #[should_panic(expected = "reservoir")]
+    fn undersized_reservoir_rejected() {
+        let mut c = SimConfig::small_test();
+        c.reservoir_cells = 1;
+        c.reservoir_fill = 1.0;
+        let _ = c.validated();
+    }
+
+    #[test]
+    #[should_panic(expected = "Q8.23")]
+    fn oversized_tunnel_rejected() {
+        let mut c = SimConfig::small_test();
+        c.tunnel_w = 400;
+        let _ = c.validated();
+    }
+
+    #[test]
+    fn body_specs_build() {
+        assert!(!BodySpec::None.build().contains_f64(1.0, 1.0));
+        let w = BodySpec::Wedge { x0: 5.0, base: 10.0, angle_deg: 30.0 }.build();
+        assert!(w.contains_f64(10.0, 0.5));
+        let s = BodySpec::Step { x0: 2.0, x1: 4.0, h: 3.0 }.build();
+        assert!(s.contains_f64(3.0, 1.0));
+        let p = BodySpec::Plate { x0: 6.0, h: 2.0 }.build();
+        assert!(p.contains_f64(6.0, 1.0));
+    }
+}

@@ -1,0 +1,189 @@
+//! Host-side ("front end") initialisation.
+//!
+//! The front end builds the permutation table, seeds the per-particle
+//! random streams, fills the tunnel with Maxwellian freestream gas (the
+//! only place Box–Muller is ever used) and fills the reservoir.  All of it
+//! is one-off O(N) work before the data-parallel step loop starts.
+
+use crate::config::{ResLayout, SimConfig};
+use crate::particles::ParticleStore;
+use dsmc_fixed::Fx;
+use dsmc_geom::{Body, Tunnel};
+use dsmc_kinetics::sampling::maxwellian_5;
+use dsmc_kinetics::FreeStream;
+use dsmc_rng::{PermTable, SplitMix64, XorShift32};
+
+/// Per-cell free-volume fractions of the flow grid followed by `1.0` for
+/// every reservoir cell (the layout the selection table expects).
+pub fn cell_volumes(tunnel: &Tunnel, body: &dyn Body, res: ResLayout) -> Vec<f64> {
+    let mut v = Vec::with_capacity((tunnel.n_cells() + res.total()) as usize);
+    for iy in 0..tunnel.height {
+        for ix in 0..tunnel.width {
+            v.push(body.free_volume_fraction(ix, iy));
+        }
+    }
+    v.extend(std::iter::repeat(1.0).take(res.total() as usize));
+    v
+}
+
+/// Populate the store: freestream gas throughout the free tunnel volume,
+/// plus the reservoir strip.
+pub fn populate(
+    cfg: &SimConfig,
+    tunnel: &Tunnel,
+    body: &dyn Body,
+    fs: &FreeStream,
+    volumes: &[f64],
+) -> ParticleStore {
+    let mut seeder = SplitMix64::new(cfg.seed);
+    let mut host_rng = XorShift32::new(seeder.next_seed32());
+    let table = PermTable::generate_default(seeder.next_seed32());
+
+    let res = ResLayout::for_cells(cfg.reservoir_cells);
+    let res_base = tunnel.n_cells();
+    let free_cells: f64 = volumes[..res_base as usize].iter().sum();
+    let n_flow = (cfg.n_per_cell * free_cells).round() as usize;
+    let n_res = (cfg.reservoir_fill * res.total() as f64).round() as usize;
+
+    let mut parts = ParticleStore::with_capacity(n_flow + n_res);
+    let (wf, hf) = (tunnel.width as f64, tunnel.height as f64);
+
+    // Flow fill by rejection against the body.
+    let mut placed = 0usize;
+    let mut attempts = 0usize;
+    while placed < n_flow {
+        attempts += 1;
+        assert!(
+            attempts < n_flow * 50 + 1000,
+            "rejection sampling stalled; body covers the tunnel?"
+        );
+        let x = (host_rng.next_f64() * wf).min(wf - 1e-9);
+        let y = (host_rng.next_f64() * hf).min(hf - 1e-9);
+        if body.contains_f64(x, y) {
+            continue;
+        }
+        let (xf, yf) = (Fx::from_f64(x), Fx::from_f64(y));
+        if body.contains(xf, yf) {
+            continue; // fixed-point boundary disagreement: stay conservative
+        }
+        let vel = maxwellian_5(fs, &mut host_rng);
+        let i = parts.len();
+        parts.push(
+            xf,
+            yf,
+            vel,
+            table.deal(i),
+            XorShift32::new(seeder.next_seed32()),
+            tunnel.cell_index(xf, yf),
+        );
+        placed += 1;
+    }
+
+    // Reservoir fill (Maxwellian: it must *hold* freestream-distribution
+    // particles; the rectangular law is only for re-entries).
+    let (rw, rh) = (res.w as f64, res.h as f64);
+    for _ in 0..n_res {
+        let x = (host_rng.next_f64() * rw).min(rw - 1e-9);
+        let y = (host_rng.next_f64() * rh).min(rh - 1e-9);
+        let (xf, yf) = (Fx::from_f64(x), Fx::from_f64(y));
+        let vel = maxwellian_5(fs, &mut host_rng);
+        let i = parts.len();
+        parts.push(
+            xf,
+            yf,
+            vel,
+            table.deal(i),
+            XorShift32::new(seeder.next_seed32()),
+            res_base + res.cell(xf, yf),
+        );
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BodySpec;
+
+    #[test]
+    fn volumes_layout_and_values() {
+        let cfg = SimConfig::small_wedge(0.5).validated();
+        let tunnel = Tunnel::new(cfg.tunnel_w, cfg.tunnel_h);
+        let body = cfg.body.build();
+        let v = cell_volumes(&tunnel, body.as_ref(), ResLayout::for_cells(cfg.reservoir_cells));
+        assert_eq!(
+            v.len(),
+            (cfg.tunnel_w * cfg.tunnel_h
+                + ResLayout::for_cells(cfg.reservoir_cells).total()) as usize
+        );
+        // Far-field cell fully free; reservoir cells fully free.
+        assert_eq!(v[0], 1.0);
+        assert_eq!(*v.last().unwrap(), 1.0);
+        // Some wedge-interior cell is fully blocked.
+        let blocked = (0..tunnel.n_cells() as usize).any(|i| v[i] < 1e-9);
+        assert!(blocked, "wedge must block at least one cell");
+    }
+
+    #[test]
+    fn populate_counts_and_placement() {
+        let cfg = SimConfig::small_wedge(0.5).validated();
+        let tunnel = Tunnel::new(cfg.tunnel_w, cfg.tunnel_h);
+        let body = cfg.body.build();
+        let fs = cfg.freestream();
+        let volumes = cell_volumes(&tunnel, body.as_ref(), ResLayout::for_cells(cfg.reservoir_cells));
+        let parts = populate(&cfg, &tunnel, body.as_ref(), &fs, &volumes);
+        let res_base = tunnel.n_cells();
+        let n_flow = parts.cell.iter().filter(|&&c| c < res_base).count();
+        let n_res = parts.len() - n_flow;
+        let free: f64 = volumes[..res_base as usize].iter().sum();
+        assert_eq!(n_flow, (cfg.n_per_cell * free).round() as usize);
+        assert_eq!(
+            n_res,
+            (cfg.reservoir_fill * ResLayout::for_cells(cfg.reservoir_cells).total() as f64)
+                .round() as usize
+        );
+        // No particle starts inside the body.
+        for i in 0..parts.len() {
+            if parts.cell[i] < res_base {
+                assert!(!body.contains(parts.x[i], parts.y[i]));
+            }
+        }
+        assert!(parts.check_coherent());
+    }
+
+    #[test]
+    fn populate_is_deterministic_by_seed() {
+        let cfg = SimConfig::small_test().validated();
+        let tunnel = Tunnel::new(cfg.tunnel_w, cfg.tunnel_h);
+        let body = BodySpec::None.build();
+        let fs = cfg.freestream();
+        let volumes = cell_volumes(&tunnel, body.as_ref(), ResLayout::for_cells(cfg.reservoir_cells));
+        let a = populate(&cfg, &tunnel, body.as_ref(), &fs, &volumes);
+        let b = populate(&cfg, &tunnel, body.as_ref(), &fs, &volumes);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.u, b.u);
+        let mut cfg2 = cfg.clone();
+        cfg2.seed ^= 0xFFFF;
+        let c = populate(&cfg2, &tunnel, body.as_ref(), &fs, &volumes);
+        assert_ne!(a.x, c.x, "different seeds must differ");
+    }
+
+    #[test]
+    fn freestream_moments_of_initial_fill() {
+        let mut cfg = SimConfig::small_test();
+        cfg.n_per_cell = 200.0; // plenty of samples
+        cfg.reservoir_cells = 80;
+        cfg.reservoir_fill = 200.0;
+        let cfg = cfg.validated();
+        let tunnel = Tunnel::new(cfg.tunnel_w, cfg.tunnel_h);
+        let body = BodySpec::None.build();
+        let fs = cfg.freestream();
+        let volumes = cell_volumes(&tunnel, body.as_ref(), ResLayout::for_cells(cfg.reservoir_cells));
+        let parts = populate(&cfg, &tunnel, body.as_ref(), &fs, &volumes);
+        let (mean_u, var_u, _) =
+            dsmc_kinetics::sampling::moments(parts.u.iter().map(|u| u.to_f64()));
+        assert!((mean_u - fs.u_inf()).abs() < 0.003, "drift {mean_u}");
+        let s2 = fs.sigma() * fs.sigma();
+        assert!((var_u / s2 - 1.0).abs() < 0.05, "variance ratio {}", var_u / s2);
+    }
+}

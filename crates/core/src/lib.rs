@@ -1,0 +1,53 @@
+//! The Baganoff–McDonald direct particle simulation, data-parallel style.
+//!
+//! This crate is the paper's primary contribution: a fine-grained parallel
+//! implementation of the Stanford direct particle simulation method for
+//! hypersonic rarefied flow, structured exactly as the CM-2 code was —
+//! *particles map to (virtual) processors*, and each time step is four
+//! data-parallel sub-steps:
+//!
+//! 1. **collisionless motion** of all particles ([`motion`]),
+//! 2. **boundary conditions** — specular walls, the body, the moving
+//!    plunger inlet, the soft outflow into the reservoir ([`boundary`]),
+//! 3. **selection of collision partners** — randomised cell-key sort,
+//!    segmented-scan cell densities, even/odd pairing, the pairwise
+//!    probability rule ([`sortstep`], [`collide`]),
+//! 4. **collision of selected partners** — the 5-vector Maxwell-diatomic
+//!    kernel ([`collide`]).
+//!
+//! The public entry point is [`Simulation`], configured by [`SimConfig`].
+//! State is structure-of-arrays 32-bit fixed point ([`particles`]); the
+//! sort is what load-balances the collision phase ("the total processing
+//! power of the machine is evenly distributed amongst the computational
+//! cells"); and the reservoir keeps otherwise-idle particles doing useful
+//! relaxation work, so that freestream injection never needs a Gaussian
+//! sample in the step loop.
+//!
+//! # Example
+//!
+//! ```
+//! use dsmc_engine::{SimConfig, Simulation};
+//!
+//! let mut cfg = SimConfig::small_test();
+//! cfg.seed = 7;
+//! let mut sim = Simulation::new(cfg);
+//! sim.run(10);
+//! let d = sim.diagnostics();
+//! assert!(d.n_flow > 0);
+//! ```
+
+pub mod boundary;
+pub mod collide;
+pub mod config;
+pub mod diag;
+pub mod engine;
+pub mod init;
+pub mod motion;
+pub mod particles;
+pub mod sample;
+pub mod sortstep;
+
+pub use config::{BodySpec, RngMode, SimConfig};
+pub use diag::{Diagnostics, StepTimings, Substep};
+pub use engine::Simulation;
+pub use sample::SampledField;

@@ -1,0 +1,188 @@
+//! Sub-step 1: collisionless motion.
+//!
+//! "Each particle's position vector is updated simply by x⃗ ← x⃗ + u⃗" — with
+//! the time scale normalised by one step (paper eq. 2).  The update is
+//! exact and reversible in fixed point, perfectly load balanced, and runs
+//! with every (virtual) processor active.
+//!
+//! Reservoir particles advance inside their periodic strip so they keep
+//! colliding (and relaxing) at freestream conditions; the wrap is a pure
+//! lattice translation, also exact.
+
+use crate::particles::ParticleStore;
+use dsmc_fixed::Fx;
+use rayon::prelude::*;
+
+/// Wrap a coordinate into `[0, span)` by lattice translations (exact).
+#[inline(always)]
+pub fn wrap(mut x: Fx, span: Fx) -> Fx {
+    debug_assert!(span > Fx::ZERO);
+    let mut guard = 0;
+    while x < Fx::ZERO && guard < 16 {
+        x += span;
+        guard += 1;
+    }
+    while x >= span && guard < 16 {
+        x -= span;
+        guard += 1;
+    }
+    debug_assert!(x >= Fx::ZERO && x < span, "runaway coordinate");
+    x
+}
+
+/// Advance every particle one step.
+///
+/// `res_base` is the first reservoir cell index; particles with
+/// `cell >= res_base` move in the periodic reservoir box of `res_w` ×
+/// `res_h` cells.
+pub fn advect(parts: &mut ParticleStore, res_base: u32, res_w: Fx, res_h: Fx) {
+    let cells = &parts.cell;
+    parts
+        .x
+        .par_iter_mut()
+        .zip(parts.y.par_iter_mut())
+        .zip(parts.u.par_iter())
+        .zip(parts.v.par_iter())
+        .zip(cells.par_iter())
+        .for_each(|((((x, y), &u), &v), &cell)| {
+            if cell < res_base {
+                *x += u;
+                *y += v;
+            } else {
+                *x = wrap(*x + u, res_w);
+                *y = wrap(*y + v, res_h);
+            }
+        });
+}
+
+/// Reverse one motion step (used by the reversibility test: collisionless
+/// motion "is strictly deterministic and reversible").
+pub fn advect_reverse(parts: &mut ParticleStore, res_base: u32, res_w: Fx, res_h: Fx) {
+    let cells = &parts.cell;
+    parts
+        .x
+        .par_iter_mut()
+        .zip(parts.y.par_iter_mut())
+        .zip(parts.u.par_iter())
+        .zip(parts.v.par_iter())
+        .zip(cells.par_iter())
+        .for_each(|((((x, y), &u), &v), &cell)| {
+            if cell < res_base {
+                *x -= u;
+                *y -= v;
+            } else {
+                *x = wrap(*x - u, res_w);
+                *y = wrap(*y - v, res_h);
+            }
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsmc_rng::{Perm5, XorShift32};
+
+    fn fx(v: f64) -> Fx {
+        Fx::from_f64(v)
+    }
+
+    fn store_with(flow: &[(f64, f64, f64, f64)], res: &[(f64, f64, f64, f64)]) -> ParticleStore {
+        let mut s = ParticleStore::default();
+        for &(x, y, u, v) in flow {
+            s.push(
+                fx(x),
+                fx(y),
+                [fx(u), fx(v), Fx::ZERO, Fx::ZERO, Fx::ZERO],
+                Perm5::IDENTITY,
+                XorShift32::new(1),
+                0,
+            );
+        }
+        for &(x, y, u, v) in res {
+            s.push(
+                fx(x),
+                fx(y),
+                [fx(u), fx(v), Fx::ZERO, Fx::ZERO, Fx::ZERO],
+                Perm5::IDENTITY,
+                XorShift32::new(2),
+                100,
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn flow_particles_translate() {
+        let mut s = store_with(&[(1.0, 2.0, 0.25, -0.125)], &[]);
+        advect(&mut s, 100, fx(8.0), Fx::ONE);
+        assert_eq!(s.x[0], fx(1.25));
+        assert_eq!(s.y[0], fx(1.875));
+    }
+
+    #[test]
+    fn reservoir_particles_wrap() {
+        let mut s = store_with(&[], &[(7.9, 0.95, 0.25, 0.125)]);
+        advect(&mut s, 100, fx(8.0), Fx::ONE);
+        assert_eq!(s.x[0], fx(0.15));
+        assert_eq!(s.y[0], fx(0.075));
+    }
+
+    #[test]
+    fn reservoir_negative_wrap() {
+        let mut s = store_with(&[], &[(0.1, 0.05, -0.25, -0.125)]);
+        advect(&mut s, 100, fx(8.0), Fx::ONE);
+        assert_eq!(s.x[0], fx(7.85));
+        assert_eq!(s.y[0], fx(0.925));
+    }
+
+    #[test]
+    fn motion_is_reversible_bit_exactly() {
+        let mut rng = XorShift32::new(5);
+        let mut s = ParticleStore::default();
+        for i in 0..5000 {
+            let res = i % 4 == 0;
+            // Reservoir coordinates live in the 8×1 strip; flow in the box.
+            let x = if res {
+                (rng.next_f64() * 8.0).min(7.99)
+            } else {
+                (rng.next_f64() * 16.0).min(15.99)
+            };
+            let y = if res {
+                rng.next_f64().min(0.99)
+            } else {
+                (rng.next_f64() * 12.0).min(11.99)
+            };
+            let u = rng.next_f64() * 0.6 - 0.3;
+            let v = rng.next_f64() * 0.6 - 0.3;
+            let cell = if res { 200 } else { 0 };
+            s.push(
+                fx(x),
+                fx(y),
+                [fx(u), fx(v), Fx::ZERO, Fx::ZERO, Fx::ZERO],
+                Perm5::IDENTITY,
+                XorShift32::new(i),
+                cell,
+            );
+        }
+        let x0 = s.x.clone();
+        let y0 = s.y.clone();
+        for _ in 0..50 {
+            advect(&mut s, 100, fx(8.0), Fx::ONE);
+        }
+        for _ in 0..50 {
+            advect_reverse(&mut s, 100, fx(8.0), Fx::ONE);
+        }
+        assert_eq!(s.x, x0, "x must return bit-exactly");
+        assert_eq!(s.y, y0, "y must return bit-exactly");
+    }
+
+    #[test]
+    fn wrap_helper_edge_cases() {
+        let span = fx(4.0);
+        assert_eq!(wrap(fx(0.0), span), fx(0.0));
+        assert_eq!(wrap(fx(4.0), span), fx(0.0));
+        assert_eq!(wrap(fx(-0.5), span), fx(3.5));
+        assert_eq!(wrap(fx(9.0), span), fx(1.0));
+        assert_eq!(wrap(fx(3.999), span), fx(3.999));
+    }
+}

@@ -1,0 +1,230 @@
+//! Sub-step 3a: the randomised cell-key sort.
+//!
+//! "The sort is a crucial step … it puts all particles occupying a given
+//! cell into neighbouring addresses" — giving the collision routine its
+//! perfect dynamic load balance — and, by scaling the cell index and adding
+//! a random number below the scale factor, it *re-orders particles within a
+//! cell* between steps so the same partners do not collide repeatedly
+//! ("…otherwise the situation arises where the same partners collide
+//! repeatedly leading to correlated velocity distributions").
+
+use crate::config::{ResLayout, RngMode};
+use crate::particles::ParticleStore;
+use dsmc_datapar::{segment_bounds_from_sorted, sort_perm_by_key};
+use dsmc_geom::Tunnel;
+use rayon::prelude::*;
+
+/// Result of the sort phase.
+#[derive(Clone, Debug, Default)]
+pub struct SortOutput {
+    /// Segment bounds over the sorted `cell` column (one segment per
+    /// occupied cell, plus the final sentinel).
+    pub bounds: Vec<u32>,
+    /// The applied permutation (`new[i] = old[order[i]]`), kept for the
+    /// CM-2 communication-volume analysis.
+    pub order: Vec<u32>,
+}
+
+/// Recompute cell indices from positions, build jittered sort keys, sort,
+/// and re-order the store.
+///
+/// `key_bits` callers compute once from the cell count and jitter width via
+/// [`key_bits_for`].
+pub fn sort_particles(
+    parts: &mut ParticleStore,
+    tunnel: &Tunnel,
+    res_base: u32,
+    res: ResLayout,
+    jitter_bits: u32,
+    key_bits: u32,
+    rng_mode: RngMode,
+) -> SortOutput {
+    let n = parts.len();
+    let mut keys = vec![0u32; n];
+
+    // Fused cell-index + key pass (one elementwise sweep, all VPs active).
+    {
+        let xs = &parts.x;
+        let ys = &parts.y;
+        let us = &parts.u;
+        keys.par_iter_mut()
+            .zip(parts.cell.par_iter_mut())
+            .zip(xs.par_iter())
+            .zip(ys.par_iter())
+            .zip(us.par_iter())
+            .zip(parts.rng.par_iter_mut())
+            .for_each(|(((((key, cell), &x), &y), &u), rng)| {
+                let c = if *cell >= res_base {
+                    res_base + res.cell(x, y)
+                } else {
+                    tunnel.cell_index(x, y)
+                };
+                *cell = c;
+                let jitter = if jitter_bits == 0 {
+                    0
+                } else {
+                    match rng_mode {
+                        RngMode::Explicit => rng.next_bits(jitter_bits),
+                        // "it is used during the sort to enhance mixing":
+                        // low-order position/velocity bits as the jitter.
+                        RngMode::DirtyBits => {
+                            (x.raw() as u32 ^ (u.raw() as u32).rotate_left(5))
+                                & ((1 << jitter_bits) - 1)
+                        }
+                    }
+                };
+                *key = (c << jitter_bits) | jitter;
+            });
+    }
+
+    let order = sort_perm_by_key(&keys, key_bits);
+    parts.apply_order(&order);
+    let bounds = segment_bounds_from_sorted(&parts.cell);
+    SortOutput { bounds, order }
+}
+
+/// Number of key bits needed for `total_cells` cells with `jitter_bits` of
+/// per-particle jitter.
+pub fn key_bits_for(total_cells: u32, jitter_bits: u32) -> u32 {
+    let max_key = ((total_cells as u64) << jitter_bits).saturating_sub(1);
+    64 - max_key.leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsmc_fixed::Fx;
+    use dsmc_rng::{Perm5, XorShift32};
+
+    fn fx(v: f64) -> Fx {
+        Fx::from_f64(v)
+    }
+
+    fn store(n: usize, tunnel: &Tunnel, seed: u32) -> ParticleStore {
+        let mut s = ParticleStore::default();
+        let mut rng = XorShift32::new(seed);
+        for i in 0..n {
+            let x = rng.next_f64() * tunnel.width as f64;
+            let y = rng.next_f64() * tunnel.height as f64;
+            s.push(
+                fx(x.min(tunnel.width as f64 - 1e-6)),
+                fx(y.min(tunnel.height as f64 - 1e-6)),
+                [fx(0.1), fx(0.0), Fx::ZERO, Fx::ZERO, Fx::ZERO],
+                Perm5::IDENTITY,
+                XorShift32::new(i as u32 + 1),
+                0,
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn key_bits_examples() {
+        assert_eq!(key_bits_for(1, 0), 0);
+        assert_eq!(key_bits_for(2, 0), 1);
+        // The paper's grid: 98·64 + reservoir ≈ 6872 cells, 8 jitter bits.
+        let kb = key_bits_for(6872, 8);
+        assert!(kb >= 21 && kb <= 23, "kb = {kb}");
+    }
+
+    #[test]
+    fn sort_groups_cells_contiguously() {
+        let tunnel = Tunnel::new(12, 9);
+        let mut s = store(4000, &tunnel, 3);
+        let out = sort_particles(&mut s, &tunnel, tunnel.n_cells(), ResLayout::for_cells(16), 6,
+            key_bits_for(tunnel.n_cells() + 16, 6), RngMode::Explicit);
+        // Cells non-decreasing.
+        for w in s.cell.windows(2) {
+            assert!(w[0] <= w[1], "cells must be sorted");
+        }
+        // Cell indices match positions.
+        for i in 0..s.len() {
+            assert_eq!(s.cell[i], tunnel.cell_index(s.x[i], s.y[i]));
+        }
+        // Bounds partition the array into single-cell runs.
+        assert_eq!(out.bounds[0], 0);
+        assert_eq!(*out.bounds.last().unwrap() as usize, s.len());
+        for sw in out.bounds.windows(2) {
+            let seg = &s.cell[sw[0] as usize..sw[1] as usize];
+            assert!(seg.iter().all(|&c| c == seg[0]));
+        }
+    }
+
+    #[test]
+    fn reservoir_cells_sort_after_flow_cells() {
+        let tunnel = Tunnel::new(8, 8);
+        let res_base = tunnel.n_cells();
+        let mut s = store(100, &tunnel, 5);
+        // Convert some to reservoir particles (positions in strip coords).
+        for i in 0..30 {
+            s.cell[i] = res_base;
+            s.x[i] = fx((i % 4) as f64 + 0.5);
+            s.y[i] = fx(0.5);
+        }
+        sort_particles(&mut s, &tunnel, res_base, ResLayout::for_cells(8), 4,
+            key_bits_for(res_base + 8, 4), RngMode::Explicit);
+        let first_res = s.cell.iter().position(|&c| c >= res_base).unwrap();
+        assert!(s.cell[first_res..].iter().all(|&c| c >= res_base));
+        assert!(s.cell[..first_res].iter().all(|&c| c < res_base));
+        assert_eq!(s.len() - first_res, 30);
+    }
+
+    #[test]
+    fn jitter_reorders_within_cells_between_steps() {
+        // All particles in one cell: with jitter the relative order must
+        // change between two sorts (overwhelmingly likely for 64 particles).
+        let tunnel = Tunnel::new(4, 4);
+        let mut s = ParticleStore::default();
+        for i in 0..64u32 {
+            s.push(
+                fx(1.5),
+                fx(1.5),
+                // Tag particles by a distinguishable velocity.
+                [Fx::from_raw(i as i32), Fx::ZERO, Fx::ZERO, Fx::ZERO, Fx::ZERO],
+                Perm5::IDENTITY,
+                XorShift32::new(i + 1),
+                0,
+            );
+        }
+        let kb = key_bits_for(tunnel.n_cells() + 4, 8);
+        sort_particles(&mut s, &tunnel, tunnel.n_cells(), ResLayout::for_cells(4), 8, kb, RngMode::Explicit);
+        let order1: Vec<i32> = s.u.iter().map(|u| u.raw()).collect();
+        sort_particles(&mut s, &tunnel, tunnel.n_cells(), ResLayout::for_cells(4), 8, kb, RngMode::Explicit);
+        let order2: Vec<i32> = s.u.iter().map(|u| u.raw()).collect();
+        assert_ne!(order1, order2, "jitter must re-mix the cell");
+        // Without jitter, the stable sort preserves order exactly.
+        let kb0 = key_bits_for(tunnel.n_cells() + 4, 0);
+        sort_particles(&mut s, &tunnel, tunnel.n_cells(), ResLayout::for_cells(4), 0, kb0, RngMode::Explicit);
+        let order3: Vec<i32> = s.u.iter().map(|u| u.raw()).collect();
+        sort_particles(&mut s, &tunnel, tunnel.n_cells(), ResLayout::for_cells(4), 0, kb0, RngMode::Explicit);
+        let order4: Vec<i32> = s.u.iter().map(|u| u.raw()).collect();
+        assert_eq!(order3, order4, "stable sort without jitter is idempotent");
+    }
+
+    #[test]
+    fn dirty_bits_mode_also_mixes() {
+        let tunnel = Tunnel::new(4, 4);
+        let mut s = ParticleStore::default();
+        let mut rng = XorShift32::new(17);
+        for i in 0..64u32 {
+            s.push(
+                fx(1.0 + rng.next_f64().min(0.999)),
+                fx(1.5),
+                [Fx::from_raw(rng.next_u32() as i32 >> 10), Fx::ZERO, Fx::ZERO, Fx::ZERO, Fx::ZERO],
+                Perm5::IDENTITY,
+                XorShift32::new(i + 1),
+                0,
+            );
+        }
+        let kb = key_bits_for(tunnel.n_cells() + 4, 8);
+        sort_particles(&mut s, &tunnel, tunnel.n_cells(), ResLayout::for_cells(4), 8, kb, RngMode::DirtyBits);
+        let o1: Vec<i32> = s.u.iter().map(|u| u.raw()).collect();
+        // Perturb positions slightly (as motion would) and re-sort.
+        for x in s.x.iter_mut() {
+            *x += Fx::from_raw(1023);
+        }
+        sort_particles(&mut s, &tunnel, tunnel.n_cells(), ResLayout::for_cells(4), 8, kb, RngMode::DirtyBits);
+        let o2: Vec<i32> = s.u.iter().map(|u| u.raw()).collect();
+        assert_ne!(o1, o2, "dirty-bit jitter should re-mix after motion");
+    }
+}

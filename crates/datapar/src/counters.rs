@@ -1,0 +1,156 @@
+//! Operation counters for the CM-2 performance model.
+//!
+//! The performance model (crate `dsmc-perfmodel`) prices a run in CM-2
+//! microseconds from the *volumes* of primitive work: elementwise
+//! operations, scanned elements, sort passes, and router traffic.  The
+//! engine records those volumes here when instrumentation is enabled;
+//! recording is a handful of relaxed atomic adds per step, cheap enough to
+//! leave on during measurement runs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative volumes of data-parallel work.
+#[derive(Debug, Default)]
+pub struct OpCounters {
+    /// Elementwise operations (one unit = one particle touched once).
+    pub elementwise: AtomicU64,
+    /// Elements passing through scan primitives.
+    pub scan_elems: AtomicU64,
+    /// Keys moved per radix pass, summed over passes.
+    pub sort_key_moves: AtomicU64,
+    /// Radix/rank passes executed.
+    pub sort_passes: AtomicU64,
+    /// Values moved by gathers/permutes (router traffic candidates).
+    pub gather_elems: AtomicU64,
+    /// Messages that crossed a *physical* processor boundary (filled in by
+    /// the performance model's placement analysis).
+    pub router_offchip: AtomicU64,
+    /// Candidate pairs examined by the selection rule.
+    pub candidate_pairs: AtomicU64,
+    /// Collisions performed.
+    pub collisions: AtomicU64,
+}
+
+/// A point-in-time copy of [`OpCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpSnapshot {
+    /// See [`OpCounters::elementwise`].
+    pub elementwise: u64,
+    /// See [`OpCounters::scan_elems`].
+    pub scan_elems: u64,
+    /// See [`OpCounters::sort_key_moves`].
+    pub sort_key_moves: u64,
+    /// See [`OpCounters::sort_passes`].
+    pub sort_passes: u64,
+    /// See [`OpCounters::gather_elems`].
+    pub gather_elems: u64,
+    /// See [`OpCounters::router_offchip`].
+    pub router_offchip: u64,
+    /// See [`OpCounters::candidate_pairs`].
+    pub candidate_pairs: u64,
+    /// See [`OpCounters::collisions`].
+    pub collisions: u64,
+}
+
+impl OpCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` units on a counter.
+    #[inline]
+    pub fn add(&self, counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot current values.
+    pub fn snapshot(&self) -> OpSnapshot {
+        OpSnapshot {
+            elementwise: self.elementwise.load(Ordering::Relaxed),
+            scan_elems: self.scan_elems.load(Ordering::Relaxed),
+            sort_key_moves: self.sort_key_moves.load(Ordering::Relaxed),
+            sort_passes: self.sort_passes.load(Ordering::Relaxed),
+            gather_elems: self.gather_elems.load(Ordering::Relaxed),
+            router_offchip: self.router_offchip.load(Ordering::Relaxed),
+            candidate_pairs: self.candidate_pairs.load(Ordering::Relaxed),
+            collisions: self.collisions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&self) {
+        self.elementwise.store(0, Ordering::Relaxed);
+        self.scan_elems.store(0, Ordering::Relaxed);
+        self.sort_key_moves.store(0, Ordering::Relaxed);
+        self.sort_passes.store(0, Ordering::Relaxed);
+        self.gather_elems.store(0, Ordering::Relaxed);
+        self.router_offchip.store(0, Ordering::Relaxed);
+        self.candidate_pairs.store(0, Ordering::Relaxed);
+        self.collisions.store(0, Ordering::Relaxed);
+    }
+}
+
+impl OpSnapshot {
+    /// Difference of two snapshots (self - earlier), saturating.
+    pub fn since(self, earlier: OpSnapshot) -> OpSnapshot {
+        OpSnapshot {
+            elementwise: self.elementwise.saturating_sub(earlier.elementwise),
+            scan_elems: self.scan_elems.saturating_sub(earlier.scan_elems),
+            sort_key_moves: self.sort_key_moves.saturating_sub(earlier.sort_key_moves),
+            sort_passes: self.sort_passes.saturating_sub(earlier.sort_passes),
+            gather_elems: self.gather_elems.saturating_sub(earlier.gather_elems),
+            router_offchip: self.router_offchip.saturating_sub(earlier.router_offchip),
+            candidate_pairs: self.candidate_pairs.saturating_sub(earlier.candidate_pairs),
+            collisions: self.collisions.saturating_sub(earlier.collisions),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let c = OpCounters::new();
+        c.add(&c.elementwise, 100);
+        c.add(&c.elementwise, 23);
+        c.add(&c.collisions, 7);
+        let s = c.snapshot();
+        assert_eq!(s.elementwise, 123);
+        assert_eq!(s.collisions, 7);
+        assert_eq!(s.scan_elems, 0);
+        c.reset();
+        assert_eq!(c.snapshot(), OpSnapshot::default());
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let c = OpCounters::new();
+        c.add(&c.sort_key_moves, 10);
+        let a = c.snapshot();
+        c.add(&c.sort_key_moves, 5);
+        let b = c.snapshot();
+        assert_eq!(b.since(a).sort_key_moves, 5);
+    }
+
+    #[test]
+    fn concurrent_adds_are_lossless() {
+        use std::sync::Arc;
+        let c = Arc::new(OpCounters::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    c.add(&c.elementwise, 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.snapshot().elementwise, 80_000);
+    }
+}

@@ -1,0 +1,50 @@
+//! Data-parallel substrate: the Connection Machine primitive set on threads.
+//!
+//! Dagum's implementation is written against a small vocabulary of
+//! data-parallel operations — the C*/Paris primitives catalogued by Hillis &
+//! Steele ("Data Parallel Algorithms", CACM 1986):
+//!
+//! * elementwise operations over one virtual processor per particle,
+//! * **scans** (plus-scan, max-scan, copy-scan) and their *segmented*
+//!   variants, used to count and broadcast per-cell quantities,
+//! * a **sort** (rank + permute), the backbone of the collision-partner
+//!   machinery and the source of the algorithm's perfect dynamic load
+//!   balance,
+//! * **gather/scatter** through the router, and
+//! * **pack** (stream compaction), used when particles leave the flow.
+//!
+//! This crate implements that vocabulary for shared-memory machines: every
+//! primitive has a sequential reference implementation (module [`seq`]) and
+//! a rayon-parallel implementation that is used automatically above a size
+//! threshold.  Parallel results are bit-identical to sequential ones — the
+//! primitives only use associative integer operations, so chunking does not
+//! change outcomes.  Property tests enforce the equivalence.
+//!
+//! The [`segments`] module provides [`segments::par_segments_mut`], the safe
+//! "one task per cell" abstraction the collision routine uses to mutate many
+//! structure-of-arrays slices segment by segment, and [`counters`] provides
+//! the operation counters harvested by the CM-2 performance model.
+
+pub mod counters;
+pub mod gather;
+pub mod pack;
+pub mod scan;
+pub mod segments;
+pub mod segscan;
+pub mod seq;
+pub mod sort;
+
+/// Inputs shorter than this run sequentially: below ~16k elements the
+/// fork/join overhead exceeds the work (measured on the bench crate's
+/// `substeps` benchmark).
+pub const PAR_THRESHOLD: usize = 1 << 14;
+
+pub use gather::{apply_perm, gather_u32, invert_perm, scatter_u32};
+pub use pack::{pack_indices, partition_stable_indices};
+pub use scan::{scan_add_exclusive_u32, scan_add_inclusive_u32, scan_max_inclusive_u32};
+pub use segments::par_segments_mut;
+pub use segscan::{
+    cell_counts_from_sorted, head_flags_from_sorted, segment_bounds_from_sorted,
+    segmented_broadcast_count,
+};
+pub use sort::sort_perm_by_key;

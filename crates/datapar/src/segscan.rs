@@ -1,0 +1,230 @@
+//! Segmented operations over sorted key runs.
+//!
+//! After the sort, the particles of one cell occupy one contiguous run of
+//! the array.  The selection rule needs, for every particle, the population
+//! of its cell — on the CM-2 "specific knowledge of the cell density … can
+//! be best obtained by making use of the scan functions".  The sequence is:
+//! head flags (compare with the left neighbour), a segmented plus-scan of
+//! ones to rank particles within their cell, and a backwards copy-scan to
+//! broadcast the run length to every member.
+//!
+//! Here those fuse into a handful of primitives that stay bit-identical to
+//! their sequential references.
+
+use crate::PAR_THRESHOLD;
+use rayon::prelude::*;
+
+/// Head flags of a sorted key array: `1` where a new run begins.
+pub fn head_flags_from_sorted(keys: &[u32]) -> Vec<u32> {
+    if keys.len() < PAR_THRESHOLD {
+        return crate::seq::head_flags_from_sorted(keys);
+    }
+    keys.par_iter()
+        .enumerate()
+        .map(|(i, &k)| if i == 0 || keys[i - 1] != k { 1 } else { 0 })
+        .collect()
+}
+
+/// Segment boundaries of a sorted key array: start offsets of every run plus
+/// a final sentinel equal to `keys.len()`.
+///
+/// `bounds[s]..bounds[s+1]` is the index range of segment `s`; there are
+/// `bounds.len() - 1` segments.
+pub fn segment_bounds_from_sorted(keys: &[u32]) -> Vec<u32> {
+    let mut bounds = Vec::new();
+    if keys.len() < PAR_THRESHOLD {
+        for i in 0..keys.len() {
+            if i == 0 || keys[i - 1] != keys[i] {
+                bounds.push(i as u32);
+            }
+        }
+    } else {
+        let mask: Vec<bool> = keys
+            .par_iter()
+            .enumerate()
+            .map(|(i, &k)| i == 0 || keys[i - 1] != k)
+            .collect();
+        bounds = crate::pack::pack_indices(&mask);
+    }
+    bounds.push(keys.len() as u32);
+    bounds
+}
+
+/// For each element of a sorted key array, the length of its run.
+///
+/// This is the per-particle cell population `n` that enters the selection
+/// rule `P_c/P∞ = n/n∞`.
+pub fn segmented_broadcast_count(keys: &[u32]) -> Vec<u32> {
+    if keys.len() < PAR_THRESHOLD {
+        return crate::seq::segmented_broadcast_count(keys);
+    }
+    let bounds = segment_bounds_from_sorted(keys);
+    let mut out = vec![0u32; keys.len()];
+    // Parallel over segments; each segment writes its own disjoint range.
+    let n_seg = bounds.len() - 1;
+    let out_w = crate::sort::DisjointWrites::new(&mut out);
+    (0..n_seg).into_par_iter().for_each(|s| {
+        let lo = bounds[s] as usize;
+        let hi = bounds[s + 1] as usize;
+        let count = (hi - lo) as u32;
+        for i in lo..hi {
+            // SAFETY: segments are disjoint ranges covering 0..len.
+            unsafe { out_w.write(i, count) };
+        }
+    });
+    out
+}
+
+/// Per-cell populations in segment order (one entry per segment), plus the
+/// segment keys.  Handy for sampling.
+pub fn cell_counts_from_sorted(keys: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    let bounds = segment_bounds_from_sorted(keys);
+    let n_seg = bounds.len() - 1;
+    let mut seg_keys = Vec::with_capacity(n_seg);
+    let mut counts = Vec::with_capacity(n_seg);
+    for s in 0..n_seg {
+        seg_keys.push(keys[bounds[s] as usize]);
+        counts.push(bounds[s + 1] - bounds[s]);
+    }
+    (seg_keys, counts)
+}
+
+/// Rank of each element within its segment (0-based).  Paired with the
+/// even/odd rule this identifies collision-candidate pairs.
+pub fn segmented_rank(keys: &[u32]) -> Vec<u32> {
+    let bounds = segment_bounds_from_sorted(keys);
+    let n_seg = bounds.len() - 1;
+    let mut out = vec![0u32; keys.len()];
+    if keys.len() < PAR_THRESHOLD {
+        for s in 0..n_seg {
+            for (r, slot) in out[bounds[s] as usize..bounds[s + 1] as usize]
+                .iter_mut()
+                .enumerate()
+            {
+                *slot = r as u32;
+            }
+        }
+        return out;
+    }
+    let out_w = crate::sort::DisjointWrites::new(&mut out);
+    (0..n_seg).into_par_iter().for_each(|s| {
+        let lo = bounds[s] as usize;
+        let hi = bounds[s + 1] as usize;
+        for (r, i) in (lo..hi).enumerate() {
+            // SAFETY: segments are disjoint ranges covering 0..len.
+            unsafe { out_w.write(i, r as u32) };
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sorted_keys(n: usize, n_cells: u32, seed: u32) -> Vec<u32> {
+        let mut keys: Vec<u32> = (0..n as u32)
+            .map(|i| i.wrapping_mul(seed | 1) % n_cells)
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    #[test]
+    fn head_flags_small() {
+        assert_eq!(
+            head_flags_from_sorted(&[2, 2, 3, 5, 5, 5]),
+            vec![1, 0, 1, 1, 0, 0]
+        );
+        assert!(head_flags_from_sorted(&[]).is_empty());
+    }
+
+    #[test]
+    fn bounds_small() {
+        assert_eq!(
+            segment_bounds_from_sorted(&[2, 2, 3, 5, 5, 5]),
+            vec![0, 2, 3, 6]
+        );
+        assert_eq!(segment_bounds_from_sorted(&[]), vec![0]);
+        assert_eq!(segment_bounds_from_sorted(&[9]), vec![0, 1]);
+    }
+
+    #[test]
+    fn broadcast_count_small() {
+        assert_eq!(
+            segmented_broadcast_count(&[2, 2, 3, 5, 5, 5]),
+            vec![2, 2, 1, 3, 3, 3]
+        );
+    }
+
+    #[test]
+    fn rank_small() {
+        assert_eq!(
+            segmented_rank(&[2, 2, 3, 5, 5, 5]),
+            vec![0, 1, 0, 0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn cell_counts_small() {
+        let (k, c) = cell_counts_from_sorted(&[2, 2, 3, 5, 5, 5]);
+        assert_eq!(k, vec![2, 3, 5]);
+        assert_eq!(c, vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn large_matches_reference() {
+        let keys = sorted_keys(120_000, 600, 0x9E3779B9);
+        assert_eq!(
+            segmented_broadcast_count(&keys),
+            crate::seq::segmented_broadcast_count(&keys)
+        );
+        assert_eq!(
+            head_flags_from_sorted(&keys),
+            crate::seq::head_flags_from_sorted(&keys)
+        );
+    }
+
+    #[test]
+    fn large_rank_resets_at_heads() {
+        let keys = sorted_keys(90_000, 977, 2654435761);
+        let rank = segmented_rank(&keys);
+        let flags = head_flags_from_sorted(&keys);
+        for i in 0..keys.len() {
+            if flags[i] == 1 {
+                assert_eq!(rank[i], 0);
+            } else {
+                assert_eq!(rank[i], rank[i - 1] + 1);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_broadcast_count_matches_reference(
+            mut keys in proptest::collection::vec(0u32..50, 0..2000)
+        ) {
+            keys.sort_unstable();
+            prop_assert_eq!(
+                segmented_broadcast_count(&keys),
+                crate::seq::segmented_broadcast_count(&keys)
+            );
+        }
+
+        #[test]
+        fn prop_bounds_partition_the_array(
+            mut keys in proptest::collection::vec(0u32..50, 1..2000)
+        ) {
+            keys.sort_unstable();
+            let bounds = segment_bounds_from_sorted(&keys);
+            prop_assert_eq!(bounds[0], 0);
+            prop_assert_eq!(*bounds.last().unwrap() as usize, keys.len());
+            for w in bounds.windows(2) {
+                prop_assert!(w[0] < w[1], "empty or reversed segment");
+                let seg = &keys[w[0] as usize..w[1] as usize];
+                prop_assert!(seg.iter().all(|&k| k == seg[0]), "mixed keys in segment");
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Parallel stable radix sort (the CM-2 "rank + send" sort).
+//!
+//! The sort is the crucial step of the particle pipeline: it gathers the
+//! particles of each cell into neighbouring addresses, which is what gives
+//! the collision routine its perfect dynamic load balance.  On the CM-2 this
+//! was a rank computation followed by router sends; here it is a stable LSD
+//! radix sort over (key, index) pairs packed in `u64`s, with per-chunk
+//! histograms and a scatter whose destinations are provably disjoint.
+//!
+//! Only as many 8-bit digit passes as the caller's `key_bits` demands are
+//! executed — sort keys in the engine are `cell * S + jitter`, typically 20
+//! or so bits, i.e. three passes instead of four.
+
+use crate::{seq, PAR_THRESHOLD};
+use core::marker::PhantomData;
+use rayon::prelude::*;
+
+/// A shared output buffer written concurrently at disjoint indices.
+///
+/// Safety contract: every index written during one parallel phase is written
+/// exactly once.  The radix scatter satisfies this because the per-chunk,
+/// per-digit destination ranges partition the output array.
+pub(crate) struct DisjointWrites<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for DisjointWrites<'_, T> {}
+unsafe impl<T: Send> Sync for DisjointWrites<'_, T> {}
+
+impl<'a, T> DisjointWrites<'a, T> {
+    pub(crate) fn new(slice: &'a mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Write `v` at `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds and no other concurrent write may target `i`.
+    #[inline(always)]
+    pub(crate) unsafe fn write(&self, i: usize, v: T) {
+        debug_assert!(i < self.len);
+        unsafe { self.ptr.add(i).write(v) };
+    }
+}
+
+const RADIX_BITS: u32 = 8;
+
+/// Stable sort permutation by `u32` key, examining only the low `key_bits`
+/// bits of each key.  Returns `perm` such that `keys[perm[i]]` is sorted and
+/// equal keys keep their original relative order.
+///
+/// `key_bits == 0` is accepted and returns the identity permutation (a sort
+/// on a zero-bit key is a no-op by stability).
+pub fn sort_perm_by_key(keys: &[u32], key_bits: u32) -> Vec<u32> {
+    assert!(key_bits <= 32, "key_bits must be at most 32");
+    let n = keys.len();
+    if key_bits == 0 || n <= 1 {
+        return (0..n as u32).collect();
+    }
+    if n < PAR_THRESHOLD {
+        // Masked reference sort: only the low key_bits participate.
+        let mask = mask_for(key_bits);
+        let masked: Vec<u32> = keys.iter().map(|&k| k & mask).collect();
+        return seq::sort_perm_by_key(&masked);
+    }
+
+    // Pack key (high 32) and original index (low 32) into u64 so each move
+    // in the scatter is a single 8-byte store.
+    let mut cur: Vec<u64> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| ((k as u64) << 32) | i as u64)
+        .collect();
+    let mut next: Vec<u64> = vec![0u64; n];
+
+    let passes = key_bits.div_ceil(RADIX_BITS);
+    for pass in 0..passes {
+        let shift = 32 + pass * RADIX_BITS;
+        let digit_bits = RADIX_BITS.min(key_bits - pass * RADIX_BITS);
+        let digit_mask = ((1u64 << digit_bits) - 1) as usize;
+        radix_pass(&cur, &mut next, shift, digit_mask);
+        core::mem::swap(&mut cur, &mut next);
+    }
+    cur.into_iter().map(|p| (p & 0xFFFF_FFFF) as u32).collect()
+}
+
+fn mask_for(bits: u32) -> u32 {
+    if bits >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    }
+}
+
+/// One stable counting pass: scatter `cur` into `next` ordered by the digit
+/// at `shift`.
+fn radix_pass(cur: &[u64], next: &mut [u64], shift: u32, digit_mask: usize) {
+    let n = cur.len();
+    let threads = rayon::current_num_threads().max(1);
+    let chunk = n.div_ceil(threads * 4).max(4096);
+    let n_chunks = n.div_ceil(chunk);
+
+    // Phase 1: per-chunk digit histograms.
+    let hists: Vec<Vec<u32>> = cur
+        .par_chunks(chunk)
+        .map(|c| {
+            let mut h = vec![0u32; digit_mask + 1];
+            for &x in c {
+                h[((x >> shift) as usize) & digit_mask] += 1;
+            }
+            h
+        })
+        .collect();
+
+    // Phase 2: exclusive scan in digit-major, chunk-minor order, which is
+    // exactly the stable output order.
+    let mut offsets = vec![0u32; n_chunks * (digit_mask + 1)];
+    let mut acc = 0u32;
+    for d in 0..=digit_mask {
+        for c in 0..n_chunks {
+            offsets[c * (digit_mask + 1) + d] = acc;
+            acc += hists[c][d];
+        }
+    }
+    debug_assert_eq!(acc as usize, n);
+
+    // Phase 3: scatter. Each (chunk, digit) pair owns a disjoint destination
+    // range [offset, offset + hist), so concurrent writes never alias.
+    let out = DisjointWrites::new(next);
+    cur.par_chunks(chunk)
+        .zip(offsets.par_chunks(digit_mask + 1))
+        .for_each(|(c, offs)| {
+            let mut local: Vec<u32> = offs.to_vec();
+            for &x in c {
+                let d = ((x >> shift) as usize) & digit_mask;
+                let dst = local[d];
+                local[d] += 1;
+                // SAFETY: destination ranges of distinct (chunk, digit)
+                // pairs partition 0..n; `local[d]` stays within this
+                // chunk's range for digit d.
+                unsafe { out.write(dst as usize, x) };
+            }
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn check_against_reference(keys: &[u32], bits: u32) {
+        let got = sort_perm_by_key(keys, bits);
+        let mask = mask_for(bits);
+        let masked: Vec<u32> = keys.iter().map(|&k| k & mask).collect();
+        let want = seq::sort_perm_by_key(&masked);
+        assert_eq!(got, want, "bits={bits} n={}", keys.len());
+    }
+
+    #[test]
+    fn small_inputs_match_reference() {
+        check_against_reference(&[3, 1, 4, 1, 5, 9, 2, 6], 32);
+        check_against_reference(&[], 32);
+        check_against_reference(&[42], 16);
+        check_against_reference(&[7, 7, 7, 7], 8);
+    }
+
+    #[test]
+    fn zero_bit_sort_is_identity() {
+        let keys = [9u32, 2, 5];
+        assert_eq!(sort_perm_by_key(&keys, 0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn large_input_matches_reference_and_is_stable() {
+        let n = 300_000usize;
+        let keys: Vec<u32> = (0..n as u32)
+            .map(|i| (i.wrapping_mul(0x9E3779B9) >> 13) & 0xFFFFF)
+            .collect();
+        check_against_reference(&keys, 20);
+    }
+
+    #[test]
+    fn large_input_few_distinct_keys() {
+        // The engine's regime: ~6k cells, ~100 particles each.
+        let n = 200_000usize;
+        let keys: Vec<u32> = (0..n as u32)
+            .map(|i| (i.wrapping_mul(2654435761)) % 6272)
+            .collect();
+        check_against_reference(&keys, 13);
+    }
+
+    #[test]
+    fn partial_bits_ignore_high_bits() {
+        // Keys differing only above bit 8 must keep original order.
+        let keys = [0x100u32, 0x000, 0x200, 0x001];
+        let perm = sort_perm_by_key(&keys, 8);
+        assert_eq!(perm, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn perm_is_a_permutation_large() {
+        let n = 100_000;
+        let keys: Vec<u32> = (0..n as u32).map(|i| i % 97).collect();
+        let perm = sort_perm_by_key(&keys, 7);
+        let mut seen = vec![false; n];
+        for &p in &perm {
+            assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_reference(
+            keys in proptest::collection::vec(any::<u32>(), 0..3000),
+            bits in 1u32..=32,
+        ) {
+            check_against_reference(&keys, bits);
+        }
+
+        #[test]
+        fn prop_sorted_and_stable(keys in proptest::collection::vec(0u32..64, 0..2000)) {
+            let perm = sort_perm_by_key(&keys, 6);
+            for w in perm.windows(2) {
+                let (a, b) = (w[0] as usize, w[1] as usize);
+                prop_assert!(keys[a] <= keys[b], "output not sorted");
+                if keys[a] == keys[b] {
+                    prop_assert!(a < b, "stability violated");
+                }
+            }
+        }
+    }
+}

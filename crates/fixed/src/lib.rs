@@ -1,0 +1,537 @@
+//! Fixed-point arithmetic for the Connection Machine particle simulation.
+//!
+//! Dagum's CM-2 implementation stores the entire physical state of a particle
+//! in a 32-bit fixed-point format with 23 fraction bits ("23 bits for
+//! precision", comparable to the IEEE-754 single-precision mantissa).  The
+//! bit-serial CM-2 processors were much faster at integer arithmetic than at
+//! floating point, and the low-order bits of fixed-point state double as a
+//! cheap source of randomness.
+//!
+//! This crate reproduces that substrate:
+//!
+//! * [`Fxq`] — a signed 32-bit fixed-point number with a const-generic number
+//!   of fraction bits; [`Fx`] is the paper's Q8.23 instantiation.
+//! * [`Rounding`] — the three halving/rounding policies studied in the paper
+//!   and in our ablation: plain truncation (which loses energy in stagnation
+//!   regions), the unbiased stochastic correction, and the paper's literal
+//!   "add 0 or 1 with uniform probability" wording.
+//! * [`vec`] — small fixed-point vector types used by the geometry code.
+//!
+//! Overflow behaviour: arithmetic uses the primitive `i32`/`i64` operators,
+//! so debug builds panic on overflow (catching modelling errors early) while
+//! release builds wrap, exactly like the CM-2's integer ALU.  Saturating and
+//! checked variants are provided for boundary code that can legitimately
+//! stray out of range.
+
+pub mod rounding;
+pub mod vec;
+
+pub use rounding::Rounding;
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Signed 32-bit fixed point with `F` fraction bits (Q(31-F).F).
+///
+/// The raw representation of the value `v` is `round(v * 2^F)` stored in an
+/// `i32`.  All lattice operations (`+`, `-`, negation, comparison) are exact;
+/// multiplication and division round toward negative infinity unless a
+/// rounding-aware method is used.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
+pub struct Fxq<const F: u32>(i32);
+
+/// The paper's format: 32 bits, 23 for precision (Q8.23).
+///
+/// Dynamic range ±256 with resolution 2⁻²³ ≈ 1.2e-7.  Positions are measured
+/// in cell widths (grids up to 256 cells wide fit) and velocities in cells
+/// per time step (freestream speeds are well below 1).
+pub type Fx = Fxq<23>;
+
+impl<const F: u32> Fxq<F> {
+    /// Number of fraction bits in this format.
+    pub const FRAC_BITS: u32 = F;
+    /// Raw representation of 1.0.
+    pub const ONE_RAW: i32 = 1 << F;
+    /// Zero.
+    pub const ZERO: Self = Self(0);
+    /// One.
+    pub const ONE: Self = Self(1 << F);
+    /// One half.
+    pub const HALF: Self = Self(1 << (F - 1));
+    /// Smallest positive value (one least-significant bit).
+    pub const EPSILON: Self = Self(1);
+    /// Largest representable value.
+    pub const MAX: Self = Self(i32::MAX);
+    /// Most negative representable value.
+    pub const MIN: Self = Self(i32::MIN);
+
+    /// Construct from the raw two's-complement representation.
+    #[inline(always)]
+    pub const fn from_raw(raw: i32) -> Self {
+        Self(raw)
+    }
+
+    /// The raw two's-complement representation.
+    #[inline(always)]
+    pub const fn raw(self) -> i32 {
+        self.0
+    }
+
+    /// Construct from a small integer. Panics in debug builds on overflow.
+    #[inline]
+    pub const fn from_int(v: i32) -> Self {
+        Self(v << F)
+    }
+
+    /// Convert from `f64`, rounding to nearest.
+    ///
+    /// Values outside the representable range are clamped (the conversion is
+    /// host-side setup code; the data-parallel hot path never converts).
+    #[inline]
+    pub fn from_f64(v: f64) -> Self {
+        let scaled = v * (Self::ONE_RAW as f64);
+        Self(scaled.round().clamp(i32::MIN as f64, i32::MAX as f64) as i32)
+    }
+
+    /// Convert to `f64` (exact: every `Fxq` is representable in an `f64`).
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / (Self::ONE_RAW as f64)
+    }
+
+    /// Integer part, rounding toward negative infinity (floor).
+    ///
+    /// This is the cell-index operation: a particle at position `x` occupies
+    /// column `x.floor()` of the unit-width cell grid.
+    #[inline(always)]
+    pub const fn floor_int(self) -> i32 {
+        self.0 >> F
+    }
+
+    /// Fractional part in `[0, 1)` (always non-negative, matching
+    /// `floor_int`: `x == from_int(x.floor_int()) + x.fract()`).
+    #[inline(always)]
+    pub const fn fract(self) -> Self {
+        Self(self.0 & (Self::ONE_RAW - 1))
+    }
+
+    /// Absolute value (saturating at `MAX` for `MIN`).
+    #[inline(always)]
+    pub const fn abs(self) -> Self {
+        Self(self.0.saturating_abs())
+    }
+
+    /// Checked addition.
+    #[inline(always)]
+    pub const fn checked_add(self, rhs: Self) -> Option<Self> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(Self(v)),
+            None => None,
+        }
+    }
+
+    /// Saturating addition.
+    #[inline(always)]
+    pub const fn saturating_add(self, rhs: Self) -> Self {
+        Self(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    #[inline(always)]
+    pub const fn saturating_sub(self, rhs: Self) -> Self {
+        Self(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Wrapping addition (the CM-2 ALU behaviour).
+    #[inline(always)]
+    pub const fn wrapping_add(self, rhs: Self) -> Self {
+        Self(self.0.wrapping_add(rhs.0))
+    }
+
+    /// Wrapping subtraction.
+    #[inline(always)]
+    pub const fn wrapping_sub(self, rhs: Self) -> Self {
+        Self(self.0.wrapping_sub(rhs.0))
+    }
+
+    /// Full-precision product rounded toward negative infinity.
+    #[inline(always)]
+    pub const fn mul_floor(self, rhs: Self) -> Self {
+        Self(((self.0 as i64 * rhs.0 as i64) >> F) as i32)
+    }
+
+    /// Full-precision product rounded to nearest (ties toward +∞).
+    #[inline(always)]
+    pub const fn mul_nearest(self, rhs: Self) -> Self {
+        let p = self.0 as i64 * rhs.0 as i64;
+        Self(((p + (1i64 << (F - 1))) >> F) as i32)
+    }
+
+    /// Quotient rounded toward zero (hardware division behaviour).
+    ///
+    /// Panics on division by zero, like integer division.
+    #[inline(always)]
+    pub const fn div_trunc(self, rhs: Self) -> Self {
+        Self((((self.0 as i64) << F) / rhs.0 as i64) as i32)
+    }
+
+    /// Halve with an explicit rounding policy.
+    ///
+    /// `random_bit` must be 0 or 1 and supplies the randomness for the
+    /// stochastic policies; it is ignored by [`Rounding::Truncate`].  This is
+    /// the operation the paper singles out: the mean and relative velocities
+    /// in the collision routine are formed by "division by 2", and consistent
+    /// truncation there visibly drains energy in stagnation regions.
+    #[inline(always)]
+    pub fn halve(self, mode: Rounding, random_bit: u32) -> Self {
+        Self(rounding::halve_raw(self.0 as i64, mode, random_bit) as i32)
+    }
+
+    /// `(self + rhs) / 2` with rounding policy, computed without
+    /// intermediate overflow.  Used for the mean velocity (eq. 13/15).
+    #[inline(always)]
+    pub fn avg(self, rhs: Self, mode: Rounding, random_bit: u32) -> Self {
+        let sum = self.0 as i64 + rhs.0 as i64;
+        Self(rounding::halve_raw(sum, mode, random_bit) as i32)
+    }
+
+    /// `(self - rhs) / 2` with rounding policy, computed without
+    /// intermediate overflow.  Used for the relative velocity (eq. 12/14).
+    #[inline(always)]
+    pub fn half_diff(self, rhs: Self, mode: Rounding, random_bit: u32) -> Self {
+        let diff = self.0 as i64 - rhs.0 as i64;
+        Self(rounding::halve_raw(diff, mode, random_bit) as i32)
+    }
+
+    /// Square as a widened raw value (`raw² >> F` without narrowing).
+    ///
+    /// Energy diagnostics sum many squares; keeping the accumulation in
+    /// `i64`/`i128` avoids both overflow and double rounding.
+    #[inline(always)]
+    pub const fn sq_raw_wide(self) -> i64 {
+        self.0 as i64 * self.0 as i64
+    }
+
+    /// Non-negative square root, rounded toward zero.
+    ///
+    /// Integer Newton iteration on the widened raw value; exact for perfect
+    /// squares.  Panics in debug builds if `self` is negative.
+    pub fn sqrt(self) -> Self {
+        debug_assert!(self.0 >= 0, "sqrt of negative fixed-point value");
+        if self.0 <= 0 {
+            return Self::ZERO;
+        }
+        // sqrt(raw / 2^F) * 2^F  ==  sqrt(raw * 2^F)  on raw values.
+        let wide = (self.0 as u64) << F;
+        Self(isqrt_u64(wide) as i32)
+    }
+
+    /// Clamp into `[lo, hi]`.
+    #[inline(always)]
+    pub fn clamp(self, lo: Self, hi: Self) -> Self {
+        Self(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// Minimum of two values.
+    #[inline(always)]
+    pub fn min(self, rhs: Self) -> Self {
+        Self(self.0.min(rhs.0))
+    }
+
+    /// Maximum of two values.
+    #[inline(always)]
+    pub fn max(self, rhs: Self) -> Self {
+        Self(self.0.max(rhs.0))
+    }
+
+    /// True if the value is negative.
+    #[inline(always)]
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// The low-order bits of the raw representation.
+    ///
+    /// The paper: "an additional advantage of this implementation is the
+    /// availability of a quick but dirty random number in the low order bits
+    /// of a physical state quantity".  Velocity values churn every collision,
+    /// so their trailing bits are effectively noise; `n` of them are exposed
+    /// here for the low-impact uses the paper lists (sort-key mixing, random
+    /// transposition choice, random signs, rounding correction).
+    #[inline(always)]
+    pub const fn dirty_bits(self, n: u32) -> u32 {
+        (self.0 as u32) & ((1u32 << n) - 1)
+    }
+}
+
+fn isqrt_u64(v: u64) -> u64 {
+    if v == 0 {
+        return 0;
+    }
+    // Initial guess from the float sqrt, then correct; exact for u64 inputs.
+    let mut x = (v as f64).sqrt() as u64;
+    // One Newton step and a local fix-up around the guess.
+    if x > 0 {
+        x = (x + v / x) / 2;
+    }
+    while x.checked_mul(x).map_or(true, |sq| sq > v) {
+        x -= 1;
+    }
+    while (x + 1).checked_mul(x + 1).map_or(false, |sq| sq <= v) {
+        x += 1;
+    }
+    x
+}
+
+impl<const F: u32> Add for Fxq<F> {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl<const F: u32> Sub for Fxq<F> {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl<const F: u32> Neg for Fxq<F> {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Self(-self.0)
+    }
+}
+
+impl<const F: u32> AddAssign for Fxq<F> {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl<const F: u32> SubAssign for Fxq<F> {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 -= rhs.0;
+    }
+}
+
+/// `*` is the floor product; use [`Fxq::mul_nearest`] where the extra half
+/// LSB matters.
+impl<const F: u32> Mul for Fxq<F> {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        self.mul_floor(rhs)
+    }
+}
+
+impl<const F: u32> MulAssign for Fxq<F> {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = self.mul_floor(rhs);
+    }
+}
+
+/// `/` is the truncating quotient.
+impl<const F: u32> Div for Fxq<F> {
+    type Output = Self;
+    #[inline(always)]
+    fn div(self, rhs: Self) -> Self {
+        self.div_trunc(rhs)
+    }
+}
+
+impl<const F: u32> fmt::Debug for Fxq<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fx({:.7})", self.to_f64())
+    }
+}
+
+impl<const F: u32> fmt::Display for Fxq<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f64(), f)
+    }
+}
+
+impl<const F: u32> From<i16> for Fxq<F> {
+    fn from(v: i16) -> Self {
+        Self::from_int(v as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type F23 = Fxq<23>;
+    type F16 = Fxq<16>;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(F23::ONE.to_f64(), 1.0);
+        assert_eq!(F23::HALF.to_f64(), 0.5);
+        assert_eq!(F23::ZERO.to_f64(), 0.0);
+        assert_eq!(F23::ONE_RAW, 1 << 23);
+        assert_eq!(F16::ONE_RAW, 1 << 16);
+        assert_eq!(F23::EPSILON.raw(), 1);
+    }
+
+    #[test]
+    fn round_trips_exact_values() {
+        for v in [-3.5, -1.0, -0.25, 0.0, 0.125, 1.0, 200.75] {
+            assert_eq!(F23::from_f64(v).to_f64(), v, "round trip of {v}");
+        }
+    }
+
+    #[test]
+    fn from_f64_rounds_to_nearest() {
+        let lsb = 1.0 / (1u64 << 23) as f64;
+        let x = F23::from_f64(0.6 * lsb);
+        assert_eq!(x.raw(), 1);
+        let y = F23::from_f64(0.4 * lsb);
+        assert_eq!(y.raw(), 0);
+    }
+
+    #[test]
+    fn from_f64_clamps_out_of_range() {
+        assert_eq!(F23::from_f64(1e12), F23::MAX);
+        assert_eq!(F23::from_f64(-1e12), F23::MIN);
+    }
+
+    #[test]
+    fn add_sub_are_exact() {
+        let a = F23::from_f64(1.25);
+        let b = F23::from_f64(-0.75);
+        assert_eq!((a + b).to_f64(), 0.5);
+        assert_eq!((a - b).to_f64(), 2.0);
+        assert_eq!((-a).to_f64(), -1.25);
+    }
+
+    #[test]
+    fn floor_int_matches_f64_floor() {
+        for v in [-2.5, -2.0, -0.001, 0.0, 0.999, 1.0, 97.25] {
+            assert_eq!(
+                F23::from_f64(v).floor_int(),
+                v.floor() as i32,
+                "floor of {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn fract_is_nonnegative_and_consistent() {
+        for v in [-2.5, -0.25, 0.75, 3.125] {
+            let x = F23::from_f64(v);
+            let recomposed = F23::from_int(x.floor_int()) + x.fract();
+            assert_eq!(recomposed, x, "decomposition of {v}");
+            assert!(x.fract().raw() >= 0);
+            assert!(x.fract() < F23::ONE);
+        }
+    }
+
+    #[test]
+    fn mul_floor_and_nearest() {
+        let a = F23::from_f64(0.5);
+        let b = F23::from_f64(0.5);
+        assert_eq!((a * b).to_f64(), 0.25);
+        // A product needing rounding: EPSILON * 0.5 floors to 0, rounds to 1.
+        let tiny = F23::EPSILON;
+        assert_eq!(tiny.mul_floor(F23::HALF).raw(), 0);
+        assert_eq!(tiny.mul_nearest(F23::HALF).raw(), 1);
+        // Negative floor: -EPSILON * 0.5 floors to -1.
+        assert_eq!((-tiny).mul_floor(F23::HALF).raw(), -1);
+    }
+
+    #[test]
+    fn div_trunc_basics() {
+        let a = F23::from_f64(1.0);
+        let b = F23::from_f64(3.0);
+        let q = a / b;
+        assert!((q.to_f64() - 1.0 / 3.0).abs() < 2.0 / F23::ONE_RAW as f64);
+        assert_eq!((F23::from_f64(6.0) / F23::from_f64(2.0)).to_f64(), 3.0);
+    }
+
+    #[test]
+    fn sqrt_exact_and_monotone() {
+        assert_eq!(F23::from_f64(4.0).sqrt().to_f64(), 2.0);
+        assert_eq!(F23::from_f64(0.25).sqrt().to_f64(), 0.5);
+        assert_eq!(F23::ZERO.sqrt(), F23::ZERO);
+        let mut prev = F23::ZERO;
+        for i in 1..100 {
+            let s = F23::from_f64(i as f64 * 0.37).sqrt();
+            assert!(s >= prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn sqrt_close_to_f64() {
+        for v in [0.001, 0.1, 1.7, 42.0, 199.9] {
+            let s = F23::from_f64(v).sqrt().to_f64();
+            assert!(
+                (s - v.sqrt()).abs() < 1e-5,
+                "sqrt({v}) = {s}, want {}",
+                v.sqrt()
+            );
+        }
+    }
+
+    #[test]
+    fn dirty_bits_mask() {
+        let x = F23::from_raw(0b1011_0110);
+        assert_eq!(x.dirty_bits(4), 0b0110);
+        assert_eq!(x.dirty_bits(8), 0b1011_0110);
+        let neg = F23::from_raw(-1);
+        assert_eq!(neg.dirty_bits(5), 0b11111);
+    }
+
+    #[test]
+    fn saturating_and_wrapping() {
+        assert_eq!(F23::MAX.saturating_add(F23::ONE), F23::MAX);
+        assert_eq!(F23::MIN.saturating_sub(F23::ONE), F23::MIN);
+        assert_eq!(F23::MAX.wrapping_add(F23::EPSILON), F23::MIN);
+        assert_eq!(F23::MAX.checked_add(F23::EPSILON), None);
+        assert_eq!(
+            F23::ONE.checked_add(F23::ONE),
+            Some(F23::from_int(2))
+        );
+    }
+
+    #[test]
+    fn abs_and_sign() {
+        assert_eq!(F23::from_f64(-1.5).abs().to_f64(), 1.5);
+        assert!(F23::from_f64(-0.1).is_negative());
+        assert!(!F23::ZERO.is_negative());
+        assert_eq!(F23::MIN.abs(), F23::MAX); // saturates
+    }
+
+    #[test]
+    fn clamp_min_max() {
+        let lo = F23::from_f64(-1.0);
+        let hi = F23::from_f64(1.0);
+        assert_eq!(F23::from_f64(2.0).clamp(lo, hi), hi);
+        assert_eq!(F23::from_f64(-2.0).clamp(lo, hi), lo);
+        assert_eq!(F23::from_f64(0.5).clamp(lo, hi).to_f64(), 0.5);
+        assert_eq!(F23::ONE.min(F23::HALF), F23::HALF);
+        assert_eq!(F23::ONE.max(F23::HALF), F23::ONE);
+    }
+
+    #[test]
+    fn sq_raw_wide_no_overflow_at_extremes() {
+        let m = F23::MAX;
+        assert_eq!(m.sq_raw_wide(), (i32::MAX as i64) * (i32::MAX as i64));
+    }
+
+    #[test]
+    fn display_formats_as_decimal() {
+        assert_eq!(format!("{}", F23::from_f64(0.5)), "0.5");
+        assert_eq!(format!("{:?}", F23::from_f64(1.0)), "Fx(1.0000000)");
+    }
+}

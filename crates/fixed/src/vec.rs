@@ -1,0 +1,207 @@
+//! Small fixed-point vector types.
+//!
+//! The engine stores particle state as structure-of-arrays, so these types
+//! appear mainly in the geometry code (wall normals, reflections) and in
+//! host-side setup, not in the per-particle hot loops.
+
+use crate::{Fxq, Rounding};
+use core::ops::{Add, Neg, Sub};
+
+/// A 2-component fixed-point vector (positions live in the 2D tunnel plane).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub struct V2<const F: u32> {
+    /// Streamwise component.
+    pub x: Fxq<F>,
+    /// Wall-normal component.
+    pub y: Fxq<F>,
+}
+
+/// A 3-component fixed-point vector (velocity space is three-dimensional
+/// even though configuration space is 2D).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub struct V3<const F: u32> {
+    /// Streamwise component.
+    pub x: Fxq<F>,
+    /// Wall-normal component.
+    pub y: Fxq<F>,
+    /// Out-of-plane component.
+    pub z: Fxq<F>,
+}
+
+impl<const F: u32> V2<F> {
+    /// Construct from components.
+    pub const fn new(x: Fxq<F>, y: Fxq<F>) -> Self {
+        Self { x, y }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Self = Self {
+        x: Fxq::ZERO,
+        y: Fxq::ZERO,
+    };
+
+    /// Construct from `f64` components (host-side setup).
+    pub fn from_f64(x: f64, y: f64) -> Self {
+        Self::new(Fxq::from_f64(x), Fxq::from_f64(y))
+    }
+
+    /// Dot product, floor-rounded per component product.
+    pub fn dot(self, rhs: Self) -> Fxq<F> {
+        self.x.mul_floor(rhs.x) + self.y.mul_floor(rhs.y)
+    }
+
+    /// Squared length as a widened raw value (no precision loss).
+    pub fn norm2_raw_wide(self) -> i64 {
+        self.x.sq_raw_wide() + self.y.sq_raw_wide()
+    }
+
+    /// Scale by a fixed-point factor (floor rounding).
+    pub fn scale(self, k: Fxq<F>) -> Self {
+        Self::new(self.x.mul_floor(k), self.y.mul_floor(k))
+    }
+
+    /// Component-wise halving with rounding policy; `bits` supplies one
+    /// random bit per component in its two low bits.
+    pub fn halve(self, mode: Rounding, bits: u32) -> Self {
+        Self::new(self.x.halve(mode, bits & 1), self.y.halve(mode, (bits >> 1) & 1))
+    }
+
+    /// Convert to a pair of `f64`s.
+    pub fn to_f64(self) -> (f64, f64) {
+        (self.x.to_f64(), self.y.to_f64())
+    }
+}
+
+impl<const F: u32> V3<F> {
+    /// Construct from components.
+    pub const fn new(x: Fxq<F>, y: Fxq<F>, z: Fxq<F>) -> Self {
+        Self { x, y, z }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Self = Self {
+        x: Fxq::ZERO,
+        y: Fxq::ZERO,
+        z: Fxq::ZERO,
+    };
+
+    /// Construct from `f64` components (host-side setup).
+    pub fn from_f64(x: f64, y: f64, z: f64) -> Self {
+        Self::new(Fxq::from_f64(x), Fxq::from_f64(y), Fxq::from_f64(z))
+    }
+
+    /// Dot product, floor-rounded per component product.
+    pub fn dot(self, rhs: Self) -> Fxq<F> {
+        self.x.mul_floor(rhs.x) + self.y.mul_floor(rhs.y) + self.z.mul_floor(rhs.z)
+    }
+
+    /// Squared length as a widened raw value (no precision loss).
+    pub fn norm2_raw_wide(self) -> i64 {
+        self.x.sq_raw_wide() + self.y.sq_raw_wide() + self.z.sq_raw_wide()
+    }
+
+    /// Scale by a fixed-point factor (floor rounding).
+    pub fn scale(self, k: Fxq<F>) -> Self {
+        Self::new(
+            self.x.mul_floor(k),
+            self.y.mul_floor(k),
+            self.z.mul_floor(k),
+        )
+    }
+
+    /// Convert to a triple of `f64`s.
+    pub fn to_f64(self) -> (f64, f64, f64) {
+        (self.x.to_f64(), self.y.to_f64(), self.z.to_f64())
+    }
+}
+
+impl<const F: u32> Add for V2<F> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl<const F: u32> Sub for V2<F> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl<const F: u32> Neg for V2<F> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::new(-self.x, -self.y)
+    }
+}
+
+impl<const F: u32> Add for V3<F> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl<const F: u32> Sub for V3<F> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl<const F: u32> Neg for V3<F> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fx;
+
+    type P2 = V2<23>;
+    type P3 = V3<23>;
+
+    #[test]
+    fn v2_arithmetic() {
+        let a = P2::from_f64(1.0, 2.0);
+        let b = P2::from_f64(0.5, -1.0);
+        assert_eq!((a + b).to_f64(), (1.5, 1.0));
+        assert_eq!((a - b).to_f64(), (0.5, 3.0));
+        assert_eq!((-a).to_f64(), (-1.0, -2.0));
+    }
+
+    #[test]
+    fn v2_dot_and_norm() {
+        let a = P2::from_f64(3.0, 4.0);
+        assert_eq!(a.dot(a).to_f64(), 25.0);
+        let one = Fx::ONE_RAW as i64;
+        assert_eq!(a.norm2_raw_wide(), 25 * one * one);
+    }
+
+    #[test]
+    fn v3_dot_and_norm() {
+        let a = P3::from_f64(1.0, 2.0, 2.0);
+        assert_eq!(a.dot(a).to_f64(), 9.0);
+        let b = P3::from_f64(-1.0, 0.0, 1.0);
+        assert_eq!(a.dot(b).to_f64(), 1.0);
+    }
+
+    #[test]
+    fn scaling() {
+        let a = P2::from_f64(1.0, -2.0);
+        assert_eq!(a.scale(Fx::HALF).to_f64(), (0.5, -1.0));
+        let c = P3::from_f64(2.0, 4.0, 8.0);
+        assert_eq!(c.scale(Fx::from_f64(0.25)).to_f64(), (0.5, 1.0, 2.0));
+    }
+
+    #[test]
+    fn halve_even_components_exact() {
+        let a = P2::from_f64(1.0, -3.0);
+        let h = a.halve(crate::Rounding::Stochastic, 0b11);
+        assert_eq!(h.to_f64(), (0.5, -1.5));
+    }
+}

@@ -1,0 +1,201 @@
+//! Marching-squares contour extraction.
+//!
+//! Figures 1 and 4 of the paper are density contour plots.  This module
+//! turns a cell-centred scalar field into iso-line segments; the bench
+//! binaries write them as SVG/CSV for plotting and the tests use them to
+//! locate the shock front geometrically.
+
+/// One contour line segment in cell coordinates (cell centres at
+/// `(ix + 0.5, iy + 0.5)`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Segment {
+    /// Segment start.
+    pub a: (f64, f64),
+    /// Segment end.
+    pub b: (f64, f64),
+}
+
+// Crossing points are computed eagerly for all four edges; only the edges
+// named by the case table are meaningful, so no crossing precondition is
+// asserted here.
+#[inline]
+fn interp(level: f64, va: f64, vb: f64) -> f64 {
+    if (vb - va).abs() < 1e-300 {
+        0.5
+    } else {
+        ((level - va) / (vb - va)).clamp(0.0, 1.0)
+    }
+}
+
+/// Extract the iso-line of `level` from a `w × h` row-major field.
+///
+/// Standard marching squares on the grid of cell centres; the ambiguous
+/// saddle cases (5 and 10) are resolved by the cell-centre average.
+pub fn contour_segments(field: &[f64], w: u32, h: u32, level: f64) -> Vec<Segment> {
+    assert_eq!(field.len(), (w * h) as usize);
+    let at = |ix: u32, iy: u32| field[(iy * w + ix) as usize];
+    let mut out = Vec::new();
+    if w < 2 || h < 2 {
+        return out;
+    }
+    for iy in 0..h - 1 {
+        for ix in 0..w - 1 {
+            // Corner values of the dual cell (cell centres as corners).
+            let v00 = at(ix, iy); // bottom-left
+            let v10 = at(ix + 1, iy); // bottom-right
+            let v11 = at(ix + 1, iy + 1); // top-right
+            let v01 = at(ix, iy + 1); // top-left
+            let mut code = 0u8;
+            if v00 >= level {
+                code |= 1;
+            }
+            if v10 >= level {
+                code |= 2;
+            }
+            if v11 >= level {
+                code |= 4;
+            }
+            if v01 >= level {
+                code |= 8;
+            }
+            if code == 0 || code == 15 {
+                continue;
+            }
+            let x0 = ix as f64 + 0.5;
+            let y0 = iy as f64 + 0.5;
+            // Edge crossing points: bottom, right, top, left.
+            let bottom = (x0 + interp(level, v00, v10), y0);
+            let right = (x0 + 1.0, y0 + interp(level, v10, v11));
+            let top = (x0 + interp(level, v01, v11), y0 + 1.0);
+            let left = (x0, y0 + interp(level, v00, v01));
+            let mut push = |a: (f64, f64), b: (f64, f64)| out.push(Segment { a, b });
+            match code {
+                1 => push(left, bottom),
+                2 => push(bottom, right),
+                3 => push(left, right),
+                4 => push(right, top),
+                6 => push(bottom, top),
+                7 => push(left, top),
+                8 => push(top, left),
+                9 => push(top, bottom),
+                11 => push(top, right),
+                12 => push(right, left),
+                13 => push(right, bottom),
+                14 => push(bottom, left),
+                5 | 10 => {
+                    // Saddle: split by the centre average.
+                    let centre = 0.25 * (v00 + v10 + v11 + v01);
+                    let centre_high = centre >= level;
+                    if (code == 5) == centre_high {
+                        push(left, bottom);
+                        push(right, top);
+                    } else {
+                        push(left, top);
+                        push(bottom, right);
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+    out
+}
+
+/// Extract several levels at once (the paper's contour plots use evenly
+/// spaced levels between freestream and the post-shock maximum).
+pub fn contour_levels(field: &[f64], w: u32, h: u32, levels: &[f64]) -> Vec<(f64, Vec<Segment>)> {
+    levels
+        .iter()
+        .map(|&l| (l, contour_segments(field, w, h, l)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_for_constant_field() {
+        let f = vec![1.0; 25];
+        assert!(contour_segments(&f, 5, 5, 2.0).is_empty());
+        assert!(contour_segments(&f, 5, 5, 0.5).is_empty());
+    }
+
+    #[test]
+    fn vertical_interface_gives_vertical_segments() {
+        // Left half 0, right half 10: the 5-contour is a vertical line.
+        let (w, h) = (8u32, 6u32);
+        let f: Vec<f64> = (0..w * h)
+            .map(|i| if i % w < 4 { 0.0 } else { 10.0 })
+            .collect();
+        let segs = contour_segments(&f, w, h, 5.0);
+        assert!(!segs.is_empty());
+        for s in &segs {
+            assert!((s.a.0 - 4.0).abs() < 1e-9, "x = {}", s.a.0);
+            assert!((s.b.0 - 4.0).abs() < 1e-9);
+            assert!((s.a.0 - s.b.0).abs() < 1e-9 && (s.a.1 - s.b.1).abs() > 0.0);
+        }
+    }
+
+    #[test]
+    fn interpolation_position_is_linear() {
+        // Field rising linearly with x: contour of level v sits at
+        // x = v (cell centres at ix+0.5 carrying value ix).
+        let (w, h) = (10u32, 3u32);
+        let f: Vec<f64> = (0..w * h).map(|i| (i % w) as f64).collect();
+        let segs = contour_segments(&f, w, h, 3.25);
+        assert!(!segs.is_empty());
+        for s in &segs {
+            assert!((s.a.0 - 3.75).abs() < 1e-9, "x = {}", s.a.0);
+        }
+    }
+
+    #[test]
+    fn circle_contour_has_correct_radius() {
+        let (w, h) = (40u32, 40u32);
+        let (cx, cy, r) = (20.0, 20.0, 9.0);
+        let f: Vec<f64> = (0..w * h)
+            .map(|i| {
+                let x = (i % w) as f64 + 0.5;
+                let y = (i / w) as f64 + 0.5;
+                ((x - cx).powi(2) + (y - cy).powi(2)).sqrt()
+            })
+            .collect();
+        let segs = contour_segments(&f, w, h, r);
+        assert!(segs.len() > 20);
+        for s in &segs {
+            for p in [s.a, s.b] {
+                let rr = ((p.0 - cx).powi(2) + (p.1 - cy).powi(2)).sqrt();
+                assert!((rr - r).abs() < 0.15, "point at radius {rr}");
+            }
+        }
+    }
+
+    #[test]
+    fn saddle_case_emits_two_segments() {
+        // Checkerboard 2×2 block: high at two opposite corners.
+        let f = vec![1.0, 0.0, 0.0, 1.0]; // v00=1 v10=0 / v01=0 v11=1
+        let segs = contour_segments(&f, 2, 2, 0.5);
+        assert_eq!(segs.len(), 2, "saddle must produce two segments");
+    }
+
+    #[test]
+    fn multi_level_extraction() {
+        let f: Vec<f64> = (0..30).map(|i| (i % 10) as f64).collect();
+        let out = contour_levels(&f, 10, 3, &[2.5, 5.5, 7.5]);
+        assert_eq!(out.len(), 3);
+        for (_, segs) in &out {
+            assert!(!segs.is_empty());
+        }
+        // Higher level sits farther right.
+        let x_of = |segs: &Vec<Segment>| segs[0].a.0;
+        assert!(x_of(&out[0].1) < x_of(&out[1].1));
+        assert!(x_of(&out[1].1) < x_of(&out[2].1));
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        assert!(contour_segments(&[1.0], 1, 1, 0.5).is_empty());
+        assert!(contour_segments(&[1.0, 2.0], 2, 1, 1.5).is_empty());
+    }
+}

@@ -1,0 +1,26 @@
+//! Flow-field analysis and rendering.
+//!
+//! The paper validates its implementation by reading numbers off density
+//! plots: the oblique-shock angle (45° for Mach 4 over a 30° wedge), the
+//! Rankine–Hugoniot density rise (3.7×), the shock thickness (≈3 cell
+//! widths near-continuum, ≈5 rarefied), the Prandtl–Meyer expansion at the
+//! shoulder, and the presence (near-continuum) or wash-out (rarefied) of
+//! the wake shock.  This crate extracts all of those *quantitatively* from
+//! a [`dsmc_engine::SampledField`], and renders the figures themselves:
+//!
+//! * [`contour`] — marching-squares iso-lines (figures 1 and 4),
+//! * [`shock`] — shock-front fitting, thickness metrics, plateau and wake
+//!   analysis, expansion check,
+//! * [`render`] — ASCII heat maps, PGM images, CSV/SVG artifacts (figures
+//!   2, 3, 5, 6 are density surfaces: emitted as grids for any plotting
+//!   tool, plus terminal renderings),
+//! * [`region`] — sub-grid extraction for the stagnation-region views.
+
+pub mod contour;
+pub mod region;
+pub mod render;
+pub mod shock;
+
+pub use contour::{contour_segments, Segment};
+pub use region::Subgrid;
+pub use shock::{fit_shock_front, ShockFit, ShockMetrics};

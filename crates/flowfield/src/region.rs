@@ -1,0 +1,125 @@
+//! Sub-grid extraction for the stagnation-region views (figures 3 and 6).
+
+use dsmc_engine::SampledField;
+
+/// A rectangular window into a field.
+#[derive(Clone, Debug)]
+pub struct Subgrid {
+    /// Window width in cells.
+    pub w: u32,
+    /// Window height in cells.
+    pub h: u32,
+    /// x of the window origin in the parent grid.
+    pub x0: u32,
+    /// y of the window origin in the parent grid.
+    pub y0: u32,
+    /// Extracted values, row-major.
+    pub values: Vec<f64>,
+}
+
+impl Subgrid {
+    /// Extract `[x0, x0+w) × [y0, y0+h)` of a field (clipped to the grid).
+    pub fn extract(f: &SampledField, field: &[f64], x0: u32, y0: u32, w: u32, h: u32) -> Self {
+        let w = w.min(f.w.saturating_sub(x0));
+        let h = h.min(f.h.saturating_sub(y0));
+        let mut values = Vec::with_capacity((w * h) as usize);
+        for iy in y0..y0 + h {
+            for ix in x0..x0 + w {
+                values.push(field[(iy * f.w + ix) as usize]);
+            }
+        }
+        Self { w, h, x0, y0, values }
+    }
+
+    /// The stagnation-region window the paper zooms into: the box in front
+    /// of and above the wedge face.
+    pub fn stagnation_region(f: &SampledField, wedge_x0: f64, wedge_base: f64, angle_deg: f64) -> Self {
+        let height = wedge_base * angle_deg.to_radians().tan();
+        let x0 = (wedge_x0 - 4.0).max(0.0) as u32;
+        let y0 = 0u32;
+        let w = (wedge_base + 10.0) as u32;
+        let h = (height + 8.0) as u32;
+        Self::extract(f, &f.density, x0, y0, w, h)
+    }
+
+    /// Value at window coordinates.
+    pub fn at(&self, ix: u32, iy: u32) -> f64 {
+        self.values[(iy * self.w + ix) as usize]
+    }
+
+    /// Maximum value in the window.
+    pub fn max(&self) -> f64 {
+        self.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Mean of the positive values in the window.
+    pub fn mean_positive(&self) -> f64 {
+        let mut acc = 0.0;
+        let mut n = 0u32;
+        for &v in &self.values {
+            if v > 0.0 {
+                acc += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            acc / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(w: u32, h: u32) -> SampledField {
+        let density: Vec<f64> = (0..w * h).map(|i| i as f64).collect();
+        SampledField {
+            w,
+            h,
+            steps: 1,
+            ux: vec![0.0; (w * h) as usize],
+            uy: vec![0.0; (w * h) as usize],
+            t_trans: vec![0.0; (w * h) as usize],
+            t_rot: vec![0.0; (w * h) as usize],
+            occupancy: density.clone(),
+            density,
+        }
+    }
+
+    #[test]
+    fn extract_window_values() {
+        let f = field(10, 8);
+        let s = Subgrid::extract(&f, &f.density, 2, 3, 4, 2);
+        assert_eq!((s.w, s.h), (4, 2));
+        assert_eq!(s.at(0, 0), (3 * 10 + 2) as f64);
+        assert_eq!(s.at(3, 1), (4 * 10 + 5) as f64);
+        assert_eq!(s.values.len(), 8);
+    }
+
+    #[test]
+    fn clipped_at_grid_edge() {
+        let f = field(10, 8);
+        let s = Subgrid::extract(&f, &f.density, 8, 6, 5, 5);
+        assert_eq!((s.w, s.h), (2, 2));
+    }
+
+    #[test]
+    fn stagnation_window_covers_the_wedge_face() {
+        let f = field(98, 64);
+        let s = Subgrid::stagnation_region(&f, 20.0, 25.0, 30.0);
+        assert_eq!(s.x0, 16);
+        assert_eq!(s.y0, 0);
+        assert!(s.w >= 30 && s.h >= 20);
+    }
+
+    #[test]
+    fn stats() {
+        let f = field(4, 4);
+        let s = Subgrid::extract(&f, &f.density, 0, 0, 4, 4);
+        assert_eq!(s.max(), 15.0);
+        assert!((s.mean_positive() - 8.0).abs() < 1e-12); // mean of 1..15
+    }
+}

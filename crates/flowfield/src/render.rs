@@ -1,0 +1,196 @@
+//! Rendering: terminal, PGM, CSV and SVG artifacts.
+//!
+//! The paper's figures are contour plots (1, 4) and perspective density
+//! surfaces (2, 3, 5, 6).  Surfaces are emitted as CSV grids (any plotting
+//! tool renders them) plus ASCII previews; contours as SVG.
+
+use crate::contour::Segment;
+use std::fmt::Write as _;
+
+/// Density ramp used for terminal heat maps.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// ASCII heat map of a row-major field (origin at the lower-left, so the
+/// flow picture prints the way the figures are drawn).
+pub fn ascii_heatmap(field: &[f64], w: u32, h: u32, vmax: f64) -> String {
+    assert_eq!(field.len(), (w * h) as usize);
+    let mut out = String::with_capacity(((w + 1) * h) as usize);
+    for iy in (0..h).rev() {
+        for ix in 0..w {
+            let v = field[(iy * w + ix) as usize];
+            let t = if vmax > 0.0 {
+                (v / vmax).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            let idx = (t * (RAMP.len() - 1) as f64).round() as usize;
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// 8-bit PGM image of a field (flipped so row 0 is the bottom).
+pub fn to_pgm(field: &[f64], w: u32, h: u32, vmax: f64) -> Vec<u8> {
+    let mut out = format!("P5\n{} {}\n255\n", w, h).into_bytes();
+    for iy in (0..h).rev() {
+        for ix in 0..w {
+            let v = field[(iy * w + ix) as usize];
+            let t = if vmax > 0.0 {
+                (v / vmax).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            out.push((t * 255.0).round() as u8);
+        }
+    }
+    out
+}
+
+/// CSV dump of a field (`x,y,value` per line, cell centres).
+pub fn to_csv(field: &[f64], w: u32, h: u32) -> String {
+    let mut out = String::from("x,y,value\n");
+    for iy in 0..h {
+        for ix in 0..w {
+            let _ = writeln!(
+                out,
+                "{},{},{:.6}",
+                ix as f64 + 0.5,
+                iy as f64 + 0.5,
+                field[(iy * w + ix) as usize]
+            );
+        }
+    }
+    out
+}
+
+/// SVG with contour segments (y flipped to draw flow-style, 8 px/cell).
+pub fn contours_to_svg(levels: &[(f64, Vec<Segment>)], w: u32, h: u32) -> String {
+    let scale = 8.0;
+    let mut out = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
+         viewBox=\"0 0 {} {}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n",
+        w as f64 * scale,
+        h as f64 * scale,
+        w as f64 * scale,
+        h as f64 * scale
+    );
+    for (i, (level, segs)) in levels.iter().enumerate() {
+        let hue = (i * 300) / levels.len().max(1);
+        let _ = writeln!(
+            out,
+            "<g stroke=\"hsl({hue},70%,40%)\" stroke-width=\"1\" fill=\"none\" \
+             data-level=\"{level:.3}\">"
+        );
+        for s in segs {
+            let _ = writeln!(
+                out,
+                "<line x1=\"{:.2}\" y1=\"{:.2}\" x2=\"{:.2}\" y2=\"{:.2}\"/>",
+                s.a.0 * scale,
+                (h as f64 - s.a.1) * scale,
+                s.b.0 * scale,
+                (h as f64 - s.b.1) * scale
+            );
+        }
+        out.push_str("</g>\n");
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// "Perspective view" of a density surface as the paper's figures 2/5: an
+/// oblique ASCII projection, rows staggered with height.
+pub fn ascii_surface(field: &[f64], w: u32, h: u32, vmax: f64, z_rows: u32) -> String {
+    assert_eq!(field.len(), (w * h) as usize);
+    let canvas_h = h + z_rows + 1;
+    let canvas_w = w + h; // stagger by one column per row of depth
+    let mut canvas = vec![b' '; (canvas_w * canvas_h) as usize];
+    for iy in (0..h).rev() {
+        for ix in 0..w {
+            let v = field[(iy * w + ix) as usize];
+            let t = if vmax > 0.0 {
+                (v / vmax).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            let z = (t * z_rows as f64).round() as u32;
+            // Project: x' = x + depth, y' = depth/2-ish + height.
+            let px = ix + iy / 2;
+            let py = iy / 2 + z;
+            let idx = ((canvas_h - 1 - py) * canvas_w + px) as usize;
+            let ch = RAMP[(t * (RAMP.len() - 1) as f64).round() as usize];
+            if idx < canvas.len() {
+                canvas[idx] = ch;
+            }
+        }
+    }
+    let mut out = String::with_capacity(canvas.len() + canvas_h as usize);
+    for row in canvas.chunks(canvas_w as usize) {
+        let line = String::from_utf8_lossy(row);
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_shape_and_ramp() {
+        let field = vec![0.0, 1.0, 2.0, 3.0];
+        let s = ascii_heatmap(&field, 2, 2, 3.0);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), 2);
+        // Top row printed first = higher iy = values 2,3 → darker chars.
+        assert_eq!(lines[0].as_bytes()[1], b'@');
+        assert_eq!(lines[1].as_bytes()[0], b' ');
+    }
+
+    #[test]
+    fn pgm_header_and_payload() {
+        let field = vec![0.0, 0.5, 1.0, 0.25];
+        let img = to_pgm(&field, 2, 2, 1.0);
+        assert!(img.starts_with(b"P5\n2 2\n255\n"));
+        assert_eq!(img.len(), 11 + 4);
+        // Last row of the image is field row 0: [0, 128].
+        assert_eq!(img[11 + 2], 0);
+        assert_eq!(img[11 + 3], 128);
+    }
+
+    #[test]
+    fn csv_lines_count() {
+        let field = vec![1.0; 6];
+        let csv = to_csv(&field, 3, 2);
+        assert_eq!(csv.lines().count(), 7);
+        assert!(csv.lines().nth(1).unwrap().starts_with("0.5,0.5,"));
+    }
+
+    #[test]
+    fn svg_contains_groups_per_level() {
+        let segs = vec![Segment { a: (1.0, 1.0), b: (2.0, 2.0) }];
+        let svg = contours_to_svg(&[(1.5, segs.clone()), (2.5, segs)], 10, 10);
+        assert_eq!(svg.matches("<g ").count(), 2);
+        assert_eq!(svg.matches("<line ").count(), 2);
+        assert!(svg.contains("data-level=\"1.500\""));
+        assert!(svg.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn surface_renders_nonempty() {
+        let field: Vec<f64> = (0..200).map(|i| (i % 20) as f64).collect();
+        let s = ascii_surface(&field, 20, 10, 19.0, 6);
+        assert!(s.lines().count() >= 10);
+        assert!(s.contains('@') || s.contains('%'));
+    }
+
+    #[test]
+    fn zero_vmax_is_safe() {
+        let field = vec![0.0; 4];
+        let s = ascii_heatmap(&field, 2, 2, 0.0);
+        assert_eq!(s, "  \n  \n");
+    }
+}

@@ -1,0 +1,526 @@
+//! Shock-front analysis: the quantitative form of the paper's validation.
+//!
+//! From the time-averaged density field we extract:
+//!
+//! * the **shock front** — for each grid column in a fitting window, the
+//!   height at which the density first crosses a detection level when
+//!   descending from the freestream side; a least-squares line through
+//!   those points gives the wave angle β (paper: 45°),
+//! * the **post-shock plateau** — mean density in a box between the front
+//!   and the wedge face (paper: 3.7×ρ∞ by Rankine–Hugoniot),
+//! * the **shock thickness** — both the 25–75% rise distance and the
+//!   maximum-slope thickness `(ρ₂−ρ₁)/max|dρ/ds|`, measured along the
+//!   shock normal (paper: ≈3 cells near-continuum, ≈5 cells at λ∞ = 0.5),
+//! * the **wake recompression factor** — the density rise on the lower
+//!   wall downstream of the body (near-continuum: a clear wake shock;
+//!   rarefied: washed out),
+//! * the **shoulder expansion ratio** — density just past the apex versus
+//!   theory (Prandtl–Meyer through the wedge angle).
+
+use dsmc_engine::SampledField;
+use serde::Serialize;
+
+/// A fitted straight shock front `y = slope·(x − x_origin)`.
+#[derive(Clone, Debug, Serialize)]
+pub struct ShockFit {
+    /// Wave angle in degrees, `atan(slope)`.
+    pub angle_deg: f64,
+    /// Fit slope dy/dx.
+    pub slope: f64,
+    /// x where the fitted front meets y = 0.
+    pub x_origin: f64,
+    /// The per-column crossing points used in the fit.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Find the shock crossing height in one column by scanning downward from
+/// the top of the grid: the first (linear-interpolated) crossing of
+/// `level`.
+fn column_crossing(f: &SampledField, ix: u32, level: f64, y_top: u32) -> Option<f64> {
+    let mut prev = f.density_at(ix, y_top.min(f.h - 1));
+    let mut iy = y_top.min(f.h - 1);
+    while iy > 0 {
+        let cur = f.density_at(ix, iy - 1);
+        if (prev < level) != (cur < level) {
+            let t = if (cur - prev).abs() < 1e-300 {
+                0.5
+            } else {
+                (level - prev) / (cur - prev)
+            };
+            // Descending from y_top: cell centres at iy+0.5 and iy−0.5.
+            return Some(iy as f64 + 0.5 - t);
+        }
+        prev = cur;
+        iy -= 1;
+    }
+    None
+}
+
+/// Fit the shock front over columns `x_range` using detection `level`.
+///
+/// Returns `None` if fewer than three columns show a crossing.
+pub fn fit_shock_front(
+    f: &SampledField,
+    x_range: core::ops::Range<u32>,
+    level: f64,
+) -> Option<ShockFit> {
+    let mut points = Vec::new();
+    for ix in x_range {
+        if ix >= f.w {
+            break;
+        }
+        if let Some(y) = column_crossing(f, ix, level, f.h - 1) {
+            points.push((ix as f64 + 0.5, y));
+        }
+    }
+    if points.len() < 3 {
+        return None;
+    }
+    // Least squares y = a + b x.
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let b = (n * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / n;
+    Some(ShockFit {
+        angle_deg: b.atan().to_degrees(),
+        slope: b,
+        x_origin: if b.abs() > 1e-12 { -a / b } else { 0.0 },
+        points,
+    })
+}
+
+/// Density profile along the *normal* of a fitted front, sampled by
+/// bilinear interpolation.  `s` runs from upstream (negative) to
+/// downstream (positive) of the crossing point at column `x_station`.
+pub fn normal_profile(
+    f: &SampledField,
+    fit: &ShockFit,
+    x_station: f64,
+    half_span: f64,
+    n_samples: usize,
+) -> Vec<(f64, f64)> {
+    let y_station = fit.slope * (x_station - fit.x_origin);
+    // Unit normal pointing downstream-downward (into the shock layer).
+    let norm = (1.0 + fit.slope * fit.slope).sqrt();
+    let (nx, ny) = (fit.slope / norm, -1.0 / norm);
+    let mut out = Vec::with_capacity(n_samples);
+    for k in 0..n_samples {
+        let s = -half_span + 2.0 * half_span * k as f64 / (n_samples - 1) as f64;
+        let x = x_station + s * nx;
+        let y = y_station + s * ny;
+        if let Some(d) = bilinear(f, x, y) {
+            out.push((s, d));
+        }
+    }
+    out
+}
+
+fn bilinear(f: &SampledField, x: f64, y: f64) -> Option<f64> {
+    // Cell centres at (ix+0.5, iy+0.5).
+    let gx = x - 0.5;
+    let gy = y - 0.5;
+    if gx < 0.0 || gy < 0.0 || gx > (f.w - 1) as f64 || gy > (f.h - 1) as f64 {
+        return None;
+    }
+    let ix = (gx as u32).min(f.w - 2);
+    let iy = (gy as u32).min(f.h - 2);
+    let tx = gx - ix as f64;
+    let ty = gy - iy as f64;
+    let d = |dx: u32, dy: u32| f.density_at(ix + dx, iy + dy);
+    Some(
+        d(0, 0) * (1.0 - tx) * (1.0 - ty)
+            + d(1, 0) * tx * (1.0 - ty)
+            + d(0, 1) * (1.0 - tx) * ty
+            + d(1, 1) * tx * ty,
+    )
+}
+
+/// Shock-thickness measurements along the front normal.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Thickness {
+    /// Distance between 25% and 75% of the density rise, in cells.
+    pub rise_25_75: f64,
+    /// Maximum-slope thickness `(ρ₂−ρ₁)/max|dρ/ds|`, in cells.
+    pub max_slope: f64,
+}
+
+/// Measure the shock thickness at `x_station` given the upstream and
+/// downstream plateau densities.
+pub fn shock_thickness(
+    f: &SampledField,
+    fit: &ShockFit,
+    x_station: f64,
+    rho1: f64,
+    rho2: f64,
+) -> Option<Thickness> {
+    let prof = normal_profile(f, fit, x_station, 10.0, 161);
+    if prof.len() < 20 {
+        return None;
+    }
+    let lo = rho1 + 0.25 * (rho2 - rho1);
+    let hi = rho1 + 0.75 * (rho2 - rho1);
+    let cross = |level: f64| -> Option<f64> {
+        for w in prof.windows(2) {
+            let (s0, d0) = w[0];
+            let (s1, d1) = w[1];
+            if (d0 < level) != (d1 < level) {
+                let t = (level - d0) / (d1 - d0);
+                return Some(s0 + t * (s1 - s0));
+            }
+        }
+        None
+    };
+    let s_lo = cross(lo)?;
+    let s_hi = cross(hi)?;
+    let rise = (s_hi - s_lo).abs();
+    // Max slope over a smoothed profile.
+    let mut max_slope = 0f64;
+    for w in prof.windows(3) {
+        let slope = (w[2].1 - w[0].1) / (w[2].0 - w[0].0);
+        max_slope = max_slope.max(slope.abs());
+    }
+    if max_slope <= 0.0 {
+        return None;
+    }
+    Some(Thickness {
+        // 25→75% spans half the rise of a linear ramp: scale to full width.
+        rise_25_75: rise * 2.0,
+        max_slope: (rho2 - rho1) / max_slope,
+    })
+}
+
+/// Mean density in the axis-aligned box (cells).
+pub fn box_mean_density(f: &SampledField, x0: u32, x1: u32, y0: u32, y1: u32) -> f64 {
+    let mut acc = 0.0;
+    let mut n = 0u32;
+    for iy in y0..y1.min(f.h) {
+        for ix in x0..x1.min(f.w) {
+            let d = f.density_at(ix, iy);
+            if d > 0.0 {
+                acc += d;
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        acc / n as f64
+    }
+}
+
+/// Mean density over the downstream plateau of a normal profile
+/// (`s ∈ [2, 6]` cells past the front) — the post-shock state the
+/// Rankine–Hugoniot ratio predicts, measured away from both the smeared
+/// front and the wedge face.
+pub fn post_shock_plateau(f: &SampledField, fit: &ShockFit, x_station: f64) -> Option<f64> {
+    let prof = normal_profile(f, fit, x_station, 8.0, 129);
+    let vals: Vec<f64> = prof
+        .iter()
+        .filter(|(s, d)| (2.0..6.0).contains(s) && *d > 0.0)
+        .map(|&(_, d)| d)
+        .collect();
+    if vals.len() < 5 {
+        return None;
+    }
+    Some(vals.iter().sum::<f64>() / vals.len() as f64)
+}
+
+/// Wake analysis along the lower wall downstream of the body: returns
+/// `(rho_min, rho_max_after_min)` of the column-averaged density over the
+/// lowest `rows` rows — the wake shock shows as a clear recompression
+/// (`rho_max/rho_min` well above 1), which rarefaction washes out.
+pub fn wake_profile_extrema(f: &SampledField, x_start: u32, rows: u32) -> (f64, f64) {
+    let mut profile = Vec::new();
+    for ix in x_start..f.w {
+        let mut acc = 0.0;
+        let mut n = 0;
+        for iy in 0..rows.min(f.h) {
+            let d = f.density_at(ix, iy);
+            if d > 0.0 {
+                acc += d;
+                n += 1;
+            }
+        }
+        if n > 0 {
+            profile.push(acc / n as f64);
+        }
+    }
+    if profile.is_empty() {
+        return (0.0, 0.0);
+    }
+    let (mut imin, mut dmin) = (0usize, f64::INFINITY);
+    for (i, &d) in profile.iter().enumerate() {
+        if d < dmin {
+            dmin = d;
+            imin = i;
+        }
+    }
+    let dmax = profile[imin..].iter().cloned().fold(0.0f64, f64::max);
+    (dmin, dmax)
+}
+
+/// Wake *recovery length*: the streamwise distance over which the lower-
+/// wall density climbs from 25% to 75% of its recompression rise.
+///
+/// A developed wake shock (near-continuum) recompresses over a short
+/// distance; rarefaction smears the recompression — "the mean free path in
+/// this region is great enough that the wake shock is completely washed
+/// out" — so the recovery length grows.  Returns `None` when no
+/// recompression exists at all.
+pub fn wake_recovery_length(f: &SampledField, x_start: u32, rows: u32) -> Option<f64> {
+    let mut profile = Vec::new();
+    for ix in x_start..f.w {
+        let mut acc = 0.0;
+        let mut n = 0;
+        for iy in 0..rows.min(f.h) {
+            let d = f.density_at(ix, iy);
+            if d > 0.0 {
+                acc += d;
+                n += 1;
+            }
+        }
+        profile.push(if n > 0 { acc / n as f64 } else { 0.0 });
+    }
+    if profile.len() < 10 {
+        return None;
+    }
+    let (mut imin, mut dmin) = (0usize, f64::INFINITY);
+    for (i, &d) in profile.iter().enumerate() {
+        if d < dmin {
+            dmin = d;
+            imin = i;
+        }
+    }
+    // Recompressed level: mean of the last five columns.
+    let tail = &profile[profile.len() - 5..];
+    let dend = tail.iter().sum::<f64>() / tail.len() as f64;
+    if dend <= dmin * 1.2 {
+        return None; // no recompression to speak of
+    }
+    let lo = dmin + 0.25 * (dend - dmin);
+    let hi = dmin + 0.75 * (dend - dmin);
+    let cross = |level: f64| -> Option<f64> {
+        for i in imin..profile.len() - 1 {
+            if (profile[i] < level) != (profile[i + 1] < level) {
+                let t = (level - profile[i]) / (profile[i + 1] - profile[i]);
+                return Some(i as f64 + t);
+            }
+        }
+        None
+    };
+    let xl = cross(lo)?;
+    let xh = cross(hi)?;
+    (xh > xl).then_some(xh - xl)
+}
+
+/// The full validation bundle for a wedge run (everything the paper reads
+/// off figures 1–6, as numbers).
+#[derive(Clone, Debug, Serialize)]
+pub struct ShockMetrics {
+    /// Fitted shock wave angle (deg).
+    pub shock_angle_deg: f64,
+    /// Theoretical weak-shock angle (deg).
+    pub theory_angle_deg: f64,
+    /// Measured post-shock plateau density ratio.
+    pub density_ratio: f64,
+    /// Theoretical Rankine–Hugoniot density ratio.
+    pub theory_density_ratio: f64,
+    /// Shock thickness (25–75 rise, scaled), cells.
+    pub thickness_rise: f64,
+    /// Shock thickness (max-slope), cells.
+    pub thickness_max_slope: f64,
+    /// Wake recompression factor `ρmax/ρmin` on the lower wall.
+    pub wake_recompression: f64,
+    /// Wake recovery length (25–75% recompression rise), cells; large or
+    /// absent when the wake shock is washed out.
+    pub wake_recovery_length: Option<f64>,
+}
+
+/// Extract all wedge-validation metrics.
+///
+/// `wedge_x0`, `wedge_base`, `wedge_angle_deg` describe the body; `mach`
+/// and `gamma` fix the theory values.
+pub fn wedge_metrics(
+    f: &SampledField,
+    wedge_x0: f64,
+    wedge_base: f64,
+    wedge_angle_deg: f64,
+    mach: f64,
+    gamma: f64,
+) -> Option<ShockMetrics> {
+    let theta = wedge_angle_deg.to_radians();
+    let beta = dsmc_kinetics::theory::oblique_shock_beta(mach, theta, gamma)?;
+    let theory_ratio = dsmc_kinetics::theory::density_ratio(mach * beta.sin(), gamma);
+    // Fit over the front half of the ramp, away from the leading-edge
+    // curvature and the shoulder expansion.
+    let x_lo = (wedge_x0 + wedge_base * 0.15) as u32;
+    let x_hi = (wedge_x0 + wedge_base * 0.75) as u32;
+    let level = 1.0 + 0.5 * (theory_ratio - 1.0);
+    let fit = fit_shock_front(f, x_lo..x_hi, level)?;
+    // Plateau: mean density a few cells downstream of the front, measured
+    // along the front normal at mid-chord (away from face and smearing).
+    let xm = wedge_x0 + 0.55 * wedge_base;
+    let plateau = post_shock_plateau(f, &fit, xm).unwrap_or(0.0);
+    let thickness = shock_thickness(f, &fit, xm, 1.0, plateau.max(1.5))?;
+    let x_wake = (wedge_x0 + wedge_base + 2.0) as u32;
+    let (wmin, wmax) = wake_profile_extrema(f, x_wake, 3);
+    Some(ShockMetrics {
+        shock_angle_deg: fit.angle_deg,
+        theory_angle_deg: beta.to_degrees(),
+        density_ratio: plateau,
+        theory_density_ratio: theory_ratio,
+        thickness_rise: thickness.rise_25_75,
+        thickness_max_slope: thickness.max_slope,
+        wake_recompression: if wmin > 0.0 { wmax / wmin } else { 0.0 },
+        wake_recovery_length: wake_recovery_length(f, x_wake, 3),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic oblique-shock field: ρ = 1 above the line through
+    /// (x0, 0) at `angle`, ρ = ratio below it, smeared over `width` cells.
+    fn synthetic_field(
+        w: u32,
+        h: u32,
+        x0: f64,
+        angle_deg: f64,
+        ratio: f64,
+        width: f64,
+    ) -> SampledField {
+        let slope = angle_deg.to_radians().tan();
+        let norm = (1.0 + slope * slope).sqrt();
+        let mut density = vec![0.0; (w * h) as usize];
+        for iy in 0..h {
+            for ix in 0..w {
+                let x = ix as f64 + 0.5;
+                let y = iy as f64 + 0.5;
+                // Signed distance above the shock line (freestream side).
+                let d = (y - slope * (x - x0)) / norm;
+                let t = 1.0 / (1.0 + (-d / (width / 4.0)).exp()); // 1 above
+                density[(iy * w + ix) as usize] = ratio + (1.0 - ratio) * t;
+            }
+        }
+        SampledField {
+            w,
+            h,
+            steps: 1,
+            ux: vec![0.0; (w * h) as usize],
+            uy: vec![0.0; (w * h) as usize],
+            t_trans: vec![0.0; (w * h) as usize],
+            t_rot: vec![0.0; (w * h) as usize],
+            occupancy: density.clone(),
+            density,
+        }
+    }
+
+    #[test]
+    fn recovers_the_shock_angle() {
+        for angle in [30.0, 45.0, 60.0] {
+            let f = synthetic_field(98, 64, 20.0, angle, 3.7, 1.0);
+            let fit = fit_shock_front(&f, 24..40, 2.35).expect("fit");
+            assert!(
+                (fit.angle_deg - angle).abs() < 1.5,
+                "angle {} fitted as {}",
+                angle,
+                fit.angle_deg
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_the_x_origin() {
+        let f = synthetic_field(98, 64, 20.0, 45.0, 3.7, 1.0);
+        let fit = fit_shock_front(&f, 24..40, 2.35).unwrap();
+        assert!((fit.x_origin - 20.0).abs() < 1.0, "origin {}", fit.x_origin);
+    }
+
+    #[test]
+    fn thickness_scales_with_smearing() {
+        let thin = synthetic_field(98, 64, 20.0, 45.0, 3.7, 2.0);
+        let thick = synthetic_field(98, 64, 20.0, 45.0, 3.7, 5.0);
+        let fit_thin = fit_shock_front(&thin, 24..40, 2.35).unwrap();
+        let fit_thick = fit_shock_front(&thick, 24..40, 2.35).unwrap();
+        let t_thin = shock_thickness(&thin, &fit_thin, 32.0, 1.0, 3.7).unwrap();
+        let t_thick = shock_thickness(&thick, &fit_thick, 32.0, 1.0, 3.7).unwrap();
+        assert!(
+            t_thick.rise_25_75 > 1.8 * t_thin.rise_25_75,
+            "rise {} vs {}",
+            t_thick.rise_25_75,
+            t_thin.rise_25_75
+        );
+        assert!(t_thick.max_slope > 1.8 * t_thin.max_slope);
+        // The logistic profile's absolute scale: max-slope thickness of a
+        // logistic with scale k is 4k·(…); just require the right order.
+        assert!((1.0..4.0).contains(&t_thin.max_slope), "{}", t_thin.max_slope);
+    }
+
+    #[test]
+    fn plateau_measured_behind_front() {
+        let f = synthetic_field(98, 64, 20.0, 45.0, 3.7, 1.0);
+        let d = box_mean_density(&f, 30, 40, 2, 8);
+        assert!((d - 3.7).abs() < 0.1, "plateau {d}");
+        let up = box_mean_density(&f, 2, 10, 30, 50);
+        assert!((up - 1.0).abs() < 0.05, "freestream {up}");
+    }
+
+    #[test]
+    fn wake_extrema_detect_recompression() {
+        // Build a wake: density dips to 0.4 then recovers to 1.2.
+        let (w, h) = (60u32, 20u32);
+        let mut density = vec![1.0; (w * h) as usize];
+        for iy in 0..3 {
+            for ix in 30..60u32 {
+                let x = ix as f64;
+                let d = if x < 40.0 {
+                    0.4
+                } else {
+                    0.4 + (x - 40.0) / 20.0 * 0.8
+                };
+                density[(iy * w + ix) as usize] = d;
+            }
+        }
+        let f = SampledField {
+            w,
+            h,
+            steps: 1,
+            ux: vec![0.0; (w * h) as usize],
+            uy: vec![0.0; (w * h) as usize],
+            t_trans: vec![0.0; (w * h) as usize],
+            t_rot: vec![0.0; (w * h) as usize],
+            occupancy: density.clone(),
+            density,
+        };
+        let (dmin, dmax) = wake_profile_extrema(&f, 30, 3);
+        assert!((dmin - 0.4).abs() < 0.05);
+        assert!(dmax > 1.1);
+        assert!(dmax / dmin > 2.5, "recompression factor {}", dmax / dmin);
+    }
+
+    #[test]
+    fn no_fit_on_featureless_field() {
+        let f = synthetic_field(50, 40, 20.0, 45.0, 1.0, 1.0); // ratio 1: no shock
+        assert!(fit_shock_front(&f, 24..40, 2.35).is_none());
+    }
+
+    #[test]
+    fn full_metrics_on_synthetic_wedge_flow() {
+        let f = synthetic_field(98, 64, 20.0, 45.0, 3.7, 2.0);
+        let m = wedge_metrics(&f, 20.0, 25.0, 30.0, 4.0, 1.4).expect("metrics");
+        assert!((m.shock_angle_deg - 45.0).abs() < 2.0, "{}", m.shock_angle_deg);
+        assert!((m.theory_angle_deg - 45.0).abs() < 0.5);
+        assert!((m.density_ratio - 3.7).abs() < 0.25, "{}", m.density_ratio);
+        assert!((m.theory_density_ratio - 3.7).abs() < 0.05);
+        assert!(m.thickness_max_slope > 0.5 && m.thickness_max_slope < 8.0);
+    }
+}

@@ -1,0 +1,524 @@
+//! Bodies in the test section.
+//!
+//! The paper simulates flow over a 30° wedge sitting on the lower wall, with
+//! "bodies other than wedges" listed as future work.  The [`Body`] trait
+//! captures what the engine needs: a containment test for penetration
+//! detection, a specular `resolve` to push penetrators back out, and the
+//! fractional free volume of cells the surface cuts.
+
+use crate::clip::{clip_polygon, polygon_area, unit_cell, HalfPlane};
+use dsmc_fixed::Fx;
+
+/// A solid impermeable body inside the tunnel.
+pub trait Body: Send + Sync {
+    /// True if the fixed-point position is inside the solid.
+    fn contains(&self, x: Fx, y: Fx) -> bool;
+
+    /// `f64` shadow of [`Body::contains`] for host-side setup and tests.
+    fn contains_f64(&self, x: f64, y: f64) -> bool;
+
+    /// Specularly reflect a penetrating particle off the surface it crossed.
+    ///
+    /// Returns `true` if the particle was touched.  Implementations must
+    /// leave the particle outside the body (a bounded number of fix-up
+    /// iterations; a final projection fallback guarantees termination).
+    fn resolve(&self, x: &mut Fx, y: &mut Fx, u: &mut Fx, v: &mut Fx) -> bool;
+
+    /// Fraction of cell `(ix, iy)`'s volume outside the body, in `[0, 1]`.
+    ///
+    /// The default estimates by 32×32 subsampling of `contains_f64`;
+    /// bodies with analytic boundaries override with exact clipping.
+    fn free_volume_fraction(&self, ix: u32, iy: u32) -> f64 {
+        let n = 32;
+        let mut free = 0u32;
+        for sy in 0..n {
+            for sx in 0..n {
+                let x = ix as f64 + (sx as f64 + 0.5) / n as f64;
+                let y = iy as f64 + (sy as f64 + 0.5) / n as f64;
+                if !self.contains_f64(x, y) {
+                    free += 1;
+                }
+            }
+        }
+        free as f64 / (n * n) as f64
+    }
+}
+
+/// An empty tunnel (uniform-flow and relaxation studies).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoBody;
+
+impl Body for NoBody {
+    fn contains(&self, _x: Fx, _y: Fx) -> bool {
+        false
+    }
+    fn contains_f64(&self, _x: f64, _y: f64) -> bool {
+        false
+    }
+    fn resolve(&self, _x: &mut Fx, _y: &mut Fx, _u: &mut Fx, _v: &mut Fx) -> bool {
+        false
+    }
+    fn free_volume_fraction(&self, _ix: u32, _iy: u32) -> f64 {
+        1.0
+    }
+}
+
+/// The paper's geometry: a wedge on the lower wall.
+///
+/// The front face rises from the leading edge `(x0, 0)` at `angle` degrees
+/// over a base of length `base`; the back face is vertical.  For the paper's
+/// headline runs: `x0 = 20`, `base = 25`, `angle = 30°` in a 98×64 tunnel.
+#[derive(Clone, Debug)]
+pub struct Wedge {
+    /// Leading-edge station (cells).
+    pub x0: f64,
+    /// Base length (cells); the paper's wedge is "25 cells wide at the base".
+    pub base: f64,
+    /// Ramp angle in degrees (30° in the paper).
+    pub angle_deg: f64,
+    // Fixed-point constants for the hot path.
+    x0_fx: Fx,
+    xb_fx: Fx,
+    h_fx: Fx,
+    tan_fx: Fx,
+    sin_fx: Fx,
+    cos_fx: Fx,
+    sin2_fx: Fx,
+    cos2_fx: Fx,
+    // f64 shadows.
+    tan_f: f64,
+    xb_f: f64,
+    h_f: f64,
+}
+
+impl Wedge {
+    /// Construct the wedge; `angle_deg` must lie in (0°, 80°].
+    pub fn new(x0: f64, base: f64, angle_deg: f64) -> Self {
+        assert!(x0 >= 0.0 && base > 0.0, "wedge must have positive base");
+        assert!(
+            angle_deg > 0.0 && angle_deg <= 80.0,
+            "ramp angle out of range"
+        );
+        let t = angle_deg.to_radians();
+        let h = base * t.tan();
+        Self {
+            x0,
+            base,
+            angle_deg,
+            x0_fx: Fx::from_f64(x0),
+            xb_fx: Fx::from_f64(x0 + base),
+            h_fx: Fx::from_f64(h),
+            tan_fx: Fx::from_f64(t.tan()),
+            sin_fx: Fx::from_f64(t.sin()),
+            cos_fx: Fx::from_f64(t.cos()),
+            sin2_fx: Fx::from_f64((2.0 * t).sin()),
+            cos2_fx: Fx::from_f64((2.0 * t).cos()),
+            tan_f: t.tan(),
+            xb_f: x0 + base,
+            h_f: h,
+        }
+    }
+
+    /// The paper's configuration: 30° wedge, base 25 cells, leading edge 20
+    /// cells from the upstream boundary.
+    pub fn paper() -> Self {
+        Self::new(20.0, 25.0, 30.0)
+    }
+
+    /// Apex height above the lower wall.
+    pub fn height(&self) -> f64 {
+        self.h_f
+    }
+
+    /// Back-face station.
+    pub fn back_x(&self) -> f64 {
+        self.xb_f
+    }
+
+    /// Perpendicular penetration depth below the front face (> 0 inside).
+    #[inline]
+    fn front_depth(&self, x: Fx, y: Fx) -> Fx {
+        (x - self.x0_fx).mul_nearest(self.sin_fx) - y.mul_nearest(self.cos_fx)
+    }
+}
+
+impl Body for Wedge {
+    #[inline]
+    fn contains(&self, x: Fx, y: Fx) -> bool {
+        if x <= self.x0_fx || x >= self.xb_fx || y >= self.h_fx || y < Fx::ZERO {
+            return false;
+        }
+        y < (x - self.x0_fx).mul_nearest(self.tan_fx)
+    }
+
+    fn contains_f64(&self, x: f64, y: f64) -> bool {
+        x > self.x0 && x < self.xb_f && y >= 0.0 && y < self.tan_f * (x - self.x0)
+    }
+
+    fn resolve(&self, x: &mut Fx, y: &mut Fx, u: &mut Fx, v: &mut Fx) -> bool {
+        if !self.contains(*x, *y) {
+            return false;
+        }
+        for _ in 0..3 {
+            let d_front = self.front_depth(*x, *y);
+            let d_back = self.xb_fx - *x;
+            if d_front <= d_back {
+                // Specular reflection about the line inclined at θ:
+                //   u' =  u cos2θ + v sin2θ
+                //   v' =  u sin2θ − v cos2θ
+                let (u0, v0) = (*u, *v);
+                *u = u0.mul_nearest(self.cos2_fx) + v0.mul_nearest(self.sin2_fx);
+                *v = u0.mul_nearest(self.sin2_fx) - v0.mul_nearest(self.cos2_fx);
+                // Mirror the position across the face plane: p → p + 2 d n̂,
+                // n̂ = (−sinθ, cosθ).
+                let two_d = d_front + d_front;
+                *x -= two_d.mul_nearest(self.sin_fx);
+                *y += two_d.mul_nearest(self.cos_fx);
+            } else {
+                // Vertical back face: exact axis-aligned reflection.
+                *x = self.xb_fx + (self.xb_fx - *x);
+                *u = -*u;
+            }
+            if !self.contains(*x, *y) {
+                return true;
+            }
+        }
+        // Fallback (hit the apex corner with rounding noise): project just
+        // above the front face along its normal and send the particle away.
+        let d = self.front_depth(*x, *y) + Fx::from_f64(1e-4);
+        *x -= (d + d).mul_nearest(self.sin_fx);
+        *y += (d + d).mul_nearest(self.cos_fx);
+        if self.contains(*x, *y) {
+            // Absolute last resort: lift above the apex.
+            *y = self.h_fx + Fx::from_f64(1e-4);
+        }
+        if *v < Fx::ZERO {
+            *v = -*v;
+        }
+        true
+    }
+
+    fn free_volume_fraction(&self, ix: u32, iy: u32) -> f64 {
+        // Exact: area of the cell minus the clipped cell∩wedge area.
+        let cell = unit_cell(ix, iy);
+        let inside = clip_polygon(
+            &cell,
+            &[
+                HalfPlane { a: -1.0, b: 0.0, c: -self.x0 }, // x ≥ x0
+                HalfPlane { a: 1.0, b: 0.0, c: self.xb_f }, // x ≤ xb
+                // y ≤ tan·(x−x0) ⇔ −tan·x + y ≤ −tan·x0
+                HalfPlane { a: -self.tan_f, b: 1.0, c: -self.tan_f * self.x0 },
+            ],
+        );
+        (1.0 - polygon_area(&inside)).clamp(0.0, 1.0)
+    }
+}
+
+/// A rectangular forward-facing step on the lower wall (generality check).
+#[derive(Clone, Copy, Debug)]
+pub struct ForwardStep {
+    /// Upstream face station.
+    pub x0: f64,
+    /// Downstream face station.
+    pub x1: f64,
+    /// Step height.
+    pub h: f64,
+}
+
+impl ForwardStep {
+    /// Construct; requires `x0 < x1` and `h > 0`.
+    pub fn new(x0: f64, x1: f64, h: f64) -> Self {
+        assert!(x0 < x1 && h > 0.0, "degenerate step");
+        Self { x0, x1, h }
+    }
+}
+
+impl Body for ForwardStep {
+    fn contains(&self, x: Fx, y: Fx) -> bool {
+        self.contains_f64(x.to_f64(), y.to_f64())
+    }
+
+    fn contains_f64(&self, x: f64, y: f64) -> bool {
+        x > self.x0 && x < self.x1 && y >= 0.0 && y < self.h
+    }
+
+    fn resolve(&self, x: &mut Fx, y: &mut Fx, u: &mut Fx, v: &mut Fx) -> bool {
+        if !self.contains(*x, *y) {
+            return false;
+        }
+        let x0 = Fx::from_f64(self.x0);
+        let x1 = Fx::from_f64(self.x1);
+        let h = Fx::from_f64(self.h);
+        for _ in 0..3 {
+            let d_front = *x - x0;
+            let d_back = x1 - *x;
+            let d_top = h - *y;
+            if d_front <= d_back && d_front <= d_top {
+                *x = x0 - (*x - x0);
+                *u = -*u;
+            } else if d_back <= d_top {
+                *x = x1 + (x1 - *x);
+                *u = -*u;
+            } else {
+                *y = h + (h - *y);
+                *v = -*v;
+            }
+            if !self.contains(*x, *y) {
+                return true;
+            }
+        }
+        *y = h + Fx::from_f64(1e-4);
+        true
+    }
+
+    fn free_volume_fraction(&self, ix: u32, iy: u32) -> f64 {
+        // Rectangle ∩ rectangle is analytic.
+        let ox = (self.x1.min(ix as f64 + 1.0) - self.x0.max(ix as f64)).max(0.0);
+        let oy = (self.h.min(iy as f64 + 1.0) - 0f64.max(iy as f64)).max(0.0);
+        (1.0 - ox * oy).clamp(0.0, 1.0)
+    }
+}
+
+/// A thin vertical plate spanning `[0, h]` at station `x0` (thickness
+/// `0.25` cells so that containment-based resolution works).
+#[derive(Clone, Copy, Debug)]
+pub struct FlatPlate {
+    /// Plate station (centre of thickness).
+    pub x0: f64,
+    /// Plate height.
+    pub h: f64,
+    step: ForwardStep,
+}
+
+impl FlatPlate {
+    /// Thickness of the plate in cells.
+    pub const THICKNESS: f64 = 0.25;
+
+    /// Construct a plate at `x0` of height `h`.
+    pub fn new(x0: f64, h: f64) -> Self {
+        Self {
+            x0,
+            h,
+            step: ForwardStep::new(
+                x0 - Self::THICKNESS / 2.0,
+                x0 + Self::THICKNESS / 2.0,
+                h,
+            ),
+        }
+    }
+}
+
+impl Body for FlatPlate {
+    fn contains(&self, x: Fx, y: Fx) -> bool {
+        self.step.contains(x, y)
+    }
+    fn contains_f64(&self, x: f64, y: f64) -> bool {
+        self.step.contains_f64(x, y)
+    }
+    fn resolve(&self, x: &mut Fx, y: &mut Fx, u: &mut Fx, v: &mut Fx) -> bool {
+        self.step.resolve(x, y, u, v)
+    }
+    fn free_volume_fraction(&self, ix: u32, iy: u32) -> f64 {
+        self.step.free_volume_fraction(ix, iy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fx(v: f64) -> Fx {
+        Fx::from_f64(v)
+    }
+
+    #[test]
+    fn wedge_geometry_constants() {
+        let w = Wedge::paper();
+        assert!((w.height() - 25.0 * (30f64).to_radians().tan()).abs() < 1e-9);
+        assert_eq!(w.back_x(), 45.0);
+    }
+
+    #[test]
+    fn wedge_containment_agrees_with_f64() {
+        let w = Wedge::paper();
+        let pts = [
+            (19.0, 0.5, false), // upstream of the leading edge
+            (21.0, 0.1, true),  // just inside the ramp toe
+            (21.0, 1.0, false), // above the face at x=21 (face y ≈ 0.577)
+            (44.0, 5.0, true),  // deep inside near the back
+            (45.5, 1.0, false), // downstream of the back face
+            (30.0, 5.0, true),  // face y at x=30 is ≈ 5.77
+            (30.0, 6.0, false),
+        ];
+        for (x, y, want) in pts {
+            assert_eq!(w.contains_f64(x, y), want, "f64 at ({x},{y})");
+            assert_eq!(w.contains(fx(x), fx(y)), want, "fx at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn resolve_leaves_particle_outside() {
+        let w = Wedge::paper();
+        let cases = [
+            (21.0, 0.2, 0.3, -0.2),
+            (44.9, 3.0, -0.4, 0.0),
+            (30.0, 5.6, 0.25, -0.25),
+            (20.1, 0.01, 0.3, -0.01),
+            (44.99, 14.0, 0.2, 0.2), // near the apex corner
+        ];
+        for (x0, y0, u0, v0) in cases {
+            let (mut x, mut y, mut u, mut v) = (fx(x0), fx(y0), fx(u0), fx(v0));
+            assert!(w.resolve(&mut x, &mut y, &mut u, &mut v));
+            assert!(
+                !w.contains(x, y),
+                "still inside after resolve from ({x0},{y0}): ({x},{y})"
+            );
+        }
+    }
+
+    #[test]
+    fn resolve_outside_is_noop() {
+        let w = Wedge::paper();
+        let (mut x, mut y, mut u, mut v) = (fx(10.0), fx(5.0), fx(0.3), fx(0.1));
+        assert!(!w.resolve(&mut x, &mut y, &mut u, &mut v));
+        assert_eq!((x, y, u, v), (fx(10.0), fx(5.0), fx(0.3), fx(0.1)));
+    }
+
+    #[test]
+    fn front_face_reflection_turns_velocity_correctly() {
+        // A particle moving horizontally into the 30° face leaves along the
+        // direction rotated by 2θ = 60°: u' = u cos60, v' = u sin60.
+        let w = Wedge::paper();
+        let (mut x, mut y, mut u, mut v) = (fx(30.0), fx(5.7), fx(0.4), fx(0.0));
+        assert!(w.resolve(&mut x, &mut y, &mut u, &mut v));
+        assert!((u.to_f64() - 0.4 * 0.5).abs() < 1e-5, "u' = {u}");
+        assert!((v.to_f64() - 0.4 * 0.866025).abs() < 1e-5, "v' = {v}");
+    }
+
+    #[test]
+    fn back_face_reflection_is_exact() {
+        let w = Wedge::paper();
+        // Deep behind the back face but only just inside it.
+        let (mut x, mut y, mut u, mut v) = (fx(44.9), fx(2.0), fx(-0.5), fx(0.125));
+        assert!(w.resolve(&mut x, &mut y, &mut u, &mut v));
+        assert_eq!(x, fx(45.1));
+        assert_eq!(u, fx(0.5));
+        assert_eq!(v, fx(0.125), "tangential velocity untouched");
+        assert_eq!(y, fx(2.0));
+    }
+
+    #[test]
+    fn front_face_reflection_energy_statistics() {
+        // The inclined reflection uses nearest-rounded multiplies; energy is
+        // preserved to ~1 LSB per bounce with no systematic drift.
+        let w = Wedge::paper();
+        let mut rel_err_acc = 0.0f64;
+        let mut n = 0;
+        for i in 0..500 {
+            let x0 = 21.0 + (i % 23) as f64;
+            let y0 = 0.05 + 0.4 * w.tan_f * (x0 - 20.0);
+            let u0 = 0.1 + 0.001 * i as f64;
+            let v0 = -0.05 - 0.0007 * i as f64;
+            let (mut x, mut y, mut u, mut v) = (fx(x0), fx(y0), fx(u0), fx(v0));
+            if !w.contains(x, y) {
+                continue;
+            }
+            let e0 = u.sq_raw_wide() + v.sq_raw_wide();
+            w.resolve(&mut x, &mut y, &mut u, &mut v);
+            let e1 = u.sq_raw_wide() + v.sq_raw_wide();
+            rel_err_acc += (e1 - e0) as f64 / e0 as f64;
+            n += 1;
+        }
+        assert!(n > 300, "most samples should start inside, n = {n}");
+        let mean_rel = rel_err_acc / n as f64;
+        assert!(
+            mean_rel.abs() < 1e-5,
+            "mean relative energy error per bounce = {mean_rel}"
+        );
+    }
+
+    #[test]
+    fn wedge_volume_fractions_exact_cases() {
+        let w = Wedge::paper();
+        // Far from the wedge: fully free.
+        assert!((w.free_volume_fraction(5, 5) - 1.0).abs() < 1e-12);
+        // Deep inside: zero free volume (x in [30,31], face height > 5.7).
+        assert!(w.free_volume_fraction(30, 0) < 1e-12);
+        // The toe cell [20,21]×[0,1]: body area = tan30°/2 ≈ 0.2887.
+        let f = w.free_volume_fraction(20, 0);
+        assert!((f - (1.0 - w.tan_f / 2.0)).abs() < 1e-9, "toe cell {f}");
+    }
+
+    #[test]
+    fn wedge_fraction_matches_subsampling_default() {
+        let w = Wedge::paper();
+        for (ix, iy) in [(20u32, 0u32), (25, 3), (40, 11), (44, 14), (33, 7)] {
+            let exact = w.free_volume_fraction(ix, iy);
+            // Re-derive via the trait's default subsampler.
+            struct Shadow<'a>(&'a Wedge);
+            impl Body for Shadow<'_> {
+                fn contains(&self, x: Fx, y: Fx) -> bool {
+                    self.0.contains(x, y)
+                }
+                fn contains_f64(&self, x: f64, y: f64) -> bool {
+                    self.0.contains_f64(x, y)
+                }
+                fn resolve(&self, _: &mut Fx, _: &mut Fx, _: &mut Fx, _: &mut Fx) -> bool {
+                    false
+                }
+            }
+            let approx = Shadow(&w).free_volume_fraction(ix, iy);
+            assert!(
+                (exact - approx).abs() < 0.05,
+                "cell ({ix},{iy}): exact {exact} vs sampled {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn step_contains_and_resolve() {
+        let s = ForwardStep::new(10.0, 14.0, 3.0);
+        assert!(s.contains_f64(12.0, 1.0));
+        assert!(!s.contains_f64(9.0, 1.0));
+        assert!(!s.contains_f64(12.0, 3.5));
+        let (mut x, mut y, mut u, mut v) = (fx(12.0), fx(2.9), fx(0.0), fx(-0.3));
+        assert!(s.resolve(&mut x, &mut y, &mut u, &mut v));
+        assert!(!s.contains(x, y));
+        assert_eq!(v, fx(0.3), "top-face reflection flips v");
+    }
+
+    #[test]
+    fn step_volume_fraction_analytic() {
+        let s = ForwardStep::new(10.0, 14.0, 3.0);
+        assert_eq!(s.free_volume_fraction(11, 1), 0.0);
+        assert_eq!(s.free_volume_fraction(5, 0), 1.0);
+        // Cell straddling the top face at h=3 is fully free above it.
+        assert_eq!(s.free_volume_fraction(11, 3), 1.0);
+        // Half-covered cell: step from x=10 splits cell [9.5..]? No: cells
+        // are integer-aligned; step edge at x=10 aligns with a cell edge,
+        // so coverage is all-or-nothing here. Use a misaligned step:
+        let s2 = ForwardStep::new(10.5, 14.0, 3.0);
+        assert!((s2.free_volume_fraction(10, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plate_is_a_thin_step() {
+        let p = FlatPlate::new(12.0, 4.0);
+        assert!(p.contains_f64(12.0, 2.0));
+        assert!(!p.contains_f64(12.2, 2.0));
+        assert!(!p.contains_f64(12.0, 4.5));
+        let (mut x, mut y, mut u, mut v) = (fx(11.95), fx(1.0), fx(0.4), fx(0.0));
+        assert!(p.resolve(&mut x, &mut y, &mut u, &mut v));
+        assert!(!p.contains(x, y));
+        assert_eq!(u, fx(-0.4));
+    }
+
+    #[test]
+    fn nobody_is_inert() {
+        let b = NoBody;
+        assert!(!b.contains(fx(1.0), fx(1.0)));
+        assert_eq!(b.free_volume_fraction(0, 0), 1.0);
+        let (mut x, mut y, mut u, mut v) = (fx(1.0), fx(1.0), fx(0.1), fx(0.1));
+        assert!(!b.resolve(&mut x, &mut y, &mut u, &mut v));
+    }
+}

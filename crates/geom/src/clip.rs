@@ -1,0 +1,179 @@
+//! Host-side polygon clipping for fractional cell volumes.
+//!
+//! Cells divided by the wedge surface take part in the selection rule and in
+//! sampling with their *fractional* volume (paper, Results section).  The
+//! fractions are computed once at setup by clipping each unit grid cell
+//! against the body's half-planes (Sutherland–Hodgman) and measuring the
+//! remaining area (shoelace formula).  This is front-end (host) work, so it
+//! uses `f64` — the data-parallel hot path only ever reads the resulting
+//! per-cell scale factors.
+
+/// A closed half-plane `a·x + b·y ≤ c`.
+#[derive(Clone, Copy, Debug)]
+pub struct HalfPlane {
+    /// Coefficient of x.
+    pub a: f64,
+    /// Coefficient of y.
+    pub b: f64,
+    /// Right-hand side.
+    pub c: f64,
+}
+
+impl HalfPlane {
+    /// Signed margin: ≥ 0 inside the half-plane.
+    #[inline]
+    fn margin(&self, p: (f64, f64)) -> f64 {
+        self.c - (self.a * p.0 + self.b * p.1)
+    }
+}
+
+/// Clip a convex polygon against one half-plane (Sutherland–Hodgman step).
+pub fn clip_halfplane(poly: &[(f64, f64)], hp: HalfPlane) -> Vec<(f64, f64)> {
+    let n = poly.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(n + 2);
+    for i in 0..n {
+        let cur = poly[i];
+        let next = poly[(i + 1) % n];
+        let mc = hp.margin(cur);
+        let mn = hp.margin(next);
+        if mc >= 0.0 {
+            out.push(cur);
+        }
+        if (mc >= 0.0) != (mn >= 0.0) {
+            // Edge crosses the boundary; interpolate the intersection.
+            let t = mc / (mc - mn);
+            out.push((
+                cur.0 + t * (next.0 - cur.0),
+                cur.1 + t * (next.1 - cur.1),
+            ));
+        }
+    }
+    out
+}
+
+/// Clip a convex polygon against several half-planes.
+pub fn clip_polygon(poly: &[(f64, f64)], planes: &[HalfPlane]) -> Vec<(f64, f64)> {
+    let mut p = poly.to_vec();
+    for &hp in planes {
+        p = clip_halfplane(&p, hp);
+        if p.is_empty() {
+            break;
+        }
+    }
+    p
+}
+
+/// Polygon area (shoelace; vertices in either orientation).
+pub fn polygon_area(poly: &[(f64, f64)]) -> f64 {
+    if poly.len() < 3 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for i in 0..poly.len() {
+        let (x0, y0) = poly[i];
+        let (x1, y1) = poly[(i + 1) % poly.len()];
+        acc += x0 * y1 - x1 * y0;
+    }
+    0.5 * acc.abs()
+}
+
+/// The unit grid cell `[ix, ix+1] × [iy, iy+1]` as a polygon.
+pub fn unit_cell(ix: u32, iy: u32) -> [(f64, f64); 4] {
+    let (x, y) = (ix as f64, iy as f64);
+    [(x, y), (x + 1.0, y), (x + 1.0, y + 1.0), (x, y + 1.0)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn unit_cell_has_area_one() {
+        assert!((polygon_area(&unit_cell(3, 5)) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn clip_keeps_contained_polygon() {
+        let sq = unit_cell(0, 0);
+        let hp = HalfPlane { a: 1.0, b: 0.0, c: 5.0 }; // x ≤ 5
+        let out = clip_halfplane(&sq, hp);
+        assert!((polygon_area(&out) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn clip_removes_excluded_polygon() {
+        let sq = unit_cell(3, 0);
+        let hp = HalfPlane { a: 1.0, b: 0.0, c: 2.0 }; // x ≤ 2
+        let out = clip_halfplane(&sq, hp);
+        assert!(polygon_area(&out) < EPS);
+    }
+
+    #[test]
+    fn clip_halves_a_square() {
+        let sq = unit_cell(0, 0);
+        let hp = HalfPlane { a: 1.0, b: 0.0, c: 0.5 }; // x ≤ 0.5
+        let out = clip_halfplane(&sq, hp);
+        assert!((polygon_area(&out) - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn diagonal_clip_gives_triangle() {
+        // y ≤ x cuts the unit square into a triangle of area 1/2.
+        let sq = unit_cell(0, 0);
+        let hp = HalfPlane { a: -1.0, b: 1.0, c: 0.0 };
+        let out = clip_halfplane(&sq, hp);
+        assert!((polygon_area(&out) - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn multi_plane_intersection() {
+        // x ≤ 0.5 and y ≤ 0.5 leaves a quarter cell.
+        let sq = unit_cell(0, 0);
+        let planes = [
+            HalfPlane { a: 1.0, b: 0.0, c: 0.5 },
+            HalfPlane { a: 0.0, b: 1.0, c: 0.5 },
+        ];
+        let out = clip_polygon(&sq, &planes);
+        assert!((polygon_area(&out) - 0.25).abs() < EPS);
+    }
+
+    #[test]
+    fn empty_intersection_short_circuits() {
+        let sq = unit_cell(0, 0);
+        let planes = [
+            HalfPlane { a: 1.0, b: 0.0, c: -1.0 }, // x ≤ −1: impossible
+            HalfPlane { a: 0.0, b: 1.0, c: 0.5 },
+        ];
+        let out = clip_polygon(&sq, &planes);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(polygon_area(&[]), 0.0);
+        assert_eq!(polygon_area(&[(0.0, 0.0), (1.0, 1.0)]), 0.0);
+        assert!(clip_halfplane(&[], HalfPlane { a: 1.0, b: 0.0, c: 0.0 }).is_empty());
+    }
+
+    #[test]
+    fn wedge_like_clip_area_matches_analytic() {
+        // A 30° ramp y ≤ tan(30°)·(x − 2): the cell [2,3]×[0,1] keeps the
+        // region *above* the ramp: 1 − ∫₀¹ tan30°·x dx = 1 − tan30°/2.
+        let t = (30f64).to_radians().tan();
+        let sq = unit_cell(2, 0);
+        // Inside-body region: y ≤ t (x−2); free region is the complement,
+        // i.e. clip against −y ≤ −t(x−2) ⇒ t·x − y ≤ 2t … flip signs:
+        let free = clip_polygon(
+            &sq,
+            &[HalfPlane { a: t, b: -1.0, c: 2.0 * t }],
+        );
+        // That kept y ≥ t(x−2)?  margin = c − (t·x − y) ≥ 0 ⇔ y ≥ t·x − 2t. Yes.
+        let area = polygon_area(&free);
+        assert!((area - (1.0 - t / 2.0)).abs() < 1e-9, "area = {area}");
+    }
+}

@@ -1,0 +1,31 @@
+//! Geometry for the simulated wind tunnel.
+//!
+//! The paper sets up physical space as a 2D wind tunnel: hard (specularly
+//! reflecting, inviscid) walls top and bottom, a *soft* downstream boundary
+//! where particles exit to the reservoir, a *hard plunger* upstream boundary
+//! that advances with the freestream and periodically snaps back, and a body
+//! in the test section — an inclined wedge in the paper, with "bodies other
+//! than wedges" named as future work.
+//!
+//! * [`Tunnel`] — the tunnel box, wall reflections and the plunger.
+//! * [`Body`] — the body-in-test-section abstraction; [`Wedge`] is the
+//!   paper's geometry, [`ForwardStep`] and [`FlatPlate`] exercise the
+//!   generality, and [`NoBody`] gives an empty tunnel.
+//! * [`clip`] — host-side polygon clipping used for the *fractional cell
+//!   volumes* of cells cut by the wedge surface (the paper's eq. (8) must
+//!   use the fractional volume when computing the cell density, and so must
+//!   the time-averaged sampling — its plotting package famously could not,
+//!   hence the jagged wedge edge in figures 3 and 6).
+//!
+//! Axis-aligned reflections (walls, back faces, plunger) are *exact* in
+//! fixed point: they are negations and subtractions.  The inclined wedge
+//! face needs two rotations by the face angle; those use nearest-rounding
+//! fixed-point multiplies, which preserve energy only to the last bit — the
+//! `reflection_energy_statistics` test bounds the drift.
+
+pub mod body;
+pub mod clip;
+pub mod tunnel;
+
+pub use body::{Body, FlatPlate, ForwardStep, NoBody, Wedge};
+pub use tunnel::{Plunger, PlungerEvent, Tunnel, WallOutcome};

@@ -1,0 +1,333 @@
+//! The wind-tunnel box: hard walls, soft outflow, and the plunger inlet.
+
+use dsmc_fixed::Fx;
+
+/// What happened to a particle when the tunnel boundaries were enforced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WallOutcome {
+    /// Particle stayed inside (possibly after wall reflections).
+    Inside,
+    /// Particle crossed the downstream (supersonic outflow) boundary and
+    /// must be moved to the reservoir.
+    ExitedDownstream,
+}
+
+/// The tunnel box `[0, width] × [0, height]`, in cell widths.
+///
+/// The grid of unit cells is implied: `width` columns by `height` rows.
+#[derive(Clone, Copy, Debug)]
+pub struct Tunnel {
+    /// Streamwise extent (number of unit cells across).
+    pub width: u32,
+    /// Wall-normal extent.
+    pub height: u32,
+}
+
+impl Tunnel {
+    /// Construct a tunnel of `width × height` unit cells.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "tunnel must have positive extent");
+        // Positions must stay well inside the Q8.23 range of ±256.
+        assert!(width < 250 && height < 250, "tunnel too large for Q8.23");
+        Self { width, height }
+    }
+
+    /// Fixed-point width.
+    #[inline]
+    pub fn width_fx(&self) -> Fx {
+        Fx::from_int(self.width as i32)
+    }
+
+    /// Fixed-point height.
+    #[inline]
+    pub fn height_fx(&self) -> Fx {
+        Fx::from_int(self.height as i32)
+    }
+
+    /// Enforce the top/bottom hard walls and the downstream soft boundary.
+    ///
+    /// Specular (inviscid) reflection: `y → 2·wall − y`, `v → −v` — exact in
+    /// fixed point.  A particle may bounce more than once in pathological
+    /// cases (speeds are ≪ 1 cell/step in practice), so the reflections
+    /// iterate to a fixed point.  Returns whether the particle exited
+    /// downstream; the caller routes exited particles to the reservoir.
+    ///
+    /// The upstream boundary is *not* handled here — that is the plunger's
+    /// job (see [`Plunger`]).
+    #[inline]
+    pub fn enforce_walls(&self, y: &mut Fx, v: &mut Fx, x: Fx) -> WallOutcome {
+        let h = self.height_fx();
+        let two_h = Fx::from_int(2 * self.height as i32);
+        // At most a few iterations: |v| < 1 cell/step keeps y within one
+        // cell of the walls.
+        let mut guard = 0;
+        while (*y < Fx::ZERO || *y >= h) && guard < 8 {
+            if *y < Fx::ZERO {
+                *y = -*y;
+                *v = -*v;
+            } else {
+                *y = two_h - *y;
+                *v = -*v;
+            }
+            guard += 1;
+        }
+        if *y < Fx::ZERO || *y >= h {
+            // Runaway particle (|v| ≥ height): park it at the nearest wall
+            // moving inward. Never observed with physical parameters.
+            *y = if y.is_negative() { Fx::ZERO } else { h - Fx::EPSILON };
+            *v = -*v;
+        }
+        if x >= self.width_fx() {
+            WallOutcome::ExitedDownstream
+        } else {
+            WallOutcome::Inside
+        }
+    }
+
+    /// Number of grid cells.
+    #[inline]
+    pub fn n_cells(&self) -> u32 {
+        self.width * self.height
+    }
+
+    /// Cell index of a position, row-major: `iy * width + ix`.
+    ///
+    /// Callers must have enforced boundaries first; debug-checked.
+    #[inline]
+    pub fn cell_index(&self, x: Fx, y: Fx) -> u32 {
+        let ix = x.floor_int();
+        let iy = y.floor_int();
+        debug_assert!(
+            ix >= 0 && (ix as u32) < self.width && iy >= 0 && (iy as u32) < self.height,
+            "position ({x}, {y}) outside tunnel"
+        );
+        iy as u32 * self.width + ix as u32
+    }
+}
+
+/// The hard upstream boundary: a piston face that travels with the
+/// freestream and snaps back when it reaches its trigger station.
+///
+/// "This boundary acts as a plunger, moving with the freestream until it
+/// crosses a predefined trigger point which causes the plunger to be
+/// withdrawn and enough new particles to be introduced to fill the void."
+/// Reflection off the moving face is specular in the plunger frame:
+/// `u → 2·u_p − u`, `x → 2·x_p − x`.
+#[derive(Clone, Copy, Debug)]
+pub struct Plunger {
+    /// Current face position.
+    pub face: Fx,
+    /// Face speed (the freestream speed `u∞`).
+    pub speed: Fx,
+    /// Station at which the face is withdrawn back to `x = 0`.
+    pub trigger: Fx,
+}
+
+/// Outcome of one plunger step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlungerEvent {
+    /// The face advanced; nothing else to do.
+    Advanced,
+    /// The face crossed the trigger and snapped back to `x = 0`; the caller
+    /// must fill `[0, void_end)` with fresh freestream particles.
+    Withdrawn {
+        /// Downstream edge of the void to refill (the old face position).
+        void_end: Fx,
+    },
+}
+
+impl Plunger {
+    /// A plunger starting at the upstream wall.
+    ///
+    /// A zero speed (a quiescent, Mach-0 "tunnel") leaves the face parked
+    /// at the inlet forever: it reflects like a fixed wall and never
+    /// withdraws.
+    pub fn new(speed: Fx, trigger: Fx) -> Self {
+        assert!(speed >= Fx::ZERO, "plunger must not retreat upstream");
+        assert!(trigger > Fx::ZERO, "trigger must be downstream of inlet");
+        Self {
+            face: Fx::ZERO,
+            speed,
+            trigger,
+        }
+    }
+
+    /// Advance the face by one time step; report whether it withdrew.
+    ///
+    /// The withdrawal happens *after* the advance, so the void to refill is
+    /// the full span the face had swept.
+    pub fn advance(&mut self) -> PlungerEvent {
+        self.face += self.speed;
+        if self.face >= self.trigger {
+            let void_end = self.face;
+            self.face = Fx::ZERO;
+            PlungerEvent::Withdrawn { void_end }
+        } else {
+            PlungerEvent::Advanced
+        }
+    }
+
+    /// Reflect a particle off the moving face if it is behind it.
+    ///
+    /// Returns `true` if the particle was touched.  Exact in fixed point.
+    #[inline]
+    pub fn reflect(&self, x: &mut Fx, u: &mut Fx) -> bool {
+        if *x < self.face {
+            // x → 2 x_p − x ; u → 2 u_p − u (specular in the moving frame).
+            *x = self.face + (self.face - *x);
+            *u = self.speed + (self.speed - *u);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fx(v: f64) -> Fx {
+        Fx::from_f64(v)
+    }
+
+    #[test]
+    fn wall_reflection_bottom_is_exact() {
+        let t = Tunnel::new(10, 8);
+        let mut y = fx(-0.25);
+        let mut v = fx(-0.5);
+        assert_eq!(t.enforce_walls(&mut y, &mut v, fx(3.0)), WallOutcome::Inside);
+        assert_eq!(y, fx(0.25));
+        assert_eq!(v, fx(0.5));
+    }
+
+    #[test]
+    fn wall_reflection_top_is_exact() {
+        let t = Tunnel::new(10, 8);
+        let mut y = fx(8.125);
+        let mut v = fx(0.5);
+        t.enforce_walls(&mut y, &mut v, fx(3.0));
+        assert_eq!(y, fx(7.875));
+        assert_eq!(v, fx(-0.5));
+    }
+
+    #[test]
+    fn wall_reflection_preserves_speed_exactly() {
+        let t = Tunnel::new(10, 8);
+        for (y0, v0) in [(-0.3, -0.7), (8.99, 0.123), (-0.001, -0.9)] {
+            let mut y = fx(y0);
+            let mut v = fx(v0);
+            let v_before = v.abs();
+            t.enforce_walls(&mut y, &mut v, fx(1.0));
+            assert_eq!(v.abs(), v_before, "speed must be conserved exactly");
+            assert!(y >= Fx::ZERO && y < fx(8.0));
+        }
+    }
+
+    #[test]
+    fn inside_particle_untouched() {
+        let t = Tunnel::new(10, 8);
+        let mut y = fx(4.0);
+        let mut v = fx(0.25);
+        assert_eq!(t.enforce_walls(&mut y, &mut v, fx(5.0)), WallOutcome::Inside);
+        assert_eq!(y, fx(4.0));
+        assert_eq!(v, fx(0.25));
+    }
+
+    #[test]
+    fn downstream_exit_detected() {
+        let t = Tunnel::new(10, 8);
+        let mut y = fx(4.0);
+        let mut v = fx(0.0);
+        assert_eq!(
+            t.enforce_walls(&mut y, &mut v, fx(10.0)),
+            WallOutcome::ExitedDownstream
+        );
+        assert_eq!(
+            t.enforce_walls(&mut y, &mut v, fx(9.999)),
+            WallOutcome::Inside
+        );
+    }
+
+    #[test]
+    fn reflection_is_involution() {
+        // Reflecting a particle and then reflecting its mirror image about
+        // the same wall restores the original state.
+        let t = Tunnel::new(10, 8);
+        let mut y = fx(-0.375);
+        let mut v = fx(-0.25);
+        t.enforce_walls(&mut y, &mut v, fx(0.0));
+        // Undo: apply the same transformation again from the mirrored state.
+        let mut y2 = -y;
+        let mut v2 = -v;
+        t.enforce_walls(&mut y2, &mut v2, fx(0.0));
+        assert_eq!(y2, fx(0.375));
+        assert_eq!(v2, fx(0.25));
+    }
+
+    #[test]
+    fn cell_index_row_major() {
+        let t = Tunnel::new(10, 8);
+        assert_eq!(t.cell_index(fx(0.5), fx(0.5)), 0);
+        assert_eq!(t.cell_index(fx(9.999), fx(0.0)), 9);
+        assert_eq!(t.cell_index(fx(0.0), fx(7.999)), 70);
+        assert_eq!(t.cell_index(fx(3.25), fx(2.75)), 23);
+        assert_eq!(t.n_cells(), 80);
+    }
+
+    #[test]
+    fn plunger_advances_and_withdraws() {
+        let mut p = Plunger::new(fx(0.25), fx(1.0));
+        assert_eq!(p.advance(), PlungerEvent::Advanced);
+        assert_eq!(p.advance(), PlungerEvent::Advanced);
+        assert_eq!(p.advance(), PlungerEvent::Advanced);
+        match p.advance() {
+            PlungerEvent::Withdrawn { void_end } => assert_eq!(void_end, fx(1.0)),
+            e => panic!("expected withdrawal, got {e:?}"),
+        }
+        assert_eq!(p.face, Fx::ZERO);
+    }
+
+    #[test]
+    fn plunger_reflection_moving_frame() {
+        let p = Plunger {
+            face: fx(1.0),
+            speed: fx(0.25),
+            trigger: fx(4.0),
+        };
+        let mut x = fx(0.5);
+        let mut u = fx(-0.5);
+        assert!(p.reflect(&mut x, &mut u));
+        assert_eq!(x, fx(1.5));
+        // u' = 2·0.25 − (−0.5) = 1.0
+        assert_eq!(u, fx(1.0));
+        // A particle ahead of the face is untouched.
+        let mut x2 = fx(1.5);
+        let mut u2 = fx(0.1);
+        assert!(!p.reflect(&mut x2, &mut u2));
+        assert_eq!(x2, fx(1.5));
+        assert_eq!(u2, fx(0.1));
+    }
+
+    #[test]
+    fn plunger_reflection_slower_than_face_gains_speed() {
+        // A particle drifting slower than the plunger face must be sped up
+        // (the piston does work on the gas), never pushed backwards.
+        let p = Plunger {
+            face: fx(2.0),
+            speed: fx(0.25),
+            trigger: fx(4.0),
+        };
+        let mut x = fx(1.875);
+        let mut u = fx(0.125);
+        p.reflect(&mut x, &mut u);
+        assert_eq!(u, fx(0.375));
+        assert!(x > fx(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive extent")]
+    fn zero_tunnel_rejected() {
+        let _ = Tunnel::new(0, 5);
+    }
+}

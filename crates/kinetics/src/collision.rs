@@ -1,0 +1,374 @@
+//! The McDonald–Baganoff 5-vector collision kernel (paper eqs. 9–18).
+//!
+//! A diatomic particle carries a translational velocity `u⃗` (3 components)
+//! and a rotational velocity `r⃗` (2 components, eq. 9).  For a colliding
+//! pair, form the mean and half-relative values of all five components
+//! (eqs. 12–15).  Assuming the means are preserved (eqs. 16–17), energy and
+//! momentum conservation collapse to the single statement that the *sum of
+//! the five squared relative components is invariant* (eq. 18).  Any
+//! re-ordering of those five values with arbitrary signs therefore yields a
+//! valid, maximally cheap post-collision state:
+//!
+//! > "By re-ordering these values in a random fashion and assigning each
+//! > element a random, equally-probable sign, one arrives at a valid and
+//! > completely new post-collision relative velocity vector."
+//!
+//! Because the five slots mix translational and rotational components, the
+//! re-ordering also exchanges energy between the translational and
+//! rotational modes, giving the correct 3+2 equipartition in equilibrium
+//! (γ = 7/5).
+//!
+//! All arithmetic is 32-bit fixed point; the two halvings per component use
+//! the rounding policy under study (see `dsmc_fixed::Rounding`).
+
+use dsmc_fixed::{Fx, Rounding};
+use dsmc_rng::{Perm5, XorShift32};
+
+/// Supplier of uniform random bits for the kernel's 15 per-collision bits.
+///
+/// Implemented by the explicit per-particle generator and by the engine's
+/// "dirty low-order bits" source, so the kernel is agnostic to the paper's
+/// frugal-randomness mode.
+pub trait BitSource {
+    /// Next `n` uniform bits (1 ≤ n ≤ 32) in the low end of the word.
+    fn bits(&mut self, n: u32) -> u32;
+}
+
+impl BitSource for XorShift32 {
+    #[inline(always)]
+    fn bits(&mut self, n: u32) -> u32 {
+        self.next_bits(n)
+    }
+}
+
+/// A fixed word of bits, for callers that harvest dirty bits up front.
+#[derive(Clone, Copy, Debug)]
+pub struct WordBits(pub u32);
+
+impl BitSource for WordBits {
+    #[inline(always)]
+    fn bits(&mut self, n: u32) -> u32 {
+        let out = self.0 & ((1u32 << n) - 1);
+        self.0 >>= n;
+        out
+    }
+}
+
+/// Collide two particles in place.
+///
+/// `a` and `b` are the five velocity components `[u, v, w, r₁, r₂]` of each
+/// partner.  `perm` re-orders the relative components; the caller passes one
+/// of the pair's permutation vectors ("which one gets used is
+/// inconsequential").  Fifteen random bits are drawn from `rng`: 5 sign
+/// bits, 5 rounding bits for the means, 5 for the relatives.
+///
+/// Conservation: per component, `a + b` changes by at most 1 LSB (the bit
+/// dropped by the mean halving — zero in expectation under
+/// [`Rounding::Stochastic`]); the five-square sum of the relative vector is
+/// exactly invariant, so energy errors come only from the halving rounding.
+#[inline]
+pub fn collide_pair<B: BitSource>(
+    a: &mut [Fx; 5],
+    b: &mut [Fx; 5],
+    perm: Perm5,
+    rounding: Rounding,
+    rng: &mut B,
+) {
+    let sign_bits = rng.bits(5);
+    let mean_bits = rng.bits(5);
+    let rel_bits = rng.bits(5);
+
+    let mut mean = [Fx::ZERO; 5];
+    let mut rel = [Fx::ZERO; 5];
+    for i in 0..5 {
+        mean[i] = a[i].avg(b[i], rounding, (mean_bits >> i) & 1);
+        rel[i] = a[i].half_diff(b[i], rounding, (rel_bits >> i) & 1);
+    }
+
+    let mut rel = perm.apply(rel);
+    for (i, r) in rel.iter_mut().enumerate() {
+        if (sign_bits >> i) & 1 == 1 {
+            *r = -*r;
+        }
+    }
+
+    for i in 0..5 {
+        a[i] = mean[i] + rel[i];
+        b[i] = mean[i] - rel[i];
+    }
+}
+
+/// `f64` reference kernel used to bound fixed-point error in tests and by
+/// the float-mode baselines.
+pub fn collide_pair_f64(a: &mut [f64; 5], b: &mut [f64; 5], perm: Perm5, sign_bits: u32) {
+    let mut mean = [0.0; 5];
+    let mut rel = [0.0; 5];
+    for i in 0..5 {
+        mean[i] = 0.5 * (a[i] + b[i]);
+        rel[i] = 0.5 * (a[i] - b[i]);
+    }
+    let mut rel = perm.apply(rel);
+    for (i, r) in rel.iter_mut().enumerate() {
+        if (sign_bits >> i) & 1 == 1 {
+            *r = -*r;
+        }
+    }
+    for i in 0..5 {
+        a[i] = mean[i] + rel[i];
+        b[i] = mean[i] - rel[i];
+    }
+}
+
+/// Total kinetic energy of a pair in raw-squared units (5 components each).
+pub fn pair_energy_raw(a: &[Fx; 5], b: &[Fx; 5]) -> i64 {
+    let mut e = 0i64;
+    for i in 0..5 {
+        e += a[i].sq_raw_wide() + b[i].sq_raw_wide();
+    }
+    e
+}
+
+/// Component-wise pair momentum in raw units.
+pub fn pair_momentum_raw(a: &[Fx; 5], b: &[Fx; 5]) -> [i64; 5] {
+    let mut m = [0i64; 5];
+    for i in 0..5 {
+        m[i] = a[i].raw() as i64 + b[i].raw() as i64;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fx(v: f64) -> Fx {
+        Fx::from_f64(v)
+    }
+
+    fn vel(u: f64, v: f64, w: f64, r1: f64, r2: f64) -> [Fx; 5] {
+        [fx(u), fx(v), fx(w), fx(r1), fx(r2)]
+    }
+
+    #[test]
+    fn even_raw_inputs_conserve_exactly() {
+        // If every component of a+b and a−b is even in the LSB, halving is
+        // exact and conservation is bit-exact regardless of rounding mode.
+        let mut a = vel(0.5, -0.25, 0.125, 0.0, 0.25);
+        let mut b = vel(-0.5, 0.75, 0.125, 0.5, -0.25);
+        let e0 = pair_energy_raw(&a, &b);
+        let m0 = pair_momentum_raw(&a, &b);
+        let mut rng = XorShift32::new(9);
+        for _ in 0..200 {
+            let perm = dsmc_rng::perm::knuth_shuffle(&mut rng);
+            collide_pair(&mut a, &mut b, perm, Rounding::Truncate, &mut rng);
+            assert_eq!(pair_energy_raw(&a, &b), e0, "energy must be exact");
+            assert_eq!(pair_momentum_raw(&a, &b), m0, "momentum must be exact");
+        }
+    }
+
+    #[test]
+    fn momentum_error_bounded_by_one_lsb_per_component() {
+        let mut rng = XorShift32::new(12);
+        for _ in 0..2000 {
+            let mut a = [Fx::from_raw(rng.next_u32() as i32 >> 8); 5];
+            let mut b = [Fx::from_raw(rng.next_u32() as i32 >> 8); 5];
+            for i in 0..5 {
+                a[i] = Fx::from_raw(rng.next_u32() as i32 >> 8);
+                b[i] = Fx::from_raw(rng.next_u32() as i32 >> 8);
+            }
+            let m0 = pair_momentum_raw(&a, &b);
+            let perm = dsmc_rng::perm::knuth_shuffle(&mut rng);
+            collide_pair(&mut a, &mut b, perm, Rounding::Stochastic, &mut rng);
+            let m1 = pair_momentum_raw(&a, &b);
+            for i in 0..5 {
+                // 2·mean may differ from a+b by the dropped bit only.
+                assert!(
+                    (m1[i] - m0[i]).abs() <= 1,
+                    "momentum error {} LSB in component {i}",
+                    (m1[i] - m0[i]).abs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn energy_error_is_tiny_and_unbiased_with_stochastic_rounding() {
+        let mut rng = XorShift32::new(77);
+        let mut drift = 0f64;
+        let n = 20_000;
+        for _ in 0..n {
+            let mut a = [Fx::ZERO; 5];
+            let mut b = [Fx::ZERO; 5];
+            for i in 0..5 {
+                // Thermal-scale velocities ~0.1 cells/step.
+                a[i] = Fx::from_raw((rng.next_u32() as i32) >> 12);
+                b[i] = Fx::from_raw((rng.next_u32() as i32) >> 12);
+            }
+            let e0 = pair_energy_raw(&a, &b);
+            let perm = dsmc_rng::perm::knuth_shuffle(&mut rng);
+            collide_pair(&mut a, &mut b, perm, Rounding::Stochastic, &mut rng);
+            let e1 = pair_energy_raw(&a, &b);
+            if e0 > 0 {
+                drift += (e1 - e0) as f64 / e0 as f64;
+            }
+        }
+        let mean_drift = drift / n as f64;
+        assert!(
+            mean_drift.abs() < 2e-5,
+            "mean relative energy drift per collision = {mean_drift}"
+        );
+    }
+
+    #[test]
+    fn truncation_drains_energy() {
+        // The failure mode the paper diagnoses: consistent truncation after
+        // the division by two loses energy systematically.
+        let mut rng = XorShift32::new(78);
+        let mut drift = 0f64;
+        let n = 20_000;
+        for _ in 0..n {
+            let mut a = [Fx::ZERO; 5];
+            let mut b = [Fx::ZERO; 5];
+            for i in 0..5 {
+                a[i] = Fx::from_raw((rng.next_u32() as i32) >> 18);
+                b[i] = Fx::from_raw((rng.next_u32() as i32) >> 18);
+            }
+            let e0 = pair_energy_raw(&a, &b);
+            let perm = dsmc_rng::perm::knuth_shuffle(&mut rng);
+            collide_pair(&mut a, &mut b, perm, Rounding::Truncate, &mut rng);
+            let e1 = pair_energy_raw(&a, &b);
+            if e0 > 0 {
+                drift += (e1 - e0) as f64 / e0 as f64;
+            }
+        }
+        let mean_drift = drift / n as f64;
+        assert!(
+            mean_drift < -2e-5,
+            "truncation should lose energy on small velocities, drift = {mean_drift}"
+        );
+    }
+
+    #[test]
+    fn permutation_transfers_energy_between_modes() {
+        // All energy initially translational; the 5-slot shuffle must move
+        // some into the rotational slots.
+        let mut a = vel(0.25, 0.0, 0.0, 0.0, 0.0);
+        let mut b = vel(-0.25, 0.0, 0.0, 0.0, 0.0);
+        // A permutation sending slot 0 into slot 3 (a rotational slot).
+        let perm = Perm5::from_array([3, 1, 2, 0, 4]);
+        let mut bits = WordBits(0);
+        collide_pair(&mut a, &mut b, perm, Rounding::Truncate, &mut bits);
+        // rel = (0.25,0,0,0,0); permuted: out[3] = rel[perm(3)=0] = 0.25.
+        assert_eq!(a[3], fx(0.25), "rotational slot r1 gains the energy");
+        assert_eq!(b[3], fx(-0.25));
+        assert_eq!(a[0], Fx::ZERO);
+    }
+
+    #[test]
+    fn equipartition_emerges_over_an_ensemble() {
+        // A box of particles with all energy in u relaxes to equal energy in
+        // all five modes (the mechanism behind γ = 7/5).
+        let n = 4000usize;
+        let mut rng = XorShift32::new(2025);
+        let mut parts: Vec<[Fx; 5]> = (0..n)
+            .map(|_| {
+                let s = if rng.next_bit() == 1 { 1.0 } else { -1.0 };
+                vel(s * 0.2, 0.0, 0.0, 0.0, 0.0)
+            })
+            .collect();
+        let e_tot_0: i64 = parts.iter().map(|p| p.iter().map(|c| c.sq_raw_wide()).sum::<i64>()).sum();
+        for _round in 0..40 {
+            // Random pairing via index shuffle.
+            let mut idx: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                let j = rng.next_below((i + 1) as u32) as usize;
+                idx.swap(i, j);
+            }
+            for pair in idx.chunks_exact(2) {
+                let (lo, hi) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
+                let (head, tail) = parts.split_at_mut(hi);
+                let perm = dsmc_rng::perm::knuth_shuffle(&mut rng);
+                collide_pair(&mut head[lo], &mut tail[0], perm, Rounding::Stochastic, &mut rng);
+            }
+        }
+        let mut mode_energy = [0f64; 5];
+        for p in &parts {
+            for i in 0..5 {
+                mode_energy[i] += p[i].sq_raw_wide() as f64;
+            }
+        }
+        let e_tot_1: i64 = parts.iter().map(|p| p.iter().map(|c| c.sq_raw_wide()).sum::<i64>()).sum();
+        let rel_e_err = (e_tot_1 - e_tot_0) as f64 / e_tot_0 as f64;
+        assert!(rel_e_err.abs() < 1e-3, "ensemble energy drift {rel_e_err}");
+        let mean = mode_energy.iter().sum::<f64>() / 5.0;
+        for (i, &e) in mode_energy.iter().enumerate() {
+            assert!(
+                (e / mean - 1.0).abs() < 0.15,
+                "mode {i} holds {:.3} of the average energy",
+                e / mean
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_point_tracks_f64_reference() {
+        let mut rng = XorShift32::new(42);
+        for _ in 0..500 {
+            let mut a = [Fx::ZERO; 5];
+            let mut b = [Fx::ZERO; 5];
+            let mut af = [0f64; 5];
+            let mut bf = [0f64; 5];
+            for i in 0..5 {
+                a[i] = Fx::from_raw((rng.next_u32() as i32) >> 10);
+                b[i] = Fx::from_raw((rng.next_u32() as i32) >> 10);
+                af[i] = a[i].to_f64();
+                bf[i] = b[i].to_f64();
+            }
+            let perm = dsmc_rng::perm::knuth_shuffle(&mut rng);
+            let sign_bits = rng.next_bits(5);
+            let mut bits = WordBits(sign_bits); // signs, then zero rounding bits
+            collide_pair(&mut a, &mut b, perm, Rounding::Truncate, &mut bits);
+            collide_pair_f64(&mut af, &mut bf, perm, sign_bits);
+            for i in 0..5 {
+                assert!(
+                    (a[i].to_f64() - af[i]).abs() < 3.0 / Fx::ONE_RAW as f64,
+                    "component {i} diverged from f64 reference"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_five_square_sum_of_relatives_invariant(
+            raw_a in proptest::array::uniform5(-(1i32 << 20)..(1i32 << 20)),
+            raw_b in proptest::array::uniform5(-(1i32 << 20)..(1i32 << 20)),
+            perm_seed in any::<u32>(),
+            bits in any::<u32>(),
+        ) {
+            let mut a = raw_a.map(Fx::from_raw);
+            let mut b = raw_b.map(Fx::from_raw);
+            let e0 = pair_energy_raw(&a, &b);
+            let m0 = pair_momentum_raw(&a, &b);
+            let mut prng = XorShift32::new(perm_seed);
+            let perm = dsmc_rng::perm::knuth_shuffle(&mut prng);
+            let mut src = WordBits(bits);
+            collide_pair(&mut a, &mut b, perm, Rounding::Stochastic, &mut src);
+            let e1 = pair_energy_raw(&a, &b);
+            let m1 = pair_momentum_raw(&a, &b);
+            for i in 0..5 {
+                prop_assert!((m1[i] - m0[i]).abs() <= 1);
+            }
+            // Energy error bound: |Δ(x²)| ≤ 2|x|+1 per rounded component;
+            // crude but safe bound of 12·(max|v|·1LSB) total.
+            let vmax = raw_a.iter().chain(raw_b.iter()).map(|v| v.abs() as i64).max().unwrap();
+            prop_assert!(
+                (e1 - e0).abs() <= 12 * (2 * vmax + 1),
+                "energy error {} exceeds bound {}",
+                (e1 - e0).abs(),
+                12 * (2 * vmax + 1)
+            );
+        }
+    }
+}

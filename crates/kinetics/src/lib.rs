@@ -1,0 +1,38 @@
+//! Molecular kinetics for the particle simulation.
+//!
+//! The paper simulates *ideal diatomic Maxwell molecules* with three
+//! translational and two rotational degrees of freedom.  This crate holds
+//! everything molecular:
+//!
+//! * [`model`] — the interaction models behind the selection rule (eq. 7):
+//!   Maxwell molecules (α = 4, the paper's special case where the relative
+//!   speed drops out, eq. 8), general inverse-power-law molecules, and the
+//!   hard-sphere limit.
+//! * [`selection`] — the McDonald–Baganoff pairwise selection rule as an
+//!   integer threshold test, with per-cell scale factors that fold in `P∞`,
+//!   the freestream density and the fractional cell volume.
+//! * [`collision`] — the 5-vector collision kernel (eq. 18): mean/relative
+//!   decomposition with stochastically rounded halving, permutation of the
+//!   five relative components, equiprobable sign assignment.
+//! * [`freestream`] — the normalisation bookkeeping: Mach number, most
+//!   probable speed, mean free path, `P∞`, Knudsen and Reynolds numbers.
+//! * [`sampling`] — Maxwellian (host-side Box–Muller) and rectangular
+//!   (reservoir entry) velocity samplers.
+//! * [`theory`] — inviscid gas dynamics used for validation: θ–β–M oblique
+//!   shocks, Rankine–Hugoniot jumps, Prandtl–Meyer expansion.
+
+pub mod collision;
+pub mod freestream;
+pub mod model;
+pub mod sampling;
+pub mod selection;
+pub mod theory;
+
+pub use collision::{collide_pair, BitSource};
+pub use freestream::FreeStream;
+pub use model::MolecularModel;
+pub use selection::SelectionTable;
+
+/// Ratio of specific heats for a diatomic gas with 3 translational + 2
+/// rotational degrees of freedom: γ = (5 + 2)/5 = 7/5.
+pub const GAMMA_DIATOMIC: f64 = 1.4;

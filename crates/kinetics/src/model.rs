@@ -1,0 +1,113 @@
+//! Interaction models for the selection rule.
+//!
+//! For inverse-power-law molecules the pairwise collision probability
+//! scales as `P_c/P∞ = (n/n∞)·(g/g∞)^(1−4/α)` (paper eq. 7).  Maxwell
+//! molecules (α = 4) make the relative-speed factor unity — the reason the
+//! paper adopts them: the selection test then needs only the cell density,
+//! no per-pair relative speed, which is a large saving on a bit-serial
+//! machine.  The general law and the hard-sphere limit (α → ∞, exponent 1)
+//! are implemented as the paper's named future-work extension.
+
+/// Molecular interaction model; fixes the relative-speed exponent in the
+/// selection rule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MolecularModel {
+    /// Inverse-power-law exponent α = 4: `g` drops out of the selection rule.
+    Maxwell,
+    /// General inverse power law with exponent `alpha > 2`.
+    PowerLaw {
+        /// The inverse-power-law exponent α.
+        alpha: f64,
+    },
+    /// Hard spheres: the α → ∞ limit, exponent exactly 1.
+    HardSphere,
+}
+
+impl MolecularModel {
+    /// The exponent `1 − 4/α` applied to `g/g∞` in the selection rule.
+    pub fn g_exponent(&self) -> f64 {
+        match *self {
+            MolecularModel::Maxwell => 0.0,
+            MolecularModel::PowerLaw { alpha } => 1.0 - 4.0 / alpha,
+            MolecularModel::HardSphere => 1.0,
+        }
+    }
+
+    /// True if the selection test needs the pair's relative speed.
+    pub fn needs_relative_speed(&self) -> bool {
+        self.g_exponent() != 0.0
+    }
+
+    /// The relative-speed factor `(g/g∞)^(1−4/α)`.
+    ///
+    /// `g` and `g_inf` in any common unit; `g = 0` returns 0 for positive
+    /// exponents and is clamped for negative ones (grazing pairs barely
+    /// interact under soft potentials, but the probability must stay finite).
+    pub fn g_factor(&self, g: f64, g_inf: f64) -> f64 {
+        let e = self.g_exponent();
+        if e == 0.0 {
+            return 1.0;
+        }
+        debug_assert!(g_inf > 0.0);
+        let ratio = (g / g_inf).max(0.0);
+        if ratio == 0.0 {
+            if e > 0.0 {
+                0.0
+            } else {
+                // Soft-potential divergence capped at a large finite factor.
+                1e3
+            }
+        } else {
+            ratio.powf(e).min(1e3)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxwell_has_zero_exponent() {
+        assert_eq!(MolecularModel::Maxwell.g_exponent(), 0.0);
+        assert!(!MolecularModel::Maxwell.needs_relative_speed());
+        assert_eq!(MolecularModel::Maxwell.g_factor(3.7, 1.0), 1.0);
+        assert_eq!(MolecularModel::Maxwell.g_factor(0.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn power_law_alpha_four_is_maxwell() {
+        let m = MolecularModel::PowerLaw { alpha: 4.0 };
+        assert_eq!(m.g_exponent(), 0.0);
+        assert!(!m.needs_relative_speed());
+    }
+
+    #[test]
+    fn hard_sphere_exponent_is_one() {
+        assert_eq!(MolecularModel::HardSphere.g_exponent(), 1.0);
+        assert!(MolecularModel::HardSphere.needs_relative_speed());
+        // Probability doubles with relative speed for hard spheres.
+        assert!((MolecularModel::HardSphere.g_factor(2.0, 1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soft_potential_negative_exponent() {
+        // α = 2 gives exponent −1: slower pairs are more likely to collide.
+        let m = MolecularModel::PowerLaw { alpha: 2.0 };
+        assert_eq!(m.g_exponent(), -1.0);
+        assert!((m.g_factor(0.5, 1.0) - 2.0).abs() < 1e-12);
+        // Divergence at g → 0 is capped.
+        assert_eq!(m.g_factor(0.0, 1.0), 1e3);
+    }
+
+    #[test]
+    fn g_factor_is_monotone_for_positive_exponent() {
+        let m = MolecularModel::PowerLaw { alpha: 8.0 }; // exponent 0.5
+        let mut prev = 0.0;
+        for i in 1..20 {
+            let f = m.g_factor(i as f64 * 0.1, 1.0);
+            assert!(f > prev);
+            prev = f;
+        }
+    }
+}

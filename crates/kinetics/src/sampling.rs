@@ -1,0 +1,175 @@
+//! Velocity and position samplers.
+//!
+//! Two distributions matter:
+//!
+//! * **Maxwellian** — used only at host-side initialisation.  The paper
+//!   avoids Gaussian sampling in the step loop ("costly calls to
+//!   transcendental functions or repeated calls to a random number
+//!   generator") — that is the whole point of the reservoir.
+//! * **Rectangular** — what particles receive when they *enter* the
+//!   reservoir: a uniform distribution with the *same variance* as the
+//!   freestream Maxwellian; a few reservoir collisions then relax it to the
+//!   correct Gaussian shape (central-limit behaviour of the collision
+//!   cascade).
+//!
+//! Each translational *and* rotational degree of freedom carries `kT/2`, so
+//! all five components share the per-component standard deviation
+//! `σ = c_m/√2`.
+
+use crate::freestream::FreeStream;
+use dsmc_fixed::Fx;
+use dsmc_rng::XorShift32;
+
+/// One standard Gaussian pair via Box–Muller (host-side only).
+pub fn box_muller(rng: &mut XorShift32) -> (f64, f64) {
+    // Avoid ln(0) by nudging u1 away from zero.
+    let u1 = (rng.next_f64()).max(1e-12);
+    let u2 = rng.next_f64();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let t = 2.0 * core::f64::consts::PI * u2;
+    (r * t.cos(), r * t.sin())
+}
+
+/// Sample the five velocity components `[u, v, w, r₁, r₂]` of a particle in
+/// Maxwellian equilibrium at the freestream state, drifting at `u∞`.
+pub fn maxwellian_5(fs: &FreeStream, rng: &mut XorShift32) -> [Fx; 5] {
+    let s = fs.sigma();
+    let (g0, g1) = box_muller(rng);
+    let (g2, g3) = box_muller(rng);
+    let (g4, _) = box_muller(rng);
+    [
+        Fx::from_f64(fs.u_inf() + s * g0),
+        Fx::from_f64(s * g1),
+        Fx::from_f64(s * g2),
+        Fx::from_f64(s * g3),
+        Fx::from_f64(s * g4),
+    ]
+}
+
+/// Sample the five components from the *rectangular* distribution with the
+/// freestream variance (the reservoir-entry distribution): uniform on
+/// `[−√3 σ, √3 σ]` about the drift.
+pub fn rectangular_5(fs: &FreeStream, rng: &mut XorShift32) -> [Fx; 5] {
+    let a = fs.sigma() * 3f64.sqrt();
+    let mut draw = |drift: f64| Fx::from_f64(drift + a * (2.0 * rng.next_f64() - 1.0));
+    [
+        draw(fs.u_inf()),
+        draw(0.0),
+        draw(0.0),
+        draw(0.0),
+        draw(0.0),
+    ]
+}
+
+/// Uniform position in the rectangle `[x0, x1) × [y0, y1)`.
+pub fn uniform_position(
+    rng: &mut XorShift32,
+    x0: f64,
+    x1: f64,
+    y0: f64,
+    y1: f64,
+) -> (Fx, Fx) {
+    (
+        Fx::from_f64(x0 + (x1 - x0) * rng.next_f64()),
+        Fx::from_f64(y0 + (y1 - y0) * rng.next_f64()),
+    )
+}
+
+/// Sample moments of a set of component values (helper for tests and
+/// diagnostics): returns (mean, variance, excess kurtosis).
+pub fn moments(values: impl Iterator<Item = f64>) -> (f64, f64, f64) {
+    let vs: Vec<f64> = values.collect();
+    let n = vs.len() as f64;
+    if vs.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let mean = vs.iter().sum::<f64>() / n;
+    let var = vs.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    if var == 0.0 {
+        return (mean, 0.0, 0.0);
+    }
+    let m4 = vs.iter().map(|v| (v - mean).powi(4)).sum::<f64>() / n;
+    (mean, var, m4 / (var * var) - 3.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> FreeStream {
+        FreeStream::mach4(0.5)
+    }
+
+    #[test]
+    fn box_muller_is_standard_normal() {
+        let mut rng = XorShift32::new(1);
+        let (mean, var, kurt) = moments((0..100_000).map(|_| box_muller(&mut rng).0));
+        assert!(mean.abs() < 0.01, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var = {var}");
+        assert!(kurt.abs() < 0.1, "excess kurtosis = {kurt}");
+    }
+
+    #[test]
+    fn maxwellian_moments() {
+        let fs = fs();
+        let mut rng = XorShift32::new(2);
+        let samples: Vec<[Fx; 5]> = (0..60_000).map(|_| maxwellian_5(&fs, &mut rng)).collect();
+        // Drift only in u.
+        let (mu, var_u, _) = moments(samples.iter().map(|s| s[0].to_f64()));
+        assert!((mu - fs.u_inf()).abs() < 0.002, "u drift {mu} vs {}", fs.u_inf());
+        let s2 = fs.sigma() * fs.sigma();
+        assert!((var_u / s2 - 1.0).abs() < 0.05);
+        for i in 1..5 {
+            let (m, v, k) = moments(samples.iter().map(|s| s[i].to_f64()));
+            assert!(m.abs() < 0.002, "component {i} mean {m}");
+            assert!((v / s2 - 1.0).abs() < 0.05, "component {i} var ratio {}", v / s2);
+            assert!(k.abs() < 0.15, "component {i} kurtosis {k}");
+        }
+    }
+
+    #[test]
+    fn rectangular_has_freestream_variance_but_flat_shape() {
+        let fs = fs();
+        let mut rng = XorShift32::new(3);
+        let samples: Vec<[Fx; 5]> = (0..60_000).map(|_| rectangular_5(&fs, &mut rng)).collect();
+        let s2 = fs.sigma() * fs.sigma();
+        let (m, v, k) = moments(samples.iter().map(|s| s[1].to_f64()));
+        assert!(m.abs() < 0.002);
+        assert!((v / s2 - 1.0).abs() < 0.05, "variance must match Maxwellian");
+        // Uniform distribution: excess kurtosis −1.2, clearly non-Gaussian.
+        assert!((k + 1.2).abs() < 0.1, "kurtosis = {k}");
+        // Bounded support.
+        let bound = fs.sigma() * 3f64.sqrt() + 1e-6;
+        assert!(samples.iter().all(|s| s[1].to_f64().abs() <= bound));
+    }
+
+    #[test]
+    fn rectangular_keeps_the_drift() {
+        let fs = fs();
+        let mut rng = XorShift32::new(4);
+        let (m, _, _) = moments((0..40_000).map(|_| rectangular_5(&fs, &mut rng)[0].to_f64()));
+        assert!((m - fs.u_inf()).abs() < 0.003);
+    }
+
+    #[test]
+    fn uniform_position_covers_the_box() {
+        let mut rng = XorShift32::new(5);
+        let mut seen_left = false;
+        let mut seen_right = false;
+        for _ in 0..10_000 {
+            let (x, y) = uniform_position(&mut rng, 2.0, 6.0, 1.0, 3.0);
+            let (xf, yf) = (x.to_f64(), y.to_f64());
+            assert!((2.0..6.0001).contains(&xf) && (1.0..3.0001).contains(&yf));
+            seen_left |= xf < 2.5;
+            seen_right |= xf > 5.5;
+        }
+        assert!(seen_left && seen_right);
+    }
+
+    #[test]
+    fn moments_of_empty_and_constant() {
+        assert_eq!(moments(std::iter::empty()), (0.0, 0.0, 0.0));
+        let (m, v, k) = moments([2.0, 2.0, 2.0].into_iter());
+        assert_eq!((m, v, k), (2.0, 0.0, 0.0));
+    }
+}

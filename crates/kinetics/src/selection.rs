@@ -1,0 +1,220 @@
+//! The McDonald–Baganoff pairwise selection rule as an integer test.
+//!
+//! Candidate pairs (even/odd neighbours within a cell after the sort)
+//! collide with probability
+//!
+//! ```text
+//! P_c / P∞ = (n / n∞) · (g / g∞)^(1−4/α)        (paper eq. 7)
+//! ```
+//!
+//! and for Maxwell molecules (α = 4) simply `P_c = P∞ · n/n∞` (eq. 8).
+//! Crucially the decision is applied *per candidate pair*, not per cell,
+//! which is what lets the whole selection step run at particle parallelism.
+//!
+//! Cells cut by the body surface use their *fractional volume*: the density
+//! entering the rule is `count / (V_frac · n∞)`.  All per-cell constants are
+//! folded at setup into a Q24 integer scale so the per-pair hot path is one
+//! widening multiply and one comparison against 24 random bits.
+
+use crate::model::MolecularModel;
+
+/// Number of probability bits: probabilities are `Q24` fixed point and the
+/// test compares against 24 uniform random bits.
+pub const PROB_BITS: u32 = 24;
+const PROB_ONE: u64 = 1 << PROB_BITS;
+
+/// Per-cell folded selection thresholds.
+#[derive(Clone, Debug)]
+pub struct SelectionTable {
+    /// `round(2^24 · P∞ / (n∞ · V_frac(cell)))`, saturated; multiplying by
+    /// the instantaneous cell count `n` gives the Q24 collision probability.
+    scale_q24: Vec<u32>,
+    model: MolecularModel,
+    /// Freestream mean relative speed (needed only when the model keeps the
+    /// `g` factor).
+    g_inf: f64,
+}
+
+impl SelectionTable {
+    /// Build the table.
+    ///
+    /// * `volumes` — free-volume fraction per cell (from the geometry);
+    ///   zero-volume (fully solid) cells get a zero threshold: no pair that
+    ///   claims to live there may collide.
+    /// * `p_inf` — the freestream base probability `P∞ = Δt/t_c∞ ∈ (0, 1]`.
+    /// * `n_inf` — freestream particles per (full) cell.
+    pub fn build(volumes: &[f64], p_inf: f64, n_inf: f64, model: MolecularModel, g_inf: f64) -> Self {
+        assert!(p_inf > 0.0 && p_inf <= 1.0, "P∞ must be in (0, 1]");
+        assert!(n_inf > 0.0, "freestream density must be positive");
+        let scale_q24 = volumes
+            .iter()
+            .map(|&v| {
+                if v <= 1e-9 {
+                    0
+                } else {
+                    let s = PROB_ONE as f64 * p_inf / (n_inf * v.min(1.0));
+                    s.round().min(u32::MAX as f64) as u32
+                }
+            })
+            .collect();
+        Self {
+            scale_q24,
+            model,
+            g_inf,
+        }
+    }
+
+    /// A single-cell table for homogeneous (box) problems.
+    pub fn uniform(n_cells: usize, p_inf: f64, n_inf: f64, model: MolecularModel, g_inf: f64) -> Self {
+        Self::build(&vec![1.0; n_cells], p_inf, n_inf, model, g_inf)
+    }
+
+    /// The molecular model the table was built for.
+    pub fn model(&self) -> MolecularModel {
+        self.model
+    }
+
+    /// Number of cells covered.
+    pub fn len(&self) -> usize {
+        self.scale_q24.len()
+    }
+
+    /// True if the table covers no cells.
+    pub fn is_empty(&self) -> bool {
+        self.scale_q24.is_empty()
+    }
+
+    /// Q24 collision probability for a pair in `cell` with instantaneous
+    /// population `count` (Maxwell fast path — no relative speed).
+    ///
+    /// Saturates at 1 (the near-continuum limit: every candidate collides).
+    #[inline(always)]
+    pub fn threshold_q24(&self, cell: u32, count: u32) -> u32 {
+        let t = self.scale_q24[cell as usize] as u64 * count as u64;
+        t.min(PROB_ONE) as u32
+    }
+
+    /// Decide a Maxwell-molecule collision: `rand24` must be 24 uniform bits.
+    #[inline(always)]
+    pub fn decide(&self, cell: u32, count: u32, rand24: u32) -> bool {
+        debug_assert!(rand24 < (1 << PROB_BITS));
+        rand24 < self.threshold_q24(cell, count)
+    }
+
+    /// Decide with the general power-law factor `(g/g∞)^(1−4/α)`.
+    ///
+    /// `g` is the pair's relative speed in the same units as `g∞`.  This
+    /// path converts through `f64` — the paper's Maxwell fast path never
+    /// does; the power-law molecules are its named future-work extension.
+    #[inline]
+    pub fn decide_power_law(&self, cell: u32, count: u32, g: f64, rand24: u32) -> bool {
+        let base = self.threshold_q24(cell, count) as f64;
+        let t = (base * self.model.g_factor(g, self.g_inf)).min(PROB_ONE as f64);
+        (rand24 as f64) < t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsmc_rng::XorShift32;
+
+    #[test]
+    fn threshold_scales_linearly_with_count() {
+        let t = SelectionTable::uniform(4, 0.2, 50.0, MolecularModel::Maxwell, 1.0);
+        let one = t.threshold_q24(0, 1);
+        assert_eq!(t.threshold_q24(0, 10), one * 10);
+        // At freestream density the probability is P∞.
+        let p = t.threshold_q24(0, 50) as f64 / PROB_ONE as f64;
+        assert!((p - 0.2).abs() < 1e-4, "P at n∞ should be P∞, got {p}");
+    }
+
+    #[test]
+    fn threshold_saturates_at_one() {
+        let t = SelectionTable::uniform(1, 1.0, 10.0, MolecularModel::Maxwell, 1.0);
+        assert_eq!(t.threshold_q24(0, 1000), PROB_ONE as u32);
+        // Near-continuum: every candidate collides whatever the bits say.
+        assert!(t.decide(0, 1000, (1 << PROB_BITS) - 1));
+    }
+
+    #[test]
+    fn fractional_volume_raises_density() {
+        // Half-volume cell at the same count = double density = double P.
+        let t = SelectionTable::build(
+            &[1.0, 0.5],
+            0.1,
+            40.0,
+            MolecularModel::Maxwell,
+            1.0,
+        );
+        let full = t.threshold_q24(0, 20);
+        let half = t.threshold_q24(1, 20);
+        let ratio = half as f64 / full as f64;
+        assert!((ratio - 2.0).abs() < 1e-4, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn solid_cells_never_collide() {
+        let t = SelectionTable::build(&[0.0], 0.5, 40.0, MolecularModel::Maxwell, 1.0);
+        assert_eq!(t.threshold_q24(0, 100), 0);
+        assert!(!t.decide(0, 100, 0));
+    }
+
+    #[test]
+    fn empirical_acceptance_matches_probability() {
+        let t = SelectionTable::uniform(1, 0.25, 64.0, MolecularModel::Maxwell, 1.0);
+        let mut rng = XorShift32::new(3);
+        let n = 200_000;
+        let mut hits = 0u32;
+        for _ in 0..n {
+            if t.decide(0, 64, rng.next_bits(PROB_BITS)) {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.005, "rate = {rate}");
+    }
+
+    #[test]
+    fn power_law_factor_modulates_acceptance() {
+        let t = SelectionTable::uniform(
+            1,
+            0.25,
+            64.0,
+            MolecularModel::HardSphere,
+            1.0,
+        );
+        let mut rng = XorShift32::new(4);
+        let n = 100_000;
+        let mut slow = 0u32;
+        let mut fast = 0u32;
+        for _ in 0..n {
+            if t.decide_power_law(0, 64, 0.5, rng.next_bits(PROB_BITS)) {
+                slow += 1;
+            }
+            if t.decide_power_law(0, 64, 2.0, rng.next_bits(PROB_BITS)) {
+                fast += 1;
+            }
+        }
+        let r = fast as f64 / slow as f64;
+        assert!((r - 4.0).abs() < 0.4, "hard spheres: 4× speed ⇒ 4× rate, got {r}");
+    }
+
+    #[test]
+    fn maxwell_ignores_g_entirely() {
+        let t = SelectionTable::uniform(1, 0.25, 64.0, MolecularModel::Maxwell, 1.0);
+        for g in [0.0, 0.1, 10.0] {
+            assert_eq!(
+                t.decide_power_law(0, 64, g, 123),
+                t.decide(0, 64, 123),
+                "Maxwell must not see g = {g}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "P∞")]
+    fn bad_p_inf_rejected() {
+        let _ = SelectionTable::uniform(1, 0.0, 10.0, MolecularModel::Maxwell, 1.0);
+    }
+}

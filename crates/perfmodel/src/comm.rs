@@ -1,0 +1,121 @@
+//! Communication-volume measurement on the real engine.
+//!
+//! Virtual processors are laid out in blocks: sorted slot `i` lives on
+//! physical processor `i / R` (`R` = VP ratio).  Two quantities drive the
+//! router traffic:
+//!
+//! * the **sort send**: particle moving from slot `order[i]` to slot `i`
+//!   crosses chips iff the two slots are in different blocks;
+//! * the **collision exchange**: a candidate pair `(i, i+1)` (even local
+//!   rank in its cell run) crosses chips iff `i` and `i+1` straddle a
+//!   block boundary — impossible for even `R ≥ 2`, always for `R = 1`.
+
+/// Fraction of particles whose sort move crossed a physical-processor
+/// boundary under block layout with `vp_ratio` slots per processor.
+pub fn offchip_sort_fraction(order: &[u32], vp_ratio: u32) -> f64 {
+    assert!(vp_ratio >= 1);
+    if order.is_empty() {
+        return 0.0;
+    }
+    let r = vp_ratio as u64;
+    let off = order
+        .iter()
+        .enumerate()
+        .filter(|&(dst, &src)| (src as u64 / r) != (dst as u64 / r))
+        .count();
+    off as f64 / order.len() as f64
+}
+
+/// Fraction of candidate pairs that straddle a physical-processor
+/// boundary.  `bounds` are the cell-segment bounds of the sorted order.
+pub fn offchip_pair_fraction(bounds: &[u32], vp_ratio: u32) -> f64 {
+    assert!(vp_ratio >= 1);
+    let r = vp_ratio as u64;
+    let mut pairs = 0u64;
+    let mut off = 0u64;
+    for w in bounds.windows(2) {
+        let (lo, hi) = (w[0] as u64, w[1] as u64);
+        // Pair heads sit at even *global* slots (the engine's alignment).
+        let mut i = lo + (lo & 1);
+        while i + 1 < hi {
+            pairs += 1;
+            if i / r != (i + 1) / r {
+                off += 1;
+            }
+            i += 2;
+        }
+    }
+    if pairs == 0 {
+        0.0
+    } else {
+        off as f64 / pairs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_order_never_moves() {
+        let order: Vec<u32> = (0..1000).collect();
+        assert_eq!(offchip_sort_fraction(&order, 1), 0.0);
+        assert_eq!(offchip_sort_fraction(&order, 16), 0.0);
+    }
+
+    #[test]
+    fn full_reversal_mostly_moves() {
+        let order: Vec<u32> = (0..1000u32).rev().collect();
+        assert!(offchip_sort_fraction(&order, 1) > 0.99);
+        // Bigger blocks: the two middle blocks map onto each other but
+        // everything else still crosses.
+        assert!(offchip_sort_fraction(&order, 100) >= 0.8);
+    }
+
+    #[test]
+    fn local_shuffle_stays_onchip_for_large_r() {
+        // Swap neighbours pairwise: displacement 1.
+        let mut order: Vec<u32> = (0..1000).collect();
+        for k in (0..1000).step_by(2) {
+            order.swap(k, k + 1);
+        }
+        assert_eq!(offchip_sort_fraction(&order, 1), 1.0);
+        let f16 = offchip_sort_fraction(&order, 16);
+        assert!(f16 < 0.1, "{f16}");
+    }
+
+    #[test]
+    fn pairs_always_cross_at_r1_never_at_even_r() {
+        // One segment of 100 particles: 50 pairs at slots (0,1),(2,3)…
+        let bounds = vec![0u32, 100];
+        assert_eq!(offchip_pair_fraction(&bounds, 1), 1.0);
+        assert_eq!(offchip_pair_fraction(&bounds, 2), 0.0);
+        assert_eq!(offchip_pair_fraction(&bounds, 16), 0.0);
+    }
+
+    #[test]
+    fn odd_r_pairs_cross_sometimes() {
+        // R = 3: pair heads at even slots; (2,3) crosses, (0,1) doesn't…
+        let bounds = vec![0u32, 12];
+        let f = offchip_pair_fraction(&bounds, 3);
+        assert!(f > 0.0 && f < 1.0, "{f}");
+    }
+
+    #[test]
+    fn segment_offsets_shift_pair_positions() {
+        // Two segments starting at odd offsets change which global slots
+        // host pairs.
+        let bounds = vec![0u32, 5, 12];
+        let f1 = offchip_pair_fraction(&bounds, 1);
+        assert_eq!(f1, 1.0);
+        // Global even alignment: the second segment (slots 5..12) pairs
+        // (6,7),(8,9),(10,11) — all inside R = 2 blocks, like (0,1),(2,3).
+        assert_eq!(offchip_pair_fraction(&bounds, 2), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(offchip_sort_fraction(&[], 4), 0.0);
+        assert_eq!(offchip_pair_fraction(&[0], 4), 0.0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Randomness substrate for the CM-2 particle simulation.
+//!
+//! The paper is deliberately frugal with randomness: a table of random
+//! permutations lives on the front-end computer, each particle carries one
+//! permutation-of-five that is refreshed by *random transpositions* (one per
+//! collision), and "quick but dirty" random numbers are pulled from the
+//! low-order bits of fixed-point state for the low-impact decisions (sort-key
+//! mixing, sign choices, rounding corrections).
+//!
+//! This crate provides both that frugal machinery and a clean, explicitly
+//! seeded per-particle stream ([`XorShift32`]) so the engine can run in either
+//! mode and the difference can be measured (`ablation` benches).
+//!
+//! * [`XorShift32`], [`Lcg32`] — tiny per-particle generators (4 bytes of
+//!   state, branch-free), the moral equivalent of a per-virtual-processor
+//!   random stream.
+//! * [`SplitMix64`] — host-side seeder used to derive decorrelated particle
+//!   seeds from one master seed (determinism-by-seed is a library guarantee).
+//! * [`Perm5`] — a permutation of {0..4} packed in 16 bits, with the paper's
+//!   top-transposition refresh.
+//! * [`PermTable`] — the front-end table of random permutations used to
+//!   initialise particles.
+
+pub mod perm;
+pub mod table;
+
+pub use perm::Perm5;
+pub use table::PermTable;
+
+/// Marsaglia xorshift32: the per-particle generator.
+///
+/// Never in the zero state (seeds of 0 are remapped), period 2³²−1, and
+/// cheap enough to keep one per particle — the shared-memory analogue of the
+/// CM-2's per-processor randomness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct XorShift32 {
+    state: u32,
+}
+
+impl XorShift32 {
+    /// Create a generator; a zero seed is remapped to a fixed non-zero value.
+    #[inline]
+    pub const fn new(seed: u32) -> Self {
+        Self {
+            state: if seed == 0 { 0x9E37_79B9 } else { seed },
+        }
+    }
+
+    /// Next 32 uniform bits.
+    #[inline(always)]
+    pub fn next_u32(&mut self) -> u32 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        self.state = x;
+        x
+    }
+
+    /// Next `n` uniform bits (`n` ≤ 32), taken from the high end of the word
+    /// (the high bits of a xorshift word are better distributed than the low).
+    #[inline(always)]
+    pub fn next_bits(&mut self, n: u32) -> u32 {
+        debug_assert!(n >= 1 && n <= 32);
+        self.next_u32() >> (32 - n)
+    }
+
+    /// Uniform value in `[0, bound)` by the multiply-shift (Lemire) method —
+    /// no division, slight modulo bias below 2⁻³² · bound which is irrelevant
+    /// at simulation scale.
+    #[inline(always)]
+    pub fn next_below(&mut self, bound: u32) -> u32 {
+        ((self.next_u32() as u64 * bound as u64) >> 32) as u32
+    }
+
+    /// One uniform random bit.
+    #[inline(always)]
+    pub fn next_bit(&mut self) -> u32 {
+        self.next_u32() >> 31
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline(always)]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u32() as f64) * (1.0 / 4_294_967_296.0)
+    }
+
+    /// Current raw state (for serialisation in checkpoints).
+    #[inline]
+    pub const fn state(&self) -> u32 {
+        self.state
+    }
+}
+
+/// Numerical-Recipes-style 32-bit LCG, the other classic CM-era generator.
+///
+/// Kept as an alternative stream for sensitivity tests: if a result depends
+/// on which cheap generator is used, it is not converged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Lcg32 {
+    state: u32,
+}
+
+impl Lcg32 {
+    /// Multiplier (Numerical Recipes "quick and dirty" constants).
+    pub const A: u32 = 1_664_525;
+    /// Increment.
+    pub const C: u32 = 1_013_904_223;
+
+    /// Create a generator; any seed is valid for an LCG.
+    #[inline]
+    pub const fn new(seed: u32) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 32-bit state. Low bits of an LCG have short periods; callers
+    /// should prefer [`Lcg32::next_bits`], which uses the high end.
+    #[inline(always)]
+    pub fn next_u32(&mut self) -> u32 {
+        self.state = self.state.wrapping_mul(Self::A).wrapping_add(Self::C);
+        self.state
+    }
+
+    /// Next `n` bits from the high (well-mixed) end of the word.
+    #[inline(always)]
+    pub fn next_bits(&mut self, n: u32) -> u32 {
+        debug_assert!(n >= 1 && n <= 32);
+        self.next_u32() >> (32 - n)
+    }
+}
+
+/// SplitMix64: host-side seed expander.
+///
+/// Derives arbitrarily many decorrelated 32/64-bit seeds from one master
+/// seed.  Used once at initialisation; never in the per-step path.
+#[derive(Clone, Copy, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create from a master seed.
+    #[inline]
+    pub const fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next non-zero 32-bit seed (suitable for [`XorShift32`]).
+    #[inline]
+    pub fn next_seed32(&mut self) -> u32 {
+        loop {
+            let s = (self.next_u64() >> 32) as u32;
+            if s != 0 {
+                return s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_zero_seed_is_remapped() {
+        let mut a = XorShift32::new(0);
+        let mut b = XorShift32::new(0x9E37_79B9);
+        assert_eq!(a.next_u32(), b.next_u32());
+        assert_ne!(a.next_u32(), 0);
+    }
+
+    #[test]
+    fn xorshift_is_deterministic_per_seed() {
+        let mut a = XorShift32::new(42);
+        let mut b = XorShift32::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+        let mut c = XorShift32::new(43);
+        let first42 = XorShift32::new(42).next_u32();
+        let differs = (0..100).any(|_| c.next_u32() != first42);
+        assert!(differs);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = XorShift32::new(7);
+        for bound in [1u32, 2, 3, 5, 120, 1 << 20] {
+            for _ in 0..500 {
+                assert!(r.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_covers_small_ranges() {
+        let mut r = XorShift32::new(11);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[r.next_below(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear: {seen:?}");
+    }
+
+    #[test]
+    fn next_bit_is_roughly_fair() {
+        let mut r = XorShift32::new(1234);
+        let ones: u32 = (0..10_000).map(|_| r.next_bit()).sum();
+        assert!((4_600..5_400).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = XorShift32::new(5);
+        let mut acc = 0.0;
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            acc += v;
+        }
+        let mean = acc / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn lcg_matches_reference_recurrence() {
+        let mut r = Lcg32::new(1);
+        let expected = 1u32.wrapping_mul(Lcg32::A).wrapping_add(Lcg32::C);
+        assert_eq!(r.next_u32(), expected);
+    }
+
+    #[test]
+    fn lcg_high_bits_are_fair() {
+        let mut r = Lcg32::new(99);
+        let ones: u32 = (0..10_000).map(|_| r.next_bits(1)).sum();
+        assert!((4_600..5_400).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn splitmix_seeds_are_distinct_and_nonzero() {
+        let mut s = SplitMix64::new(0);
+        let seeds: Vec<u32> = (0..1000).map(|_| s.next_seed32()).collect();
+        assert!(seeds.iter().all(|&x| x != 0));
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seeds.len(), "collision among 1000 seeds");
+    }
+
+    #[test]
+    fn generators_pass_a_crude_equidistribution_check() {
+        // 16 buckets of the top 4 bits should each get ~1/16 of the draws.
+        let mut r = XorShift32::new(2024);
+        let mut hist = [0u32; 16];
+        let n = 160_000;
+        for _ in 0..n {
+            hist[r.next_bits(4) as usize] += 1;
+        }
+        for (i, &h) in hist.iter().enumerate() {
+            let expect = n / 16;
+            assert!(
+                (h as i64 - expect as i64).abs() < expect as i64 / 10,
+                "bucket {i}: {h} vs {expect}"
+            );
+        }
+    }
+}

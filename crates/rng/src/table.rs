@@ -1,0 +1,114 @@
+//! The front-end permutation table.
+//!
+//! "The approach taken is to initialise the particles with random
+//! permutations (taken from a table stored on the front end computer)".
+//! The table is built once on the host with the Knuth shuffle and particles
+//! are dealt entries round-robin (offset by a per-run phase so different
+//! seeds deal different assignments).
+
+use crate::perm::{knuth_shuffle, Perm5};
+use crate::XorShift32;
+
+/// A host-side table of random permutations of five.
+#[derive(Clone, Debug)]
+pub struct PermTable {
+    entries: Vec<Perm5>,
+}
+
+impl PermTable {
+    /// Default table size used by the engine; prime so that dealing entries
+    /// round-robin to any power-of-two particle count cycles the whole table.
+    pub const DEFAULT_LEN: usize = 1021;
+
+    /// Build a table of `len` random permutations from `seed`.
+    pub fn generate(len: usize, seed: u32) -> Self {
+        assert!(len > 0, "permutation table must not be empty");
+        let mut rng = XorShift32::new(seed);
+        let entries = (0..len).map(|_| knuth_shuffle(&mut rng)).collect();
+        Self { entries }
+    }
+
+    /// Build a table of the default size.
+    pub fn generate_default(seed: u32) -> Self {
+        Self::generate(Self::DEFAULT_LEN, seed)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table has no entries (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The permutation dealt to particle `i`.
+    #[inline]
+    pub fn deal(&self, i: usize) -> Perm5 {
+        self.entries[i % self.entries.len()]
+    }
+
+    /// Raw entries (for inspection/tests).
+    pub fn entries(&self) -> &[Perm5] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perm::tv_distance_from_uniform;
+
+    #[test]
+    fn generates_requested_length() {
+        let t = PermTable::generate(64, 1);
+        assert_eq!(t.len(), 64);
+        assert!(!t.is_empty());
+        assert_eq!(t.entries().len(), 64);
+    }
+
+    #[test]
+    fn all_entries_are_valid_permutations() {
+        let t = PermTable::generate_default(99);
+        assert_eq!(t.len(), PermTable::DEFAULT_LEN);
+        for p in t.entries() {
+            assert!(p.is_valid());
+        }
+    }
+
+    #[test]
+    fn deal_wraps_round_robin() {
+        let t = PermTable::generate(7, 3);
+        for i in 0..70 {
+            assert_eq!(t.deal(i), t.deal(i + 7));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_tables() {
+        let a = PermTable::generate(32, 1);
+        let b = PermTable::generate(32, 2);
+        let same = a
+            .entries()
+            .iter()
+            .zip(b.entries())
+            .filter(|(x, y)| x == y)
+            .count();
+        assert!(same < 8, "tables from different seeds nearly identical");
+    }
+
+    #[test]
+    fn large_table_is_roughly_uniform() {
+        let t = PermTable::generate(120_00, 5);
+        let idx: Vec<usize> = t.entries().iter().map(|p| p.lehmer_index()).collect();
+        let tv = tv_distance_from_uniform(&idx);
+        assert!(tv < 0.1, "tv = {tv}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn zero_length_table_panics() {
+        let _ = PermTable::generate(0, 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure-7 style scaling: per-particle cost versus problem size.
+//!
+//! Sweeps the wind-tunnel workload over total populations at a fixed
+//! modelled machine (32k processors) and prints both the CM-2 model series
+//! (reproducing the paper's falling curve) and the wall-clock series on
+//! this machine's rayon backend.
+//!
+//! ```text
+//! cargo run --release -p dsmc-examples --bin scaling
+//! ```
+
+use dsmc_perfmodel::{sweep, Cm2};
+
+fn main() {
+    let machine = Cm2::paper();
+    let sizes = [32 * 1024usize, 64 * 1024, 128 * 1024, 256 * 1024];
+    println!("sweeping {} populations (fixed 32k-processor model)…", sizes.len());
+    let pts = sweep(&machine, &sizes, 10, 12, 0.0);
+    println!(
+        "\n{:>10} {:>4} {:>12} {:>12} {:>12}",
+        "particles", "VP", "CM-2 model", "wall-clock", "pair off-chip"
+    );
+    for p in &pts {
+        println!(
+            "{:>10} {:>4.0} {:>9.2} us {:>9.3} us {:>11.1}%",
+            p.n_particles,
+            p.vp_ratio,
+            p.us_model,
+            p.us_wall,
+            p.f_off_pair * 100.0
+        );
+    }
+    println!(
+        "\npaper: the per-particle time falls as the problem grows (7.2 us at 512k);\n\
+         the big drop from VP ratio 1 to 2 is the collision exchange going on-chip."
+    );
+    let first = &pts[0];
+    let last = &pts[pts.len() - 1];
+    assert!(last.us_model < first.us_model, "model curve must fall");
+    println!(
+        "model improvement {:.1}% from {}k to {}k particles",
+        (1.0 - last.us_model / first.us_model) * 100.0,
+        first.n_particles / 1024,
+        last.n_particles / 1024
+    );
+}

@@ -1,0 +1,32 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The tests run reduced-scale versions of the paper's experiments; these
+//! helpers centralise the configurations so every test scales the same
+//! way.
+
+use dsmc_engine::{SampledField, SimConfig, Simulation};
+use dsmc_flowfield::shock::{wedge_metrics, ShockMetrics};
+
+/// A reduced paper-wedge run: `density` scales the 75/cell baseline,
+/// `settle`/`average` are step counts.
+pub fn wedge_run(
+    lambda: f64,
+    density: f64,
+    settle: usize,
+    average: usize,
+) -> (Simulation, SampledField) {
+    let mut cfg = SimConfig::paper(lambda);
+    cfg.n_per_cell = (75.0 * density).max(4.0);
+    cfg.reservoir_fill = cfg.n_per_cell * 1.4;
+    let mut sim = Simulation::new(cfg);
+    sim.run(settle);
+    sim.begin_sampling();
+    sim.run(average);
+    let field = sim.finish_sampling();
+    (sim, field)
+}
+
+/// Extract the standard wedge metrics from a paper-geometry field.
+pub fn paper_metrics(field: &SampledField) -> Option<ShockMetrics> {
+    wedge_metrics(field, 20.0, 25.0, 30.0, 4.0, 1.4)
+}

@@ -1,0 +1,134 @@
+//! System-level conservation and determinism guarantees.
+
+use dsmc_engine::{SimConfig, Simulation};
+
+/// Particle count is invariant: particles move between flow and reservoir
+/// but are never created or destroyed.
+#[test]
+fn particle_count_invariant_through_wedge_flow() {
+    let mut cfg = SimConfig::small_wedge(0.5);
+    cfg.n_per_cell = 10.0;
+    cfg.reservoir_fill = 16.0;
+    let mut sim = Simulation::new(cfg);
+    let n0 = sim.n_particles();
+    for _ in 0..10 {
+        sim.run(30);
+        assert_eq!(sim.n_particles(), n0);
+        let d = sim.diagnostics();
+        assert_eq!(d.n_flow + d.n_reservoir, n0);
+    }
+}
+
+/// Bit-level determinism: identical configuration and seed yield identical
+/// trajectories regardless of thread scheduling (all randomness is
+/// per-particle; segment tasks are disjoint).
+#[test]
+fn runs_are_bit_deterministic_by_seed() {
+    let cfg = SimConfig::small_wedge(0.0);
+    let mut a = Simulation::new(cfg.clone());
+    let mut b = Simulation::new(cfg);
+    a.run(120);
+    b.run(120);
+    assert_eq!(a.particles().x, b.particles().x);
+    assert_eq!(a.particles().y, b.particles().y);
+    assert_eq!(a.particles().u, b.particles().u);
+    assert_eq!(a.particles().r1, b.particles().r1);
+    let (da, db) = (a.diagnostics(), b.diagnostics());
+    assert_eq!(da.collisions, db.collisions);
+    assert_eq!(da.exited, db.exited);
+    assert_eq!(da.energy_raw, db.energy_raw);
+}
+
+/// Energy bookkeeping in a quiescent box: the collision cascade itself
+/// must not drift energy (stochastic rounding) — boundary exchange is the
+/// only energy flux and stays within a few percent over 300 steps.
+#[test]
+fn quiescent_energy_is_stable_over_long_runs() {
+    let mut cfg = SimConfig::small_test();
+    cfg.mach = 0.0;
+    cfg.lambda = 0.25; // busy collisions
+    let mut sim = Simulation::new(cfg);
+    let e0 = sim.diagnostics().energy_raw;
+    sim.run(300);
+    let d = sim.diagnostics();
+    let rel = (d.energy_raw - e0) as f64 / e0 as f64;
+    assert!(rel.abs() < 0.08, "energy drift {rel} over 300 steps");
+    assert!(d.collisions > 10_000, "the box must actually be colliding");
+}
+
+/// The truncating-rounding failure mode at system level: same quiescent
+/// box, but with hardware-truncation halving the energy drains
+/// measurably faster than with the stochastic fix.
+#[test]
+fn truncation_drains_energy_at_system_level() {
+    let run = |rounding| {
+        let mut cfg = SimConfig::small_test();
+        cfg.mach = 0.0;
+        cfg.lambda = 0.0; // every candidate collides: worst case
+        cfg.c_m = 0.01; // slow, cold gas: large relative truncation error
+        cfg.rounding = rounding;
+        let mut sim = Simulation::new(cfg);
+        let e0 = sim.diagnostics().energy_raw;
+        sim.run(250);
+        (sim.diagnostics().energy_raw - e0) as f64 / e0 as f64
+    };
+    let drift_trunc = run(dsmc_fixed::Rounding::Truncate);
+    let drift_stoch = run(dsmc_fixed::Rounding::Stochastic);
+    assert!(
+        drift_trunc < drift_stoch - 0.002,
+        "truncation ({drift_trunc}) must lose energy faster than stochastic ({drift_stoch})"
+    );
+    assert!(
+        drift_stoch.abs() < 0.02,
+        "stochastic rounding must hold energy, drift {drift_stoch}"
+    );
+}
+
+/// Momentum: the collision cascade conserves each component to ≤1 LSB per
+/// collision with zero mean.  The out-of-plane and rotational components
+/// see exactly two momentum sources: that collisional LSB walk and the
+/// zero-mean re-draw when a particle enters the reservoir (one O(σ) kick
+/// per exit).  The total drift must stay inside the combined random-walk
+/// budget — any systematic bias would blow through it.
+#[test]
+fn momentum_drift_is_bounded_by_the_lsb_budget() {
+    let mut cfg = SimConfig::small_test();
+    cfg.mach = 0.0;
+    cfg.lambda = 0.25;
+    let mut sim = Simulation::new(cfg);
+    let sigma_raw = sim.freestream().sigma() * dsmc_fixed::Fx::ONE_RAW as f64;
+    let m0 = sim.diagnostics().momentum_raw;
+    sim.run(200);
+    let d = sim.diagnostics();
+    let collision_walk = 4.0 * (d.collisions as f64).sqrt();
+    let exit_walk = 6.0 * sigma_raw * (d.exited.max(1) as f64).sqrt();
+    let budget = (collision_walk + exit_walk) as i64 + 1000;
+    for k in [2usize, 3, 4] {
+        let drift = (d.momentum_raw[k] - m0[k]).abs();
+        assert!(
+            drift < budget,
+            "component {k} drift {drift} beyond random-walk budget {budget} \
+             ({} collisions, {} exits)",
+            d.collisions,
+            d.exited
+        );
+    }
+}
+
+/// Flow-through balance: at steady state the plunger inflow matches the
+/// downstream outflow to within one refill batch.
+#[test]
+fn inflow_matches_outflow_at_steady_state() {
+    let mut sim = Simulation::new(SimConfig::small_test());
+    sim.run(600);
+    let d = sim.diagnostics();
+    assert!(d.plunger_cycles >= 3, "plunger must cycle repeatedly");
+    let batch = 10.0 * 3.0 * 12.0; // n_inf · trigger · height
+    let imbalance = (d.introduced as f64 - d.exited as f64).abs();
+    assert!(
+        imbalance <= 2.0 * batch,
+        "inflow {} vs outflow {} (batch {batch})",
+        d.introduced,
+        d.exited
+    );
+}

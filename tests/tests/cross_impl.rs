@@ -1,0 +1,158 @@
+//! Cross-implementation consistency: the data-parallel engine, the serial
+//! comparator, the baseline schemes and the CM-2 model must agree where
+//! the physics says they must.
+
+use dsmc_baselines::{BirdBox, SerialSim, UniformBox};
+use dsmc_engine::{RngMode, SimConfig, Simulation};
+use dsmc_perfmodel::{sweep, Cm2};
+
+/// The serial and parallel implementations share physics: equal collision
+/// rates and equal steady-state flow populations on the same workload.
+#[test]
+fn serial_and_parallel_engines_agree_statistically() {
+    let mut cfg = SimConfig::small_wedge(0.5);
+    cfg.n_per_cell = 12.0;
+    cfg.reservoir_fill = 18.0;
+    let mut par = Simulation::new(cfg.clone());
+    let mut ser = SerialSim::new(cfg);
+    par.run(200);
+    ser.run(200);
+    let dp = par.diagnostics();
+    let rate_p = dp.collisions as f64 / 200.0;
+    let rate_s = ser.collisions() as f64 / 200.0;
+    assert!(
+        (rate_p / rate_s - 1.0).abs() < 0.1,
+        "collision rates diverge: parallel {rate_p}, serial {rate_s}"
+    );
+    let flow_p = dp.n_flow as f64;
+    let flow_s = ser.n_flow() as f64;
+    assert!(
+        (flow_p / flow_s - 1.0).abs() < 0.05,
+        "steady flow populations diverge: {flow_p} vs {flow_s}"
+    );
+}
+
+/// Bird's scheme and the engine's pairwise rule produce the same
+/// per-particle collision frequency on a uniform gas (they discretise the
+/// same kinetic collision integral).
+#[test]
+fn bird_matches_engine_collision_frequency() {
+    // Engine in a quiescent box.
+    let mut cfg = SimConfig::small_test();
+    cfg.mach = 0.0;
+    cfg.lambda = 0.5;
+    cfg.n_per_cell = 40.0;
+    cfg.reservoir_fill = 40.0;
+    let mut sim = Simulation::new(cfg);
+    sim.run(60);
+    let d = sim.diagnostics();
+    let engine_rate =
+        2.0 * d.collisions as f64 / (d.steps as f64 * (d.n_flow + d.n_reservoir) as f64);
+    // Bird on the equivalent box.
+    let p_inf = sim.freestream().p_inf();
+    let b = UniformBox::rectangular(192, 40, sim.freestream().sigma(), 5);
+    let n = b.len() as f64;
+    let mut bird = BirdBox::new(b, p_inf, 40.0);
+    for _ in 0..60 {
+        bird.step();
+    }
+    let bird_rate = 2.0 * bird.collisions() as f64 / (60.0 * n);
+    assert!(
+        (engine_rate / bird_rate - 1.0).abs() < 0.2,
+        "collision frequency: engine {engine_rate:.4} vs Bird {bird_rate:.4}"
+    );
+}
+
+/// Dirty-bits mode reproduces the Explicit-mode macroscopic flow (the
+/// paper ran entirely on dirty bits).
+#[test]
+fn dirty_bits_macroscopics_match_explicit() {
+    let run = |mode| {
+        let mut cfg = SimConfig::paper(0.0);
+        cfg.n_per_cell = 10.0;
+        cfg.reservoir_fill = 14.0;
+        cfg.rng_mode = mode;
+        let mut sim = Simulation::new(cfg);
+        sim.run(500);
+        sim.begin_sampling();
+        sim.run(400);
+        let f = sim.finish_sampling();
+        dsmc_flowfield::shock::wedge_metrics(&f, 20.0, 25.0, 30.0, 4.0, 1.4).expect("fit")
+    };
+    let e = run(RngMode::Explicit);
+    let d = run(RngMode::DirtyBits);
+    assert!(
+        (e.shock_angle_deg - d.shock_angle_deg).abs() < 3.5,
+        "angles: explicit {:.1} vs dirty {:.1}",
+        e.shock_angle_deg,
+        d.shock_angle_deg
+    );
+    assert!(
+        (e.density_ratio - d.density_ratio).abs() < 0.5,
+        "ratios: explicit {:.2} vs dirty {:.2}",
+        e.density_ratio,
+        d.density_ratio
+    );
+}
+
+/// The CM-2 model endpoint checks: run the real (reduced) sweep and
+/// require the paper's two anchors — the falling curve with its knee at
+/// VP ratio 1→2 and the ≈7.2 µs large-N plateau.
+#[test]
+fn cm2_model_reproduces_figure7_endpoints() {
+    let machine = Cm2::paper();
+    let pts = sweep(&machine, &[32 * 1024, 64 * 1024, 512 * 1024], 4, 5, 0.0);
+    assert!(pts[0].us_model > pts[1].us_model);
+    assert!(pts[1].us_model > pts[2].us_model);
+    assert!(
+        (pts[2].us_model - 7.2).abs() < 0.4,
+        "512k model point {:.2} vs paper 7.2",
+        pts[2].us_model
+    );
+    assert!(
+        (pts[0].us_model - 10.3).abs() < 0.8,
+        "32k model point {:.2} vs figure ≈10.3",
+        pts[0].us_model
+    );
+    // And the shares at the paper's operating point.
+    let s = pts[2].breakdown.shares();
+    for (got, want) in s.iter().zip([0.14, 0.27, 0.20, 0.39]) {
+        assert!((got - want).abs() < 0.04, "shares {s:?}");
+    }
+}
+
+/// Other bodies run end to end (the paper's generality future-work item):
+/// a forward step generates a bow compression ahead of itself.
+#[test]
+fn forward_step_compresses_ahead() {
+    let mut cfg = SimConfig::small_test();
+    cfg.tunnel_w = 32;
+    cfg.tunnel_h = 16;
+    cfg.n_per_cell = 20.0;
+    cfg.reservoir_fill = 30.0;
+    cfg.reservoir_cells = 64;
+    cfg.body = dsmc_engine::BodySpec::Step {
+        x0: 16.0,
+        x1: 20.0,
+        h: 6.0,
+    };
+    let mut sim = Simulation::new(cfg);
+    sim.run(300);
+    sim.begin_sampling();
+    sim.run(300);
+    let f = sim.finish_sampling();
+    let mut ahead = 0.0;
+    let mut above = 0.0;
+    for iy in 0..6 {
+        for ix in 12..16 {
+            ahead += f.density_at(ix, iy);
+        }
+        for ix in 4..8 {
+            above += f.density_at(ix, iy + 9);
+        }
+    }
+    assert!(
+        ahead > 1.5 * above,
+        "compression ahead of the step: {ahead:.1} vs far field {above:.1}"
+    );
+}

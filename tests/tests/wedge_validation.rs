@@ -1,0 +1,114 @@
+//! Full-system validation against inviscid theory: the paper's Results
+//! section as assertions.
+
+use integration_tests::{paper_metrics, wedge_run};
+
+/// Near-continuum Mach-4 / 30° wedge: the shock angle must match the
+/// θ–β–M weak solution ("the theoretical shock angle for this flow is 45°
+/// and the solution matches this exactly") and the post-shock density must
+/// approach the Rankine–Hugoniot value 3.7.
+#[test]
+fn near_continuum_shock_matches_theory() {
+    let (_, field) = wedge_run(0.0, 0.15, 500, 500);
+    let m = paper_metrics(&field).expect("shock fit");
+    assert!(
+        (m.shock_angle_deg - m.theory_angle_deg).abs() < 3.0,
+        "shock angle {:.1} vs theory {:.1}",
+        m.shock_angle_deg,
+        m.theory_angle_deg
+    );
+    assert!(
+        (m.density_ratio - m.theory_density_ratio).abs() / m.theory_density_ratio < 0.15,
+        "density ratio {:.2} vs theory {:.2}",
+        m.density_ratio,
+        m.theory_density_ratio
+    );
+}
+
+/// Rarefied (Kn = 0.02) flow: same shock angle, but the shock thickens —
+/// "the shock in the rarefied flow is wider than in the near-continuum
+/// case" (paper: 3 cells → 5 cells).
+#[test]
+fn rarefaction_thickens_the_shock() {
+    let (_, nc) = wedge_run(0.0, 0.15, 500, 500);
+    let (_, rf) = wedge_run(0.5, 0.15, 500, 500);
+    let m_nc = paper_metrics(&nc).expect("near-continuum fit");
+    let m_rf = paper_metrics(&rf).expect("rarefied fit");
+    assert!(
+        m_rf.thickness_rise > 1.15 * m_nc.thickness_rise,
+        "rarefied thickness {:.2} must exceed near-continuum {:.2}",
+        m_rf.thickness_rise,
+        m_nc.thickness_rise
+    );
+    // Angles agree with each other and with theory.
+    assert!((m_rf.shock_angle_deg - m_nc.shock_angle_deg).abs() < 4.0);
+}
+
+/// The flow is hypersonic *behind the plunger* too: freestream cells far
+/// above the wedge must hold ρ ≈ ρ∞ while the shock layer holds ~3.7 ρ∞ —
+/// i.e. the density field is quantitatively calibrated, not just shaped.
+#[test]
+fn freestream_density_is_calibrated() {
+    let (_, field) = wedge_run(0.0, 0.15, 500, 400);
+    let mut acc = 0.0;
+    let mut n = 0;
+    for iy in 50..60 {
+        for ix in 5..15 {
+            acc += field.density_at(ix, iy);
+            n += 1;
+        }
+    }
+    let freestream = acc / n as f64;
+    assert!(
+        (freestream - 1.0).abs() < 0.1,
+        "upstream density {freestream} should be ~1"
+    );
+}
+
+/// The Prandtl–Meyer expansion at the shoulder: density just downstream
+/// of the apex must drop well below the post-shock plateau (the fan), and
+/// the wake behind the base must be rarefied far below freestream.
+#[test]
+fn shoulder_expansion_and_wake_rarefaction() {
+    let (_, field) = wedge_run(0.0, 0.15, 600, 500);
+    let m = paper_metrics(&field).expect("fit");
+    // Just downstream of the apex (the apex sits at x=45, y≈14.4).
+    let mut post_apex = 0.0;
+    let mut n = 0;
+    for iy in 15..19 {
+        for ix in 48..54 {
+            post_apex += field.density_at(ix, iy);
+            n += 1;
+        }
+    }
+    post_apex /= n as f64;
+    assert!(
+        post_apex < 0.6 * m.density_ratio,
+        "expansion fan: {post_apex:.2} should be well below the plateau {:.2}",
+        m.density_ratio
+    );
+    // Wake rarefaction just behind the base.
+    let mut wake = 0.0;
+    let mut n = 0;
+    for iy in 0..4 {
+        for ix in 47..52 {
+            wake += field.density_at(ix, iy);
+            n += 1;
+        }
+    }
+    wake /= n as f64;
+    assert!(wake < 0.35, "wake density {wake:.2} must be strongly rarefied");
+}
+
+/// The wedge geometry itself: the stagnation-region subgrid peaks near the
+/// wedge face, approaching the Rankine–Hugoniot rise as figure 3 shows.
+#[test]
+fn stagnation_region_approaches_rh_ratio() {
+    let (_, field) = wedge_run(0.0, 0.2, 600, 600);
+    let stag = dsmc_flowfield::region::Subgrid::stagnation_region(&field, 20.0, 25.0, 30.0);
+    let peak = stag.max();
+    assert!(
+        peak > 3.0 && peak < 5.5,
+        "stagnation peak density {peak:.2} should approach ≈3.7"
+    );
+}

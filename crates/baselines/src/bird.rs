@@ -114,7 +114,13 @@ impl BirdBox {
                     let (a_idx, b_idx) = (i.min(j), i.max(j));
                     let (head, tail) = task.vel.split_at_mut(b_idx);
                     let p = task.perm[a_idx];
-                    collide_pair(&mut head[a_idx], &mut tail[0], p, rounding, &mut cell_stream);
+                    collide_pair(
+                        &mut head[a_idx],
+                        &mut tail[0],
+                        p,
+                        rounding,
+                        &mut cell_stream,
+                    );
                     task.perm[a_idx] = task.perm[a_idx].top_transpose(cell_stream.next_below(5));
                     task.perm[b_idx] = task.perm[b_idx].top_transpose(cell_stream.next_below(5));
                     *task.t_cell += dt_per_collision;

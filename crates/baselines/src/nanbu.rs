@@ -93,9 +93,8 @@ impl NanbuBox {
             self.state.vel[i] = v;
             self.state.rng[i] = r;
             if did {
-                self.state.perm[i] = self.state.perm[i].top_transpose(
-                    self.state.rng[i].next_below(5),
-                );
+                self.state.perm[i] =
+                    self.state.perm[i].top_transpose(self.state.rng[i].next_below(5));
                 updates += 1;
             }
         }

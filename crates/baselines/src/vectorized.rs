@@ -68,7 +68,7 @@ impl SerialSim {
                 volumes.push(body.free_volume_fraction(ix, iy));
             }
         }
-        volumes.extend(std::iter::repeat(1.0).take(res.total() as usize));
+        volumes.extend(std::iter::repeat_n(1.0, res.total() as usize));
         let sel = SelectionTable::build(
             &volumes,
             fs.p_inf(),
@@ -215,8 +215,8 @@ impl SerialSim {
         // Plunger refill (strided take, as the parallel engine does, so
         // the reservoir drains uniformly across its cells).
         if let PlungerEvent::Withdrawn { void_end } = self.plunger.advance() {
-            let need = (self.cfg.n_per_cell * void_end.to_f64() * self.cfg.tunnel_h as f64)
-                .round() as usize;
+            let need = (self.cfg.n_per_cell * void_end.to_f64() * self.cfg.tunnel_h as f64).round()
+                as usize;
             let h = self.cfg.tunnel_h as f64;
             let void_f = void_end.to_f64();
             let res_idx: Vec<usize> = (0..self.parts.len())
@@ -287,7 +287,13 @@ impl SerialSim {
                     let pb = &mut b[0];
                     let perm = pa.perm;
                     let mut stream = pa.rng;
-                    collide_pair(&mut pa.vel, &mut pb.vel, perm, self.cfg.rounding, &mut stream);
+                    collide_pair(
+                        &mut pa.vel,
+                        &mut pb.vel,
+                        perm,
+                        self.cfg.rounding,
+                        &mut stream,
+                    );
                     pa.rng = stream;
                     let ja = pa.rng.next_below(5);
                     pa.perm = pa.perm.top_transpose(ja);

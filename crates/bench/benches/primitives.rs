@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dsmc_datapar::{
-    apply_perm, pack_indices, scan_add_inclusive_u32, segmented_broadcast_count,
-    sort_perm_by_key,
+    apply_perm, pack_indices, scan_add_inclusive_u32, segmented_broadcast_count, sort_perm_by_key,
 };
 
 fn keys_like_engine(n: usize, cells: u32, jitter_bits: u32) -> Vec<u32> {
@@ -49,7 +48,9 @@ fn bench_segments(c: &mut Criterion) {
     let mut g = c.benchmark_group("segmented_broadcast_count");
     g.sample_size(10);
     let n = 262_144usize;
-    let mut keys: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761) % 6272).collect();
+    let mut keys: Vec<u32> = (0..n as u32)
+        .map(|i| i.wrapping_mul(2654435761) % 6272)
+        .collect();
     keys.sort_unstable();
     g.throughput(Throughput::Elements(n as u64));
     g.bench_function("262144", |b| b.iter(|| segmented_broadcast_count(&keys)));
@@ -75,7 +76,9 @@ fn bench_pack(c: &mut Criterion) {
     let mut g = c.benchmark_group("pack_indices");
     g.sample_size(10);
     let n = 262_144usize;
-    let mask: Vec<bool> = (0..n as u32).map(|i| i.wrapping_mul(0x9E3779B9) & 63 == 0).collect();
+    let mask: Vec<bool> = (0..n as u32)
+        .map(|i| i.wrapping_mul(0x9E3779B9) & 63 == 0)
+        .collect();
     g.throughput(Throughput::Elements(n as u64));
     g.bench_function("262144_sparse", |b| b.iter(|| pack_indices(&mask)));
     g.finish();

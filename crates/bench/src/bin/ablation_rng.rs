@@ -39,17 +39,26 @@ fn main() {
     report(
         "shock angle (deg)",
         "45",
-        &format!("explicit {:.1} | dirty {:.1}", m_exp.shock_angle_deg, m_dirty.shock_angle_deg),
+        &format!(
+            "explicit {:.1} | dirty {:.1}",
+            m_exp.shock_angle_deg, m_dirty.shock_angle_deg
+        ),
     );
     report(
         "density ratio",
         "3.7",
-        &format!("explicit {:.2} | dirty {:.2}", m_exp.density_ratio, m_dirty.density_ratio),
+        &format!(
+            "explicit {:.2} | dirty {:.2}",
+            m_exp.density_ratio, m_dirty.density_ratio
+        ),
     );
     report(
         "shock thickness (cells)",
         "3",
-        &format!("explicit {:.1} | dirty {:.1}", m_exp.thickness_rise, m_dirty.thickness_rise),
+        &format!(
+            "explicit {:.1} | dirty {:.1}",
+            m_exp.thickness_rise, m_dirty.thickness_rise
+        ),
     );
     report(
         "wall time (s)",

@@ -40,7 +40,10 @@ fn main() {
 
     let mut csv = String::from("step,truncate,stochastic,paper_literal\n");
     for i in 0..=steps {
-        csv.push_str(&format!("{},{:.6},{:.6},{:.6}\n", i, trunc[i], stoch[i], lit[i]));
+        csv.push_str(&format!(
+            "{},{:.6},{:.6},{:.6}\n",
+            i, trunc[i], stoch[i], lit[i]
+        ));
     }
     write_artifact("ablation_rounding.csv", csv.as_bytes());
 

@@ -30,10 +30,7 @@ struct Row {
     us_per_particle_step: f64,
 }
 
-fn measure<F: FnMut(&mut UniformBox) -> u64>(
-    name: &'static str,
-    mut stepper: F,
-) -> Row {
+fn measure<F: FnMut(&mut UniformBox) -> u64>(name: &'static str, mut stepper: F) -> Row {
     let mut b = UniformBox::rectangular(CELLS, PER_CELL, SIGMA, 4040);
     let e0 = b.total_energy_raw();
     let m0 = b.total_momentum_raw();
@@ -160,5 +157,7 @@ fn main() {
          conserve per-interaction (≤1 LSB); Nanbu/Ploss conserves only in the mean\n\
          (momentum drift per interaction orders of magnitude larger)."
     );
-    assert!(nanbu.momentum_drift_lsb_per_interaction > 20.0 * mb.momentum_drift_lsb_per_interaction);
+    assert!(
+        nanbu.momentum_drift_lsb_per_interaction > 20.0 * mb.momentum_drift_lsb_per_interaction
+    );
 }

@@ -32,7 +32,13 @@ fn round(b: &mut UniformBox, remix: bool) {
             let (head, tail) = b.vel.split_at_mut(i + 1);
             let p = b.perm[i];
             let mut rng = b.rng[i];
-            collide_pair(&mut head[i], &mut tail[0], p, Rounding::Stochastic, &mut rng);
+            collide_pair(
+                &mut head[i],
+                &mut tail[0],
+                p,
+                Rounding::Stochastic,
+                &mut rng,
+            );
             b.rng[i] = rng;
             let ja = b.rng[i].next_below(5);
             b.perm[i] = b.perm[i].top_transpose(ja);
@@ -85,5 +91,8 @@ fn main() {
     let (tw, tf) = (tail(&with), tail(&without));
     println!("tail-averaged kurtosis: remixed {tw:.3}, frozen {tf:.3}");
     assert!(tw.abs() < 0.15, "remixed box must become Maxwellian ({tw})");
-    assert!(tf < -0.25, "frozen box must stay visibly non-Maxwellian ({tf})");
+    assert!(
+        tf < -0.25,
+        "frozen box must stay visibly non-Maxwellian ({tf})"
+    );
 }

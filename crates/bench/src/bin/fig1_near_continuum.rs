@@ -8,8 +8,8 @@
 //! `cargo run --release -p dsmc-bench --bin fig1_near_continuum [--full]`
 
 use dsmc_bench::{
-    emit_density_artifacts, metrics_json, report, report_shock_metrics, run_wedge,
-    write_artifact, RunScale,
+    emit_density_artifacts, metrics_json, report, report_shock_metrics, run_wedge, write_artifact,
+    RunScale,
 };
 use dsmc_flowfield::region::Subgrid;
 use dsmc_flowfield::render;
@@ -17,7 +17,10 @@ use dsmc_flowfield::render;
 fn main() {
     let scale = RunScale::from_args();
     println!("== FIG 1/2/3: near-continuum Mach 4, 30 deg wedge (lambda = 0) ==");
-    println!("scale: density x{:.2}, steps x{:.2}", scale.density, scale.steps);
+    println!(
+        "scale: density x{:.2}, steps x{:.2}",
+        scale.density, scale.steps
+    );
     let run = run_wedge(0.0, scale);
     let d = run.sim.diagnostics();
     println!(
@@ -40,7 +43,14 @@ fn main() {
     let stag = Subgrid::stagnation_region(&run.field, 20.0, 25.0, 30.0);
     let csv = render::to_csv(&stag.values, stag.w, stag.h);
     write_artifact("fig3_stagnation_density.csv", csv.as_bytes());
-    let stag_raw = Subgrid::extract(&run.field, &run.field.occupancy, stag.x0, stag.y0, stag.w, stag.h);
+    let stag_raw = Subgrid::extract(
+        &run.field,
+        &run.field.occupancy,
+        stag.x0,
+        stag.y0,
+        stag.w,
+        stag.h,
+    );
     let csv = render::to_csv(&stag_raw.values, stag_raw.w, stag_raw.h);
     write_artifact("fig3_stagnation_occupancy_jagged.csv", csv.as_bytes());
 
@@ -58,5 +68,8 @@ fn main() {
         None => println!("SHOCK FIT FAILED — increase scale"),
     }
     println!("\nASCII density preview (fig 1 field):");
-    println!("{}", render::ascii_heatmap(&run.field.density, run.field.w, run.field.h, 4.0));
+    println!(
+        "{}",
+        render::ascii_heatmap(&run.field.density, run.field.w, run.field.h, 4.0)
+    );
 }

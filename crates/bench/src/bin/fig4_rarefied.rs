@@ -7,8 +7,8 @@
 //! `cargo run --release -p dsmc-bench --bin fig4_rarefied [--full]`
 
 use dsmc_bench::{
-    emit_density_artifacts, metrics_json, report, report_shock_metrics, run_wedge,
-    write_artifact, RunScale,
+    emit_density_artifacts, metrics_json, report, report_shock_metrics, run_wedge, write_artifact,
+    RunScale,
 };
 use dsmc_flowfield::region::Subgrid;
 use dsmc_flowfield::render;
@@ -17,7 +17,10 @@ fn main() {
     let scale = RunScale::from_args();
     let lambda = 0.5;
     println!("== FIG 4/5/6: rarefied Mach 4, 30 deg wedge (lambda = 0.5, Kn = 0.02) ==");
-    println!("scale: density x{:.2}, steps x{:.2}", scale.density, scale.steps);
+    println!(
+        "scale: density x{:.2}, steps x{:.2}",
+        scale.density, scale.steps
+    );
     let run = run_wedge(lambda, scale);
     let d = run.sim.diagnostics();
     let fs = run.sim.freestream();
@@ -28,7 +31,11 @@ fn main() {
         d.steps,
         run.seconds
     );
-    report("Knudsen number (25-cell wedge)", "0.02", &format!("{:.3}", fs.knudsen(25.0)));
+    report(
+        "Knudsen number (25-cell wedge)",
+        "0.02",
+        &format!("{:.3}", fs.knudsen(25.0)),
+    );
     report(
         "Reynolds number",
         "600 (paper's convention)",
@@ -46,10 +53,16 @@ fn main() {
     match &run.metrics {
         Some(m) => {
             report_shock_metrics(m, lambda);
-            write_artifact("fig4_metrics.json", metrics_json(m, &run, lambda).as_bytes());
+            write_artifact(
+                "fig4_metrics.json",
+                metrics_json(m, &run, lambda).as_bytes(),
+            );
         }
         None => println!("SHOCK FIT FAILED — increase scale"),
     }
     println!("\nASCII density preview (fig 4 field):");
-    println!("{}", render::ascii_heatmap(&run.field.density, run.field.w, run.field.h, 4.0));
+    println!(
+        "{}",
+        render::ascii_heatmap(&run.field.density, run.field.w, run.field.h, 4.0)
+    );
 }

@@ -15,13 +15,7 @@ use std::fmt::Write as _;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let machine = Cm2::paper();
-    let sizes: &[usize] = &[
-        32 * 1024,
-        64 * 1024,
-        128 * 1024,
-        256 * 1024,
-        512 * 1024,
-    ];
+    let sizes: &[usize] = &[32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024];
     let (warmup, measure) = if quick { (5, 8) } else { (40, 40) };
     println!("== FIG 7: us/particle/step vs total particles (P = 32k fixed) ==");
     let pts = sweep(&machine, sizes, warmup, measure, 0.0);

@@ -6,12 +6,68 @@
 //! analogue: the rayon data-parallel engine versus the tuned serial
 //! implementation of the same physics, on the same workload.
 //!
+//! Besides the headline comparison this binary seeds the repo's perf
+//! trajectory: it A/B-times the fused sort→send pipeline against the
+//! reference two-step pipeline and writes `BENCH_step.json` with steps/s
+//! and per-substep ns/particle.
+//!
 //! `cargo run --release -p dsmc-bench --bin headline_perf [--full]`
 
 use dsmc_baselines::SerialSim;
-use dsmc_bench::{report, write_artifact, RunScale};
-use dsmc_engine::{SimConfig, Simulation};
+use dsmc_bench::{json, report, write_artifact, RunScale};
+use dsmc_engine::{PipelineMode, SimConfig, Simulation, StepTimings};
 use std::time::Instant;
+
+/// Number of alternating measurement windows per pipeline.  Fine-grained
+/// interleaving plus *accumulated* per-substep timings (rather than
+/// whole-window wall medians) keeps the A/B ratio stable against the
+/// multi-second wall-clock drift of shared machines.
+const WINDOWS: usize = 10;
+
+/// Warm both pipelines, then step them in interleaved windows totalling
+/// `measure` steps each; returns per-pipeline (accumulated timings,
+/// algorithmic seconds per step, flow particles).
+fn timed_ab(
+    cfg_a: SimConfig,
+    cfg_b: SimConfig,
+    warm: usize,
+    measure: usize,
+) -> ((StepTimings, f64, usize), (StepTimings, f64, usize)) {
+    let window = (measure / WINDOWS).max(5);
+    let mut sims = [Simulation::new(cfg_a), Simulation::new(cfg_b)];
+    for sim in sims.iter_mut() {
+        sim.run(warm);
+        sim.reset_timings();
+    }
+    for _ in 0..WINDOWS {
+        for sim in sims.iter_mut() {
+            sim.run(window);
+        }
+    }
+    let out = |sim: &Simulation| {
+        let t = *sim.timings();
+        let per_step = t.total_algorithmic().as_secs_f64() / t.steps.max(1) as f64;
+        (t, per_step, sim.diagnostics().n_flow)
+    };
+    (out(&sims[0]), out(&sims[1]))
+}
+
+fn substep_ns(t: &StepTimings, n_flow: usize) -> [(&'static str, f64); 5] {
+    let per = |d: std::time::Duration| {
+        if t.steps == 0 || n_flow == 0 {
+            0.0
+        } else {
+            d.as_secs_f64() * 1e9 / (t.steps as f64 * n_flow as f64)
+        }
+    };
+    [
+        ("motion", per(t.motion)),
+        ("boundary", per(t.boundary)),
+        ("sort", per(t.sort)),
+        ("select", per(t.select)),
+        ("collide", per(t.collide)),
+    ]
+}
 
 fn main() {
     let scale = RunScale::from_args();
@@ -22,13 +78,14 @@ fn main() {
     let warm = (200.0 * scale.steps) as usize;
     let measure = (200.0 * scale.steps).max(20.0) as usize;
 
-    // Parallel engine.
-    let mut par = Simulation::new(cfg.clone());
-    par.run(warm);
-    let n_flow = par.diagnostics().n_flow;
-    let t0 = Instant::now();
-    par.run(measure);
-    let t_par = t0.elapsed().as_secs_f64() * 1e6 / (measure as f64 * n_flow as f64);
+    // A/B: the fused pipeline against the pre-refactor pipeline
+    // (permutation materialised, ten sequential column gathers, fresh
+    // buffers every step), in interleaved measurement windows.
+    let mut cfg_two = cfg.clone();
+    cfg_two.pipeline = PipelineMode::TwoStep;
+    let ((t_fused, step_fused, n_flow), (t_twostep, step_twostep, _)) =
+        timed_ab(cfg.clone(), cfg_two, warm, measure);
+    let t_par = step_fused * 1e6 / n_flow as f64;
 
     // Serial comparator (same physics, one core).
     let mut ser = SerialSim::new(cfg);
@@ -47,7 +104,7 @@ fn main() {
     report(
         "data-parallel engine (us/p/step)",
         "7.2 (CM-2, 32k PEs)",
-        &format!("{t_par:.3} (rayon)"),
+        &format!("{t_par:.3} (rayon, fused)"),
     );
     report(
         "serial same-physics comparator",
@@ -57,8 +114,17 @@ fn main() {
     report(
         "parallel/serial ratio",
         "14.4x slower on CM-2",
-        &format!("{:.2}x {} here", (t_par / t_ser).max(t_ser / t_par),
-            if t_par < t_ser { "FASTER" } else { "slower" }),
+        &format!(
+            "{:.2}x {} here",
+            (t_par / t_ser).max(t_ser / t_par),
+            if t_par < t_ser { "FASTER" } else { "slower" }
+        ),
+    );
+    let speedup = step_twostep / step_fused;
+    report(
+        "fused vs two-step sort->send",
+        "n/a (refactor A/B)",
+        &format!("{speedup:.2}x step throughput"),
     );
     println!(
         "\nnote: the data-parallel formulation pays overheads (per-step sort,\n\
@@ -66,10 +132,41 @@ fn main() {
          (1989: the CM-2 against one Cray-2 CPU; equally on a low-core host)\n\
          and wins as the processor count grows — the paper's point."
     );
-    let json = format!(
+
+    // Legacy artifact (kept name/shape for downstream tooling).
+    let json_legacy = format!(
         "{{\n  \"us_parallel\": {t_par:.4},\n  \"us_serial\": {t_ser:.4},\n  \
          \"threads\": {},\n  \"flow_particles\": {n_flow}\n}}\n",
         rayon::current_num_threads()
     );
-    write_artifact("headline_perf.json", json.as_bytes());
+    write_artifact("headline_perf.json", json_legacy.as_bytes());
+
+    // The perf trajectory record.
+    let mut j = json::Object::new();
+    j.str("bench", "headline_perf");
+    j.int("threads", rayon::current_num_threads() as i64);
+    j.int("flow_particles", n_flow as i64);
+    // The actual interleaved step count (windows round `measure` up).
+    j.int("measured_steps", t_fused.steps as i64);
+    let mut fused = json::Object::new();
+    fused.num("steps_per_sec", 1.0 / step_fused);
+    fused.num("us_per_particle_step", t_par);
+    let mut sub = json::Object::new();
+    for (name, ns) in substep_ns(&t_fused, n_flow) {
+        sub.num(name, ns);
+    }
+    fused.obj("ns_per_particle_substep", sub);
+    j.obj("fused", fused);
+    let mut two = json::Object::new();
+    two.num("steps_per_sec", 1.0 / step_twostep);
+    two.num("us_per_particle_step", step_twostep * 1e6 / n_flow as f64);
+    let mut sub = json::Object::new();
+    for (name, ns) in substep_ns(&t_twostep, n_flow) {
+        sub.num(name, ns);
+    }
+    two.obj("ns_per_particle_substep", sub);
+    j.obj("two_step", two);
+    j.num("fused_over_two_step_speedup", speedup);
+    j.num("serial_us_per_particle_step", t_ser);
+    write_artifact("BENCH_step.json", j.pretty().as_bytes());
 }

@@ -1,0 +1,116 @@
+//! Phase-by-phase profile of the two sort→send pipelines on an
+//! engine-realistic workload: where does each nanosecond go?
+//!
+//! `cargo run --release -p dsmc-bench --bin profile_sort [n]`
+
+use dsmc_datapar::{
+    pack_pair, segment_bounds_from_sorted, segment_bounds_from_sorted_into, sort_order_from_pairs,
+    sort_perm_by_key, BoundsScratch, SortScratch,
+};
+use dsmc_engine::particles::ParticleStore;
+use dsmc_fixed::Fx;
+use dsmc_rng::{Perm5, XorShift32};
+use std::time::Instant;
+
+fn store(n: usize) -> ParticleStore {
+    let mut rng = XorShift32::new(7);
+    let mut s = ParticleStore::default();
+    for i in 0..n {
+        let vel = core::array::from_fn(|_| Fx::from_raw((rng.next_u32() as i32) >> 12));
+        s.push(
+            Fx::from_raw((rng.next_u32() as i32) >> 8).max(Fx::ZERO),
+            Fx::from_raw((rng.next_u32() as i32) >> 8).max(Fx::ZERO),
+            vel,
+            Perm5::IDENTITY,
+            XorShift32::new(i as u32 + 1),
+            rng.next_u32() % 6912,
+        );
+    }
+    s
+}
+
+fn time_ns_per(n: usize, reps: usize, mut f: impl FnMut()) -> f64 {
+    // One warm call outside the window.
+    f();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e9 / (reps as f64 * n as f64)
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(130_000);
+    let reps = 20;
+    let key_bits = 22u32;
+    let jitter_bits = 8u32;
+    println!(
+        "n = {n}, reps = {reps}, threads = {}",
+        rayon::current_num_threads()
+    );
+
+    // Shared fixture: keys like the engine's (cell << jitter | jitter).
+    let mut krng = XorShift32::new(3);
+    let keys: Vec<u32> = (0..n as u32)
+        .map(|_| ((krng.next_u32() % 6912) << jitter_bits) | (krng.next_u32() & 0xFF))
+        .collect();
+
+    // --- fused path, phase by phase -------------------------------------
+    let mut scratch = SortScratch::new();
+    let mut order = Vec::new();
+    let mut bounds = Vec::new();
+    let mut bscratch = BoundsScratch::default();
+    let mut s_fused = store(n);
+
+    let t_pack = time_ns_per(n, reps, || {
+        let pairs = scratch.input_pairs(n);
+        for (i, p) in pairs.iter_mut().enumerate() {
+            *p = pack_pair(keys[i], i);
+        }
+    });
+    let t_rank = time_ns_per(n, reps, || {
+        let pairs = scratch.input_pairs(n);
+        for (i, p) in pairs.iter_mut().enumerate() {
+            *p = pack_pair(keys[i], i);
+        }
+        sort_order_from_pairs(key_bits, &mut scratch, &mut order);
+    }) - t_pack;
+    let t_send = time_ns_per(n, reps, || s_fused.apply_order_fused(&order));
+    let t_bounds = time_ns_per(n, reps, || {
+        segment_bounds_from_sorted_into(&s_fused.cell, &mut bounds, &mut bscratch)
+    });
+    println!("fused:    pack {t_pack:6.2}  rank {t_rank:6.2}  send {t_send:6.2}  bounds {t_bounds:6.2}  ns/p");
+
+    // --- two-step reference, phase by phase ------------------------------
+    let mut s_two = store(n);
+    let mut perm = Vec::new();
+    let t_perm = time_ns_per(n, reps, || perm = sort_perm_by_key(&keys, key_bits));
+    let t_apply = time_ns_per(n, reps, || s_two.apply_order(&perm));
+    let t_bounds2 = time_ns_per(n, reps, || {
+        let _ = segment_bounds_from_sorted(&s_two.cell);
+    });
+    println!("two-step: perm {t_perm:6.2}  apply {t_apply:6.2}  bounds {t_bounds2:6.2}  ns/p");
+
+    // --- one-column gather microbenchmark --------------------------------
+    let src: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761)).collect();
+    let mut dst = vec![0u32; n];
+    let t_iter = time_ns_per(n, reps, || {
+        dsmc_datapar::apply_perm(&src, &order, &mut dst);
+    });
+    let t_loop = time_ns_per(n, reps, || {
+        let w = dsmc_datapar::DisjointWrites::new(&mut dst[..]);
+        for (i, &o) in order.iter().enumerate().take(n) {
+            unsafe { w.write(i, src[o as usize]) };
+        }
+    });
+    let t_loop_sliced = time_ns_per(n, reps, || {
+        let w = dsmc_datapar::DisjointWrites::new(&mut dst[..]);
+        for (i, &o) in order.iter().enumerate() {
+            unsafe { w.write(i, src[o as usize]) };
+        }
+    });
+    println!("1-col gather: apply_perm {t_iter:5.2}  indexed loop {t_loop:5.2}  iter loop {t_loop_sliced:5.2}  ns/p");
+}

@@ -50,7 +50,10 @@ fn main() {
         machine.vp_ratio(sim.n_particles()),
         measure
     );
-    println!("\n{:<22} {:>8} {:>12} {:>14}", "substep", "paper", "CM-2 model", "rayon backend");
+    println!(
+        "\n{:<22} {:>8} {:>12} {:>14}",
+        "substep", "paper", "CM-2 model", "rayon backend"
+    );
     let paper = [0.14, 0.27, 0.20, 0.39];
     let names = ["motion+boundary", "sort", "select", "collide"];
     let mut csv = String::from("substep,paper,cm2_model,rayon_wall\n");

@@ -13,6 +13,8 @@ use dsmc_flowfield::{contour, render};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
+pub mod json;
+
 /// Scale of an experiment run.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RunScale {
@@ -45,8 +47,14 @@ impl RunScale {
             return RunScale::FULL;
         }
         if let Some(pos) = args.iter().position(|a| a == "--scale") {
-            let density = args.get(pos + 1).and_then(|s| s.parse().ok()).unwrap_or(0.4);
-            let steps = args.get(pos + 2).and_then(|s| s.parse().ok()).unwrap_or(0.667);
+            let density = args
+                .get(pos + 1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0.4);
+            let steps = args
+                .get(pos + 2)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0.667);
             return RunScale { density, steps };
         }
         RunScale::QUICK
@@ -163,27 +171,27 @@ pub fn report_shock_metrics(m: &ShockMetrics, lambda: f64) {
     );
 }
 
-/// Serialize metrics + provenance to JSON.
+/// Serialize metrics + provenance to JSON (hand-rolled: the build runs
+/// offline, so there is no serde in the dependency graph).
 pub fn metrics_json(m: &ShockMetrics, run: &WedgeRun, lambda: f64) -> String {
-    #[derive(serde::Serialize)]
-    struct Out<'a> {
-        lambda: f64,
-        n_particles: usize,
-        n_flow: usize,
-        settle_plus_average_steps: u64,
-        wall_seconds: f64,
-        metrics: &'a ShockMetrics,
-    }
     let d = run.sim.diagnostics();
-    serde_json::to_string_pretty(&Out {
-        lambda,
-        n_particles: run.sim.n_particles(),
-        n_flow: d.n_flow,
-        settle_plus_average_steps: d.steps,
-        wall_seconds: run.seconds,
-        metrics: m,
-    })
-    .expect("serialize metrics")
+    let mut j = json::Object::new();
+    j.num("lambda", lambda);
+    j.int("n_particles", run.sim.n_particles() as i64);
+    j.int("n_flow", d.n_flow as i64);
+    j.int("settle_plus_average_steps", d.steps as i64);
+    j.num("wall_seconds", run.seconds);
+    let mut jm = json::Object::new();
+    jm.num("shock_angle_deg", m.shock_angle_deg);
+    jm.num("theory_angle_deg", m.theory_angle_deg);
+    jm.num("density_ratio", m.density_ratio);
+    jm.num("theory_density_ratio", m.theory_density_ratio);
+    jm.num("thickness_rise", m.thickness_rise);
+    jm.num("thickness_max_slope", m.thickness_max_slope);
+    jm.num("wake_recompression", m.wake_recompression);
+    jm.opt_num("wake_recovery_length", m.wake_recovery_length);
+    j.obj("metrics", jm);
+    j.pretty()
 }
 
 /// Convenience: does a path exist inside the artifact dir?
@@ -204,7 +212,13 @@ mod tests {
 
     #[test]
     fn tiny_wedge_run_produces_metrics() {
-        let run = run_wedge(0.0, RunScale { density: 0.08, steps: 0.15 });
+        let run = run_wedge(
+            0.0,
+            RunScale {
+                density: 0.08,
+                steps: 0.15,
+            },
+        );
         assert!(run.sim.n_particles() > 30_000);
         assert_eq!(run.field.w, 98);
         // At this tiny scale the fit may be noisy but must exist.

@@ -16,17 +16,50 @@
 
 use crate::config::{ResLayout, WallModel};
 use crate::particles::ParticleStore;
-use dsmc_datapar::pack_indices;
 use dsmc_fixed::Fx;
 use dsmc_geom::{Body, Plunger, PlungerEvent, Tunnel, WallOutcome};
 use rayon::prelude::*;
 
+/// Caller-owned working state of the boundary pass: the exit/wall-hit
+/// masks and the index lists they compact into.  Owned by `Simulation` so
+/// steady-state steps perform no heap allocation here either.
+#[derive(Clone, Debug, Default)]
+pub struct BoundaryScratch {
+    exit_mask: Vec<bool>,
+    wall_hit: Vec<u8>,
+    exits: Vec<u32>,
+    res_idx: Vec<u32>,
+}
+
+impl BoundaryScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffer capacities `[exit_mask, wall_hit, exits, res_idx]` — asserted
+    /// stable by the zero-allocation tests.
+    pub fn capacities(&self) -> [usize; 4] {
+        [
+            self.exit_mask.capacity(),
+            self.wall_hit.capacity(),
+            self.exits.capacity(),
+            self.res_idx.capacity(),
+        ]
+    }
+}
+
 /// Constant parameters of the boundary pass.
-pub struct BoundaryParams<'a> {
+///
+/// Generic over the body so the engine can monomorphise [`enforce`] per
+/// body shape — the resolve call then inlines into the per-particle loop
+/// instead of dispatching through a vtable 10⁵ times a step.  `dyn Body`
+/// (the default) keeps the type-erased form available.
+pub struct BoundaryParams<'a, B: Body + ?Sized = dyn Body> {
     /// The tunnel box.
     pub tunnel: &'a Tunnel,
     /// The body in the test section.
-    pub body: &'a dyn Body,
+    pub body: &'a B,
     /// First reservoir cell index.
     pub res_base: u32,
     /// Reservoir box layout.
@@ -60,18 +93,23 @@ pub struct BoundaryOutcome {
 }
 
 /// Enforce all boundaries; see module docs for the sequence.
-pub fn enforce(
+pub fn enforce<B: Body + ?Sized>(
     parts: &mut ParticleStore,
-    p: &BoundaryParams<'_>,
+    p: &BoundaryParams<'_, B>,
     plunger: &mut Plunger,
+    scratch: &mut BoundaryScratch,
 ) -> BoundaryOutcome {
     let mut out = BoundaryOutcome::default();
     let n = parts.len();
 
     // Parallel wall/body/plunger pass over flow particles, producing the
     // downstream-exit mask and (for diffuse walls) the wall-hit mask.
-    let mut exit_mask = vec![false; n];
-    let mut wall_hit = vec![0u8; n]; // 0 none, 1 bottom, 2 top
+    // Every slot the later phases read is overwritten here, so the scratch
+    // needs no re-zeroing.
+    let exit_mask = &mut scratch.exit_mask;
+    let wall_hit = &mut scratch.wall_hit; // 0 none, 1 bottom, 2 top
+    exit_mask.resize(n, false);
+    wall_hit.resize(n, 0);
     let diffuse = matches!(p.walls, WallModel::Diffuse { .. });
     {
         let tunnel = p.tunnel;
@@ -90,6 +128,8 @@ pub fn enforce(
             .zip(wall_hit.par_iter_mut())
             .for_each(|((((((x, y), u), v), &cell), exit), hit)| {
                 if cell >= res_base {
+                    *exit = false;
+                    *hit = 0;
                     return;
                 }
                 plunger_now.reflect(x, u);
@@ -136,21 +176,28 @@ pub fn enforce(
         }
     }
 
-    // Downstream exits → reservoir (sequential: a small, data-dependent set).
-    let exits = pack_indices(&exit_mask);
+    // Downstream exits → reservoir.  The exit set is small and
+    // data-dependent; a sequential sweep into the reused index list is
+    // cheaper than the parallel pack (which would build scan tables the
+    // size of the whole population).
+    scratch.exits.clear();
+    scratch.exits.extend(
+        scratch
+            .exit_mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &m)| m.then_some(i as u32)),
+    );
+    let exits = &scratch.exits;
     out.exited = exits.len() as u32;
     let res_w_fx = Fx::from_int(p.res.w as i32);
     let res_h_fx = Fx::from_int(p.res.h as i32);
-    for &i in &exits {
+    for &i in exits {
         let i = i as usize;
         let rng = &mut parts.rng[i];
         // Position uniformly in the reservoir box.
-        parts.x[i] = Fx::from_raw(
-            ((rng.next_u32() as u64 * res_w_fx.raw() as u64) >> 32) as i32,
-        );
-        parts.y[i] = Fx::from_raw(
-            ((rng.next_u32() as u64 * res_h_fx.raw() as u64) >> 32) as i32,
-        );
+        parts.x[i] = Fx::from_raw(((rng.next_u32() as u64 * res_w_fx.raw() as u64) >> 32) as i32);
+        parts.y[i] = Fx::from_raw(((rng.next_u32() as u64 * res_h_fx.raw() as u64) >> 32) as i32);
         // Rectangular velocities with freestream variance about the drift.
         let span = (2 * p.rect_half_raw + 1) as u32;
         let draw = |rng: &mut dsmc_rng::XorShift32| {
@@ -175,8 +222,15 @@ pub fn enforce(
         let need = (p.n_inf * void_end.to_f64() * p.tunnel.height as f64).round() as usize;
         // Reservoir census (the reservoir is cell-sorted, so a strided take
         // draws roughly uniformly across reservoir cells).
-        let res_mask: Vec<bool> = parts.cell.par_iter().map(|&c| c >= p.res_base).collect();
-        let res_idx = pack_indices(&res_mask);
+        scratch.res_idx.clear();
+        scratch.res_idx.extend(
+            parts
+                .cell
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &c)| (c >= p.res_base).then_some(i as u32)),
+        );
+        let res_idx = &scratch.res_idx;
         let avail = res_idx.len();
         let take = need.min(avail);
         out.shortfall = (need - take) as u32;
@@ -236,7 +290,7 @@ mod tests {
         );
     }
 
-    fn params<'a>(tunnel: &'a Tunnel, body: &'a dyn Body) -> BoundaryParams<'a> {
+    fn params<'a>(tunnel: &'a Tunnel, body: &'a dyn Body) -> BoundaryParams<'a, dyn Body + 'a> {
         BoundaryParams {
             tunnel,
             body,
@@ -260,7 +314,7 @@ mod tests {
         push_flow(&mut s, 5.0, -0.25, 0.1, -0.2);
         push_res(&mut s, p.res_base, 3.0);
         let res_y = s.y[1];
-        let out = enforce(&mut s, &p, &mut plunger);
+        let out = enforce(&mut s, &p, &mut plunger, &mut BoundaryScratch::new());
         assert_eq!(out.exited, 0);
         assert_eq!(s.y[0], fx(0.25));
         assert_eq!(s.v[0], fx(0.2));
@@ -275,7 +329,7 @@ mod tests {
         let mut plunger = Plunger::new(fx(0.25), fx(30.0)); // never withdraws soon
         let mut s = ParticleStore::default();
         push_flow(&mut s, 20.5, 5.0, 0.9, 0.0);
-        let out = enforce(&mut s, &p, &mut plunger);
+        let out = enforce(&mut s, &p, &mut plunger, &mut BoundaryScratch::new());
         assert_eq!(out.exited, 1);
         assert!(s.cell[0] >= p.res_base);
         assert!(s.x[0] >= Fx::ZERO && s.x[0] < fx(16.0));
@@ -297,7 +351,7 @@ mod tests {
         for i in 0..200 {
             push_res(&mut s, p.res_base, (i % 16) as f64 + 0.5);
         }
-        let out = enforce(&mut s, &p, &mut plunger);
+        let out = enforce(&mut s, &p, &mut plunger, &mut BoundaryScratch::new());
         assert!(out.withdrew);
         // need = n_inf · void(1.0) · H(10) = 40.
         assert_eq!(out.introduced, 40);
@@ -323,7 +377,7 @@ mod tests {
         for _ in 0..10 {
             push_res(&mut s, p.res_base, 2.5);
         }
-        let out = enforce(&mut s, &p, &mut plunger);
+        let out = enforce(&mut s, &p, &mut plunger, &mut BoundaryScratch::new());
         assert_eq!(out.introduced, 10);
         assert_eq!(out.shortfall, 30);
     }
@@ -347,8 +401,11 @@ mod tests {
         let mut s = ParticleStore::default();
         push_flow(&mut s, 16.0, 0.5, 0.3, -0.1); // inside the ramp toe
         assert!(body.contains(s.x[0], s.y[0]));
-        enforce(&mut s, &p, &mut plunger);
-        assert!(!body.contains(s.x[0], s.y[0]), "particle pushed out of body");
+        enforce(&mut s, &p, &mut plunger, &mut BoundaryScratch::new());
+        assert!(
+            !body.contains(s.x[0], s.y[0]),
+            "particle pushed out of body"
+        );
     }
 
     #[test]
@@ -360,7 +417,7 @@ mod tests {
         plunger.face = fx(2.0);
         let mut s = ParticleStore::default();
         push_flow(&mut s, 1.5, 5.0, -0.1, 0.0);
-        enforce(&mut s, &p, &mut plunger);
+        enforce(&mut s, &p, &mut plunger, &mut BoundaryScratch::new());
         assert!(s.x[0] > fx(2.0), "swept ahead of the face");
         assert!(s.u[0] > fx(0.5), "picked up at least the face speed");
     }
@@ -380,7 +437,7 @@ mod tests {
         for k in 0..400 {
             push_flow(&mut s, 2.0 + (k % 16) as f64, -0.2, 0.3, -0.4);
         }
-        enforce(&mut s, &p, &mut plunger);
+        enforce(&mut s, &p, &mut plunger, &mut BoundaryScratch::new());
         let mut mean_u = 0.0;
         for i in 0..s.len() {
             assert!(s.y[i] >= Fx::ZERO, "position folded back inside");
@@ -389,10 +446,16 @@ mod tests {
         }
         mean_u /= s.len() as f64;
         // Full accommodation: the tangential drift (0.3) is destroyed.
-        assert!(mean_u.abs() < 0.02, "no-slip: mean u after re-emission {mean_u}");
+        assert!(
+            mean_u.abs() < 0.02,
+            "no-slip: mean u after re-emission {mean_u}"
+        );
         // The speeds are thermal at sigma, not the incoming 0.5-magnitude.
         let var_u: f64 = s.u.iter().map(|u| u.to_f64().powi(2)).sum::<f64>() / s.len() as f64;
-        assert!((var_u / (0.06 * 0.06) - 1.0).abs() < 0.3, "wall-temperature variance");
+        assert!(
+            (var_u / (0.06 * 0.06) - 1.0).abs() < 0.3,
+            "wall-temperature variance"
+        );
     }
 
     #[test]
@@ -408,10 +471,16 @@ mod tests {
         for k in 0..400 {
             push_flow(&mut s, 2.0 + (k % 16) as f64, 10.1, 0.0, 0.3);
         }
-        enforce(&mut s, &p, &mut plunger);
+        enforce(&mut s, &p, &mut plunger, &mut BoundaryScratch::new());
         let var_u: f64 = s.u.iter().map(|u| u.to_f64().powi(2)).sum::<f64>() / s.len() as f64;
         let ratio = var_u / (sigma * sigma);
-        assert!((ratio - 4.0).abs() < 1.2, "T_wall = 4 T_inf: variance ratio {ratio}");
-        assert!(s.v.iter().all(|v| *v < Fx::ZERO), "emitted downward from the top wall");
+        assert!(
+            (ratio - 4.0).abs() < 1.2,
+            "T_wall = 4 T_inf: variance ratio {ratio}"
+        );
+        assert!(
+            s.v.iter().all(|v| *v < Fx::ZERO),
+            "emitted downward from the top wall"
+        );
     }
 }

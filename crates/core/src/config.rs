@@ -42,7 +42,11 @@ impl BodySpec {
     pub fn build(&self) -> Arc<dyn Body> {
         match *self {
             BodySpec::None => Arc::new(NoBody),
-            BodySpec::Wedge { x0, base, angle_deg } => Arc::new(Wedge::new(x0, base, angle_deg)),
+            BodySpec::Wedge {
+                x0,
+                base,
+                angle_deg,
+            } => Arc::new(Wedge::new(x0, base, angle_deg)),
             BodySpec::Step { x0, x1, h } => Arc::new(ForwardStep::new(x0, x1, h)),
             BodySpec::Plate { x0, h } => Arc::new(FlatPlate::new(x0, h)),
         }
@@ -105,6 +109,23 @@ pub enum WallModel {
     },
 }
 
+/// Which implementation of the hot loop drives each step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PipelineMode {
+    /// The zero-allocation pipeline (default): jittered pairs packed in
+    /// the cell sweep, radix rank whose final pass emits the router
+    /// addresses, scratch-owned boundary masks, grouped collision
+    /// traversals.  Steady-state steps perform no heap allocation in the
+    /// sort/send path.
+    Fused,
+    /// The pre-refactor pipeline, kept as the executable specification and
+    /// the A/B baseline: per-step key column + allocating
+    /// `sort_perm_by_key`, ten sequential column gathers, fresh boundary
+    /// masks every step, per-segment collision traversals.  Bit-identical
+    /// trajectories to [`PipelineMode::Fused`] for the same seed.
+    TwoStep,
+}
+
 /// Where the per-particle random bits come from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RngMode {
@@ -153,6 +174,8 @@ pub struct SimConfig {
     pub rounding: Rounding,
     /// Randomness source for the step loop.
     pub rng_mode: RngMode,
+    /// Sort → send implementation for the hot loop.
+    pub pipeline: PipelineMode,
     /// Molecular interaction model (the paper: Maxwell molecules).
     pub model: MolecularModel,
     /// Tunnel-wall interaction (the paper: specular; diffuse is the
@@ -185,6 +208,7 @@ impl SimConfig {
             jitter_bits: 8,
             rounding: Rounding::Stochastic,
             rng_mode: RngMode::Explicit,
+            pipeline: PipelineMode::Fused,
             model: MolecularModel::Maxwell,
             walls: WallModel::Specular,
             seed: 0xD5_4C_19_89,
@@ -224,6 +248,7 @@ impl SimConfig {
             jitter_bits: 6,
             rounding: Rounding::Stochastic,
             rng_mode: RngMode::Explicit,
+            pipeline: PipelineMode::Fused,
             model: MolecularModel::Maxwell,
             walls: WallModel::Specular,
             seed: 1,
@@ -337,9 +362,19 @@ mod tests {
     #[test]
     fn body_specs_build() {
         assert!(!BodySpec::None.build().contains_f64(1.0, 1.0));
-        let w = BodySpec::Wedge { x0: 5.0, base: 10.0, angle_deg: 30.0 }.build();
+        let w = BodySpec::Wedge {
+            x0: 5.0,
+            base: 10.0,
+            angle_deg: 30.0,
+        }
+        .build();
         assert!(w.contains_f64(10.0, 0.5));
-        let s = BodySpec::Step { x0: 2.0, x1: 4.0, h: 3.0 }.build();
+        let s = BodySpec::Step {
+            x0: 2.0,
+            x1: 4.0,
+            h: 3.0,
+        }
+        .build();
         assert!(s.contains_f64(3.0, 1.0));
         let p = BodySpec::Plate { x0: 6.0, h: 2.0 }.build();
         assert!(p.contains_f64(6.0, 1.0));

@@ -85,8 +85,7 @@ impl StepTimings {
         if self.steps == 0 || flow_particles == 0 {
             return 0.0;
         }
-        self.total_algorithmic().as_secs_f64() * 1e6
-            / (self.steps as f64 * flow_particles as f64)
+        self.total_algorithmic().as_secs_f64() * 1e6 / (self.steps as f64 * flow_particles as f64)
     }
 
     /// Reset all accumulators.

@@ -1,25 +1,53 @@
 //! The simulation driver: four data-parallel sub-steps per time step.
 
-use crate::boundary::{self, BoundaryParams};
+use crate::boundary::{self, BoundaryParams, BoundaryScratch};
 use crate::collide;
-use crate::config::{ResLayout, RngMode, SimConfig, WallModel};
+use crate::config::{PipelineMode, ResLayout, RngMode, SimConfig, WallModel};
 use crate::diag::{Diagnostics, StepTimings, Substep};
 use crate::init;
 use crate::motion;
 use crate::particles::ParticleStore;
 use crate::sample::{FieldAccumulator, SampledField};
-use crate::sortstep::{self, key_bits_for};
+use crate::sortstep::{self, key_bits_for, SortWorkspace};
 use dsmc_fixed::{Fx, Rounding};
-use dsmc_geom::{Body, Plunger, Tunnel};
+use dsmc_geom::{Body, FlatPlate, ForwardStep, NoBody, Plunger, Tunnel, Wedge};
 use dsmc_kinetics::{FreeStream, SelectionTable};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Concrete body shape for the monomorphised boundary pass: resolving a
+/// particle against the body inlines into the per-particle loop instead
+/// of dispatching through the `dyn Body` vtable 10⁵ times a step.
+#[derive(Clone, Debug)]
+enum MonoBody {
+    None(NoBody),
+    Wedge(Wedge),
+    Step(ForwardStep),
+    Plate(FlatPlate),
+}
+
+impl MonoBody {
+    fn build(spec: &crate::config::BodySpec) -> Self {
+        use crate::config::BodySpec;
+        match *spec {
+            BodySpec::None => MonoBody::None(NoBody),
+            BodySpec::Wedge {
+                x0,
+                base,
+                angle_deg,
+            } => MonoBody::Wedge(Wedge::new(x0, base, angle_deg)),
+            BodySpec::Step { x0, x1, h } => MonoBody::Step(ForwardStep::new(x0, x1, h)),
+            BodySpec::Plate { x0, h } => MonoBody::Plate(FlatPlate::new(x0, h)),
+        }
+    }
+}
 
 /// A running particle simulation (the paper's full wind-tunnel system).
 pub struct Simulation {
     cfg: SimConfig,
     tunnel: Tunnel,
     body: Arc<dyn Body>,
+    body_mono: MonoBody,
     fs: FreeStream,
     sel: SelectionTable,
     volumes: Vec<f64>,
@@ -35,6 +63,8 @@ pub struct Simulation {
     decisions: Vec<u8>,
     bounds: Vec<u32>,
     order: Vec<u32>,
+    sort_ws: SortWorkspace,
+    boundary_scratch: BoundaryScratch,
     timings: StepTimings,
     sampler: Option<FieldAccumulator>,
     steps: u64,
@@ -51,6 +81,7 @@ impl Simulation {
         let cfg = cfg.validated();
         let tunnel = Tunnel::new(cfg.tunnel_w, cfg.tunnel_h);
         let body = cfg.body.build();
+        let body_mono = MonoBody::build(&cfg.body);
         let fs = cfg.freestream();
         let res = ResLayout::for_cells(cfg.reservoir_cells);
         let volumes = init::cell_volumes(&tunnel, body.as_ref(), res);
@@ -76,6 +107,7 @@ impl Simulation {
             cfg,
             tunnel,
             body,
+            body_mono,
             fs,
             sel,
             volumes,
@@ -86,6 +118,8 @@ impl Simulation {
             decisions: Vec::with_capacity(n),
             bounds: Vec::new(),
             order: Vec::new(),
+            sort_ws: SortWorkspace::new(),
+            boundary_scratch: BoundaryScratch::new(),
             timings: StepTimings::default(),
             sampler: None,
             steps: 0,
@@ -100,18 +134,71 @@ impl Simulation {
         sim
     }
 
+    /// Sub-step 2 with a concrete body type, so `resolve` inlines into the
+    /// per-particle loop.
+    fn boundary_phase<B: Body + ?Sized>(&mut self, body: &B) -> boundary::BoundaryOutcome {
+        let u_drift = Fx::from_f64(self.fs.u_inf());
+        let rect_half_raw = Fx::from_f64(self.fs.sigma() * 3f64.sqrt()).raw();
+        let sigma_wall_raw = match self.cfg.walls {
+            WallModel::Specular => 0,
+            WallModel::Diffuse { t_wall } => Fx::from_f64(self.fs.sigma() * t_wall.sqrt()).raw(),
+        };
+        let params = BoundaryParams {
+            tunnel: &self.tunnel,
+            body,
+            res_base: self.res_base,
+            res: self.res,
+            u_drift,
+            rect_half_raw,
+            n_inf: self.cfg.n_per_cell,
+            walls: self.cfg.walls,
+            sigma_wall_raw,
+        };
+        match self.cfg.pipeline {
+            PipelineMode::Fused => boundary::enforce(
+                &mut self.parts,
+                &params,
+                &mut self.plunger,
+                &mut self.boundary_scratch,
+            ),
+            // Pre-refactor behaviour: fresh mask buffers every step.
+            PipelineMode::TwoStep => boundary::enforce(
+                &mut self.parts,
+                &params,
+                &mut self.plunger,
+                &mut BoundaryScratch::new(),
+            ),
+        }
+    }
+
     fn sort_phase(&mut self) {
-        let out = sortstep::sort_particles(
-            &mut self.parts,
-            &self.tunnel,
-            self.res_base,
-            self.res,
-            self.cfg.jitter_bits,
-            self.key_bits,
-            self.rng_mode,
-        );
-        self.bounds = out.bounds;
-        self.order = out.order;
+        match self.cfg.pipeline {
+            PipelineMode::Fused => sortstep::sort_particles_fused(
+                &mut self.parts,
+                &self.tunnel,
+                self.res_base,
+                self.res,
+                self.cfg.jitter_bits,
+                self.key_bits,
+                self.rng_mode,
+                &mut self.sort_ws,
+                &mut self.bounds,
+                &mut self.order,
+            ),
+            PipelineMode::TwoStep => {
+                let out = sortstep::sort_particles(
+                    &mut self.parts,
+                    &self.tunnel,
+                    self.res_base,
+                    self.res,
+                    self.cfg.jitter_bits,
+                    self.key_bits,
+                    self.rng_mode,
+                );
+                self.bounds = out.bounds;
+                self.order = out.order;
+            }
+        }
     }
 
     /// Advance one time step (the paper's four sub-steps, plus sampling if
@@ -122,28 +209,24 @@ impl Simulation {
         motion::advect(&mut self.parts, self.res_base, self.res_w_fx, self.res_h_fx);
         self.timings.add(Substep::Motion, t.elapsed());
 
-        // 2) Boundary conditions.
+        // 2) Boundary conditions (monomorphised per body shape; the
+        // pre-refactor pipeline keeps the seed's vtable dispatch).
         let t = Instant::now();
-        let u_drift = Fx::from_f64(self.fs.u_inf());
-        let rect_half_raw = Fx::from_f64(self.fs.sigma() * 3f64.sqrt()).raw();
-        let sigma_wall_raw = match self.cfg.walls {
-            WallModel::Specular => 0,
-            WallModel::Diffuse { t_wall } => {
-                Fx::from_f64(self.fs.sigma() * t_wall.sqrt()).raw()
+        let out = match self.cfg.pipeline {
+            PipelineMode::Fused => {
+                let mono = self.body_mono.clone();
+                match &mono {
+                    MonoBody::None(b) => self.boundary_phase(b),
+                    MonoBody::Wedge(b) => self.boundary_phase(b),
+                    MonoBody::Step(b) => self.boundary_phase(b),
+                    MonoBody::Plate(b) => self.boundary_phase(b),
+                }
+            }
+            PipelineMode::TwoStep => {
+                let body = Arc::clone(&self.body);
+                self.boundary_phase(body.as_ref())
             }
         };
-        let params = BoundaryParams {
-            tunnel: &self.tunnel,
-            body: self.body.as_ref(),
-            res_base: self.res_base,
-            res: self.res,
-            u_drift,
-            rect_half_raw,
-            n_inf: self.cfg.n_per_cell,
-            walls: self.cfg.walls,
-            sigma_wall_raw,
-        };
-        let out = boundary::enforce(&mut self.parts, &params, &mut self.plunger);
         self.exited += out.exited as u64;
         self.introduced += out.introduced as u64;
         self.plunger_cycles += out.withdrew as u64;
@@ -154,29 +237,65 @@ impl Simulation {
         self.sort_phase();
         self.timings.add(Substep::Sort, t.elapsed());
 
-        // 3b) Selection of collision partners.
-        let t = Instant::now();
-        let cand = collide::select_pairs(
-            &mut self.parts,
-            &self.bounds,
-            &self.sel,
-            self.rng_mode,
-            &mut self.decisions,
-        );
-        self.candidates += cand;
-        self.timings.add(Substep::Select, t.elapsed());
+        // 3b + 4) Selection and collision of partners.  The fused pipeline
+        // runs both in one traversal per run of cells (columns stay
+        // cache-hot between the sub-loops, which time themselves to keep
+        // the paper's select/collide split); the pre-refactor pipeline
+        // keeps the two separate whole-population phases.
+        match self.cfg.pipeline {
+            PipelineMode::Fused => {
+                let t = Instant::now();
+                let out = collide::select_and_collide(
+                    &mut self.parts,
+                    &self.bounds,
+                    &self.sel,
+                    self.rounding,
+                    self.rng_mode,
+                    &mut self.decisions,
+                );
+                let wall = t.elapsed();
+                self.candidates += out.stats.candidates;
+                self.collisions += out.stats.collisions;
+                // `out.select`/`out.collide` are per-run durations summed
+                // across worker threads — CPU time, not wall time.  Keep
+                // the buckets wall-clock-comparable with every other
+                // substep by splitting the phase's wall time in their
+                // proportion (exact on one thread, an attribution estimate
+                // on many).
+                let cpu_total = out.select + out.collide;
+                let select_wall = if cpu_total.is_zero() {
+                    wall / 2
+                } else {
+                    wall.mul_f64(out.select.as_secs_f64() / cpu_total.as_secs_f64())
+                };
+                self.timings.add(Substep::Select, select_wall);
+                self.timings
+                    .add(Substep::Collide, wall.saturating_sub(select_wall));
+            }
+            PipelineMode::TwoStep => {
+                let t = Instant::now();
+                let cand = collide::select_pairs(
+                    &mut self.parts,
+                    &self.bounds,
+                    &self.sel,
+                    self.rng_mode,
+                    &mut self.decisions,
+                );
+                self.candidates += cand;
+                self.timings.add(Substep::Select, t.elapsed());
 
-        // 4) Collision of selected partners.
-        let t = Instant::now();
-        let cols = collide::collide_selected(
-            &mut self.parts,
-            &self.bounds,
-            &self.decisions,
-            self.rounding,
-            self.rng_mode,
-        );
-        self.collisions += cols;
-        self.timings.add(Substep::Collide, t.elapsed());
+                let t = Instant::now();
+                let cols = collide::collide_selected(
+                    &mut self.parts,
+                    &self.bounds,
+                    &self.decisions,
+                    self.rounding,
+                    self.rng_mode,
+                );
+                self.collisions += cols;
+                self.timings.add(Substep::Collide, t.elapsed());
+            }
+        }
 
         // Optional sampling pass.
         if let Some(sampler) = self.sampler.as_mut() {
@@ -198,10 +317,7 @@ impl Simulation {
 
     /// Open a sampling window (subsequent steps accumulate fields).
     pub fn begin_sampling(&mut self) {
-        self.sampler = Some(FieldAccumulator::new(
-            self.tunnel.width,
-            self.tunnel.height,
-        ));
+        self.sampler = Some(FieldAccumulator::new(self.tunnel.width, self.tunnel.height));
     }
 
     /// Close the sampling window and return the averaged fields.
@@ -219,14 +335,14 @@ impl Simulation {
         )
     }
 
-    /// Current physical ledgers (O(N): computed on demand).
+    /// Current physical ledgers.
+    ///
+    /// Population counts come from a binary search over the sorted segment
+    /// bounds (flow cells sort before reservoir cells), so `n_flow` costs
+    /// O(log segments) instead of an O(N) scan of the cell column; the
+    /// energy/momentum totals remain O(N) exact sums.
     pub fn diagnostics(&self) -> Diagnostics {
-        let n_flow = self
-            .parts
-            .cell
-            .iter()
-            .filter(|&&c| c < self.res_base)
-            .count();
+        let n_flow = self.n_flow();
         Diagnostics {
             steps: self.steps,
             n_flow,
@@ -241,9 +357,35 @@ impl Simulation {
         }
     }
 
+    /// Particles currently in the flow: the start of the first reservoir
+    /// segment in the sorted bounds (O(log segments)).
+    pub fn n_flow(&self) -> usize {
+        let n_seg = self.bounds.len().saturating_sub(1);
+        let first_res = self.bounds[..n_seg]
+            .partition_point(|&start| self.parts.cell[start as usize] < self.res_base);
+        self.bounds
+            .get(first_res)
+            .map_or(self.parts.len(), |&b| b as usize)
+    }
+
     /// Accumulated per-substep wall-clock timings.
     pub fn timings(&self) -> &StepTimings {
         &self.timings
+    }
+
+    /// Capacities of every buffer the sort/send hot path owns, in a fixed
+    /// order.  The zero-allocation test asserts these are stable across
+    /// steps once the simulation has warmed up.
+    pub fn hot_path_capacities(&self) -> Vec<usize> {
+        let mut caps = vec![
+            self.decisions.capacity(),
+            self.bounds.capacity(),
+            self.order.capacity(),
+        ];
+        caps.extend(self.sort_ws.capacities());
+        caps.extend(self.boundary_scratch.capacities());
+        caps.extend(self.parts.back_buffer_capacities());
+        caps
     }
 
     /// Reset the timing accumulators (e.g. after warm-up).
@@ -326,7 +468,11 @@ mod tests {
         let mut sim = Simulation::new(SimConfig::small_test());
         let n0 = sim.n_particles();
         sim.run(100);
-        assert_eq!(sim.n_particles(), n0, "particles are never created/destroyed");
+        assert_eq!(
+            sim.n_particles(),
+            n0,
+            "particles are never created/destroyed"
+        );
     }
 
     #[test]
@@ -379,9 +525,7 @@ mod tests {
         assert!(d.plunger_cycles > 0, "plunger must cycle");
         assert!(d.introduced > 0, "inlet must introduce particles");
         // Inflow and outflow balance to within a plunger batch.
-        let batch = (sim.cfg.n_per_cell
-            * sim.cfg.plunger_trigger
-            * sim.cfg.tunnel_h as f64) as i64;
+        let batch = (sim.cfg.n_per_cell * sim.cfg.plunger_trigger * sim.cfg.tunnel_h as f64) as i64;
         assert!(
             (d.introduced as i64 - d.exited as i64).abs() <= 2 * batch,
             "imbalance: in {} out {}",

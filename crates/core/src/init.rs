@@ -22,7 +22,7 @@ pub fn cell_volumes(tunnel: &Tunnel, body: &dyn Body, res: ResLayout) -> Vec<f64
             v.push(body.free_volume_fraction(ix, iy));
         }
     }
-    v.extend(std::iter::repeat(1.0).take(res.total() as usize));
+    v.extend(std::iter::repeat_n(1.0, res.total() as usize));
     v
 }
 
@@ -110,11 +110,15 @@ mod tests {
         let cfg = SimConfig::small_wedge(0.5).validated();
         let tunnel = Tunnel::new(cfg.tunnel_w, cfg.tunnel_h);
         let body = cfg.body.build();
-        let v = cell_volumes(&tunnel, body.as_ref(), ResLayout::for_cells(cfg.reservoir_cells));
+        let v = cell_volumes(
+            &tunnel,
+            body.as_ref(),
+            ResLayout::for_cells(cfg.reservoir_cells),
+        );
         assert_eq!(
             v.len(),
-            (cfg.tunnel_w * cfg.tunnel_h
-                + ResLayout::for_cells(cfg.reservoir_cells).total()) as usize
+            (cfg.tunnel_w * cfg.tunnel_h + ResLayout::for_cells(cfg.reservoir_cells).total())
+                as usize
         );
         // Far-field cell fully free; reservoir cells fully free.
         assert_eq!(v[0], 1.0);
@@ -130,7 +134,11 @@ mod tests {
         let tunnel = Tunnel::new(cfg.tunnel_w, cfg.tunnel_h);
         let body = cfg.body.build();
         let fs = cfg.freestream();
-        let volumes = cell_volumes(&tunnel, body.as_ref(), ResLayout::for_cells(cfg.reservoir_cells));
+        let volumes = cell_volumes(
+            &tunnel,
+            body.as_ref(),
+            ResLayout::for_cells(cfg.reservoir_cells),
+        );
         let parts = populate(&cfg, &tunnel, body.as_ref(), &fs, &volumes);
         let res_base = tunnel.n_cells();
         let n_flow = parts.cell.iter().filter(|&&c| c < res_base).count();
@@ -139,8 +147,8 @@ mod tests {
         assert_eq!(n_flow, (cfg.n_per_cell * free).round() as usize);
         assert_eq!(
             n_res,
-            (cfg.reservoir_fill * ResLayout::for_cells(cfg.reservoir_cells).total() as f64)
-                .round() as usize
+            (cfg.reservoir_fill * ResLayout::for_cells(cfg.reservoir_cells).total() as f64).round()
+                as usize
         );
         // No particle starts inside the body.
         for i in 0..parts.len() {
@@ -157,7 +165,11 @@ mod tests {
         let tunnel = Tunnel::new(cfg.tunnel_w, cfg.tunnel_h);
         let body = BodySpec::None.build();
         let fs = cfg.freestream();
-        let volumes = cell_volumes(&tunnel, body.as_ref(), ResLayout::for_cells(cfg.reservoir_cells));
+        let volumes = cell_volumes(
+            &tunnel,
+            body.as_ref(),
+            ResLayout::for_cells(cfg.reservoir_cells),
+        );
         let a = populate(&cfg, &tunnel, body.as_ref(), &fs, &volumes);
         let b = populate(&cfg, &tunnel, body.as_ref(), &fs, &volumes);
         assert_eq!(a.x, b.x);
@@ -178,12 +190,20 @@ mod tests {
         let tunnel = Tunnel::new(cfg.tunnel_w, cfg.tunnel_h);
         let body = BodySpec::None.build();
         let fs = cfg.freestream();
-        let volumes = cell_volumes(&tunnel, body.as_ref(), ResLayout::for_cells(cfg.reservoir_cells));
+        let volumes = cell_volumes(
+            &tunnel,
+            body.as_ref(),
+            ResLayout::for_cells(cfg.reservoir_cells),
+        );
         let parts = populate(&cfg, &tunnel, body.as_ref(), &fs, &volumes);
         let (mean_u, var_u, _) =
             dsmc_kinetics::sampling::moments(parts.u.iter().map(|u| u.to_f64()));
         assert!((mean_u - fs.u_inf()).abs() < 0.003, "drift {mean_u}");
         let s2 = fs.sigma() * fs.sigma();
-        assert!((var_u / s2 - 1.0).abs() < 0.05, "variance ratio {}", var_u / s2);
+        assert!(
+            (var_u / s2 - 1.0).abs() < 0.05,
+            "variance ratio {}",
+            var_u / s2
+        );
     }
 }

@@ -47,7 +47,7 @@ pub mod particles;
 pub mod sample;
 pub mod sortstep;
 
-pub use config::{BodySpec, RngMode, SimConfig};
+pub use config::{BodySpec, PipelineMode, RngMode, SimConfig};
 pub use diag::{Diagnostics, StepTimings, Substep};
 pub use engine::Simulation;
 pub use sample::SampledField;

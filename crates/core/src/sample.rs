@@ -52,6 +52,7 @@ impl FieldAccumulator {
 
     /// Accumulate one (sorted) step.  `bounds` are the segment bounds of
     /// the sorted store; reservoir segments are skipped.
+    #[allow(clippy::type_complexity)]
     pub fn accumulate(&mut self, parts: &ParticleStore, bounds: &[u32], res_base: u32) {
         self.steps += 1;
         // One task per cell; each writes its own accumulator slot, so the
@@ -69,7 +70,8 @@ impl FieldAccumulator {
                 RoCol(parts.r2.as_slice()),
             ),
             bounds,
-            &|_s, (cell, u, v, w, r1, r2): (
+            &|_s,
+              (cell, u, v, w, r1, r2): (
                 RoCol<u32>,
                 RoCol<Fx>,
                 RoCol<Fx>,
@@ -142,12 +144,10 @@ impl FieldAccumulator {
                 ux[c] = mu;
                 uy[c] = mv;
                 // ⟨c²⟩ in physical units: e_trans·2^ESHIFT / cnt / 2^46.
-                let c2t = self.e_trans[c].load(Ordering::Relaxed) as f64
-                    * (1u64 << ESHIFT) as f64
+                let c2t = self.e_trans[c].load(Ordering::Relaxed) as f64 * (1u64 << ESHIFT) as f64
                     / cnt
                     / (one * one);
-                let c2r = self.e_rot[c].load(Ordering::Relaxed) as f64
-                    * (1u64 << ESHIFT) as f64
+                let c2r = self.e_rot[c].load(Ordering::Relaxed) as f64 * (1u64 << ESHIFT) as f64
                     / cnt
                     / (one * one);
                 let s2 = sigma_inf * sigma_inf;
@@ -315,13 +315,24 @@ mod tests {
         let n = 20_000;
         for _ in 0..n {
             let vel = dsmc_kinetics::sampling::maxwellian_5(&fs, &mut rng);
-            s.push(fx(0.5), fx(0.5), vel, Perm5::IDENTITY, XorShift32::new(1), 0);
+            s.push(
+                fx(0.5),
+                fx(0.5),
+                vel,
+                Perm5::IDENTITY,
+                XorShift32::new(1),
+                0,
+            );
         }
         let bounds = vec![0, n as u32];
         let mut acc = FieldAccumulator::new(1, 1);
         acc.accumulate(&s, &bounds, u32::MAX);
         let f = acc.finish(n as f64, &[1.0], sigma);
-        assert!((f.t_trans[0] - 1.0).abs() < 0.03, "t_trans = {}", f.t_trans[0]);
+        assert!(
+            (f.t_trans[0] - 1.0).abs() < 0.03,
+            "t_trans = {}",
+            f.t_trans[0]
+        );
         assert!((f.t_rot[0] - 1.0).abs() < 0.03, "t_rot = {}", f.t_rot[0]);
     }
 }

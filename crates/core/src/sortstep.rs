@@ -10,11 +10,14 @@
 
 use crate::config::{ResLayout, RngMode};
 use crate::particles::ParticleStore;
-use dsmc_datapar::{segment_bounds_from_sorted, sort_perm_by_key};
+use dsmc_datapar::{
+    pack_pair, segment_bounds_from_sorted_into, sort_order_and_bounds_from_pairs,
+    sort_order_from_pairs, sort_perm_by_key, BoundsScratch, SortScratch, PAR_THRESHOLD,
+};
 use dsmc_geom::Tunnel;
 use rayon::prelude::*;
 
-/// Result of the sort phase.
+/// Result of the (allocating, two-step) sort phase.
 #[derive(Clone, Debug, Default)]
 pub struct SortOutput {
     /// Segment bounds over the sorted `cell` column (one segment per
@@ -25,8 +28,174 @@ pub struct SortOutput {
     pub order: Vec<u32>,
 }
 
-/// Recompute cell indices from positions, build jittered sort keys, sort,
-/// and re-order the store.
+/// Caller-owned working state of the fused sort phase: the radix sort's
+/// pair and histogram buffers plus the bounds extraction table.  Owned by
+/// `Simulation` so repeated steps reuse every byte.
+#[derive(Debug, Default)]
+pub struct SortWorkspace {
+    radix: SortScratch,
+    bounds: BoundsScratch,
+}
+
+impl SortWorkspace {
+    /// Fresh, empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Capacities of the owned buffers `[pairs, pong, hists, offsets,
+    /// bounds-scratch]` — asserted stable by the zero-allocation tests.
+    pub fn capacities(&self) -> [usize; 5] {
+        let [pairs, pong, hists, offsets] = self.radix.capacities();
+        [pairs, pong, hists, offsets, self.bounds.capacity()]
+    }
+}
+
+/// The per-particle jittered sort key: scaled cell index plus random
+/// low bits ("a random number less than the scale factor is added").
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn jittered_key(
+    cell: &mut u32,
+    x: dsmc_fixed::Fx,
+    y: dsmc_fixed::Fx,
+    u: dsmc_fixed::Fx,
+    rng: &mut dsmc_rng::XorShift32,
+    tunnel: &Tunnel,
+    res_base: u32,
+    res: ResLayout,
+    jitter_bits: u32,
+    rng_mode: RngMode,
+) -> u32 {
+    let c = if *cell >= res_base {
+        res_base + res.cell(x, y)
+    } else {
+        tunnel.cell_index(x, y)
+    };
+    *cell = c;
+    let jitter = if jitter_bits == 0 {
+        0
+    } else {
+        match rng_mode {
+            RngMode::Explicit => rng.next_bits(jitter_bits),
+            // "it is used during the sort to enhance mixing":
+            // low-order position/velocity bits as the jitter.
+            RngMode::DirtyBits => {
+                (x.raw() as u32 ^ (u.raw() as u32).rotate_left(5)) & ((1 << jitter_bits) - 1)
+            }
+        }
+    };
+    (c << jitter_bits) | jitter
+}
+
+/// Refresh cell indices from positions and pack the `(key, index)` pair
+/// words for the rank, in one elementwise sweep (all VPs active).  The
+/// fused path never materialises a separate key column.
+#[allow(clippy::too_many_arguments)]
+fn build_pairs(
+    parts: &mut ParticleStore,
+    tunnel: &Tunnel,
+    res_base: u32,
+    res: ResLayout,
+    jitter_bits: u32,
+    rng_mode: RngMode,
+    pairs: &mut [u64],
+) {
+    let xs = &parts.x;
+    let ys = &parts.y;
+    let us = &parts.u;
+    let fill = |i: usize, pair: &mut u64, cell: &mut u32, rng: &mut dsmc_rng::XorShift32| {
+        let key = jittered_key(
+            cell,
+            xs[i],
+            ys[i],
+            us[i],
+            rng,
+            tunnel,
+            res_base,
+            res,
+            jitter_bits,
+            rng_mode,
+        );
+        *pair = pack_pair(key, i);
+    };
+    if parts.len() < PAR_THRESHOLD {
+        for (i, (pair, (cell, rng))) in pairs
+            .iter_mut()
+            .zip(parts.cell.iter_mut().zip(parts.rng.iter_mut()))
+            .enumerate()
+        {
+            fill(i, pair, cell, rng);
+        }
+    } else {
+        pairs
+            .par_iter_mut()
+            .zip(parts.cell.par_iter_mut())
+            .zip(parts.rng.par_iter_mut())
+            .enumerate()
+            .for_each(|(i, ((pair, cell), rng))| fill(i, pair, cell, rng));
+    }
+}
+
+/// The steady-state sort phase: recompute cell indices, pack jittered
+/// `(key, index)` pairs, rank them (the final radix pass emits the router
+/// addresses straight into `order`), and send all ten particle columns
+/// through those addresses in one parallel pass.  `bounds` and `order`
+/// are filled in place; with a warmed `ws` the whole phase performs no
+/// heap allocation.
+///
+/// `key_bits` callers compute once from the cell count and jitter width via
+/// [`key_bits_for`].
+#[allow(clippy::too_many_arguments)]
+pub fn sort_particles_fused(
+    parts: &mut ParticleStore,
+    tunnel: &Tunnel,
+    res_base: u32,
+    res: ResLayout,
+    jitter_bits: u32,
+    key_bits: u32,
+    rng_mode: RngMode,
+    ws: &mut SortWorkspace,
+    bounds: &mut Vec<u32>,
+    order: &mut Vec<u32>,
+) {
+    let n = parts.len();
+    build_pairs(
+        parts,
+        tunnel,
+        res_base,
+        res,
+        jitter_bits,
+        rng_mode,
+        ws.radix.input_pairs(n),
+    );
+    // Rank with the (jitter passes, cell pass) digit split: the cell
+    // pass's histogram doubles as the per-cell population table, so the
+    // segment bounds come out of the sort itself.  Falls back to the
+    // generic rank plus a bounds sweep for out-of-range cell widths.
+    let cell_bits = key_bits - jitter_bits;
+    let have_bounds =
+        sort_order_and_bounds_from_pairs(cell_bits, jitter_bits, &mut ws.radix, order, bounds);
+    if !have_bounds {
+        sort_order_from_pairs(key_bits, &mut ws.radix, order);
+    }
+    // The send: ten column gathers through the freshly-emitted addresses.
+    // The rotating back buffer makes each gather's destination the pages
+    // just read as the previous column's source — L2-hot writes, measured
+    // faster here than the one-launch task grid of
+    // [`ParticleStore::apply_order_fused`] (see dsmc-datapar's sort docs).
+    parts.apply_order(order);
+    if !have_bounds {
+        segment_bounds_from_sorted_into(&parts.cell, bounds, &mut ws.bounds);
+    }
+}
+
+/// The two-step reference sort phase (the pre-refactor pipeline): build a
+/// key column, materialise the permutation with [`sort_perm_by_key`], then
+/// gather the ten columns one at a time.  Identical results to
+/// [`sort_particles_fused`] for identical inputs — the integration
+/// property tests assert it — but allocates per call and makes ten
+/// sequential passes where the fused path makes one.
 ///
 /// `key_bits` callers compute once from the cell count and jitter width via
 /// [`key_bits_for`].
@@ -41,45 +210,32 @@ pub fn sort_particles(
 ) -> SortOutput {
     let n = parts.len();
     let mut keys = vec![0u32; n];
-
-    // Fused cell-index + key pass (one elementwise sweep, all VPs active).
     {
         let xs = &parts.x;
         let ys = &parts.y;
         let us = &parts.u;
         keys.par_iter_mut()
             .zip(parts.cell.par_iter_mut())
-            .zip(xs.par_iter())
-            .zip(ys.par_iter())
-            .zip(us.par_iter())
             .zip(parts.rng.par_iter_mut())
-            .for_each(|(((((key, cell), &x), &y), &u), rng)| {
-                let c = if *cell >= res_base {
-                    res_base + res.cell(x, y)
-                } else {
-                    tunnel.cell_index(x, y)
-                };
-                *cell = c;
-                let jitter = if jitter_bits == 0 {
-                    0
-                } else {
-                    match rng_mode {
-                        RngMode::Explicit => rng.next_bits(jitter_bits),
-                        // "it is used during the sort to enhance mixing":
-                        // low-order position/velocity bits as the jitter.
-                        RngMode::DirtyBits => {
-                            (x.raw() as u32 ^ (u.raw() as u32).rotate_left(5))
-                                & ((1 << jitter_bits) - 1)
-                        }
-                    }
-                };
-                *key = (c << jitter_bits) | jitter;
+            .enumerate()
+            .for_each(|(i, ((key, cell), rng))| {
+                *key = jittered_key(
+                    cell,
+                    xs[i],
+                    ys[i],
+                    us[i],
+                    rng,
+                    tunnel,
+                    res_base,
+                    res,
+                    jitter_bits,
+                    rng_mode,
+                );
             });
     }
-
     let order = sort_perm_by_key(&keys, key_bits);
     parts.apply_order(&order);
-    let bounds = segment_bounds_from_sorted(&parts.cell);
+    let bounds = dsmc_datapar::segment_bounds_from_sorted(&parts.cell);
     SortOutput { bounds, order }
 }
 
@@ -124,15 +280,22 @@ mod tests {
         assert_eq!(key_bits_for(2, 0), 1);
         // The paper's grid: 98·64 + reservoir ≈ 6872 cells, 8 jitter bits.
         let kb = key_bits_for(6872, 8);
-        assert!(kb >= 21 && kb <= 23, "kb = {kb}");
+        assert!((21..=23).contains(&kb), "kb = {kb}");
     }
 
     #[test]
     fn sort_groups_cells_contiguously() {
         let tunnel = Tunnel::new(12, 9);
         let mut s = store(4000, &tunnel, 3);
-        let out = sort_particles(&mut s, &tunnel, tunnel.n_cells(), ResLayout::for_cells(16), 6,
-            key_bits_for(tunnel.n_cells() + 16, 6), RngMode::Explicit);
+        let out = sort_particles(
+            &mut s,
+            &tunnel,
+            tunnel.n_cells(),
+            ResLayout::for_cells(16),
+            6,
+            key_bits_for(tunnel.n_cells() + 16, 6),
+            RngMode::Explicit,
+        );
         // Cells non-decreasing.
         for w in s.cell.windows(2) {
             assert!(w[0] <= w[1], "cells must be sorted");
@@ -161,8 +324,15 @@ mod tests {
             s.x[i] = fx((i % 4) as f64 + 0.5);
             s.y[i] = fx(0.5);
         }
-        sort_particles(&mut s, &tunnel, res_base, ResLayout::for_cells(8), 4,
-            key_bits_for(res_base + 8, 4), RngMode::Explicit);
+        sort_particles(
+            &mut s,
+            &tunnel,
+            res_base,
+            ResLayout::for_cells(8),
+            4,
+            key_bits_for(res_base + 8, 4),
+            RngMode::Explicit,
+        );
         let first_res = s.cell.iter().position(|&c| c >= res_base).unwrap();
         assert!(s.cell[first_res..].iter().all(|&c| c >= res_base));
         assert!(s.cell[..first_res].iter().all(|&c| c < res_base));
@@ -180,23 +350,61 @@ mod tests {
                 fx(1.5),
                 fx(1.5),
                 // Tag particles by a distinguishable velocity.
-                [Fx::from_raw(i as i32), Fx::ZERO, Fx::ZERO, Fx::ZERO, Fx::ZERO],
+                [
+                    Fx::from_raw(i as i32),
+                    Fx::ZERO,
+                    Fx::ZERO,
+                    Fx::ZERO,
+                    Fx::ZERO,
+                ],
                 Perm5::IDENTITY,
                 XorShift32::new(i + 1),
                 0,
             );
         }
         let kb = key_bits_for(tunnel.n_cells() + 4, 8);
-        sort_particles(&mut s, &tunnel, tunnel.n_cells(), ResLayout::for_cells(4), 8, kb, RngMode::Explicit);
+        sort_particles(
+            &mut s,
+            &tunnel,
+            tunnel.n_cells(),
+            ResLayout::for_cells(4),
+            8,
+            kb,
+            RngMode::Explicit,
+        );
         let order1: Vec<i32> = s.u.iter().map(|u| u.raw()).collect();
-        sort_particles(&mut s, &tunnel, tunnel.n_cells(), ResLayout::for_cells(4), 8, kb, RngMode::Explicit);
+        sort_particles(
+            &mut s,
+            &tunnel,
+            tunnel.n_cells(),
+            ResLayout::for_cells(4),
+            8,
+            kb,
+            RngMode::Explicit,
+        );
         let order2: Vec<i32> = s.u.iter().map(|u| u.raw()).collect();
         assert_ne!(order1, order2, "jitter must re-mix the cell");
         // Without jitter, the stable sort preserves order exactly.
         let kb0 = key_bits_for(tunnel.n_cells() + 4, 0);
-        sort_particles(&mut s, &tunnel, tunnel.n_cells(), ResLayout::for_cells(4), 0, kb0, RngMode::Explicit);
+        sort_particles(
+            &mut s,
+            &tunnel,
+            tunnel.n_cells(),
+            ResLayout::for_cells(4),
+            0,
+            kb0,
+            RngMode::Explicit,
+        );
         let order3: Vec<i32> = s.u.iter().map(|u| u.raw()).collect();
-        sort_particles(&mut s, &tunnel, tunnel.n_cells(), ResLayout::for_cells(4), 0, kb0, RngMode::Explicit);
+        sort_particles(
+            &mut s,
+            &tunnel,
+            tunnel.n_cells(),
+            ResLayout::for_cells(4),
+            0,
+            kb0,
+            RngMode::Explicit,
+        );
         let order4: Vec<i32> = s.u.iter().map(|u| u.raw()).collect();
         assert_eq!(order3, order4, "stable sort without jitter is idempotent");
     }
@@ -210,20 +418,42 @@ mod tests {
             s.push(
                 fx(1.0 + rng.next_f64().min(0.999)),
                 fx(1.5),
-                [Fx::from_raw(rng.next_u32() as i32 >> 10), Fx::ZERO, Fx::ZERO, Fx::ZERO, Fx::ZERO],
+                [
+                    Fx::from_raw(rng.next_u32() as i32 >> 10),
+                    Fx::ZERO,
+                    Fx::ZERO,
+                    Fx::ZERO,
+                    Fx::ZERO,
+                ],
                 Perm5::IDENTITY,
                 XorShift32::new(i + 1),
                 0,
             );
         }
         let kb = key_bits_for(tunnel.n_cells() + 4, 8);
-        sort_particles(&mut s, &tunnel, tunnel.n_cells(), ResLayout::for_cells(4), 8, kb, RngMode::DirtyBits);
+        sort_particles(
+            &mut s,
+            &tunnel,
+            tunnel.n_cells(),
+            ResLayout::for_cells(4),
+            8,
+            kb,
+            RngMode::DirtyBits,
+        );
         let o1: Vec<i32> = s.u.iter().map(|u| u.raw()).collect();
         // Perturb positions slightly (as motion would) and re-sort.
         for x in s.x.iter_mut() {
             *x += Fx::from_raw(1023);
         }
-        sort_particles(&mut s, &tunnel, tunnel.n_cells(), ResLayout::for_cells(4), 8, kb, RngMode::DirtyBits);
+        sort_particles(
+            &mut s,
+            &tunnel,
+            tunnel.n_cells(),
+            ResLayout::for_cells(4),
+            8,
+            kb,
+            RngMode::DirtyBits,
+        );
         let o2: Vec<i32> = s.u.iter().map(|u| u.raw()).collect();
         assert_ne!(o1, o2, "dirty-bit jitter should re-mix after motion");
     }

@@ -42,9 +42,12 @@ pub const PAR_THRESHOLD: usize = 1 << 14;
 pub use gather::{apply_perm, gather_u32, invert_perm, scatter_u32};
 pub use pack::{pack_indices, partition_stable_indices};
 pub use scan::{scan_add_exclusive_u32, scan_add_inclusive_u32, scan_max_inclusive_u32};
-pub use segments::par_segments_mut;
+pub use segments::{par_segment_runs_mut, par_segments_mut};
 pub use segscan::{
     cell_counts_from_sorted, head_flags_from_sorted, segment_bounds_from_sorted,
-    segmented_broadcast_count,
+    segment_bounds_from_sorted_into, segmented_broadcast_count, BoundsScratch,
 };
-pub use sort::sort_perm_by_key;
+pub use sort::{
+    pack_pair, sort_order_and_bounds_from_pairs, sort_order_by_key, sort_order_from_pairs,
+    sort_perm_by_key, DisjointWrites, SortScratch,
+};

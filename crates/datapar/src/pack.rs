@@ -62,10 +62,7 @@ mod tests {
 
     #[test]
     fn pack_small() {
-        assert_eq!(
-            pack_indices(&[true, false, true, true]),
-            vec![0, 2, 3]
-        );
+        assert_eq!(pack_indices(&[true, false, true, true]), vec![0, 2, 3]);
         assert!(pack_indices(&[]).is_empty());
         assert!(pack_indices(&[false, false]).is_empty());
     }

@@ -112,13 +112,21 @@ mod tests {
     #[test]
     fn scan_add_small_matches_reference() {
         let xs = [5u32, 0, 2, 2, 9];
-        assert_eq!(scan_add_inclusive_u32(&xs), seq::scan_add_inclusive_u32(&xs));
+        assert_eq!(
+            scan_add_inclusive_u32(&xs),
+            seq::scan_add_inclusive_u32(&xs)
+        );
     }
 
     #[test]
     fn scan_add_large_matches_reference() {
-        let xs: Vec<u32> = (0..200_000u32).map(|i| i.wrapping_mul(2654435761) % 7).collect();
-        assert_eq!(scan_add_inclusive_u32(&xs), seq::scan_add_inclusive_u32(&xs));
+        let xs: Vec<u32> = (0..200_000u32)
+            .map(|i| i.wrapping_mul(2654435761) % 7)
+            .collect();
+        assert_eq!(
+            scan_add_inclusive_u32(&xs),
+            seq::scan_add_inclusive_u32(&xs)
+        );
         let (par, pt) = scan_add_exclusive_u32(&xs);
         let (sq, st) = seq::scan_add_exclusive_u32(&xs);
         assert_eq!(par, sq);
@@ -130,7 +138,10 @@ mod tests {
         let xs: Vec<u32> = (0..150_000u32)
             .map(|i| i.wrapping_mul(0x9E3779B9) >> 8)
             .collect();
-        assert_eq!(scan_max_inclusive_u32(&xs), seq::scan_max_inclusive_u32(&xs));
+        assert_eq!(
+            scan_max_inclusive_u32(&xs),
+            seq::scan_max_inclusive_u32(&xs)
+        );
     }
 
     #[test]

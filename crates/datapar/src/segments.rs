@@ -24,7 +24,7 @@ pub trait SegSplit: Sized + Send {
     fn seg_split(self, mid: usize) -> (Self, Self);
 }
 
-impl<'a, T: Send> SegSplit for &'a mut [T] {
+impl<T: Send> SegSplit for &mut [T] {
     fn seg_len(&self) -> usize {
         self.len()
     }
@@ -138,6 +138,57 @@ where
     );
 }
 
+/// Run `f(first_segment_index, bounds_run, run_data)` for parallel *runs*
+/// of consecutive segments (~[`SEQ_GRAIN`] elements per run).
+///
+/// Where [`par_segments_mut`] hands the callback one pre-split tuple of
+/// sub-slices *per segment* — a seg_split per cell, which dominates when
+/// cells hold a few dozen particles — this form hands it a whole run plus
+/// that run's `bounds` window (global offsets, `n_seg + 1` entries
+/// including its end sentinel), and the callback addresses segments by
+/// index arithmetic: segment `s` of the run occupies
+/// `bounds_run[s] - bounds_run[0] .. bounds_run[s + 1] - bounds_run[0]`
+/// of `run_data`.  Same disjointness guarantees, amortised split cost.
+pub fn par_segment_runs_mut<S, F>(data: S, bounds: &[u32], f: &F)
+where
+    S: SegSplit,
+    F: Fn(usize, &[u32], S) + Sync,
+{
+    assert!(!bounds.is_empty(), "bounds needs at least the sentinel");
+    assert_eq!(bounds[0], 0, "bounds must start at 0");
+    assert_eq!(
+        *bounds.last().unwrap() as usize,
+        data.seg_len(),
+        "bounds sentinel must equal the data length"
+    );
+    debug_assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+    if bounds.len() <= 1 {
+        return;
+    }
+    rec_runs(data, bounds, 0, f);
+}
+
+fn rec_runs<S, F>(data: S, bounds: &[u32], first_seg: usize, f: &F)
+where
+    S: SegSplit,
+    F: Fn(usize, &[u32], S) + Sync,
+{
+    let n_seg = bounds.len() - 1;
+    let total = (bounds[n_seg] - bounds[0]) as usize;
+    if n_seg == 1 || total < SEQ_GRAIN {
+        f(first_seg, bounds, data);
+        return;
+    }
+    let k = n_seg / 2;
+    let split_at = (bounds[k] - bounds[0]) as usize;
+    let (left, right) = data.seg_split(split_at);
+    let (lb, rb) = (&bounds[..=k], &bounds[k..]);
+    rayon::join(
+        || rec_runs(left, lb, first_seg, f),
+        || rec_runs(right, rb, first_seg + k, f),
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,7 +229,7 @@ mod tests {
         let total: u32 = lens.iter().sum();
         let mut lens = lens;
         let diff = n as i64 - total as i64;
-        *lens.last_mut().unwrap() = (lens.last().unwrap().clone() as i64 + diff) as u32;
+        *lens.last_mut().unwrap() = (*lens.last().unwrap() as i64 + diff) as u32;
         let bounds = bounds_of(&lens);
         par_segments_mut(
             (a.as_mut_slice(), b.as_mut_slice()),

@@ -32,22 +32,93 @@ pub fn head_flags_from_sorted(keys: &[u32]) -> Vec<u32> {
 /// `bounds.len() - 1` segments.
 pub fn segment_bounds_from_sorted(keys: &[u32]) -> Vec<u32> {
     let mut bounds = Vec::new();
-    if keys.len() < PAR_THRESHOLD {
-        for i in 0..keys.len() {
+    segment_bounds_from_sorted_into(keys, &mut bounds, &mut BoundsScratch::default());
+    bounds
+}
+
+/// Reusable workspace for [`segment_bounds_from_sorted_into`]: per-chunk
+/// head counts for the two-phase parallel extraction.
+#[derive(Debug, Default)]
+pub struct BoundsScratch {
+    counts: Vec<u32>,
+}
+
+impl BoundsScratch {
+    /// Current buffer capacity (for allocation-stability asserts).
+    pub fn capacity(&self) -> usize {
+        self.counts.capacity()
+    }
+}
+
+/// Chunk length for the two-phase bounds extraction (matches the scans).
+const BOUNDS_CHUNK: usize = 1 << 15;
+
+/// [`segment_bounds_from_sorted`] into caller-owned storage: once `bounds`
+/// and `scratch` have grown to the workload size, repeated calls perform no
+/// heap allocation.  Output is identical for any thread count.
+pub fn segment_bounds_from_sorted_into(
+    keys: &[u32],
+    bounds: &mut Vec<u32>,
+    scratch: &mut BoundsScratch,
+) {
+    let n = keys.len();
+    if n < PAR_THRESHOLD {
+        bounds.clear();
+        for i in 0..n {
             if i == 0 || keys[i - 1] != keys[i] {
                 bounds.push(i as u32);
             }
         }
-    } else {
-        let mask: Vec<bool> = keys
-            .par_iter()
-            .enumerate()
-            .map(|(i, &k)| i == 0 || keys[i - 1] != k)
-            .collect();
-        bounds = crate::pack::pack_indices(&mask);
+        bounds.push(n as u32);
+        return;
     }
-    bounds.push(keys.len() as u32);
-    bounds
+
+    // Phase 1: heads per chunk, in parallel.
+    let n_chunks = n.div_ceil(BOUNDS_CHUNK);
+    scratch.counts.clear();
+    scratch.counts.resize(n_chunks, 0);
+    scratch
+        .counts
+        .par_iter_mut()
+        .enumerate()
+        .for_each(|(c, count)| {
+            let lo = c * BOUNDS_CHUNK;
+            let hi = (lo + BOUNDS_CHUNK).min(n);
+            let mut heads = 0u32;
+            for i in lo..hi {
+                if i == 0 || keys[i - 1] != keys[i] {
+                    heads += 1;
+                }
+            }
+            *count = heads;
+        });
+
+    // Phase 2: exclusive scan of the tiny per-chunk table.
+    let mut total = 0u32;
+    let offsets = &mut scratch.counts;
+    for c in offsets.iter_mut() {
+        let heads = *c;
+        *c = total;
+        total += heads;
+    }
+
+    // Phase 3: write each chunk's head positions at its offset.
+    bounds.resize(total as usize + 1, 0);
+    let out = crate::sort::DisjointWrites::new(&mut bounds[..total as usize]);
+    (0..n_chunks).into_par_iter().for_each(|c| {
+        let lo = c * BOUNDS_CHUNK;
+        let hi = (lo + BOUNDS_CHUNK).min(n);
+        let mut slot = offsets[c] as usize;
+        for i in lo..hi {
+            if i == 0 || keys[i - 1] != keys[i] {
+                // SAFETY: chunk c owns destinations [offsets[c],
+                // offsets[c] + heads(c)), which partition 0..total.
+                unsafe { out.write(slot, i as u32) };
+                slot += 1;
+            }
+        }
+    });
+    bounds[total as usize] = n as u32;
 }
 
 /// For each element of a sorted key array, the length of its run.
@@ -160,10 +231,7 @@ mod tests {
 
     #[test]
     fn rank_small() {
-        assert_eq!(
-            segmented_rank(&[2, 2, 3, 5, 5, 5]),
-            vec![0, 1, 0, 0, 1, 2]
-        );
+        assert_eq!(segmented_rank(&[2, 2, 3, 5, 5, 5]), vec![0, 1, 0, 0, 1, 2]);
     }
 
     #[test]

@@ -7,9 +7,47 @@
 //! radix sort over (key, index) pairs packed in `u64`s, with per-chunk
 //! histograms and a scatter whose destinations are provably disjoint.
 //!
-//! Only as many 8-bit digit passes as the caller's `key_bits` demands are
-//! executed — sort keys in the engine are `cell * S + jitter`, typically 20
-//! or so bits, i.e. three passes instead of four.
+//! # The fused rank + send
+//!
+//! On the CM-2 the sort was two router transactions: a *rank* (compute each
+//! particle's sorted address) and a *send* (move the particle's whole
+//! computational state there).  The original shape of this module
+//! materialised intermediate products at every seam: a fresh `(key, index)`
+//! pair buffer per step, a fresh histogram table per radix pass, a final
+//! pass that wrote sorted pairs, an extra sweep that unpacked them into a
+//! `Vec<u32>` permutation, and then one gather per structure-of-arrays
+//! column — ten sequential router trips where the CM-2 needed one.
+//!
+//! The steady-state path ([`sort_order_from_pairs`]) removes every seam:
+//!
+//! * the caller packs `(key, index)` pairs directly in the same elementwise
+//!   sweep that refreshes cell indices (no separate key column, no packing
+//!   pass),
+//! * all working memory lives in a caller-owned [`SortScratch`] — ping-pong
+//!   pair buffers, histogram and offset tables — so a warmed sort performs
+//!   **no heap allocation**,
+//! * digit widths spread the key evenly over the minimum number of ≤8-bit
+//!   passes (8 bits keeps the scatter's per-digit write streams L1-resident;
+//!   wider digits measured slower, see `profile_sort` in `dsmc-bench`), and
+//! * the **final scatter emits 32-bit router addresses straight into the
+//!   caller's `order` vector** — the rank's last pass *is* the permutation;
+//!   no sorted-pair buffer, no unpack sweep.
+//!
+//! The send half then applies `order` column by column through the
+//! store's rotating back buffer (`ParticleStore::apply_order` in
+//! `dsmc-core`): the rotation makes each gather's destination the pages
+//! just read as the previous column's source, so the writes stay L2-hot.
+//! Two alternative send shapes were measured and rejected on this
+//! hardware — a fully interleaved all-columns-per-chunk pass (~3× slower:
+//! ten columns of random reads thrash L2, where one column at a time
+//! stays resident) and the one-launch (column × chunk) task grid kept as
+//! `ParticleStore::apply_order_fused` for future multi-core hosts (its
+//! ten distinct destination buffers are write-allocate-cold every step).
+//!
+//! [`sort_perm_by_key`] keeps the original fixed-radix, allocating
+//! implementation as the executable specification: property tests pin the
+//! fused path to it bit for bit, and the engine's `TwoStep` pipeline mode
+//! drives it for A/B benchmarks against the pre-refactor behaviour.
 
 use crate::{seq, PAR_THRESHOLD};
 use core::marker::PhantomData;
@@ -20,7 +58,7 @@ use rayon::prelude::*;
 /// Safety contract: every index written during one parallel phase is written
 /// exactly once.  The radix scatter satisfies this because the per-chunk,
 /// per-digit destination ranges partition the output array.
-pub(crate) struct DisjointWrites<'a, T> {
+pub struct DisjointWrites<'a, T> {
     ptr: *mut T,
     len: usize,
     _marker: PhantomData<&'a mut [T]>,
@@ -30,7 +68,8 @@ unsafe impl<T: Send> Send for DisjointWrites<'_, T> {}
 unsafe impl<T: Send> Sync for DisjointWrites<'_, T> {}
 
 impl<'a, T> DisjointWrites<'a, T> {
-    pub(crate) fn new(slice: &'a mut [T]) -> Self {
+    /// Wrap a destination slice.
+    pub fn new(slice: &'a mut [T]) -> Self {
         Self {
             ptr: slice.as_mut_ptr(),
             len: slice.len(),
@@ -43,10 +82,380 @@ impl<'a, T> DisjointWrites<'a, T> {
     /// # Safety
     /// `i` must be in bounds and no other concurrent write may target `i`.
     #[inline(always)]
-    pub(crate) unsafe fn write(&self, i: usize, v: T) {
+    pub unsafe fn write(&self, i: usize, v: T) {
         debug_assert!(i < self.len);
         unsafe { self.ptr.add(i).write(v) };
     }
+}
+
+/// Pack a sort key and an original index into one pair word: key in the
+/// high 32 bits, index in the low 32.  Sorting the raw `u64` is then a
+/// stable sort by key (ties break on the unique ascending index).
+#[inline(always)]
+pub fn pack_pair(key: u32, index: usize) -> u64 {
+    ((key as u64) << 32) | index as u64
+}
+
+/// Digit width of the radix plan.  8 bits is deliberate: the scatter keeps
+/// one hot write stream per digit, and 256 streams × 64-byte lines fit in
+/// L1, so every scattered store is near-free.  Wider digits (fewer passes)
+/// were measured *slower* on L2-sized streams — see `profile_sort` in
+/// `dsmc-bench`.
+const MAX_DIGIT_BITS: u32 = 8;
+
+/// Most passes any `key_bits <= 32` plan can need.
+const MAX_PASSES: usize = 4;
+
+/// The per-pass digit layout for `key_bits`-wide keys: `(shift, bits)` per
+/// pass, least-significant first, widths as even as possible.
+fn digit_plan(key_bits: u32) -> ([(u32, u32); MAX_PASSES], usize) {
+    debug_assert!((1..=32).contains(&key_bits));
+    let passes = key_bits.div_ceil(MAX_DIGIT_BITS) as usize;
+    let base = key_bits / passes as u32;
+    let wide = (key_bits % passes as u32) as usize;
+    let mut plan = [(0u32, 0u32); MAX_PASSES];
+    let mut shift = 32u32; // key field starts at bit 32 of the pair
+    for (p, slot) in plan.iter_mut().enumerate().take(passes) {
+        // The first `wide` passes take the extra bit.
+        let bits = base + (p < wide) as u32;
+        *slot = (shift, bits);
+        shift += bits;
+    }
+    (plan, passes)
+}
+
+/// Reusable workspace for the fused sort: packed-pair ping-pong buffers
+/// plus the histogram/offset tables of every pass.  Repeated sorts of
+/// same-sized inputs reuse every byte.
+#[derive(Debug, Default)]
+pub struct SortScratch {
+    pairs: Vec<u64>,
+    pong: Vec<u64>,
+    hists: Vec<u32>,
+    offsets: Vec<u32>,
+}
+
+impl SortScratch {
+    /// Fresh, empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The input pair buffer, sized for `n` elements; fill it with
+    /// [`pack_pair`] words (in any index order) before calling
+    /// [`sort_order_from_pairs`].
+    pub fn input_pairs(&mut self, n: usize) -> &mut [u64] {
+        self.pairs.resize(n, 0);
+        &mut self.pairs
+    }
+
+    /// Current buffer capacities `[pairs, pong, hists, offsets]` — the
+    /// zero-allocation tests assert these go quiescent.
+    pub fn capacities(&self) -> [usize; 4] {
+        [
+            self.pairs.capacity(),
+            self.pong.capacity(),
+            self.hists.capacity(),
+            self.offsets.capacity(),
+        ]
+    }
+}
+
+/// Stable rank by the low `key_bits` of the pair keys previously packed
+/// into `scratch` (via [`SortScratch::input_pairs`]): fills `order` so that
+/// `order[i]` is the original index of the element that belongs at sorted
+/// position `i`, equal keys keeping their original relative order.
+///
+/// This is the fused form of the rank: the final radix scatter writes the
+/// 32-bit router addresses directly into `order`.  With a warmed `scratch`
+/// the call performs no heap allocation, and the result is bit-identical
+/// for any thread count.
+///
+/// Key bits above `key_bits` must be zero in the packed pairs (callers
+/// mask when packing).
+pub fn sort_order_from_pairs(key_bits: u32, scratch: &mut SortScratch, order: &mut Vec<u32>) {
+    assert!(key_bits <= 32, "key_bits must be at most 32");
+    let n = scratch.pairs.len();
+    order.resize(n, 0);
+
+    if key_bits == 0 || n <= 1 {
+        for (i, slot) in order.iter_mut().enumerate() {
+            *slot = i as u32;
+        }
+        return;
+    }
+
+    if n < PAR_THRESHOLD {
+        // Unstable sort of the packed words == stable sort by key.
+        scratch.pairs.sort_unstable();
+        for (slot, &p) in order.iter_mut().zip(scratch.pairs.iter()) {
+            *slot = p as u32;
+        }
+        return;
+    }
+
+    let (plan, passes) = digit_plan(key_bits);
+    let threads = rayon::current_num_threads().max(1);
+    let chunk = n.div_ceil(threads * 4).max(4096);
+    let n_chunks = n.div_ceil(chunk);
+
+    scratch.offsets.clear();
+    scratch.offsets.resize(n_chunks << MAX_DIGIT_BITS, 0);
+    scratch.pong.resize(n, 0);
+
+    for (pass, &(shift, bits)) in plan[..passes].iter().enumerate() {
+        let n_digits = 1usize << bits;
+        let digit_mask = n_digits - 1;
+
+        // Per-chunk digit histograms of the array as this pass reads it
+        // (per-chunk counts are order-sensitive, so each pass recounts).
+        scratch.hists.clear();
+        scratch.hists.resize(n_chunks * n_digits, 0);
+        scratch
+            .pairs
+            .par_chunks(chunk)
+            .zip(scratch.hists.par_chunks_mut(n_digits))
+            .for_each(|(c, h)| {
+                for &x in c {
+                    h[((x >> shift) as usize) & digit_mask] += 1;
+                }
+            });
+
+        // Exclusive scan of this pass's histogram in digit-major,
+        // chunk-minor order — exactly the stable output order.
+        let offsets = &mut scratch.offsets[..n_chunks * n_digits];
+        let mut acc = 0u32;
+        for d in 0..n_digits {
+            for c in 0..n_chunks {
+                offsets[c * n_digits + d] = acc;
+                acc += scratch.hists[c * n_digits + d];
+            }
+        }
+        debug_assert_eq!(acc as usize, n);
+
+        // Scatter.  Each (chunk, digit) pair owns a disjoint destination
+        // range, so concurrent writes never alias; the offset row itself is
+        // the running cursor (dead after the pass).  The last pass needs
+        // only the index half of each pair — it writes the 32-bit router
+        // address straight into `order`, never materialising sorted pairs.
+        if pass + 1 == passes {
+            let out = DisjointWrites::new(order.as_mut_slice());
+            scratch
+                .pairs
+                .par_chunks(chunk)
+                .zip(offsets.par_chunks_mut(n_digits))
+                .for_each(|(c, cursors)| {
+                    for &x in c {
+                        let d = ((x >> shift) as usize) & digit_mask;
+                        let dst = cursors[d];
+                        cursors[d] += 1;
+                        // SAFETY: disjoint (chunk, digit) ranges, see above.
+                        unsafe { out.write(dst as usize, x as u32) };
+                    }
+                });
+        } else {
+            let out = DisjointWrites::new(scratch.pong.as_mut_slice());
+            scratch
+                .pairs
+                .par_chunks(chunk)
+                .zip(offsets.par_chunks_mut(n_digits))
+                .for_each(|(c, cursors)| {
+                    for &x in c {
+                        let d = ((x >> shift) as usize) & digit_mask;
+                        let dst = cursors[d];
+                        cursors[d] += 1;
+                        // SAFETY: disjoint (chunk, digit) ranges, see above.
+                        unsafe { out.write(dst as usize, x) };
+                    }
+                });
+            core::mem::swap(&mut scratch.pairs, &mut scratch.pong);
+        }
+    }
+}
+
+/// Widest cell field the bounds-emitting rank supports: 2^14 histogram
+/// counters per chunk (64 KiB) stay comfortably L2-resident.
+const MAX_CELL_BITS: u32 = 14;
+
+/// The rank for `(cell << jitter_bits) | jitter` keys, which additionally
+/// emits the segment bounds of the sorted cell runs — start offset of
+/// every occupied cell plus the final sentinel, exactly as
+/// [`crate::segment_bounds_from_sorted`] would compute them from the
+/// sorted cell column.
+///
+/// The trick is the CM-2's own: split the digit plan as (jitter passes,
+/// then one cell-wide pass).  The final pass's histogram is then the
+/// per-cell population table, so the segment bounds fall out of its
+/// prefix scan for free — no separate pass over the sorted data, and one
+/// radix pass fewer than the generic plan for the engine's key widths.
+///
+/// Returns `false` (performing no work) when the layout is out of range —
+/// `cell_bits` zero or wider than [`MAX_CELL_BITS`] — in which case the
+/// caller falls back to [`sort_order_from_pairs`] plus a bounds sweep.
+/// Small inputs take the comparison-sort path and derive bounds from the
+/// sorted pair keys directly.
+pub fn sort_order_and_bounds_from_pairs(
+    cell_bits: u32,
+    jitter_bits: u32,
+    scratch: &mut SortScratch,
+    order: &mut Vec<u32>,
+    bounds: &mut Vec<u32>,
+) -> bool {
+    let key_bits = cell_bits + jitter_bits;
+    assert!(key_bits <= 32, "key_bits must be at most 32");
+    if cell_bits == 0 || cell_bits > MAX_CELL_BITS {
+        return false;
+    }
+    let n = scratch.pairs.len();
+    order.resize(n, 0);
+
+    if n <= 1 || n < PAR_THRESHOLD {
+        if n > 1 {
+            scratch.pairs.sort_unstable();
+        }
+        bounds.clear();
+        let mut prev_cell = u64::MAX;
+        for (i, (slot, &p)) in order.iter_mut().zip(scratch.pairs.iter()).enumerate() {
+            *slot = p as u32;
+            let cell = p >> (32 + jitter_bits);
+            if cell != prev_cell {
+                bounds.push(i as u32);
+                prev_cell = cell;
+            }
+        }
+        bounds.push(n as u32);
+        return true;
+    }
+
+    let threads = rayon::current_num_threads().max(1);
+    let chunk = n.div_ceil(threads * 4).max(4096);
+    let n_chunks = n.div_ceil(chunk);
+
+    // Jitter passes (≤ 8-bit digits, L1-resident streams), as in the
+    // generic plan but stopping short of the cell field.
+    if jitter_bits > 0 {
+        let (jitter_plan, jitter_passes) = digit_plan(jitter_bits);
+        scratch.offsets.clear();
+        scratch.offsets.resize(n_chunks << MAX_DIGIT_BITS, 0);
+        scratch.pong.resize(n, 0);
+        for &(shift, bits) in &jitter_plan[..jitter_passes] {
+            let n_digits = 1usize << bits;
+            let digit_mask = n_digits - 1;
+            scratch.hists.clear();
+            scratch.hists.resize(n_chunks * n_digits, 0);
+            scratch
+                .pairs
+                .par_chunks(chunk)
+                .zip(scratch.hists.par_chunks_mut(n_digits))
+                .for_each(|(c, h)| {
+                    for &x in c {
+                        h[((x >> shift) as usize) & digit_mask] += 1;
+                    }
+                });
+            let offsets = &mut scratch.offsets[..n_chunks * n_digits];
+            let mut acc = 0u32;
+            for d in 0..n_digits {
+                for c in 0..n_chunks {
+                    offsets[c * n_digits + d] = acc;
+                    acc += scratch.hists[c * n_digits + d];
+                }
+            }
+            debug_assert_eq!(acc as usize, n);
+            let out = DisjointWrites::new(scratch.pong.as_mut_slice());
+            scratch
+                .pairs
+                .par_chunks(chunk)
+                .zip(offsets.par_chunks_mut(n_digits))
+                .for_each(|(c, cursors)| {
+                    for &x in c {
+                        let d = ((x >> shift) as usize) & digit_mask;
+                        let dst = cursors[d];
+                        cursors[d] += 1;
+                        // SAFETY: disjoint (chunk, digit) destination
+                        // ranges partition 0..n.
+                        unsafe { out.write(dst as usize, x) };
+                    }
+                });
+            core::mem::swap(&mut scratch.pairs, &mut scratch.pong);
+        }
+    }
+
+    // The cell pass: histogram doubles as the per-cell population table.
+    let shift = 32 + jitter_bits;
+    let n_digits = 1usize << cell_bits;
+    let digit_mask = n_digits - 1;
+    scratch.hists.clear();
+    scratch.hists.resize(n_chunks * n_digits, 0);
+    scratch
+        .pairs
+        .par_chunks(chunk)
+        .zip(scratch.hists.par_chunks_mut(n_digits))
+        .for_each(|(c, h)| {
+            for &x in c {
+                h[((x >> shift) as usize) & digit_mask] += 1;
+            }
+        });
+
+    scratch.offsets.clear();
+    scratch.offsets.resize(n_chunks * n_digits, 0);
+    bounds.clear();
+    let mut acc = 0u32;
+    for d in 0..n_digits {
+        let start = acc;
+        for c in 0..n_chunks {
+            scratch.offsets[c * n_digits + d] = acc;
+            acc += scratch.hists[c * n_digits + d];
+        }
+        if acc > start {
+            // Occupied cell: its run starts where the scan stood.
+            bounds.push(start);
+        }
+    }
+    debug_assert_eq!(acc as usize, n);
+    bounds.push(n as u32);
+
+    let out = DisjointWrites::new(order.as_mut_slice());
+    scratch
+        .pairs
+        .par_chunks(chunk)
+        .zip(scratch.offsets.par_chunks_mut(n_digits))
+        .for_each(|(c, cursors)| {
+            for &x in c {
+                let d = ((x >> shift) as usize) & digit_mask;
+                let dst = cursors[d];
+                cursors[d] += 1;
+                // SAFETY: disjoint (chunk, digit) destination ranges
+                // partition 0..n.
+                unsafe { out.write(dst as usize, x as u32) };
+            }
+        });
+    true
+}
+
+/// [`sort_order_from_pairs`] over a plain key column: packs the pairs
+/// itself, then ranks.  The engine's hot loop packs pairs in its own
+/// elementwise sweep instead; this form serves tests and generic callers.
+pub fn sort_order_by_key(
+    keys: &[u32],
+    key_bits: u32,
+    scratch: &mut SortScratch,
+    order: &mut Vec<u32>,
+) {
+    assert!(key_bits <= 32, "key_bits must be at most 32");
+    let mask = mask_for(key_bits);
+    let pairs = scratch.input_pairs(keys.len());
+    if keys.len() < PAR_THRESHOLD {
+        for (i, (slot, &k)) in pairs.iter_mut().zip(keys).enumerate() {
+            *slot = pack_pair(k & mask, i);
+        }
+    } else {
+        pairs
+            .par_iter_mut()
+            .zip(keys.par_iter())
+            .enumerate()
+            .for_each(|(i, (slot, &k))| *slot = pack_pair(k & mask, i));
+    }
+    sort_order_from_pairs(key_bits, scratch, order);
 }
 
 const RADIX_BITS: u32 = 8;
@@ -57,6 +466,10 @@ const RADIX_BITS: u32 = 8;
 ///
 /// `key_bits == 0` is accepted and returns the identity permutation (a sort
 /// on a zero-bit key is a no-op by stability).
+///
+/// This is the original fixed-8-bit-digit, allocating implementation, kept
+/// verbatim as the executable specification of the fused path (and as the
+/// engine's `TwoStep` pipeline for pre-refactor A/B benchmarks).
 pub fn sort_perm_by_key(keys: &[u32], key_bits: u32) -> Vec<u32> {
     assert!(key_bits <= 32, "key_bits must be at most 32");
     let n = keys.len();
@@ -98,8 +511,8 @@ fn mask_for(bits: u32) -> u32 {
     }
 }
 
-/// One stable counting pass: scatter `cur` into `next` ordered by the digit
-/// at `shift`.
+/// One stable counting pass of the reference sort: scatter `cur` into
+/// `next` ordered by the digit at `shift`.
 fn radix_pass(cur: &[u64], next: &mut [u64], shift: u32, digit_mask: usize) {
     let n = cur.len();
     let threads = rayon::current_num_threads().max(1);
@@ -162,6 +575,12 @@ mod tests {
         assert_eq!(got, want, "bits={bits} n={}", keys.len());
     }
 
+    fn fused_order(keys: &[u32], bits: u32, scratch: &mut SortScratch) -> Vec<u32> {
+        let mut order = Vec::new();
+        sort_order_by_key(keys, bits, scratch, &mut order);
+        order
+    }
+
     #[test]
     fn small_inputs_match_reference() {
         check_against_reference(&[3, 1, 4, 1, 5, 9, 2, 6], 32);
@@ -174,6 +593,24 @@ mod tests {
     fn zero_bit_sort_is_identity() {
         let keys = [9u32, 2, 5];
         assert_eq!(sort_perm_by_key(&keys, 0), vec![0, 1, 2]);
+        let mut scratch = SortScratch::new();
+        assert_eq!(fused_order(&keys, 0, &mut scratch), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn digit_plans_cover_the_key_exactly() {
+        for bits in 1..=32u32 {
+            let (plan, passes) = digit_plan(bits);
+            let total: u32 = plan[..passes].iter().map(|&(_, b)| b).sum();
+            assert_eq!(total, bits, "plan for {bits} bits");
+            assert_eq!(plan[0].0, 32, "first shift starts at the key field");
+            let mut shift = 32;
+            for &(s, b) in &plan[..passes] {
+                assert_eq!(s, shift);
+                assert!((1..=MAX_DIGIT_BITS).contains(&b));
+                shift += b;
+            }
+        }
     }
 
     #[test]
@@ -216,6 +653,127 @@ mod tests {
         assert!(seen.iter().all(|&s| s));
     }
 
+    #[test]
+    fn fused_order_matches_reference_across_sizes() {
+        let mut scratch = SortScratch::new();
+        for n in [0usize, 1, 2, 100, 5000, 40_000, 120_000] {
+            let keys: Vec<u32> = (0..n as u32)
+                .map(|i| (i.wrapping_mul(2654435761)) % 977)
+                .collect();
+            let want = sort_perm_by_key(&keys, 10);
+            let got = fused_order(&keys, 10, &mut scratch);
+            assert_eq!(got, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn fused_order_matches_reference_across_bit_widths() {
+        let mut scratch = SortScratch::new();
+        let keys: Vec<u32> = (0..60_000u32).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+        for bits in [1u32, 7, 8, 11, 12, 21, 22, 24, 31, 32] {
+            let want = sort_perm_by_key(&keys, bits);
+            let got = fused_order(&keys, bits, &mut scratch);
+            assert_eq!(got, want, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn scratch_capacities_go_quiescent() {
+        let mut scratch = SortScratch::new();
+        let mut order = Vec::new();
+        let keys: Vec<u32> = (0..80_000u32)
+            .map(|i| i.wrapping_mul(2654435761) % 6000)
+            .collect();
+        sort_order_by_key(&keys, 13, &mut scratch, &mut order);
+        let caps = scratch.capacities();
+        let order_cap = order.capacity();
+        for _ in 0..20 {
+            sort_order_by_key(&keys, 13, &mut scratch, &mut order);
+            assert_eq!(scratch.capacities(), caps, "sort re-allocated");
+            assert_eq!(order.capacity(), order_cap, "order re-allocated");
+        }
+    }
+
+    fn check_order_and_bounds(cells: u32, jitter_bits: u32, n: usize, seed: u32) {
+        let cell_bits = 32 - (cells - 1).leading_zeros().min(31);
+        let mut state = seed | 1;
+        let keys: Vec<u32> = (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 17;
+                state ^= state << 5;
+                let cell = state % cells;
+                let jitter = (state >> 16) & ((1u32 << jitter_bits) - 1);
+                (cell << jitter_bits) | jitter
+            })
+            .collect();
+        let key_bits = cell_bits + jitter_bits;
+        let want_order = sort_perm_by_key(&keys, key_bits);
+        let sorted_cells: Vec<u32> = want_order
+            .iter()
+            .map(|&i| keys[i as usize] >> jitter_bits)
+            .collect();
+        let want_bounds = crate::segment_bounds_from_sorted(&sorted_cells);
+
+        let mut scratch = SortScratch::new();
+        let pairs = scratch.input_pairs(n);
+        for (i, (p, &k)) in pairs.iter_mut().zip(&keys).enumerate() {
+            *p = pack_pair(k, i);
+        }
+        let mut order = Vec::new();
+        let mut bounds = vec![99u32]; // stale content must be overwritten
+        let used = sort_order_and_bounds_from_pairs(
+            cell_bits,
+            jitter_bits,
+            &mut scratch,
+            &mut order,
+            &mut bounds,
+        );
+        assert!(used, "layout should be supported (cell_bits={cell_bits})");
+        assert_eq!(order, want_order, "cells={cells} j={jitter_bits} n={n}");
+        assert_eq!(bounds, want_bounds, "cells={cells} j={jitter_bits} n={n}");
+    }
+
+    #[test]
+    fn order_and_bounds_match_reference() {
+        // Small (comparison-sort) and large (radix) paths, with and
+        // without jitter, cell counts straddling digit-width boundaries.
+        for &(cells, jitter, n) in &[
+            (1u32, 0u32, 10usize),
+            (7, 0, 100),
+            (250, 3, 3000),
+            (6912, 8, 60_000),
+            (255, 8, 40_000),
+            (256, 8, 40_000),
+            (16_000, 12, 50_000),
+            (3, 1, 20_000),
+        ] {
+            check_order_and_bounds(cells, jitter, n, 0x9E3779B9);
+        }
+    }
+
+    #[test]
+    fn order_and_bounds_rejects_wide_cells() {
+        let mut scratch = SortScratch::new();
+        scratch.input_pairs(10);
+        let mut order = Vec::new();
+        let mut bounds = Vec::new();
+        assert!(!sort_order_and_bounds_from_pairs(
+            MAX_CELL_BITS + 1,
+            4,
+            &mut scratch,
+            &mut order,
+            &mut bounds
+        ));
+        assert!(!sort_order_and_bounds_from_pairs(
+            0,
+            4,
+            &mut scratch,
+            &mut order,
+            &mut bounds
+        ));
+    }
+
     proptest! {
         #[test]
         fn prop_matches_reference(
@@ -223,6 +781,17 @@ mod tests {
             bits in 1u32..=32,
         ) {
             check_against_reference(&keys, bits);
+        }
+
+        #[test]
+        fn prop_fused_order_matches_reference(
+            keys in proptest::collection::vec(any::<u32>(), 0..3000),
+            bits in 1u32..=32,
+        ) {
+            let mut scratch = SortScratch::new();
+            let got = fused_order(&keys, bits, &mut scratch);
+            let want = sort_perm_by_key(&keys, bits);
+            prop_assert_eq!(got, want);
         }
 
         #[test]

@@ -275,10 +275,10 @@ fn isqrt_u64(v: u64) -> u64 {
     if x > 0 {
         x = (x + v / x) / 2;
     }
-    while x.checked_mul(x).map_or(true, |sq| sq > v) {
+    while x.checked_mul(x).is_none_or(|sq| sq > v) {
         x -= 1;
     }
-    while (x + 1).checked_mul(x + 1).map_or(false, |sq| sq <= v) {
+    while (x + 1).checked_mul(x + 1).is_some_and(|sq| sq <= v) {
         x += 1;
     }
     x
@@ -498,10 +498,7 @@ mod tests {
         assert_eq!(F23::MIN.saturating_sub(F23::ONE), F23::MIN);
         assert_eq!(F23::MAX.wrapping_add(F23::EPSILON), F23::MIN);
         assert_eq!(F23::MAX.checked_add(F23::EPSILON), None);
-        assert_eq!(
-            F23::ONE.checked_add(F23::ONE),
-            Some(F23::from_int(2))
-        );
+        assert_eq!(F23::ONE.checked_add(F23::ONE), Some(F23::from_int(2)));
     }
 
     #[test]

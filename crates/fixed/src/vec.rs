@@ -63,7 +63,10 @@ impl<const F: u32> V2<F> {
     /// Component-wise halving with rounding policy; `bits` supplies one
     /// random bit per component in its two low bits.
     pub fn halve(self, mode: Rounding, bits: u32) -> Self {
-        Self::new(self.x.halve(mode, bits & 1), self.y.halve(mode, (bits >> 1) & 1))
+        Self::new(
+            self.x.halve(mode, bits & 1),
+            self.y.halve(mode, (bits >> 1) & 1),
+        )
     }
 
     /// Convert to a pair of `f64`s.

@@ -28,12 +28,23 @@ impl Subgrid {
                 values.push(field[(iy * f.w + ix) as usize]);
             }
         }
-        Self { w, h, x0, y0, values }
+        Self {
+            w,
+            h,
+            x0,
+            y0,
+            values,
+        }
     }
 
     /// The stagnation-region window the paper zooms into: the box in front
     /// of and above the wedge face.
-    pub fn stagnation_region(f: &SampledField, wedge_x0: f64, wedge_base: f64, angle_deg: f64) -> Self {
+    pub fn stagnation_region(
+        f: &SampledField,
+        wedge_x0: f64,
+        wedge_base: f64,
+        angle_deg: f64,
+    ) -> Self {
         let height = wedge_base * angle_deg.to_radians().tan();
         let x0 = (wedge_x0 - 4.0).max(0.0) as u32;
         let y0 = 0u32;
@@ -49,7 +60,10 @@ impl Subgrid {
 
     /// Maximum value in the window.
     pub fn max(&self) -> f64 {
-        self.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Mean of the positive values in the window.

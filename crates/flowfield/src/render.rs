@@ -171,7 +171,10 @@ mod tests {
 
     #[test]
     fn svg_contains_groups_per_level() {
-        let segs = vec![Segment { a: (1.0, 1.0), b: (2.0, 2.0) }];
+        let segs = vec![Segment {
+            a: (1.0, 1.0),
+            b: (2.0, 2.0),
+        }];
         let svg = contours_to_svg(&[(1.5, segs.clone()), (2.5, segs)], 10, 10);
         assert_eq!(svg.matches("<g ").count(), 2);
         assert_eq!(svg.matches("<line ").count(), 2);

@@ -18,10 +18,9 @@
 //!   theory (Prandtl–Meyer through the wedge angle).
 
 use dsmc_engine::SampledField;
-use serde::Serialize;
 
 /// A fitted straight shock front `y = slope·(x − x_origin)`.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ShockFit {
     /// Wave angle in degrees, `atan(slope)`.
     pub angle_deg: f64,
@@ -143,7 +142,7 @@ fn bilinear(f: &SampledField, x: f64, y: f64) -> Option<f64> {
 }
 
 /// Shock-thickness measurements along the front normal.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Thickness {
     /// Distance between 25% and 75% of the density rise, in cells.
     pub rise_25_75: f64,
@@ -323,7 +322,7 @@ pub fn wake_recovery_length(f: &SampledField, x_start: u32, rows: u32) -> Option
 
 /// The full validation bundle for a wedge run (everything the paper reads
 /// off figures 1–6, as numbers).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ShockMetrics {
     /// Fitted shock wave angle (deg).
     pub shock_angle_deg: f64,
@@ -462,7 +461,11 @@ mod tests {
         assert!(t_thick.max_slope > 1.8 * t_thin.max_slope);
         // The logistic profile's absolute scale: max-slope thickness of a
         // logistic with scale k is 4k·(…); just require the right order.
-        assert!((1.0..4.0).contains(&t_thin.max_slope), "{}", t_thin.max_slope);
+        assert!(
+            (1.0..4.0).contains(&t_thin.max_slope),
+            "{}",
+            t_thin.max_slope
+        );
     }
 
     #[test]
@@ -517,7 +520,11 @@ mod tests {
     fn full_metrics_on_synthetic_wedge_flow() {
         let f = synthetic_field(98, 64, 20.0, 45.0, 3.7, 2.0);
         let m = wedge_metrics(&f, 20.0, 25.0, 30.0, 4.0, 1.4).expect("metrics");
-        assert!((m.shock_angle_deg - 45.0).abs() < 2.0, "{}", m.shock_angle_deg);
+        assert!(
+            (m.shock_angle_deg - 45.0).abs() < 2.0,
+            "{}",
+            m.shock_angle_deg
+        );
         assert!((m.theory_angle_deg - 45.0).abs() < 0.5);
         assert!((m.density_ratio - 3.7).abs() < 0.25, "{}", m.density_ratio);
         assert!((m.theory_density_ratio - 3.7).abs() < 0.05);

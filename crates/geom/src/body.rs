@@ -204,10 +204,22 @@ impl Body for Wedge {
         let inside = clip_polygon(
             &cell,
             &[
-                HalfPlane { a: -1.0, b: 0.0, c: -self.x0 }, // x ≥ x0
-                HalfPlane { a: 1.0, b: 0.0, c: self.xb_f }, // x ≤ xb
+                HalfPlane {
+                    a: -1.0,
+                    b: 0.0,
+                    c: -self.x0,
+                }, // x ≥ x0
+                HalfPlane {
+                    a: 1.0,
+                    b: 0.0,
+                    c: self.xb_f,
+                }, // x ≤ xb
                 // y ≤ tan·(x−x0) ⇔ −tan·x + y ≤ −tan·x0
-                HalfPlane { a: -self.tan_f, b: 1.0, c: -self.tan_f * self.x0 },
+                HalfPlane {
+                    a: -self.tan_f,
+                    b: 1.0,
+                    c: -self.tan_f * self.x0,
+                },
             ],
         );
         (1.0 - polygon_area(&inside)).clamp(0.0, 1.0)
@@ -299,11 +311,7 @@ impl FlatPlate {
         Self {
             x0,
             h,
-            step: ForwardStep::new(
-                x0 - Self::THICKNESS / 2.0,
-                x0 + Self::THICKNESS / 2.0,
-                h,
-            ),
+            step: ForwardStep::new(x0 - Self::THICKNESS / 2.0, x0 + Self::THICKNESS / 2.0, h),
         }
     }
 }

@@ -45,10 +45,7 @@ pub fn clip_halfplane(poly: &[(f64, f64)], hp: HalfPlane) -> Vec<(f64, f64)> {
         if (mc >= 0.0) != (mn >= 0.0) {
             // Edge crosses the boundary; interpolate the intersection.
             let t = mc / (mc - mn);
-            out.push((
-                cur.0 + t * (next.0 - cur.0),
-                cur.1 + t * (next.1 - cur.1),
-            ));
+            out.push((cur.0 + t * (next.0 - cur.0), cur.1 + t * (next.1 - cur.1)));
         }
     }
     out
@@ -100,7 +97,11 @@ mod tests {
     #[test]
     fn clip_keeps_contained_polygon() {
         let sq = unit_cell(0, 0);
-        let hp = HalfPlane { a: 1.0, b: 0.0, c: 5.0 }; // x ≤ 5
+        let hp = HalfPlane {
+            a: 1.0,
+            b: 0.0,
+            c: 5.0,
+        }; // x ≤ 5
         let out = clip_halfplane(&sq, hp);
         assert!((polygon_area(&out) - 1.0).abs() < EPS);
     }
@@ -108,7 +109,11 @@ mod tests {
     #[test]
     fn clip_removes_excluded_polygon() {
         let sq = unit_cell(3, 0);
-        let hp = HalfPlane { a: 1.0, b: 0.0, c: 2.0 }; // x ≤ 2
+        let hp = HalfPlane {
+            a: 1.0,
+            b: 0.0,
+            c: 2.0,
+        }; // x ≤ 2
         let out = clip_halfplane(&sq, hp);
         assert!(polygon_area(&out) < EPS);
     }
@@ -116,7 +121,11 @@ mod tests {
     #[test]
     fn clip_halves_a_square() {
         let sq = unit_cell(0, 0);
-        let hp = HalfPlane { a: 1.0, b: 0.0, c: 0.5 }; // x ≤ 0.5
+        let hp = HalfPlane {
+            a: 1.0,
+            b: 0.0,
+            c: 0.5,
+        }; // x ≤ 0.5
         let out = clip_halfplane(&sq, hp);
         assert!((polygon_area(&out) - 0.5).abs() < EPS);
     }
@@ -125,7 +134,11 @@ mod tests {
     fn diagonal_clip_gives_triangle() {
         // y ≤ x cuts the unit square into a triangle of area 1/2.
         let sq = unit_cell(0, 0);
-        let hp = HalfPlane { a: -1.0, b: 1.0, c: 0.0 };
+        let hp = HalfPlane {
+            a: -1.0,
+            b: 1.0,
+            c: 0.0,
+        };
         let out = clip_halfplane(&sq, hp);
         assert!((polygon_area(&out) - 0.5).abs() < EPS);
     }
@@ -135,8 +148,16 @@ mod tests {
         // x ≤ 0.5 and y ≤ 0.5 leaves a quarter cell.
         let sq = unit_cell(0, 0);
         let planes = [
-            HalfPlane { a: 1.0, b: 0.0, c: 0.5 },
-            HalfPlane { a: 0.0, b: 1.0, c: 0.5 },
+            HalfPlane {
+                a: 1.0,
+                b: 0.0,
+                c: 0.5,
+            },
+            HalfPlane {
+                a: 0.0,
+                b: 1.0,
+                c: 0.5,
+            },
         ];
         let out = clip_polygon(&sq, &planes);
         assert!((polygon_area(&out) - 0.25).abs() < EPS);
@@ -146,8 +167,16 @@ mod tests {
     fn empty_intersection_short_circuits() {
         let sq = unit_cell(0, 0);
         let planes = [
-            HalfPlane { a: 1.0, b: 0.0, c: -1.0 }, // x ≤ −1: impossible
-            HalfPlane { a: 0.0, b: 1.0, c: 0.5 },
+            HalfPlane {
+                a: 1.0,
+                b: 0.0,
+                c: -1.0,
+            }, // x ≤ −1: impossible
+            HalfPlane {
+                a: 0.0,
+                b: 1.0,
+                c: 0.5,
+            },
         ];
         let out = clip_polygon(&sq, &planes);
         assert!(out.is_empty());
@@ -157,7 +186,15 @@ mod tests {
     fn degenerate_inputs() {
         assert_eq!(polygon_area(&[]), 0.0);
         assert_eq!(polygon_area(&[(0.0, 0.0), (1.0, 1.0)]), 0.0);
-        assert!(clip_halfplane(&[], HalfPlane { a: 1.0, b: 0.0, c: 0.0 }).is_empty());
+        assert!(clip_halfplane(
+            &[],
+            HalfPlane {
+                a: 1.0,
+                b: 0.0,
+                c: 0.0
+            }
+        )
+        .is_empty());
     }
 
     #[test]
@@ -170,7 +207,11 @@ mod tests {
         // i.e. clip against −y ≤ −t(x−2) ⇒ t·x − y ≤ 2t … flip signs:
         let free = clip_polygon(
             &sq,
-            &[HalfPlane { a: t, b: -1.0, c: 2.0 * t }],
+            &[HalfPlane {
+                a: t,
+                b: -1.0,
+                c: 2.0 * t,
+            }],
         );
         // That kept y ≥ t(x−2)?  margin = c − (t·x − y) ≥ 0 ⇔ y ≥ t·x − 2t. Yes.
         let area = polygon_area(&free);

@@ -74,7 +74,11 @@ impl Tunnel {
         if *y < Fx::ZERO || *y >= h {
             // Runaway particle (|v| ≥ height): park it at the nearest wall
             // moving inward. Never observed with physical parameters.
-            *y = if y.is_negative() { Fx::ZERO } else { h - Fx::EPSILON };
+            *y = if y.is_negative() {
+                Fx::ZERO
+            } else {
+                h - Fx::EPSILON
+            };
             *v = -*v;
         }
         if x >= self.width_fx() {
@@ -196,7 +200,10 @@ mod tests {
         let t = Tunnel::new(10, 8);
         let mut y = fx(-0.25);
         let mut v = fx(-0.5);
-        assert_eq!(t.enforce_walls(&mut y, &mut v, fx(3.0)), WallOutcome::Inside);
+        assert_eq!(
+            t.enforce_walls(&mut y, &mut v, fx(3.0)),
+            WallOutcome::Inside
+        );
         assert_eq!(y, fx(0.25));
         assert_eq!(v, fx(0.5));
     }
@@ -229,7 +236,10 @@ mod tests {
         let t = Tunnel::new(10, 8);
         let mut y = fx(4.0);
         let mut v = fx(0.25);
-        assert_eq!(t.enforce_walls(&mut y, &mut v, fx(5.0)), WallOutcome::Inside);
+        assert_eq!(
+            t.enforce_walls(&mut y, &mut v, fx(5.0)),
+            WallOutcome::Inside
+        );
         assert_eq!(y, fx(4.0));
         assert_eq!(v, fx(0.25));
     }

@@ -60,7 +60,11 @@ impl BitSource for WordBits {
 /// partner.  `perm` re-orders the relative components; the caller passes one
 /// of the pair's permutation vectors ("which one gets used is
 /// inconsequential").  Fifteen random bits are drawn from `rng`: 5 sign
-/// bits, 5 rounding bits for the means, 5 for the relatives.
+/// bits, 5 rounding bits for the means, 5 for the relatives.  (Three
+/// separate 5-bit draws on purpose: collapsing them into one 15-bit draw
+/// was tried and measurably fattened equilibrium tails — xorshift bits
+/// within one output word are too correlated for the kernel's sign and
+/// rounding decisions.)
 ///
 /// Conservation: per component, `a + b` changes by at most 1 LSB (the bit
 /// dropped by the mean halving — zero in expectation under
@@ -277,7 +281,10 @@ mod tests {
                 vel(s * 0.2, 0.0, 0.0, 0.0, 0.0)
             })
             .collect();
-        let e_tot_0: i64 = parts.iter().map(|p| p.iter().map(|c| c.sq_raw_wide()).sum::<i64>()).sum();
+        let e_tot_0: i64 = parts
+            .iter()
+            .map(|p| p.iter().map(|c| c.sq_raw_wide()).sum::<i64>())
+            .sum();
         for _round in 0..40 {
             // Random pairing via index shuffle.
             let mut idx: Vec<usize> = (0..n).collect();
@@ -289,7 +296,13 @@ mod tests {
                 let (lo, hi) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
                 let (head, tail) = parts.split_at_mut(hi);
                 let perm = dsmc_rng::perm::knuth_shuffle(&mut rng);
-                collide_pair(&mut head[lo], &mut tail[0], perm, Rounding::Stochastic, &mut rng);
+                collide_pair(
+                    &mut head[lo],
+                    &mut tail[0],
+                    perm,
+                    Rounding::Stochastic,
+                    &mut rng,
+                );
             }
         }
         let mut mode_energy = [0f64; 5];
@@ -298,7 +311,10 @@ mod tests {
                 mode_energy[i] += p[i].sq_raw_wide() as f64;
             }
         }
-        let e_tot_1: i64 = parts.iter().map(|p| p.iter().map(|c| c.sq_raw_wide()).sum::<i64>()).sum();
+        let e_tot_1: i64 = parts
+            .iter()
+            .map(|p| p.iter().map(|c| c.sq_raw_wide()).sum::<i64>())
+            .sum();
         let rel_e_err = (e_tot_1 - e_tot_0) as f64 / e_tot_0 as f64;
         assert!(rel_e_err.abs() < 1e-3, "ensemble energy drift {rel_e_err}");
         let mean = mode_energy.iter().sum::<f64>() / 5.0;

@@ -38,7 +38,10 @@ impl FreeStream {
     /// Construct a freestream state for the diatomic gas.
     pub fn new(mach: f64, c_m: f64, lambda: f64) -> Self {
         assert!(mach >= 0.0, "Mach number must be non-negative");
-        assert!(c_m > 0.0 && c_m < 0.5, "thermal speed must be in (0, 0.5) cells/step");
+        assert!(
+            c_m > 0.0 && c_m < 0.5,
+            "thermal speed must be in (0, 0.5) cells/step"
+        );
         assert!(lambda >= 0.0, "mean free path must be non-negative");
         Self {
             mach,
@@ -168,8 +171,10 @@ mod tests {
     fn speed_hierarchy() {
         let fs = FreeStream::mach4(0.5);
         // c̄ > c_m·(2/√π − 1)… simply: mean speed ≈ 1.128 c_m, ḡ = √2 c̄.
-        assert!((fs.mean_speed() / fs.c_m - 1.1284).abs() < 1e-3);
-        assert!((fs.mean_relative_speed() / fs.mean_speed() - 1.4142).abs() < 1e-3);
+        assert!((fs.mean_speed() / fs.c_m - core::f64::consts::FRAC_2_SQRT_PI).abs() < 1e-3);
+        assert!(
+            (fs.mean_relative_speed() / fs.mean_speed() - core::f64::consts::SQRT_2).abs() < 1e-3
+        );
         assert!((fs.sigma() - fs.c_m / 2f64.sqrt()).abs() < 1e-12);
     }
 

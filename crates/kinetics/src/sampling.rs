@@ -52,23 +52,11 @@ pub fn maxwellian_5(fs: &FreeStream, rng: &mut XorShift32) -> [Fx; 5] {
 pub fn rectangular_5(fs: &FreeStream, rng: &mut XorShift32) -> [Fx; 5] {
     let a = fs.sigma() * 3f64.sqrt();
     let mut draw = |drift: f64| Fx::from_f64(drift + a * (2.0 * rng.next_f64() - 1.0));
-    [
-        draw(fs.u_inf()),
-        draw(0.0),
-        draw(0.0),
-        draw(0.0),
-        draw(0.0),
-    ]
+    [draw(fs.u_inf()), draw(0.0), draw(0.0), draw(0.0), draw(0.0)]
 }
 
 /// Uniform position in the rectangle `[x0, x1) × [y0, y1)`.
-pub fn uniform_position(
-    rng: &mut XorShift32,
-    x0: f64,
-    x1: f64,
-    y0: f64,
-    y1: f64,
-) -> (Fx, Fx) {
+pub fn uniform_position(rng: &mut XorShift32, x0: f64, x1: f64, y0: f64, y1: f64) -> (Fx, Fx) {
     (
         Fx::from_f64(x0 + (x1 - x0) * rng.next_f64()),
         Fx::from_f64(y0 + (y1 - y0) * rng.next_f64()),
@@ -116,13 +104,21 @@ mod tests {
         let samples: Vec<[Fx; 5]> = (0..60_000).map(|_| maxwellian_5(&fs, &mut rng)).collect();
         // Drift only in u.
         let (mu, var_u, _) = moments(samples.iter().map(|s| s[0].to_f64()));
-        assert!((mu - fs.u_inf()).abs() < 0.002, "u drift {mu} vs {}", fs.u_inf());
+        assert!(
+            (mu - fs.u_inf()).abs() < 0.002,
+            "u drift {mu} vs {}",
+            fs.u_inf()
+        );
         let s2 = fs.sigma() * fs.sigma();
         assert!((var_u / s2 - 1.0).abs() < 0.05);
         for i in 1..5 {
             let (m, v, k) = moments(samples.iter().map(|s| s[i].to_f64()));
             assert!(m.abs() < 0.002, "component {i} mean {m}");
-            assert!((v / s2 - 1.0).abs() < 0.05, "component {i} var ratio {}", v / s2);
+            assert!(
+                (v / s2 - 1.0).abs() < 0.05,
+                "component {i} var ratio {}",
+                v / s2
+            );
             assert!(k.abs() < 0.15, "component {i} kurtosis {k}");
         }
     }
@@ -135,7 +131,10 @@ mod tests {
         let s2 = fs.sigma() * fs.sigma();
         let (m, v, k) = moments(samples.iter().map(|s| s[1].to_f64()));
         assert!(m.abs() < 0.002);
-        assert!((v / s2 - 1.0).abs() < 0.05, "variance must match Maxwellian");
+        assert!(
+            (v / s2 - 1.0).abs() < 0.05,
+            "variance must match Maxwellian"
+        );
         // Uniform distribution: excess kurtosis −1.2, clearly non-Gaussian.
         assert!((k + 1.2).abs() < 0.1, "kurtosis = {k}");
         // Bounded support.

@@ -43,7 +43,13 @@ impl SelectionTable {
     ///   claims to live there may collide.
     /// * `p_inf` — the freestream base probability `P∞ = Δt/t_c∞ ∈ (0, 1]`.
     /// * `n_inf` — freestream particles per (full) cell.
-    pub fn build(volumes: &[f64], p_inf: f64, n_inf: f64, model: MolecularModel, g_inf: f64) -> Self {
+    pub fn build(
+        volumes: &[f64],
+        p_inf: f64,
+        n_inf: f64,
+        model: MolecularModel,
+        g_inf: f64,
+    ) -> Self {
         assert!(p_inf > 0.0 && p_inf <= 1.0, "P∞ must be in (0, 1]");
         assert!(n_inf > 0.0, "freestream density must be positive");
         let scale_q24 = volumes
@@ -65,7 +71,13 @@ impl SelectionTable {
     }
 
     /// A single-cell table for homogeneous (box) problems.
-    pub fn uniform(n_cells: usize, p_inf: f64, n_inf: f64, model: MolecularModel, g_inf: f64) -> Self {
+    pub fn uniform(
+        n_cells: usize,
+        p_inf: f64,
+        n_inf: f64,
+        model: MolecularModel,
+        g_inf: f64,
+    ) -> Self {
         Self::build(&vec![1.0; n_cells], p_inf, n_inf, model, g_inf)
     }
 
@@ -140,13 +152,7 @@ mod tests {
     #[test]
     fn fractional_volume_raises_density() {
         // Half-volume cell at the same count = double density = double P.
-        let t = SelectionTable::build(
-            &[1.0, 0.5],
-            0.1,
-            40.0,
-            MolecularModel::Maxwell,
-            1.0,
-        );
+        let t = SelectionTable::build(&[1.0, 0.5], 0.1, 40.0, MolecularModel::Maxwell, 1.0);
         let full = t.threshold_q24(0, 20);
         let half = t.threshold_q24(1, 20);
         let ratio = half as f64 / full as f64;
@@ -177,13 +183,7 @@ mod tests {
 
     #[test]
     fn power_law_factor_modulates_acceptance() {
-        let t = SelectionTable::uniform(
-            1,
-            0.25,
-            64.0,
-            MolecularModel::HardSphere,
-            1.0,
-        );
+        let t = SelectionTable::uniform(1, 0.25, 64.0, MolecularModel::HardSphere, 1.0);
         let mut rng = XorShift32::new(4);
         let n = 100_000;
         let mut slow = 0u32;
@@ -197,7 +197,10 @@ mod tests {
             }
         }
         let r = fast as f64 / slow as f64;
-        assert!((r - 4.0).abs() < 0.4, "hard spheres: 4× speed ⇒ 4× rate, got {r}");
+        assert!(
+            (r - 4.0).abs() < 0.4,
+            "hard spheres: 4× speed ⇒ 4× rate, got {r}"
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub fn deflection_angle(m: f64, beta: f64, gamma: f64) -> f64 {
 pub fn oblique_shock_beta(m: f64, theta: f64, gamma: f64) -> Option<f64> {
     assert!(m > 1.0, "oblique shocks need supersonic flow");
     let mu = (1.0 / m).asin(); // Mach angle: β lower bound
-    // Locate the β of maximum deflection by golden-section search.
+                               // Locate the β of maximum deflection by golden-section search.
     let (mut lo, mut hi) = (mu, core::f64::consts::FRAC_PI_2);
     for _ in 0..200 {
         let m1 = lo + (hi - lo) / 3.0;
@@ -129,7 +129,11 @@ mod tests {
     fn textbook_oblique_shock_case() {
         // NACA 1135 / Anderson: M = 2, θ = 10° ⇒ β ≈ 39.3° (weak).
         let beta = oblique_shock_beta(2.0, (10f64).to_radians(), G).unwrap();
-        assert!((beta.to_degrees() - 39.31).abs() < 0.1, "β = {}", beta.to_degrees());
+        assert!(
+            (beta.to_degrees() - 39.31).abs() < 0.1,
+            "β = {}",
+            beta.to_degrees()
+        );
     }
 
     #[test]
@@ -177,10 +181,9 @@ mod tests {
     #[test]
     fn prandtl_meyer_inversion_round_trips() {
         for m1 in [1.5, 2.0, 3.0] {
-            for turn_deg in [5.0, 15.0, 30.0] {
-                let m2 = prandtl_meyer_mach_after(m1, (turn_deg as f64).to_radians(), G);
-                let back =
-                    (prandtl_meyer_nu(m2, G) - prandtl_meyer_nu(m1, G)).to_degrees();
+            for turn_deg in [5.0f64, 15.0, 30.0] {
+                let m2 = prandtl_meyer_mach_after(m1, turn_deg.to_radians(), G);
+                let back = (prandtl_meyer_nu(m2, G) - prandtl_meyer_nu(m1, G)).to_degrees();
                 assert!((back - turn_deg).abs() < 1e-6, "turn {turn_deg} → {back}");
                 assert!(m2 > m1, "expansion must accelerate the flow");
             }

@@ -1,7 +1,5 @@
 //! The CM-2 machine model and its calibrated cost constants.
 
-use serde::Serialize;
-
 /// Per-operation costs of the model, in microseconds per particle per
 /// step unless stated otherwise.
 ///
@@ -17,7 +15,7 @@ use serde::Serialize;
 ///   per-Paris-instruction overhead `overhead_us` (amortised as `/R`) and
 ///   the off-chip pair exchange cost `pair_router_us` (a 2×5-word
 ///   exchange through the router per colliding pair).
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Costs {
     /// Motion + boundary arithmetic per particle.
     pub motion_work: f64,
@@ -70,7 +68,7 @@ pub struct Cm2 {
 }
 
 /// Per-substep model output, µs per particle per step.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct StepBreakdown {
     /// Motion + boundary conditions.
     pub motion: f64,
@@ -186,7 +184,10 @@ mod tests {
         // At R = 1 every pair crosses chips and the sort send is fully
         // off-chip.
         let t1 = m.step_cost(32 * 1024, 1.0, 1.0, 0.5).total();
-        assert!((9.8..11.0).contains(&t1), "R=1 cost {t1}, figure shows ≈10.3");
+        assert!(
+            (9.8..11.0).contains(&t1),
+            "R=1 cost {t1}, figure shows ≈10.3"
+        );
         let mut prev = t1;
         for k in [2usize, 4, 8, 16] {
             // Pair exchange on-chip for R ≥ 2; sort comm improves mildly.

@@ -13,11 +13,10 @@
 use crate::cm2::{Cm2, StepBreakdown};
 use crate::comm::{offchip_pair_fraction, offchip_sort_fraction};
 use dsmc_engine::{SimConfig, Simulation};
-use serde::Serialize;
 use std::time::Instant;
 
 /// One point of the figure-7 reproduction.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig7Point {
     /// Total particles in the simulation (flow + reservoir).
     pub n_particles: usize,
@@ -59,14 +58,26 @@ fn config_for(total: usize, lambda: f64) -> SimConfig {
 
 /// Run the sweep.  `sizes` are total-population targets (the paper used
 /// 32k, 64k, 128k, 256k, 512k); `warmup`/`measure` are step counts.
-pub fn sweep(machine: &Cm2, sizes: &[usize], warmup: usize, measure: usize, lambda: f64) -> Vec<Fig7Point> {
+pub fn sweep(
+    machine: &Cm2,
+    sizes: &[usize],
+    warmup: usize,
+    measure: usize,
+    lambda: f64,
+) -> Vec<Fig7Point> {
     sizes
         .iter()
         .map(|&total| measure_point(machine, total, warmup, measure, lambda))
         .collect()
 }
 
-fn measure_point(machine: &Cm2, total: usize, warmup: usize, measure: usize, lambda: f64) -> Fig7Point {
+fn measure_point(
+    machine: &Cm2,
+    total: usize,
+    warmup: usize,
+    measure: usize,
+    lambda: f64,
+) -> Fig7Point {
     let cfg = config_for(total, lambda);
     let mut sim = Simulation::new(cfg);
     sim.run(warmup);
@@ -123,13 +134,7 @@ mod tests {
         // Reduced sweep (three sizes, few steps) — the full five-point
         // version is the fig7 bench binary.
         let machine = Cm2::paper();
-        let pts = sweep(
-            &machine,
-            &[32 * 1024, 64 * 1024, 256 * 1024],
-            5,
-            6,
-            0.0,
-        );
+        let pts = sweep(&machine, &[32 * 1024, 64 * 1024, 256 * 1024], 5, 6, 0.0);
         assert_eq!(pts.len(), 3);
         // Monotone decreasing modelled time, biggest drop at the knee.
         assert!(
@@ -148,9 +153,17 @@ mod tests {
         // 27% of the step on the CM-2; its per-R gain is the amortised
         // router/dispatch startup, not a falling message count.
         for p in &pts {
-            assert!(p.f_off_sort > 0.8, "sort off-chip fraction {}", p.f_off_sort);
+            assert!(
+                p.f_off_sort > 0.8,
+                "sort off-chip fraction {}",
+                p.f_off_sort
+            );
         }
         // Endpoints near the paper's values.
-        assert!((9.5..11.5).contains(&pts[0].us_model), "{}", pts[0].us_model);
+        assert!(
+            (9.5..11.5).contains(&pts[0].us_model),
+            "{}",
+            pts[0].us_model
+        );
     }
 }

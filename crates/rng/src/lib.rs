@@ -61,7 +61,7 @@ impl XorShift32 {
     /// (the high bits of a xorshift word are better distributed than the low).
     #[inline(always)]
     pub fn next_bits(&mut self, n: u32) -> u32 {
-        debug_assert!(n >= 1 && n <= 32);
+        debug_assert!((1..=32).contains(&n));
         self.next_u32() >> (32 - n)
     }
 
@@ -124,7 +124,7 @@ impl Lcg32 {
     /// Next `n` bits from the high (well-mixed) end of the word.
     #[inline(always)]
     pub fn next_bits(&mut self, n: u32) -> u32 {
-        debug_assert!(n >= 1 && n <= 32);
+        debug_assert!((1..=32).contains(&n));
         self.next_u32() >> (32 - n)
     }
 }
@@ -209,7 +209,10 @@ mod tests {
         for _ in 0..1000 {
             seen[r.next_below(5) as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all residues should appear: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues should appear: {seen:?}"
+        );
     }
 
     #[test]

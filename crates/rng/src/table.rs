@@ -100,7 +100,7 @@ mod tests {
 
     #[test]
     fn large_table_is_roughly_uniform() {
-        let t = PermTable::generate(120_00, 5);
+        let t = PermTable::generate(12_000, 5);
         let idx: Vec<usize> = t.entries().iter().map(|p| p.lehmer_index()).collect();
         let tv = tv_distance_from_uniform(&idx);
         assert!(tv < 0.1, "tv = {tv}");

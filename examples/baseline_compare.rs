@@ -47,18 +47,30 @@ fn main() {
     }
     let nb_drift = max_drift(&nb.state.total_momentum_raw(), &m0);
 
-    println!("{:<22} {:>14} {:>18} {:>12}", "scheme", "interactions", "momentum drift", "kurtosis");
     println!(
-        "{:<22} {:>14} {:>18} {:>12.3}",
-        "pairwise (paper)", mb_cols, mb_drift, mb.kurtosis(0)
+        "{:<22} {:>14} {:>18} {:>12}",
+        "scheme", "interactions", "momentum drift", "kurtosis"
     );
     println!(
         "{:<22} {:>14} {:>18} {:>12.3}",
-        "Bird time-counter", bird.collisions(), bird_drift, bird.state.kurtosis(0)
+        "pairwise (paper)",
+        mb_cols,
+        mb_drift,
+        mb.kurtosis(0)
     );
     println!(
         "{:<22} {:>14} {:>18} {:>12.3}",
-        "Nanbu/Ploss", nb.updates(), nb_drift, nb.state.kurtosis(0)
+        "Bird time-counter",
+        bird.collisions(),
+        bird_drift,
+        bird.state.kurtosis(0)
+    );
+    println!(
+        "{:<22} {:>14} {:>18} {:>12.3}",
+        "Nanbu/Ploss",
+        nb.updates(),
+        nb_drift,
+        nb.state.kurtosis(0)
     );
     println!(
         "\nall three thermalise the gas; only the pairwise rule combines\n\

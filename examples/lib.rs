@@ -1,0 +1,3 @@
+//! Anchor library for the `dsmc-examples` package; the content lives in
+//! the `[[example]]` targets next to this file (run with
+//! `cargo run --release -p dsmc-examples --example quickstart`).

@@ -25,7 +25,10 @@ fn run(lambda: f64, density: f64) -> Option<ShockMetrics> {
 }
 
 fn main() {
-    let density: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.4);
+    let density: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.4);
     println!("running near-continuum (lambda = 0)…");
     let nc = run(0.0, density).expect("near-continuum fit");
     println!("running rarefied (lambda = 0.5, Kn = 0.02)…");

@@ -48,7 +48,10 @@ fn main() {
         (e1 - e0) as f64 / e0 as f64
     );
     let k = b.kurtosis(0);
-    assert!(k.abs() < 0.15, "distribution must be Maxwellian, kurtosis {k}");
+    assert!(
+        k.abs() < 0.15,
+        "distribution must be Maxwellian, kurtosis {k}"
+    );
     let shares = b.mode_shares();
     for (i, s) in shares.iter().enumerate() {
         assert!(

@@ -14,7 +14,10 @@ use dsmc_perfmodel::{sweep, Cm2};
 fn main() {
     let machine = Cm2::paper();
     let sizes = [32 * 1024usize, 64 * 1024, 128 * 1024, 256 * 1024];
-    println!("sweeping {} populations (fixed 32k-processor model)…", sizes.len());
+    println!(
+        "sweeping {} populations (fixed 32k-processor model)…",
+        sizes.len()
+    );
     let pts = sweep(&machine, &sizes, 10, 12, 0.0);
     println!(
         "\n{:>10} {:>4} {:>12} {:>12} {:>12}",

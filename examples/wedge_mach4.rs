@@ -14,8 +14,14 @@ use dsmc_flowfield::render::ascii_heatmap;
 use dsmc_flowfield::shock::wedge_metrics;
 
 fn main() {
-    let density: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.4);
-    let steps: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.667);
+    let density: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.4);
+    let steps: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.667);
 
     let mut cfg = SimConfig::paper(0.0);
     cfg.n_per_cell = (75.0 * density).max(4.0);
@@ -42,7 +48,10 @@ fn main() {
 
     print!("{}", ascii_heatmap(&field.density, field.w, field.h, 4.0));
     if let Some(m) = wedge_metrics(&field, 20.0, 25.0, 30.0, 4.0, 1.4) {
-        println!("shock angle      {:.1} deg   (paper: 45, theory {:.1})", m.shock_angle_deg, m.theory_angle_deg);
+        println!(
+            "shock angle      {:.1} deg   (paper: 45, theory {:.1})",
+            m.shock_angle_deg, m.theory_angle_deg
+        );
         println!("density ratio    {:.2}       (paper: 3.7)", m.density_ratio);
         println!("shock thickness  {:.1} cells (paper: ~3)", m.thickness_rise);
         println!(

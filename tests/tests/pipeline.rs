@@ -1,0 +1,210 @@
+//! The sort→send pipeline contract: the fused rank+send equals the
+//! two-step reference bit for bit, steady-state steps allocate nothing in
+//! the hot path, and fixed-seed runs are identical for any thread count.
+
+use dsmc_datapar::{sort_order_by_key, sort_perm_by_key, SortScratch};
+use dsmc_engine::particles::ParticleStore;
+use dsmc_engine::{PipelineMode, SimConfig, Simulation};
+use dsmc_fixed::Fx;
+use dsmc_rng::XorShift32;
+use proptest::prelude::*;
+
+/// A store with `n` particles whose every column is distinct pseudo-random
+/// data, so any mis-gathered column shows up in a comparison.
+fn random_store(n: usize, seed: u32) -> ParticleStore {
+    let mut rng = XorShift32::new(seed | 1);
+    let mut s = ParticleStore::default();
+    for i in 0..n {
+        let vel = core::array::from_fn(|_| Fx::from_raw((rng.next_u32() as i32) >> 10));
+        s.push(
+            Fx::from_raw((rng.next_u32() as i32) >> 8),
+            Fx::from_raw((rng.next_u32() as i32) >> 8),
+            vel,
+            dsmc_rng::perm::knuth_shuffle(&mut rng),
+            XorShift32::new(i as u32 + 1),
+            rng.next_u32() % 64,
+        );
+    }
+    s
+}
+
+fn assert_stores_equal(a: &ParticleStore, b: &ParticleStore) {
+    assert_eq!(a.x, b.x, "x columns differ");
+    assert_eq!(a.y, b.y, "y columns differ");
+    assert_eq!(a.u, b.u, "u columns differ");
+    assert_eq!(a.v, b.v, "v columns differ");
+    assert_eq!(a.w, b.w, "w columns differ");
+    assert_eq!(a.r1, b.r1, "r1 columns differ");
+    assert_eq!(a.r2, b.r2, "r2 columns differ");
+    assert_eq!(a.perm, b.perm, "perm columns differ");
+    assert_eq!(a.rng, b.rng, "rng columns differ");
+    assert_eq!(a.cell, b.cell, "cell columns differ");
+}
+
+/// Apply both send paths to clones of one store and demand equality.
+fn check_fused_matches_two_step(n: usize, seed: u32, key_bits: u32) {
+    let reference = random_store(n, seed);
+    let keys: Vec<u32> = reference.cell.clone();
+
+    let mut two_step = reference.clone();
+    let perm = sort_perm_by_key(&keys, key_bits);
+    two_step.apply_order(&perm);
+
+    let mut fused = reference.clone();
+    let mut scratch = SortScratch::new();
+    let mut order = Vec::new();
+    sort_order_by_key(&keys, key_bits, &mut scratch, &mut order);
+    fused.apply_order_fused(&order);
+
+    assert_eq!(
+        order, perm,
+        "fused order differs from reference permutation"
+    );
+    assert_stores_equal(&fused, &two_step);
+}
+
+#[test]
+fn fused_send_matches_reference_large() {
+    // Above PAR_THRESHOLD: exercises the parallel radix + chunked send.
+    check_fused_matches_two_step(40_000, 7, 6);
+    check_fused_matches_two_step(100_000, 8, 32);
+}
+
+proptest! {
+    #[test]
+    fn prop_fused_send_matches_reference(
+        n in 0usize..500,
+        seed in any::<u32>(),
+        key_bits in 1u32..=32,
+    ) {
+        check_fused_matches_two_step(n, seed, key_bits);
+    }
+}
+
+/// Whole-simulation equivalence: the `Fused` and `TwoStep` pipelines must
+/// produce bit-identical trajectories from the same seed.
+#[test]
+fn pipelines_produce_identical_trajectories() {
+    let mut fused = Simulation::new(SimConfig::small_test());
+    let mut cfg = SimConfig::small_test();
+    cfg.pipeline = PipelineMode::TwoStep;
+    let mut two_step = Simulation::new(cfg);
+    fused.run(40);
+    two_step.run(40);
+    assert_stores_equal(fused.particles(), two_step.particles());
+    assert_eq!(fused.segment_bounds(), two_step.segment_bounds());
+    assert_eq!(fused.last_sort_order(), two_step.last_sort_order());
+    let (df, dt) = (fused.diagnostics(), two_step.diagnostics());
+    assert_eq!(df.collisions, dt.collisions);
+    assert_eq!(df.candidates, dt.candidates);
+    assert_eq!(df.n_flow, dt.n_flow);
+}
+
+/// Steady-state steps must not allocate in the sort/send path: every
+/// hot-path buffer's capacity is stable across 100 further steps.
+#[test]
+fn hot_path_capacities_are_stable_across_steps() {
+    let mut sim = Simulation::new(SimConfig::small_test());
+    sim.run(50); // warm-up: scratch buffers reach workload size
+    let caps = sim.hot_path_capacities();
+    for step in 0..100 {
+        sim.step();
+        assert_eq!(
+            sim.hot_path_capacities(),
+            caps,
+            "hot-path buffer re-allocated at step {step}"
+        );
+    }
+}
+
+/// The O(log) segment-bounds n_flow must agree with a full scan.
+#[test]
+fn n_flow_matches_full_scan() {
+    let mut sim = Simulation::new(SimConfig::small_test());
+    for _ in 0..10 {
+        sim.run(5);
+        let scan = sim
+            .particles()
+            .cell
+            .iter()
+            .filter(|&&c| c < sim.reservoir_base())
+            .count();
+        assert_eq!(sim.diagnostics().n_flow, scan);
+    }
+}
+
+/// FNV-1a over the full particle state plus the collision ledgers.
+fn state_hash(sim: &Simulation) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    let mut eat = |v: i64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    let p = sim.particles();
+    for i in 0..p.len() {
+        eat(p.x[i].raw() as i64);
+        eat(p.y[i].raw() as i64);
+        eat(p.u[i].raw() as i64);
+        eat(p.v[i].raw() as i64);
+        eat(p.w[i].raw() as i64);
+        eat(p.cell[i] as i64);
+    }
+    let d = sim.diagnostics();
+    eat(d.collisions as i64);
+    eat(d.candidates as i64);
+    h
+}
+
+const DETERMINISM_STEPS: usize = 30;
+
+/// Helper target for the subprocess determinism test; runs under a pinned
+/// `RAYON_NUM_THREADS` and prints the state hash.
+#[test]
+#[ignore = "helper: spawned by determinism_across_thread_counts"]
+fn helper_print_state_hash() {
+    let mut sim = Simulation::new(SimConfig::small_test());
+    sim.run(DETERMINISM_STEPS);
+    println!("STATE_HASH={:#018x}", state_hash(&sim));
+}
+
+/// Fixed-seed runs must be bitwise identical across rayon thread counts.
+/// The thread count is fixed at pool spin-up, so each count gets its own
+/// subprocess (this same test binary, filtered to the helper above).
+#[test]
+fn determinism_across_thread_counts() {
+    fn hash_with_threads(n: &str) -> String {
+        let exe = std::env::current_exe().expect("current_exe");
+        let out = std::process::Command::new(exe)
+            .args([
+                "--exact",
+                "helper_print_state_hash",
+                "--ignored",
+                "--nocapture",
+            ])
+            .env("RAYON_NUM_THREADS", n)
+            .output()
+            .expect("spawn helper");
+        assert!(
+            out.status.success(),
+            "helper failed under {n} threads: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+        // libtest may glue the hash onto its own "test ... ok" line, so
+        // search within lines rather than anchoring at the start.
+        stdout
+            .lines()
+            .find_map(|l| {
+                l.find("STATE_HASH=")
+                    .map(|at| l[at..].split_whitespace().next().unwrap().to_string())
+            })
+            .unwrap_or_else(|| panic!("no STATE_HASH in helper output:\n{stdout}"))
+    }
+    let h1 = hash_with_threads("1");
+    let h4 = hash_with_threads("4");
+    let h8 = hash_with_threads("8");
+    assert_eq!(h1, h4, "1-thread and 4-thread runs diverged");
+    assert_eq!(h1, h8, "1-thread and 8-thread runs diverged");
+}

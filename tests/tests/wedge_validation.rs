@@ -97,7 +97,10 @@ fn shoulder_expansion_and_wake_rarefaction() {
         }
     }
     wake /= n as f64;
-    assert!(wake < 0.35, "wake density {wake:.2} must be strongly rarefied");
+    assert!(
+        wake < 0.35,
+        "wake density {wake:.2} must be strongly rarefied"
+    );
 }
 
 /// The wedge geometry itself: the stagnation-region subgrid peaks near the

@@ -1,0 +1,217 @@
+//! Vendored stand-in for the `criterion` crate (offline build).
+//!
+//! Implements the API surface the bench targets use — `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Throughput`, `BenchmarkId`, `black_box` — with a
+//! deliberately simple measurement loop: a short warm-up, then
+//! `sample_size` timed batches whose median is reported together with
+//! element throughput.  No statistics machinery, no HTML reports; the
+//! numbers land on stdout and in the perf-trajectory JSON the bench bins
+//! write themselves.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (one per `criterion_group!`).
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Bench a standalone function.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = BenchmarkGroup {
+            sample_size: 10,
+            throughput: None,
+        };
+        g.bench_function(id, f);
+    }
+}
+
+/// Units of work per iteration, for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's display identity.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: &str, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// A group of benchmarks sharing sample settings.
+pub struct BenchmarkGroup {
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare the work per iteration for throughput output.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Bench one closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.report(&id.label, self.throughput);
+        self
+    }
+
+    /// Bench one closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        b.report(&id.label, self.throughput);
+        self
+    }
+
+    /// End the group (marker only).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`, recording `sample_size` samples after a short warm-up.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: at least one call, at most ~50 ms.
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            if warm_start.elapsed() > Duration::from_millis(50) {
+                break;
+            }
+        }
+        // Calibrate iterations per sample so one sample is >= ~5 ms.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 1 << 20);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed() / iters as u32);
+        }
+    }
+
+    fn report(&mut self, label: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{label:<40} (no samples)");
+            return;
+        }
+        self.samples.sort();
+        let median = self.samples[self.samples.len() / 2];
+        let ns = median.as_nanos().max(1);
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.3} Melem/s", n as f64 / ns as f64 * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.3} MB/s", n as f64 / ns as f64 * 1e3)
+            }
+            None => String::new(),
+        };
+        println!("{label:<40} {:>12} ns/iter{rate}", ns);
+    }
+}
+
+/// Declare a group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,5 @@
+/root/repo/vendor/proptest/target/debug/deps/proptest-026bfbf494c14e6d.d: src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/proptest-026bfbf494c14e6d: src/lib.rs
+
+src/lib.rs:

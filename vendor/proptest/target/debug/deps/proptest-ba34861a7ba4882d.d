@@ -1,0 +1,7 @@
+/root/repo/vendor/proptest/target/debug/deps/proptest-ba34861a7ba4882d.d: src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/libproptest-ba34861a7ba4882d.rlib: src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/libproptest-ba34861a7ba4882d.rmeta: src/lib.rs
+
+src/lib.rs:

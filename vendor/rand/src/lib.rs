@@ -1,0 +1,135 @@
+//! Vendored stand-in for the `rand` crate (offline build).
+//!
+//! Only what the test suites use: `rngs::StdRng` seeded via
+//! `SeedableRng::seed_from_u64` and `Rng::gen_range` over integer and
+//! float ranges.  The generator is xoshiro256**, which is more than
+//! adequate for statistical test fixtures.
+
+use std::ops::Range;
+
+/// Raw 64-bit generation.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Expand a 64-bit seed into generator state.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers, blanket-implemented for any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<G: RngCore> Rng for G {}
+
+/// Ranges that can produce uniform samples of `T`.
+pub trait SampleRange<T> {
+    /// Draw one value.
+    fn sample<G: RngCore>(self, g: &mut G) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($ty:ty),+) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample<G: RngCore>(self, g: &mut G) -> $ty {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (g.next_u64() as u128 * span) >> 64;
+                (self.start as i128 + draw as i128) as $ty
+            }
+        }
+    )+};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<G: RngCore>(self, g: &mut G) -> f64 {
+        let u = (g.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Standard generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** — the deterministic default generator.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 state expansion, as rand itself does.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn ranges_and_determinism() {
+        let mut a = super::rngs::StdRng::seed_from_u64(7);
+        let mut b = super::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: i64 = a.gen_range(-1_000_000..1_000_000);
+            let y: i64 = b.gen_range(-1_000_000..1_000_000);
+            assert_eq!(x, y);
+            assert!((-1_000_000..1_000_000).contains(&x));
+            let bit = a.gen_range(0..2u32);
+            assert!(bit < 2);
+            let _ = b.gen_range(0..2u32);
+        }
+    }
+
+    #[test]
+    fn mean_is_centred() {
+        let mut rng = super::rngs::StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut acc = 0f64;
+        for _ in 0..n {
+            acc += rng.gen_range(0.0..1.0f64);
+        }
+        let mean = acc / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,1 @@
+/root/repo/vendor/rand/target/debug/librand.rlib: /root/repo/vendor/rand/src/lib.rs

@@ -1,0 +1,699 @@
+//! The indexed parallel-iterator vocabulary the engine uses.
+//!
+//! Every iterator here is *splittable*: it knows how many split units it
+//! holds and can be divided at an index into two independent halves.  A
+//! consumer (for_each / collect / reduce / sum) recursively splits down to
+//! a grain size and fans the pieces out through [`crate::pool::join`];
+//! each leaf then drains sequentially via a plain `std` iterator.
+//!
+//! Iterators whose exact element count is known up front (`opt_len() ==
+//! Some(n)`) collect by writing each element at its final index, so the
+//! output is bit-identical to the sequential order no matter how the work
+//! was chunked — the property all of `dsmc-datapar` relies on.
+
+use crate::pool;
+
+const MIN_GRAIN: usize = 1;
+
+fn grain_for(len: usize) -> usize {
+    let threads = pool::current_num_threads();
+    if threads <= 1 {
+        return usize::MAX;
+    }
+    (len / (threads * 4)).max(MIN_GRAIN)
+}
+
+/// A splittable, exactly-sized parallel iterator.
+pub trait ParallelIterator: Sized + Send {
+    /// Element type produced at the leaves.
+    type Item: Send;
+    /// Sequential form a leaf drains through.
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Number of split units (elements for element iterators, chunks for
+    /// chunk iterators).
+    fn split_len(&self) -> usize;
+
+    /// Exact number of produced items, when known (drives positional
+    /// collects).
+    fn opt_len(&self) -> Option<usize>;
+
+    /// Split into `[0, mid)` and `[mid, len)` in split units.
+    fn split_at(self, mid: usize) -> (Self, Self);
+
+    /// The sequential iterator over this piece.
+    fn into_seq(self) -> Self::Seq;
+
+    // ---- adapters -------------------------------------------------------
+
+    /// Elementwise transformation.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send + Clone,
+    {
+        Map { base: self, f }
+    }
+
+    /// Lock-step pairing; both sides must have equal length.
+    fn zip<B>(self, other: B) -> Zip<Self, B>
+    where
+        B: ParallelIterator,
+    {
+        debug_assert_eq!(
+            self.split_len(),
+            other.split_len(),
+            "zip of unequal lengths"
+        );
+        Zip { a: self, b: other }
+    }
+
+    /// Pair every element with its global index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    /// Map each element through `f` and flatten the resulting sequential
+    /// iterators, preserving order.
+    fn flat_map_iter<It, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        It: IntoIterator,
+        It::Item: Send,
+        F: Fn(Self::Item) -> It + Sync + Send + Clone,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    // ---- consumers ------------------------------------------------------
+
+    /// Run `f` on every element, in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        fn rec<I: ParallelIterator, F: Fn(I::Item) + Sync>(iter: I, grain: usize, f: &F) {
+            let len = iter.split_len();
+            if len <= grain {
+                for item in iter.into_seq() {
+                    f(item);
+                }
+                return;
+            }
+            let (a, b) = iter.split_at(len / 2);
+            pool::join(|| rec(a, grain, f), || rec(b, grain, f));
+        }
+        let grain = grain_for(self.split_len());
+        rec(self, grain, &f);
+    }
+
+    /// Collect into a container (here: `Vec`).
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Collect into an existing `Vec`, reusing its capacity.
+    fn collect_into_vec(self, out: &mut Vec<Self::Item>) {
+        let n = self
+            .opt_len()
+            .expect("collect_into_vec requires an exactly-sized iterator");
+        out.clear();
+        out.reserve(n);
+        collect_positional(self, out.as_mut_ptr());
+        // SAFETY: collect_positional wrote every index in 0..n exactly once.
+        unsafe { out.set_len(n) };
+    }
+
+    /// Parallel fold with an identity; `op` must be associative.
+    fn reduce<OP, ID>(self, identity: ID, op: OP) -> Self::Item
+    where
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+        ID: Fn() -> Self::Item + Sync,
+    {
+        fn rec<I, OP, ID>(iter: I, grain: usize, identity: &ID, op: &OP) -> I::Item
+        where
+            I: ParallelIterator,
+            OP: Fn(I::Item, I::Item) -> I::Item + Sync,
+            ID: Fn() -> I::Item + Sync,
+        {
+            let len = iter.split_len();
+            if len <= grain {
+                return iter.into_seq().fold(identity(), op);
+            }
+            let (a, b) = iter.split_at(len / 2);
+            let (ra, rb) = pool::join(
+                || rec(a, grain, identity, op),
+                || rec(b, grain, identity, op),
+            );
+            op(ra, rb)
+        }
+        let grain = grain_for(self.split_len());
+        rec(self, grain, &identity, &op)
+    }
+
+    /// Parallel sum.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        fn rec<I, S>(iter: I, grain: usize) -> S
+        where
+            I: ParallelIterator,
+            S: Send + std::iter::Sum<I::Item> + std::iter::Sum<S>,
+        {
+            let len = iter.split_len();
+            if len <= grain {
+                return iter.into_seq().sum();
+            }
+            let (a, b) = iter.split_at(len / 2);
+            let (ra, rb) = pool::join(|| rec::<I, S>(a, grain), || rec::<I, S>(b, grain));
+            [ra, rb].into_iter().sum()
+        }
+        let grain = grain_for(self.split_len());
+        rec(self, grain)
+    }
+}
+
+/// Positional parallel collect: every piece writes its items at their
+/// final indices through a shared pointer.
+fn collect_positional<I: ParallelIterator>(iter: I, out: *mut I::Item) {
+    struct Ptr<T>(*mut T);
+    unsafe impl<T: Send> Send for Ptr<T> {}
+    unsafe impl<T: Send> Sync for Ptr<T> {}
+
+    fn rec<I: ParallelIterator>(iter: I, offset: usize, grain: usize, out: &Ptr<I::Item>) {
+        let len = iter.split_len();
+        if len <= grain {
+            for (i, item) in (offset..).zip(iter.into_seq()) {
+                // SAFETY: distinct pieces own disjoint index ranges and the
+                // destination was reserved for opt_len() elements.
+                unsafe { out.0.add(i).write(item) };
+            }
+            return;
+        }
+        let mid = len / 2;
+        let (a, b) = iter.split_at(mid);
+        pool::join(
+            || rec(a, offset, grain, out),
+            || rec(b, offset + mid, grain, out),
+        );
+    }
+    let grain = grain_for(iter.split_len());
+    rec(iter, 0, grain, &Ptr(out));
+}
+
+/// Order-preserving collect for iterators without an exact length:
+/// each piece collects locally, halves concatenate on the way up.
+fn collect_concat<I: ParallelIterator>(iter: I) -> Vec<I::Item> {
+    fn rec<I: ParallelIterator>(iter: I, grain: usize) -> Vec<I::Item> {
+        let len = iter.split_len();
+        if len <= grain {
+            return iter.into_seq().collect();
+        }
+        let (a, b) = iter.split_at(len / 2);
+        let (mut va, vb) = pool::join(|| rec(a, grain), || rec(b, grain));
+        va.extend(vb);
+        va
+    }
+    let grain = grain_for(iter.split_len());
+    rec(iter, grain)
+}
+
+/// Containers a parallel iterator can collect into.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build the container from the iterator.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        match iter.opt_len() {
+            Some(n) => {
+                let mut v: Vec<T> = Vec::with_capacity(n);
+                collect_positional(iter, v.as_mut_ptr());
+                // SAFETY: every index in 0..n was written exactly once.
+                unsafe { v.set_len(n) };
+                v
+            }
+            None => collect_concat(iter),
+        }
+    }
+}
+
+// ---- map ----------------------------------------------------------------
+
+/// See [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send + Clone,
+{
+    type Item = R;
+    type Seq = std::iter::Map<I::Seq, F>;
+
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+    fn opt_len(&self) -> Option<usize> {
+        self.base.opt_len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (
+            Map {
+                base: a,
+                f: self.f.clone(),
+            },
+            Map { base: b, f: self.f },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().map(self.f)
+    }
+}
+
+// ---- zip ----------------------------------------------------------------
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+
+    fn split_len(&self) -> usize {
+        self.a.split_len().min(self.b.split_len())
+    }
+    fn opt_len(&self) -> Option<usize> {
+        match (self.a.opt_len(), self.b.opt_len()) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            _ => None,
+        }
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a0, a1) = self.a.split_at(mid);
+        let (b0, b1) = self.b.split_at(mid);
+        (Zip { a: a0, b: b0 }, Zip { a: a1, b: b1 })
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+// ---- enumerate ----------------------------------------------------------
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    base: I,
+    offset: usize,
+}
+
+/// Sequential enumerator that starts from a non-zero base index.
+pub struct OffsetEnumerate<S> {
+    inner: S,
+    idx: usize,
+}
+
+impl<S: Iterator> Iterator for OffsetEnumerate<S> {
+    type Item = (usize, S::Item);
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        let i = self.idx;
+        self.idx += 1;
+        Some((i, item))
+    }
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    type Seq = OffsetEnumerate<I::Seq>;
+
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+    fn opt_len(&self) -> Option<usize> {
+        self.base.opt_len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (
+            Enumerate {
+                base: a,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: b,
+                offset: self.offset + mid,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        OffsetEnumerate {
+            inner: self.base.into_seq(),
+            idx: self.offset,
+        }
+    }
+}
+
+// ---- flat_map_iter ------------------------------------------------------
+
+/// See [`ParallelIterator::flat_map_iter`].
+pub struct FlatMapIter<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, It, F> ParallelIterator for FlatMapIter<I, F>
+where
+    I: ParallelIterator,
+    It: IntoIterator,
+    It::Item: Send,
+    F: Fn(I::Item) -> It + Sync + Send + Clone,
+{
+    type Item = It::Item;
+    type Seq = std::iter::FlatMap<I::Seq, It, F>;
+
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+    fn opt_len(&self) -> Option<usize> {
+        None
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (
+            FlatMapIter {
+                base: a,
+                f: self.f.clone(),
+            },
+            FlatMapIter { base: b, f: self.f },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().flat_map(self.f)
+    }
+}
+
+// ---- slice producers ----------------------------------------------------
+
+/// Shared-slice element iterator (`par_iter`).
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+
+    fn split_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn opt_len(&self) -> Option<usize> {
+        Some(self.slice.len())
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(mid);
+        (SliceIter { slice: a }, SliceIter { slice: b })
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+/// Mutable-slice element iterator (`par_iter_mut`).
+pub struct SliceIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+    type Seq = std::slice::IterMut<'a, T>;
+
+    fn split_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn opt_len(&self) -> Option<usize> {
+        Some(self.slice.len())
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at_mut(mid);
+        (SliceIterMut { slice: a }, SliceIterMut { slice: b })
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter_mut()
+    }
+}
+
+/// Shared chunk iterator (`par_chunks`); split units are whole chunks.
+pub struct SliceChunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceChunks<'a, T> {
+    type Item = &'a [T];
+    type Seq = std::slice::Chunks<'a, T>;
+
+    fn split_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn opt_len(&self) -> Option<usize> {
+        Some(self.split_len())
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let elems = (mid * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at(elems);
+        (
+            SliceChunks {
+                slice: a,
+                size: self.size,
+            },
+            SliceChunks {
+                slice: b,
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// Mutable chunk iterator (`par_chunks_mut`).
+pub struct SliceChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for SliceChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type Seq = std::slice::ChunksMut<'a, T>;
+
+    fn split_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn opt_len(&self) -> Option<usize> {
+        Some(self.split_len())
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let elems = (mid * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(elems);
+        (
+            SliceChunksMut {
+                slice: a,
+                size: self.size,
+            },
+            SliceChunksMut {
+                slice: b,
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+// ---- range / vec producers ----------------------------------------------
+
+/// Integer-range iterator (`(a..b).into_par_iter()`).
+pub struct RangeIter<T> {
+    start: T,
+    end: T,
+}
+
+macro_rules! impl_range_iter {
+    ($($ty:ty),+) => {$(
+        impl ParallelIterator for RangeIter<$ty> {
+            type Item = $ty;
+            type Seq = std::ops::Range<$ty>;
+
+            fn split_len(&self) -> usize {
+                (self.end - self.start) as usize
+            }
+            fn opt_len(&self) -> Option<usize> {
+                Some(self.split_len())
+            }
+            fn split_at(self, mid: usize) -> (Self, Self) {
+                let m = self.start + mid as $ty;
+                (
+                    RangeIter { start: self.start, end: m },
+                    RangeIter { start: m, end: self.end },
+                )
+            }
+            fn into_seq(self) -> Self::Seq {
+                self.start..self.end
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$ty> {
+            type Iter = RangeIter<$ty>;
+            type Item = $ty;
+            fn into_par_iter(self) -> Self::Iter {
+                RangeIter { start: self.start.min(self.end), end: self.end }
+            }
+        }
+    )+};
+}
+
+impl_range_iter!(usize, u32, u64, i32, i64);
+
+/// Owning `Vec` iterator (`vec.into_par_iter()`).
+pub struct VecIter<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    type Seq = std::vec::IntoIter<T>;
+
+    fn split_len(&self) -> usize {
+        self.vec.len()
+    }
+    fn opt_len(&self) -> Option<usize> {
+        Some(self.vec.len())
+    }
+    fn split_at(mut self, mid: usize) -> (Self, Self) {
+        let tail = self.vec.split_off(mid);
+        (self, VecIter { vec: tail })
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.vec.into_iter()
+    }
+}
+
+// ---- entry-point traits --------------------------------------------------
+
+/// Owning conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The produced iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Its element type.
+    type Item: Send;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> Self::Iter {
+        VecIter { vec: self }
+    }
+}
+
+/// `par_iter` on a shared reference.
+pub trait IntoParallelRefIterator<'a> {
+    /// The produced iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Its element type.
+    type Item: Send;
+    /// Borrowing conversion.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+/// `par_iter_mut` on a mutable reference.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The produced iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Its element type.
+    type Item: Send;
+    /// Borrowing conversion.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Iter = SliceIterMut<'a, T>;
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        SliceIterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Iter = SliceIterMut<'a, T>;
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        SliceIterMut { slice: self }
+    }
+}
+
+/// `par_chunks` on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `size`-element chunks.
+    fn par_chunks(&self, size: usize) -> SliceChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> SliceChunks<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        SliceChunks { slice: self, size }
+    }
+}
+
+/// `par_chunks_mut` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable `size`-element chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> SliceChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> SliceChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        SliceChunksMut { slice: self, size }
+    }
+}

@@ -1,0 +1,147 @@
+//! Vendored stand-in for the `rayon` crate.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors the subset of rayon's API that the simulation actually uses:
+//! `join`, `current_num_threads`, and the indexed parallel-iterator
+//! vocabulary over slices, ranges and vectors (`par_iter`, `par_iter_mut`,
+//! `par_chunks`, `par_chunks_mut`, `into_par_iter` with `map` / `zip` /
+//! `enumerate` / `flat_map_iter` / `for_each` / `collect` /
+//! `collect_into_vec` / `reduce` / `sum`).
+//!
+//! Execution runs on a resident `std::thread` pool sized by
+//! `RAYON_NUM_THREADS` (falling back to the machine's available
+//! parallelism), with help-while-waiting scheduling so nested `join`s
+//! cannot deadlock.  Collects into vectors are positional, so results are
+//! bit-identical to sequential execution regardless of thread count —
+//! the contract `dsmc-datapar` is written against.
+//!
+//! If the real rayon ever becomes available, deleting this crate from
+//! `[workspace.dependencies]` and pointing at crates.io is the only
+//! change required.
+
+mod iter;
+mod pool;
+
+pub use pool::{current_num_threads, join};
+
+pub use iter::{
+    FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+    IntoParallelRefMutIterator, ParallelIterator, ParallelSlice, ParallelSliceMut,
+};
+
+/// The glob-importable trait bundle, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = crate::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn nested_joins_do_not_deadlock() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = crate::join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        assert_eq!(fib(16), 987);
+    }
+
+    #[test]
+    fn for_each_touches_every_element() {
+        let mut v = vec![0u32; 100_000];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..200_000u64).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        for (i, &x) in out.iter().enumerate() {
+            assert_eq!(x, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn zip_enumerate_chunks() {
+        let a: Vec<u32> = (0..50_000).collect();
+        let mut b = vec![0u32; 50_000];
+        b.par_iter_mut()
+            .zip(a.par_iter())
+            .enumerate()
+            .for_each(|(i, (out, &x))| {
+                assert_eq!(i as u32, x);
+                *out = x + 1;
+            });
+        assert_eq!(b[49_999], 50_000);
+    }
+
+    #[test]
+    fn chunk_zip_matches_manual() {
+        let xs: Vec<u32> = (0..10_000).collect();
+        let sums: Vec<u32> = xs.par_chunks(128).map(|c| c.iter().sum()).collect();
+        let want: Vec<u32> = xs.chunks(128).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, want);
+    }
+
+    #[test]
+    fn reduce_and_sum() {
+        let xs: Vec<u64> = (0..100_000u64).collect();
+        let r = xs
+            .par_chunks(1024)
+            .map(|c| c.iter().sum::<u64>())
+            .reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(r, 100_000u64 * 99_999 / 2);
+        let s: u64 = xs.into_par_iter().sum();
+        assert_eq!(s, 100_000u64 * 99_999 / 2);
+    }
+
+    #[test]
+    fn flat_map_iter_preserves_order() {
+        let out: Vec<usize> = (0usize..1000)
+            .into_par_iter()
+            .flat_map_iter(|i| (0..3).map(move |j| i * 3 + j))
+            .collect();
+        assert_eq!(out.len(), 3000);
+        for (i, &x) in out.iter().enumerate() {
+            assert_eq!(x, i);
+        }
+    }
+
+    #[test]
+    fn collect_into_vec_reuses_capacity() {
+        let xs: Vec<u32> = (0..100_000).collect();
+        let mut out = Vec::new();
+        xs.par_iter().map(|&x| x + 1).collect_into_vec(&mut out);
+        let cap = out.capacity();
+        let ptr = out.as_ptr();
+        xs.par_iter().map(|&x| x + 2).collect_into_vec(&mut out);
+        assert_eq!(out.capacity(), cap);
+        assert_eq!(out.as_ptr(), ptr);
+        assert_eq!(out[10], 12);
+    }
+
+    #[test]
+    fn panic_in_parallel_section_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            (0usize..100_000)
+                .into_par_iter()
+                .for_each(|i| assert!(i != 42_371, "boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,217 @@
+//! A small shared work queue with help-while-waiting semantics.
+//!
+//! The container this workspace builds in has no access to crates.io, so
+//! this crate re-implements the slice of rayon the engine uses on top of a
+//! plain `std` thread pool.  The design is deliberately simple:
+//!
+//! * one global FIFO of jobs protected by a mutex,
+//! * `threads - 1` resident workers plus the calling thread,
+//! * a counting latch per fork point; a thread that waits on a latch
+//!   *helps* by popping and running queued jobs, so nested `join`s (the
+//!   segment tree of `par_segments_mut`) can never deadlock: the thread
+//!   that pushed a job is always willing to run it itself.
+//!
+//! Borrowed closures are transmuted to `'static` before entering the
+//! queue; this is sound because the pushing frame blocks on the latch
+//! until the job has finished, exactly as rayon's own scope machinery
+//! argues.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// A type-erased unit of work.
+struct Job(Box<dyn FnOnce() + Send + 'static>);
+
+/// Completion latch for one forked job.
+pub(crate) struct Latch {
+    state: Mutex<LatchState>,
+    cv: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Latch {
+    pub(crate) fn new(count: usize) -> Self {
+        Self {
+            state: Mutex::new(LatchState {
+                remaining: count,
+                panic: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut s = self.state.lock().unwrap();
+        s.remaining -= 1;
+        if panic.is_some() && s.panic.is_none() {
+            s.panic = panic;
+        }
+        if s.remaining == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.lock().unwrap().remaining == 0
+    }
+
+    /// Take the stored panic payload, if any (call after the latch opens).
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.state.lock().unwrap().panic.take()
+    }
+}
+
+pub(crate) struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    has_work: Condvar,
+    n_threads: usize,
+}
+
+fn configured_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+static POOL: OnceLock<&'static Pool> = OnceLock::new();
+
+/// The process-wide pool, spawning its workers on first use.
+pub(crate) fn global() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let n_threads = configured_threads();
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            queue: Mutex::new(VecDeque::new()),
+            has_work: Condvar::new(),
+            n_threads,
+        }));
+        for i in 1..n_threads {
+            std::thread::Builder::new()
+                .name(format!("mini-rayon-{i}"))
+                .spawn(move || pool.worker_loop())
+                .expect("spawn worker thread");
+        }
+        pool
+    })
+}
+
+/// Number of threads that participate in parallel work (workers + caller).
+pub fn current_num_threads() -> usize {
+    global().n_threads
+}
+
+impl Pool {
+    fn push(&self, job: Job) {
+        self.queue.lock().unwrap().push_back(job);
+        self.has_work.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.queue.lock().unwrap().pop_front()
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().unwrap();
+                loop {
+                    if let Some(j) = q.pop_front() {
+                        break j;
+                    }
+                    q = self.has_work.wait(q).unwrap();
+                }
+            };
+            (job.0)();
+        }
+    }
+
+    /// Block until `latch` opens, running queued jobs in the meantime.
+    fn wait_help(&self, latch: &Latch) {
+        loop {
+            if latch.is_done() {
+                return;
+            }
+            if let Some(job) = self.try_pop() {
+                (job.0)();
+                continue;
+            }
+            // Queue momentarily empty: the job we wait on is in flight on
+            // another thread.  Sleep until its completion notifies us; the
+            // short timeout re-checks the queue so we resume helping if new
+            // inner jobs appear while ours is still pending.
+            let s = latch.state.lock().unwrap();
+            if s.remaining != 0 {
+                let _ = latch
+                    .cv
+                    .wait_timeout(s, std::time::Duration::from_micros(200))
+                    .unwrap();
+            }
+        }
+    }
+}
+
+/// Execute two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let pool = global();
+    if pool.n_threads <= 1 {
+        return (oper_a(), oper_b());
+    }
+
+    let latch = Latch::new(1);
+    let mut rb: Option<RB> = None;
+    {
+        let rb_slot = &mut rb;
+        let latch_ref = &latch;
+        let closure = move || {
+            let result = catch_unwind(AssertUnwindSafe(oper_b));
+            match result {
+                Ok(v) => {
+                    *rb_slot = Some(v);
+                    latch_ref.complete(None);
+                }
+                Err(p) => latch_ref.complete(Some(p)),
+            }
+        };
+        let job: Box<dyn FnOnce() + Send + '_> = Box::new(closure);
+        // SAFETY: this frame blocks on `latch` before the borrows captured
+        // by `closure` (rb, latch, oper_b's captures) go out of scope, so
+        // extending the lifetime to 'static never lets the job outlive its
+        // referents.
+        let job: Box<dyn FnOnce() + Send + 'static> = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send + 'static>>(
+                job,
+            )
+        };
+        pool.push(Job(job));
+    }
+
+    let ra = catch_unwind(AssertUnwindSafe(oper_a));
+    // Always wait: the queued job borrows this frame.
+    pool.wait_help(&latch);
+
+    if let Some(p) = latch.take_panic() {
+        std::panic::resume_unwind(p);
+    }
+    match ra {
+        Ok(ra) => (ra, rb.expect("join: forked job did not produce a value")),
+        Err(p) => std::panic::resume_unwind(p),
+    }
+}

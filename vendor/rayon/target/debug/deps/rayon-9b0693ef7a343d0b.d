@@ -1,0 +1,7 @@
+/root/repo/vendor/rayon/target/debug/deps/rayon-9b0693ef7a343d0b.d: src/lib.rs src/iter.rs src/pool.rs
+
+/root/repo/vendor/rayon/target/debug/deps/rayon-9b0693ef7a343d0b: src/lib.rs src/iter.rs src/pool.rs
+
+src/lib.rs:
+src/iter.rs:
+src/pool.rs:

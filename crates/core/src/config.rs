@@ -1,7 +1,7 @@
 //! Simulation configuration.
 
 use dsmc_fixed::Rounding;
-use dsmc_geom::{Body, FlatPlate, ForwardStep, NoBody, Wedge};
+use dsmc_geom::{Body, Cylinder, FlatPlate, ForwardStep, NoBody, Wedge};
 use dsmc_kinetics::MolecularModel;
 use std::sync::Arc;
 
@@ -35,6 +35,15 @@ pub enum BodySpec {
         /// Plate height.
         h: f64,
     },
+    /// Circular cylinder (blunt body with a detached bow shock).
+    Cylinder {
+        /// Centre x-station.
+        cx: f64,
+        /// Centre height above the lower wall.
+        cy: f64,
+        /// Radius.
+        r: f64,
+    },
 }
 
 impl BodySpec {
@@ -49,6 +58,7 @@ impl BodySpec {
             } => Arc::new(Wedge::new(x0, base, angle_deg)),
             BodySpec::Step { x0, x1, h } => Arc::new(ForwardStep::new(x0, x1, h)),
             BodySpec::Plate { x0, h } => Arc::new(FlatPlate::new(x0, h)),
+            BodySpec::Cylinder { cx, cy, r } => Arc::new(Cylinder::new(cx, cy, r)),
         }
     }
 }
@@ -378,5 +388,13 @@ mod tests {
         assert!(s.contains_f64(3.0, 1.0));
         let p = BodySpec::Plate { x0: 6.0, h: 2.0 }.build();
         assert!(p.contains_f64(6.0, 1.0));
+        let c = BodySpec::Cylinder {
+            cx: 8.0,
+            cy: 6.0,
+            r: 2.0,
+        }
+        .build();
+        assert!(c.contains_f64(8.0, 6.5));
+        assert!(!c.contains_f64(8.0, 8.5));
     }
 }

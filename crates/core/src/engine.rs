@@ -10,7 +10,7 @@ use crate::particles::ParticleStore;
 use crate::sample::{FieldAccumulator, SampledField};
 use crate::sortstep::{self, key_bits_for, SortWorkspace};
 use dsmc_fixed::{Fx, Rounding};
-use dsmc_geom::{Body, FlatPlate, ForwardStep, NoBody, Plunger, Tunnel, Wedge};
+use dsmc_geom::{Body, Cylinder, FlatPlate, ForwardStep, NoBody, Plunger, Tunnel, Wedge};
 use dsmc_kinetics::{FreeStream, SelectionTable};
 use std::sync::Arc;
 use std::time::Instant;
@@ -24,6 +24,7 @@ enum MonoBody {
     Wedge(Wedge),
     Step(ForwardStep),
     Plate(FlatPlate),
+    Cylinder(Cylinder),
 }
 
 impl MonoBody {
@@ -38,6 +39,7 @@ impl MonoBody {
             } => MonoBody::Wedge(Wedge::new(x0, base, angle_deg)),
             BodySpec::Step { x0, x1, h } => MonoBody::Step(ForwardStep::new(x0, x1, h)),
             BodySpec::Plate { x0, h } => MonoBody::Plate(FlatPlate::new(x0, h)),
+            BodySpec::Cylinder { cx, cy, r } => MonoBody::Cylinder(Cylinder::new(cx, cy, r)),
         }
     }
 }
@@ -220,6 +222,7 @@ impl Simulation {
                     MonoBody::Wedge(b) => self.boundary_phase(b),
                     MonoBody::Step(b) => self.boundary_phase(b),
                     MonoBody::Plate(b) => self.boundary_phase(b),
+                    MonoBody::Cylinder(b) => self.boundary_phase(b),
                 }
             }
             PipelineMode::TwoStep => {

@@ -139,7 +139,7 @@ where
 }
 
 /// Run `f(first_segment_index, bounds_run, run_data)` for parallel *runs*
-/// of consecutive segments (~[`SEQ_GRAIN`] elements per run).
+/// of consecutive segments (~`SEQ_GRAIN` elements per run).
 ///
 /// Where [`par_segments_mut`] hands the callback one pre-split tuple of
 /// sub-slices *per segment* — a seg_split per cell, which dominates when

@@ -290,7 +290,7 @@ const MAX_CELL_BITS: u32 = 14;
 /// radix pass fewer than the generic plan for the engine's key widths.
 ///
 /// Returns `false` (performing no work) when the layout is out of range —
-/// `cell_bits` zero or wider than [`MAX_CELL_BITS`] — in which case the
+/// `cell_bits` zero or wider than `MAX_CELL_BITS` — in which case the
 /// caller falls back to [`sort_order_from_pairs`] plus a bounds sweep.
 /// Small inputs take the comparison-sort path and derive bounds from the
 /// sorted pair keys directly.

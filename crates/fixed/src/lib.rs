@@ -15,7 +15,7 @@
 //!   and in our ablation: plain truncation (which loses energy in stagnation
 //!   regions), the unbiased stochastic correction, and the paper's literal
 //!   "add 0 or 1 with uniform probability" wording.
-//! * [`vec`] — small fixed-point vector types used by the geometry code.
+//! * [`vec`](mod@vec) — small fixed-point vector types used by the geometry code.
 //!
 //! Overflow behaviour: arithmetic uses the primitive `i32`/`i64` operators,
 //! so debug builds panic on overflow (catching modelling errors early) while

@@ -9,8 +9,9 @@
 //!
 //! * [`Tunnel`] — the tunnel box, wall reflections and the plunger.
 //! * [`Body`] — the body-in-test-section abstraction; [`Wedge`] is the
-//!   paper's geometry, [`ForwardStep`] and [`FlatPlate`] exercise the
-//!   generality, and [`NoBody`] gives an empty tunnel.
+//!   paper's geometry, [`ForwardStep`], [`FlatPlate`] and the blunt
+//!   [`Cylinder`] exercise the generality, and [`NoBody`] gives an empty
+//!   tunnel.
 //! * [`clip`] — host-side polygon clipping used for the *fractional cell
 //!   volumes* of cells cut by the wedge surface (the paper's eq. (8) must
 //!   use the fractional volume when computing the cell density, and so must
@@ -27,5 +28,5 @@ pub mod body;
 pub mod clip;
 pub mod tunnel;
 
-pub use body::{Body, FlatPlate, ForwardStep, NoBody, Wedge};
+pub use body::{Body, Cylinder, FlatPlate, ForwardStep, NoBody, Wedge};
 pub use tunnel::{Plunger, PlungerEvent, Tunnel, WallOutcome};

@@ -1,0 +1,129 @@
+//! Run registry scenarios and check their golden metrics.
+//!
+//! ```text
+//! scenarios --list                 # enumerate every named case
+//! scenarios <name> [--quick|--full]
+//! scenarios --all [--quick|--full]
+//! ```
+//!
+//! A QUICK run (the default) compares each golden metric against its
+//! checked-in reference and exits non-zero when any drifts outside its
+//! tolerance — the CI scenario matrix uses that exit code as the pass/fail
+//! signal.  Every run writes a `BENCH_scenario_<name>.json` artifact.
+
+use dsmc_bench::write_artifact;
+use dsmc_scenarios::{outcome_json, registry, run, RunOutcome, Scale, Scenario};
+
+fn print_list() {
+    println!("{} registered scenarios:\n", registry().len());
+    for s in registry() {
+        println!("  {:<14} {}", s.name, s.about);
+        let goldens: Vec<String> = s
+            .golden
+            .iter()
+            .map(|g| format!("{} = {} ±{}", g.metric, g.value, g.tol))
+            .collect();
+        println!("  {:<14}   golden: {}", "", goldens.join(", "));
+    }
+    println!("\nrun one with: scenarios <name> [--quick|--full]");
+}
+
+fn print_outcome(o: &RunOutcome) {
+    println!(
+        "\n== {} [{}] — {} particles, {} steps, {:.1} s ==",
+        o.scenario,
+        o.scale.label(),
+        o.n_particles,
+        o.steps,
+        o.wall_seconds
+    );
+    for m in &o.metrics {
+        match o.checks.iter().find(|c| c.metric == m.name) {
+            Some(c) => println!(
+                "  {:<28} {:>12.4}   golden {:>9.4} ±{:<8.4} {}",
+                c.metric,
+                c.measured,
+                c.golden,
+                c.tol,
+                if c.ok { "ok" } else { "DRIFT" }
+            ),
+            None => println!("  {:<28} {:>12.4}", m.name, m.value),
+        }
+    }
+    if o.scale == Scale::Quick {
+        println!(
+            "  -> {}",
+            if o.passed {
+                "all golden metrics within tolerance"
+            } else {
+                "GOLDEN METRIC DRIFT"
+            }
+        );
+    }
+}
+
+fn run_and_record(s: &Scenario, scale: Scale) -> bool {
+    println!("running {} at {} scale…", s.name, scale.label());
+    let outcome = run(s, scale);
+    print_outcome(&outcome);
+    write_artifact(
+        &format!("BENCH_scenario_{}.json", s.name),
+        outcome_json(&outcome).pretty().as_bytes(),
+    );
+    outcome.passed
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Reject unknown flags outright: a misspelled `--full` must not
+    // silently run (and pass) at the other scale.
+    for a in &args {
+        if a.starts_with("--") && !matches!(a.as_str(), "--list" | "--all" | "--quick" | "--full") {
+            eprintln!("unknown flag '{a}'; known: --list --all --quick --full");
+            std::process::exit(2);
+        }
+    }
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    let names: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    if args.iter().any(|a| a == "--list") {
+        print_list();
+        return;
+    }
+    let all = args.iter().any(|a| a == "--all");
+    if names.is_empty() && !all {
+        eprintln!("usage: scenarios --list | scenarios <name>|--all [--quick|--full]");
+        std::process::exit(2);
+    }
+
+    let mut ok = true;
+    if all {
+        for s in registry() {
+            ok &= run_and_record(s, scale);
+        }
+    } else {
+        for name in names {
+            match dsmc_scenarios::find(name) {
+                Some(s) => ok &= run_and_record(s, scale),
+                None => {
+                    eprintln!(
+                        "unknown scenario '{name}'; known: {}",
+                        registry()
+                            .iter()
+                            .map(|s| s.name)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,419 @@
+//! The declarative table of named cases and their golden metrics.
+//!
+//! Adding a workload to the suite means adding one [`Scenario`] entry
+//! here: a config builder, the QUICK/FULL run protocol, a metric
+//! extractor, and the golden values a QUICK run must reproduce.  The CI
+//! scenario matrix enumerates these names; `scenarios --list` prints them.
+//!
+//! Golden values were recorded by running each case at QUICK scale on the
+//! reference seed (runs are bit-deterministic and thread-count
+//! independent, so they reproduce exactly); tolerances leave room for
+//! physics-preserving refactors while catching real drift.
+
+use crate::{BoxSpec, CaseKind, Golden, Metric, RelaxCase, Scenario, TunnelCase};
+use dsmc_engine::{BodySpec, SampledField, SimConfig, Simulation};
+use dsmc_flowfield::shock::{box_mean_density, wedge_metrics};
+
+/// The paper's wedge geometry at full scale, near-continuum.
+fn config_wedge_paper() -> SimConfig {
+    SimConfig::paper(0.0)
+}
+
+/// The paper's wedge at λ∞ = 0.5 cells (Kn = 0.02).
+fn config_wedge_rarefied() -> SimConfig {
+    SimConfig::paper(0.5)
+}
+
+/// A wall-mounted thin plate normal to the rarefied freestream.
+fn config_flat_plate() -> SimConfig {
+    let mut cfg = SimConfig::paper(0.5);
+    cfg.body = BodySpec::Plate { x0: 32.0, h: 16.0 };
+    cfg
+}
+
+/// A forward-facing step in rarefied flow.
+fn config_forward_step() -> SimConfig {
+    let mut cfg = SimConfig::paper(0.5);
+    cfg.body = BodySpec::Step {
+        x0: 32.0,
+        x1: 48.0,
+        h: 10.0,
+    };
+    cfg
+}
+
+/// The blunt body: a circular cylinder mid-tunnel, near-continuum, so a
+/// detached bow shock forms ahead of the nose.
+fn config_cylinder() -> SimConfig {
+    let mut cfg = SimConfig::paper(0.0);
+    cfg.body = BodySpec::Cylinder {
+        cx: 32.0,
+        cy: 32.0,
+        r: 6.0,
+    };
+    cfg
+}
+
+/// Wedge metrics against the θ–β–M / Rankine–Hugoniot theory values.
+fn extract_wedge(sim: &Simulation, field: &SampledField) -> Vec<Metric> {
+    let (x0, base, angle) = match sim.config().body {
+        BodySpec::Wedge {
+            x0,
+            base,
+            angle_deg,
+        } => (x0, base, angle_deg),
+        ref b => unreachable!("wedge extractor on {b:?}"),
+    };
+    let mach = sim.config().mach;
+    match wedge_metrics(field, x0, base, angle, mach, 1.4) {
+        Some(m) => vec![
+            Metric {
+                name: "shock_angle_deg",
+                value: m.shock_angle_deg,
+            },
+            Metric {
+                name: "shock_angle_err_deg",
+                value: m.shock_angle_deg - m.theory_angle_deg,
+            },
+            Metric {
+                name: "density_ratio",
+                value: m.density_ratio,
+            },
+            Metric {
+                name: "density_ratio_rel_err",
+                value: (m.density_ratio - m.theory_density_ratio) / m.theory_density_ratio,
+            },
+            Metric {
+                name: "shock_thickness_rise",
+                value: m.thickness_rise,
+            },
+            Metric {
+                name: "wake_recompression",
+                value: m.wake_recompression,
+            },
+        ],
+        // A failed fit must fail the golden checks: NaN is outside every
+        // tolerance.
+        None => vec![
+            Metric {
+                name: "shock_angle_err_deg",
+                value: f64::NAN,
+            },
+            Metric {
+                name: "density_ratio_rel_err",
+                value: f64::NAN,
+            },
+            Metric {
+                name: "shock_thickness_rise",
+                value: f64::NAN,
+            },
+        ],
+    }
+}
+
+/// Bow-shock standoff and stagnation compression for the cylinder.
+///
+/// The density along the stagnation line (the row pair bracketing the
+/// centre height) rises through the detached shock to a peak just off the
+/// nose; the standoff distance is measured from the nose to the point
+/// where the rise crosses half the peak, linearly interpolated between
+/// cell centres.
+fn extract_cylinder(sim: &Simulation, field: &SampledField) -> Vec<Metric> {
+    let (cx, cy, r) = match sim.config().body {
+        BodySpec::Cylinder { cx, cy, r } => (cx, cy, r),
+        ref b => unreachable!("cylinder extractor on {b:?}"),
+    };
+    // Cell centres sit at iy + 0.5: average the two rows bracketing cy.
+    let row_hi = (cy.round() as u32).min(field.h - 1);
+    let row_lo = row_hi.saturating_sub(1);
+    let stag = |ix: u32| (field.density_at(ix, row_lo) + field.density_at(ix, row_hi)) / 2.0;
+    let nose = cx - r;
+    let nose_cell = nose.floor() as u32;
+    let mut peak = 0.0f64;
+    for ix in 0..nose_cell.min(field.w) {
+        peak = peak.max(stag(ix));
+    }
+    let level = 1.0 + 0.5 * (peak - 1.0);
+    // March downstream towards the nose; the first crossing of the
+    // half-rise level locates the shock.
+    let mut shock_x = f64::NAN;
+    for ix in 0..nose_cell.min(field.w).saturating_sub(1) {
+        let (d0, d1) = (stag(ix), stag(ix + 1));
+        if (d0 < level) != (d1 < level) {
+            let t = (level - d0) / (d1 - d0);
+            shock_x = ix as f64 + 0.5 + t;
+            break;
+        }
+    }
+    vec![
+        Metric {
+            name: "shock_standoff_cells",
+            value: nose - shock_x,
+        },
+        Metric {
+            name: "stagnation_peak_density",
+            value: peak,
+        },
+    ]
+}
+
+/// Frontal compression and wake rarefaction for the wall-mounted bluff
+/// bodies (plate and step): mean density in a box ahead of the face and
+/// in the near wake behind the body.
+fn extract_bluff(sim: &Simulation, field: &SampledField) -> Vec<Metric> {
+    let (x_face, x_back, h) = match sim.config().body {
+        BodySpec::Plate { x0, h } => (x0, x0, h),
+        BodySpec::Step { x0, x1, h } => (x0, x1, h),
+        ref b => unreachable!("bluff extractor on {b:?}"),
+    };
+    let yh = (0.8 * h) as u32;
+    let front = box_mean_density(
+        field,
+        (x_face - 8.0) as u32,
+        (x_face - 2.0) as u32,
+        0,
+        yh.max(1),
+    );
+    let wake = box_mean_density(
+        field,
+        (x_back + 3.0) as u32,
+        (x_back + 13.0) as u32,
+        0,
+        yh.max(1),
+    );
+    vec![
+        Metric {
+            name: "frontal_compression",
+            value: front,
+        },
+        Metric {
+            name: "wake_density",
+            value: wake,
+        },
+    ]
+}
+
+/// Golden arrays for tunnel cases all start with the shared conservation
+/// pins: the particle count is exactly invariant, and the out-of-plane
+/// momentum drift must stay inside its random-walk budget.
+macro_rules! tunnel_goldens {
+    ($($extra:expr),* $(,)?) => {
+        &[
+            Golden {
+                metric: "particle_count_drift",
+                value: 0.0,
+                tol: 0.0,
+            },
+            Golden {
+                metric: "momentum_drift_budget_frac",
+                value: 0.0,
+                tol: 1.0,
+            },
+            $($extra),*
+        ]
+    };
+}
+
+static WEDGE_PAPER_GOLDEN: &[Golden] = tunnel_goldens![
+    // The values validated in tests/tests/wedge_validation.rs: the fitted
+    // angle within 3 degrees of the theta-beta-M weak solution and the
+    // post-shock plateau within 15% of the Rankine-Hugoniot 3.7.
+    Golden {
+        metric: "shock_angle_err_deg",
+        value: 0.0,
+        tol: 3.0,
+    },
+    Golden {
+        metric: "density_ratio_rel_err",
+        value: 0.0,
+        tol: 0.15,
+    },
+    // Steady-state regression pins (recorded at QUICK on the reference
+    // seed).
+    Golden {
+        metric: "shock_thickness_rise",
+        value: 2.57,
+        tol: 1.0,
+    },
+    Golden {
+        metric: "energy_per_particle",
+        value: 0.0825,
+        tol: 0.004,
+    },
+];
+
+static WEDGE_RAREFIED_GOLDEN: &[Golden] = tunnel_goldens![
+    Golden {
+        metric: "shock_angle_err_deg",
+        value: 0.0,
+        tol: 4.0,
+    },
+    // Rarefaction thickens the shock well past the near-continuum ~2.9
+    // cells (the paper's 3 -> 5 story).
+    Golden {
+        metric: "shock_thickness_rise",
+        value: 3.44,
+        tol: 1.2,
+    },
+    Golden {
+        metric: "energy_per_particle",
+        value: 0.0828,
+        tol: 0.004,
+    },
+];
+
+static FLAT_PLATE_GOLDEN: &[Golden] = tunnel_goldens![
+    Golden {
+        metric: "frontal_compression",
+        value: 3.97,
+        tol: 0.8,
+    },
+    Golden {
+        metric: "wake_density",
+        value: 0.21,
+        tol: 0.12,
+    },
+    Golden {
+        metric: "energy_per_particle",
+        value: 0.0781,
+        tol: 0.004,
+    },
+];
+
+static FORWARD_STEP_GOLDEN: &[Golden] = tunnel_goldens![
+    Golden {
+        metric: "frontal_compression",
+        value: 4.12,
+        tol: 0.8,
+    },
+    Golden {
+        metric: "wake_density",
+        value: 0.09,
+        tol: 0.08,
+    },
+    Golden {
+        metric: "energy_per_particle",
+        value: 0.0799,
+        tol: 0.004,
+    },
+];
+
+static CYLINDER_GOLDEN: &[Golden] = tunnel_goldens![
+    Golden {
+        metric: "shock_standoff_cells",
+        value: 3.91,
+        tol: 1.2,
+    },
+    Golden {
+        metric: "stagnation_peak_density",
+        value: 4.07,
+        tol: 0.8,
+    },
+    Golden {
+        metric: "energy_per_particle",
+        value: 0.0794,
+        tol: 0.004,
+    },
+];
+
+static RELAX_BOX_GOLDEN: &[Golden] = &[
+    Golden {
+        metric: "kurtosis_final",
+        value: 0.0,
+        tol: 0.15,
+    },
+    Golden {
+        metric: "mode_share_max_dev",
+        value: 0.0,
+        tol: 0.02,
+    },
+    Golden {
+        metric: "energy_drift_rel",
+        value: 0.0,
+        tol: 0.005,
+    },
+];
+
+static REGISTRY: &[Scenario] = &[
+    Scenario {
+        name: "wedge-paper",
+        about: "the paper's headline case: Mach-4 near-continuum flow over the 30-degree wedge",
+        kind: CaseKind::Tunnel(TunnelCase {
+            config: config_wedge_paper,
+            quick_density: 0.15,
+            quick_steps: (500, 500),
+            full_steps: (1200, 2000),
+            extract: extract_wedge,
+        }),
+        golden: WEDGE_PAPER_GOLDEN,
+    },
+    Scenario {
+        name: "wedge-rarefied",
+        about: "the paper's rarefied counterpart: same wedge at Kn = 0.02 (lambda = 0.5 cells)",
+        kind: CaseKind::Tunnel(TunnelCase {
+            config: config_wedge_rarefied,
+            quick_density: 0.15,
+            quick_steps: (500, 500),
+            full_steps: (1200, 2000),
+            extract: extract_wedge,
+        }),
+        golden: WEDGE_RAREFIED_GOLDEN,
+    },
+    Scenario {
+        name: "flat-plate",
+        about: "wall-mounted thin plate normal to rarefied Mach-4 flow (detached shock + wake)",
+        kind: CaseKind::Tunnel(TunnelCase {
+            config: config_flat_plate,
+            quick_density: 0.15,
+            quick_steps: (400, 400),
+            full_steps: (1200, 2000),
+            extract: extract_bluff,
+        }),
+        golden: FLAT_PLATE_GOLDEN,
+    },
+    Scenario {
+        name: "forward-step",
+        about: "forward-facing step in rarefied Mach-4 flow (frontal compression + base wake)",
+        kind: CaseKind::Tunnel(TunnelCase {
+            config: config_forward_step,
+            quick_density: 0.15,
+            quick_steps: (400, 400),
+            full_steps: (1200, 2000),
+            extract: extract_bluff,
+        }),
+        golden: FORWARD_STEP_GOLDEN,
+    },
+    Scenario {
+        name: "cylinder",
+        about: "NEW blunt body: circular cylinder, near-continuum Mach 4 (bow-shock standoff)",
+        kind: CaseKind::Tunnel(TunnelCase {
+            config: config_cylinder,
+            quick_density: 0.15,
+            quick_steps: (500, 500),
+            full_steps: (1200, 2000),
+            extract: extract_cylinder,
+        }),
+        golden: CYLINDER_GOLDEN,
+    },
+    Scenario {
+        name: "relax-box",
+        about: "free relaxation: rectangular velocities thermalise to a Maxwellian (3+2 modes)",
+        kind: CaseKind::Relax(RelaxCase {
+            spec: BoxSpec {
+                n_cells: 256,
+                per_cell: 50,
+                sigma: 0.05,
+                p_inf: 1.0,
+                seed: 11,
+            },
+            quick_steps: 20,
+            full_steps: 60,
+        }),
+        golden: RELAX_BOX_GOLDEN,
+    },
+];
+
+/// Every named case, in registry order.
+pub fn registry() -> &'static [Scenario] {
+    REGISTRY
+}

@@ -12,15 +12,29 @@
 use dsmc_baselines::nanbu::pairwise_step;
 use dsmc_baselines::{BirdBox, NanbuBox, UniformBox};
 use dsmc_fixed::Rounding;
+use dsmc_scenarios::BoxSpec;
+
+/// The registry's relax-box gas, re-seeded so this comparison has its own
+/// deterministic stream.
+fn spec() -> BoxSpec {
+    let mut s = dsmc_scenarios::find("relax-box")
+        .expect("relax-box is registered")
+        .relax_spec()
+        .expect("relax case");
+    s.seed = 2024;
+    s
+}
 
 fn fresh() -> UniformBox {
-    UniformBox::rectangular(128, 40, 0.05, 2024)
+    spec().build()
 }
 
 fn main() {
     let steps = 40;
+    // Sub-unity collision probability so the *selection* policies differ
+    // (at p = 1 every candidate collides under every scheme).
     let p_inf = 0.5;
-    let n_inf = 40.0;
+    let n_inf = spec().per_cell as f64;
 
     // Pairwise (the paper's rule).
     let mut mb = fresh();

@@ -9,13 +9,16 @@
 //! cargo run --release -p dsmc-examples --bin rarefied_wedge [density_scale]
 //! ```
 
-use dsmc_engine::{SimConfig, Simulation};
+use dsmc_engine::Simulation;
 use dsmc_flowfield::shock::{wedge_metrics, ShockMetrics};
+use dsmc_scenarios::{at_density, find, Scale};
 
-fn run(lambda: f64, density: f64) -> Option<ShockMetrics> {
-    let mut cfg = SimConfig::paper(lambda);
-    cfg.n_per_cell = (75.0 * density).max(4.0);
-    cfg.reservoir_fill = cfg.n_per_cell * 1.4;
+fn run(scenario_name: &str, density: f64) -> Option<ShockMetrics> {
+    let scenario = find(scenario_name).expect("scenario registered");
+    let cfg = at_density(
+        scenario.tunnel_config(Scale::Full).expect("tunnel case"),
+        density,
+    );
     let mut sim = Simulation::new(cfg);
     sim.run(900);
     sim.begin_sampling();
@@ -30,9 +33,9 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.4);
     println!("running near-continuum (lambda = 0)…");
-    let nc = run(0.0, density).expect("near-continuum fit");
+    let nc = run("wedge-paper", density).expect("near-continuum fit");
     println!("running rarefied (lambda = 0.5, Kn = 0.02)…");
-    let rf = run(0.5, density).expect("rarefied fit");
+    let rf = run("wedge-rarefied", density).expect("rarefied fit");
 
     println!("\n{:<28} {:>16} {:>16}", "", "near-continuum", "rarefied");
     println!(

@@ -14,11 +14,16 @@
 //! ```
 
 use dsmc_baselines::nanbu::pairwise_step;
-use dsmc_baselines::UniformBox;
 use dsmc_fixed::Rounding;
 
 fn main() {
-    let mut b = UniformBox::rectangular(256, 50, 0.05, 11);
+    // The box parameters are the registry's relax-box scenario, so this
+    // walkthrough and the golden-checked CI case watch the same gas.
+    let spec = dsmc_scenarios::find("relax-box")
+        .expect("relax-box is registered")
+        .relax_spec()
+        .expect("relax case");
+    let mut b = spec.build();
     println!(
         "box: {} particles in {} cells, rectangular start (kurtosis −1.2)",
         b.len(),
@@ -31,7 +36,12 @@ fn main() {
     let e0 = b.total_energy_raw();
     for step in 0..=20 {
         if step > 0 {
-            pairwise_step(&mut b, 1.0, 50.0, Rounding::Stochastic);
+            pairwise_step(
+                &mut b,
+                spec.p_inf,
+                spec.per_cell as f64,
+                Rounding::Stochastic,
+            );
         }
         if step % 2 == 0 {
             let k = b.kurtosis(0);

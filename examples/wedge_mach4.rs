@@ -9,9 +9,10 @@
 //! minute; `wedge_mach4 1.0 1.0` is the paper's full 512k-particle,
 //! 1200+2000-step protocol.
 
-use dsmc_engine::{SimConfig, Simulation};
+use dsmc_engine::Simulation;
 use dsmc_flowfield::render::ascii_heatmap;
 use dsmc_flowfield::shock::wedge_metrics;
+use dsmc_scenarios::{at_density, find, Scale};
 
 fn main() {
     let density: f64 = std::env::args()
@@ -23,9 +24,13 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.667);
 
-    let mut cfg = SimConfig::paper(0.0);
-    cfg.n_per_cell = (75.0 * density).max(4.0);
-    cfg.reservoir_fill = cfg.n_per_cell * 1.4;
+    // The paper configuration lives in the scenario registry; the example
+    // only chooses how much of it to run.
+    let scenario = find("wedge-paper").expect("wedge-paper is registered");
+    let cfg = at_density(
+        scenario.tunnel_config(Scale::Full).expect("tunnel case"),
+        density,
+    );
     let mut sim = Simulation::new(cfg);
     println!(
         "paper configuration at x{density:.2} density: {} particles",

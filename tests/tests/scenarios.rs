@@ -1,0 +1,120 @@
+//! The scenario registry as a system-level contract: every named case
+//! runs at QUICK scale, reproduces its golden metrics, and conserves what
+//! the engine promises to conserve.
+
+use dsmc_scenarios::{find, registry, run, CaseKind, Scale};
+
+/// `scenarios --list` must enumerate at least five named cases, uniquely.
+#[test]
+fn registry_enumerates_at_least_five_named_cases() {
+    let names: Vec<&str> = registry().iter().map(|s| s.name).collect();
+    assert!(names.len() >= 5, "only {} cases registered", names.len());
+    let mut dedup = names.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(dedup.len(), names.len(), "duplicate names: {names:?}");
+    for s in registry() {
+        assert!(!s.about.is_empty(), "{} has no description", s.name);
+        assert!(!s.golden.is_empty(), "{} has no golden metrics", s.name);
+    }
+}
+
+/// The registry must cover the paper's case, the new blunt body, and the
+/// relaxation box — the suite the CI matrix enumerates.
+#[test]
+fn registry_covers_the_expected_workloads() {
+    for name in [
+        "wedge-paper",
+        "wedge-rarefied",
+        "flat-plate",
+        "forward-step",
+        "cylinder",
+        "relax-box",
+    ] {
+        assert!(find(name).is_some(), "scenario {name} missing");
+    }
+}
+
+/// The paper-wedge goldens must encode the same contract the wedge
+/// validation tests assert directly: shock angle within 3° of theory and
+/// post-shock density within 15% of Rankine–Hugoniot.
+#[test]
+fn paper_wedge_goldens_match_the_validation_contract() {
+    let s = find("wedge-paper").unwrap();
+    let angle = s
+        .golden
+        .iter()
+        .find(|g| g.metric == "shock_angle_err_deg")
+        .expect("angle golden");
+    assert_eq!(angle.value, 0.0);
+    assert!(angle.tol <= 3.0, "angle tolerance looser than validation");
+    let ratio = s
+        .golden
+        .iter()
+        .find(|g| g.metric == "density_ratio_rel_err")
+        .expect("ratio golden");
+    assert_eq!(ratio.value, 0.0);
+    assert!(ratio.tol <= 0.15, "ratio tolerance looser than validation");
+}
+
+/// Conservation for the new blunt-body scenario at QUICK scale: the
+/// particle count is exactly invariant, the out-of-plane momentum drift
+/// stays inside its random-walk budget, and the bow-shock goldens hold.
+#[test]
+fn cylinder_scenario_conserves_at_quick_scale() {
+    let s = find("cylinder").expect("cylinder registered");
+    let o = run(s, Scale::Quick);
+    let metric = |name: &str| {
+        o.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .unwrap_or_else(|| panic!("metric {name} missing"))
+            .value
+    };
+    assert_eq!(
+        metric("particle_count_drift"),
+        0.0,
+        "particles not conserved"
+    );
+    assert!(
+        metric("momentum_drift_budget_frac") < 1.0,
+        "momentum drift beyond the LSB random-walk budget"
+    );
+    // The detached shock must actually stand off the nose.
+    let standoff = metric("shock_standoff_cells");
+    assert!(
+        standoff.is_finite() && standoff > 0.5,
+        "bow shock not detached: standoff {standoff}"
+    );
+    assert!(o.passed, "cylinder golden drift: {:?}", o.checks);
+}
+
+/// Every remaining scenario reproduces its golden metrics at QUICK scale —
+/// the same check the CI matrix runs per-case, executed here so a local
+/// `cargo test --release` catches physics drift too.  Also proves every
+/// golden name resolves to a metric its extractor actually emits (`run`
+/// panics on a dangling reference).  Debug builds run only the instant
+/// relax-box case: a debug tunnel run costs ~a minute each, and the CI
+/// scenario matrix already exercises all of them in release.
+#[test]
+fn all_scenarios_reproduce_their_goldens_at_quick_scale() {
+    for s in registry() {
+        if s.name == "cylinder" {
+            continue; // covered (with extra assertions) above
+        }
+        if cfg!(debug_assertions) && matches!(s.kind, CaseKind::Tunnel(_)) {
+            continue;
+        }
+        let o = run(s, Scale::Quick);
+        assert!(o.passed, "{} golden drift: {:?}", s.name, o.checks);
+        if let CaseKind::Tunnel(_) = s.kind {
+            let count = o
+                .metrics
+                .iter()
+                .find(|m| m.name == "particle_count_drift")
+                .unwrap()
+                .value;
+            assert_eq!(count, 0.0, "{} loses particles", s.name);
+        }
+    }
+}

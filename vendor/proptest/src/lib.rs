@@ -140,7 +140,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Length bounds for [`vec`].
+    /// Length bounds for [`vec()`].
     pub struct SizeRange {
         lo: usize,
         hi_inclusive: usize,
@@ -174,7 +174,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         elem: S,
         size: SizeRange,

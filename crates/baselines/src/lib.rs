@@ -22,6 +22,11 @@
 //! The schemes share the 5-vector collision kernel and the [`UniformBox`]
 //! harness so comparisons isolate the *selection* policy.
 
+// The baselines are the evidence behind the paper-positioning claims:
+// every public item must say what it measures.  `cargo doc` runs under
+// `-D warnings` in CI, so this lint is load-bearing.
+#![warn(missing_docs)]
+
 pub mod bird;
 pub mod harness;
 pub mod nanbu;

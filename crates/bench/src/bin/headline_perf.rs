@@ -15,7 +15,10 @@
 
 use dsmc_baselines::SerialSim;
 use dsmc_bench::{json, report, write_artifact, RunScale};
+use dsmc_datapar::pack_pair;
 use dsmc_engine::{PipelineMode, SimConfig, Simulation, StepTimings};
+use dsmc_fixed::Fx;
+use dsmc_rng::XorShift32;
 use std::time::Instant;
 
 /// Number of alternating measurement windows per pipeline.  Fine-grained
@@ -67,6 +70,66 @@ fn substep_ns(t: &StepTimings, n_flow: usize) -> [(&'static str, f64); 5] {
         ("select", per(t.select)),
         ("collide", per(t.collide)),
     ]
+}
+
+/// Sequential A/B of the two pair-build sweep shapes on one engine-like
+/// workload: the pre-specialisation generic sweep (reads the `u` column
+/// and branches on a runtime `RngMode` per particle — reconstructed here
+/// exactly as `sortstep` had it) against the `Explicit`-specialised sweep
+/// that never touches `u`.  Same data, same pass structure, interleaved
+/// reps, so the ratio isolates what the specialisation buys after the
+/// optimizer has had its say.  Returns (generic, specialised) ns/particle.
+fn pair_build_ab(n: usize) -> (f64, f64) {
+    const W: u32 = 98;
+    let mut rng = XorShift32::new(5);
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    let mut us = Vec::with_capacity(n);
+    let mut rngs = Vec::with_capacity(n);
+    for i in 0..n {
+        xs.push(Fx::from_f64(W as f64 * rng.next_f64() * 0.999));
+        ys.push(Fx::from_f64(64.0 * rng.next_f64() * 0.999));
+        us.push(Fx::from_raw((rng.next_u32() as i32) >> 12));
+        rngs.push(XorShift32::new(i as u32 + 1));
+    }
+    let mut cells = vec![0u32; n];
+    let mut pairs = vec![0u64; n];
+    let jb = 8u32;
+    // Runtime-opaque mode flag, as the generic code path saw it.
+    let dirty_mode = std::hint::black_box(false);
+    let reps = 30;
+    let time = |f: &mut dyn FnMut()| {
+        f(); // warm
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        t0.elapsed().as_secs_f64() * 1e9 / (reps as f64 * n as f64)
+    };
+    let cell_of = |x: Fx, y: Fx| y.floor_int() as u32 * W + x.floor_int() as u32;
+    let generic = |cells: &mut [u32], pairs: &mut [u64], rngs: &mut [XorShift32]| {
+        for i in 0..n {
+            let c = cell_of(xs[i], ys[i]);
+            cells[i] = c;
+            let jitter = if dirty_mode {
+                (xs[i].raw() as u32 ^ (us[i].raw() as u32).rotate_left(5)) & ((1 << jb) - 1)
+            } else {
+                rngs[i].next_bits(jb)
+            };
+            pairs[i] = pack_pair((c << jb) | jitter, i);
+        }
+    };
+    let specialised = |cells: &mut [u32], pairs: &mut [u64], rngs: &mut [XorShift32]| {
+        for i in 0..n {
+            let c = cell_of(xs[i], ys[i]);
+            cells[i] = c;
+            let jitter = rngs[i].next_bits(jb);
+            pairs[i] = pack_pair((c << jb) | jitter, i);
+        }
+    };
+    let ns_generic = time(&mut || generic(&mut cells, &mut pairs, &mut rngs));
+    let ns_special = time(&mut || specialised(&mut cells, &mut pairs, &mut rngs));
+    (ns_generic, ns_special)
 }
 
 fn main() {
@@ -168,5 +231,20 @@ fn main() {
     j.obj("two_step", two);
     j.num("fused_over_two_step_speedup", speedup);
     j.num("serial_us_per_particle_step", t_ser);
+
+    // The RngMode specialisation of the pair-build sweep (ROADMAP perf
+    // lever): generic-with-runtime-mode vs Explicit-specialised, measured
+    // in-process on one fixture so shared-host drift cancels.
+    let (ns_generic, ns_special) = pair_build_ab(n_flow.max(50_000));
+    report(
+        "pair-build sweep, generic vs specialised",
+        "n/a (RngMode lever)",
+        &format!("{ns_generic:.2} -> {ns_special:.2} ns/particle"),
+    );
+    let mut pb = json::Object::new();
+    pb.num("generic_ns_per_particle", ns_generic);
+    pb.num("explicit_specialised_ns_per_particle", ns_special);
+    pb.num("speedup", ns_generic / ns_special);
+    j.obj("pair_build", pb);
     write_artifact("BENCH_step.json", j.pretty().as_bytes());
 }

@@ -16,6 +16,7 @@
 
 use crate::config::{ResLayout, WallModel};
 use crate::particles::ParticleStore;
+use crate::surface::SurfaceAccumulator;
 use dsmc_fixed::Fx;
 use dsmc_geom::{Body, Plunger, PlungerEvent, Tunnel, WallOutcome};
 use rayon::prelude::*;
@@ -77,6 +78,10 @@ pub struct BoundaryParams<'a, B: Body + ?Sized = dyn Body> {
     /// Wall-temperature velocity scale `σ_w = σ∞·√(T_wall/T∞)` (raw units;
     /// used only by the diffuse model).
     pub sigma_wall_raw: i32,
+    /// Surface-flux accumulator, fed at every body resolve.  `None`
+    /// outside sampling windows (the body pass then skips the pre-impact
+    /// state capture entirely).
+    pub surface: Option<&'a SurfaceAccumulator>,
 }
 
 /// Tallies of one boundary pass.
@@ -114,19 +119,22 @@ pub fn enforce<B: Body + ?Sized>(
     {
         let tunnel = p.tunnel;
         let body = p.body;
+        let surface = p.surface;
         let plunger_now = *plunger;
         let res_base = p.res_base;
         let cells = &parts.cell;
+        let ws = &parts.w;
         parts
             .x
             .par_iter_mut()
             .zip(parts.y.par_iter_mut())
             .zip(parts.u.par_iter_mut())
             .zip(parts.v.par_iter_mut())
+            .zip(ws.par_iter())
             .zip(cells.par_iter())
             .zip(exit_mask.par_iter_mut())
             .zip(wall_hit.par_iter_mut())
-            .for_each(|((((((x, y), u), v), &cell), exit), hit)| {
+            .for_each(|(((((((x, y), u), v), &w), &cell), exit), hit)| {
                 if cell >= res_base {
                     *exit = false;
                     *hit = 0;
@@ -146,7 +154,20 @@ pub fn enforce<B: Body + ?Sized>(
                 // distribution right); the diffuse model re-draws the
                 // velocity afterwards.
                 let wall = tunnel.enforce_walls(y, v, *x);
-                body.resolve(x, y, u, v);
+                match surface {
+                    // Sampling window open: capture the impact state so the
+                    // resolve's momentum/energy exchange can be binned into
+                    // the facet the penetration point maps to.
+                    Some(acc) => {
+                        let (xi, yi, u0, v0) = (*x, *y, *u, *v);
+                        if body.resolve(x, y, u, v) {
+                            acc.record(body.facet_of(xi, yi), u0, v0, w, *u, *v);
+                        }
+                    }
+                    None => {
+                        body.resolve(x, y, u, v);
+                    }
+                }
                 *exit = wall == WallOutcome::ExitedDownstream || *x >= tunnel.width_fx();
             });
     }
@@ -301,6 +322,7 @@ mod tests {
             n_inf: 4.0,
             walls: WallModel::Specular,
             sigma_wall_raw: 0,
+            surface: None,
         }
     }
 
@@ -396,6 +418,7 @@ mod tests {
             n_inf: 4.0,
             walls: WallModel::Specular,
             sigma_wall_raw: 0,
+            surface: None,
         };
         let mut plunger = Plunger::new(fx(0.25), fx(60.0));
         let mut s = ParticleStore::default();
@@ -406,6 +429,42 @@ mod tests {
             !body.contains(s.x[0], s.y[0]),
             "particle pushed out of body"
         );
+    }
+
+    #[test]
+    fn body_impacts_feed_the_surface_accumulator() {
+        let tunnel = Tunnel::new(64, 40);
+        let body = Wedge::new(14.0, 16.0, 30.0);
+        let acc = SurfaceAccumulator::new(body.n_facets());
+        let p = BoundaryParams {
+            tunnel: &tunnel,
+            body: &body,
+            res_base: tunnel.n_cells(),
+            res: ResLayout::for_cells(16),
+            u_drift: fx(0.26),
+            rect_half_raw: Fx::from_f64(0.1).raw(),
+            n_inf: 4.0,
+            walls: WallModel::Specular,
+            sigma_wall_raw: 0,
+            surface: Some(&acc),
+        };
+        let mut plunger = Plunger::new(fx(0.25), fx(60.0));
+        let mut s = ParticleStore::default();
+        push_flow(&mut s, 16.0, 0.5, 0.3, -0.1); // inside the ramp toe
+        push_flow(&mut s, 40.0, 20.0, 0.1, 0.0); // far from the body
+        let (u0, v0) = (s.u[0], s.v[0]);
+        let facet = body.facet_of(s.x[0], s.y[0]);
+        enforce(&mut s, &p, &mut plunger, &mut BoundaryScratch::new());
+        let g = acc.global_sums();
+        assert_eq!(g.impacts, 1, "exactly the penetrating particle recorded");
+        assert_eq!(
+            acc.facet_sums(facet).impacts,
+            1,
+            "recorded into the impact-point facet"
+        );
+        // The recorded impulse is exactly the resolve's velocity change.
+        assert_eq!(g.imp_u, u0.raw() as i64 - s.u[0].raw() as i64);
+        assert_eq!(g.imp_v, v0.raw() as i64 - s.v[0].raw() as i64);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::motion;
 use crate::particles::ParticleStore;
 use crate::sample::{FieldAccumulator, SampledField};
 use crate::sortstep::{self, key_bits_for, SortWorkspace};
+use crate::surface::{SurfaceAccumulator, SurfaceField};
 use dsmc_fixed::{Fx, Rounding};
 use dsmc_geom::{Body, Cylinder, FlatPlate, ForwardStep, NoBody, Plunger, Tunnel, Wedge};
 use dsmc_kinetics::{FreeStream, SelectionTable};
@@ -69,6 +70,7 @@ pub struct Simulation {
     boundary_scratch: BoundaryScratch,
     timings: StepTimings,
     sampler: Option<FieldAccumulator>,
+    surf_sampler: Option<SurfaceAccumulator>,
     steps: u64,
     candidates: u64,
     collisions: u64,
@@ -124,6 +126,7 @@ impl Simulation {
             boundary_scratch: BoundaryScratch::new(),
             timings: StepTimings::default(),
             sampler: None,
+            surf_sampler: None,
             steps: 0,
             candidates: 0,
             collisions: 0,
@@ -155,6 +158,7 @@ impl Simulation {
             n_inf: self.cfg.n_per_cell,
             walls: self.cfg.walls,
             sigma_wall_raw,
+            surface: self.surf_sampler.as_ref(),
         };
         match self.cfg.pipeline {
             PipelineMode::Fused => boundary::enforce(
@@ -233,6 +237,9 @@ impl Simulation {
         self.exited += out.exited as u64;
         self.introduced += out.introduced as u64;
         self.plunger_cycles += out.withdrew as u64;
+        if let Some(acc) = &self.surf_sampler {
+            acc.bump_step();
+        }
         self.timings.add(Substep::Boundary, t.elapsed());
 
         // 3a) Sort by randomised cell key.
@@ -318,9 +325,14 @@ impl Simulation {
         }
     }
 
-    /// Open a sampling window (subsequent steps accumulate fields).
+    /// Open a sampling window (subsequent steps accumulate fields, and —
+    /// for bodies with a surface parameterisation — surface fluxes).
     pub fn begin_sampling(&mut self) {
         self.sampler = Some(FieldAccumulator::new(self.tunnel.width, self.tunnel.height));
+        let n_facets = self.body.n_facets();
+        if n_facets > 0 {
+            self.surf_sampler = Some(SurfaceAccumulator::new(n_facets));
+        }
     }
 
     /// Close the sampling window and return the averaged fields.
@@ -336,6 +348,21 @@ impl Simulation {
             &self.volumes[..self.res_base as usize],
             self.fs.sigma(),
         )
+    }
+
+    /// Close the surface window (if one is open) and return the reduced
+    /// Cp/Cf/Ch distributions.  `None` when the body has no surface
+    /// parameterisation or no window was opened.
+    pub fn finish_surface_sampling(&mut self) -> Option<SurfaceField> {
+        self.surf_sampler
+            .take()
+            .map(|acc| acc.finish(self.body.as_ref(), &self.fs, self.cfg.n_per_cell))
+    }
+
+    /// The open surface-flux window, if any (read access for the
+    /// conservation-closure tests).
+    pub fn surface_sampler(&self) -> Option<&SurfaceAccumulator> {
+        self.surf_sampler.as_ref()
     }
 
     /// Current physical ledgers.
@@ -571,6 +598,53 @@ mod tests {
         // 10/cell and 100 steps).
         let mid = f.density_at(8, 6);
         assert!((0.7..1.3).contains(&mid), "ρ/ρ∞ = {mid}");
+    }
+
+    #[test]
+    fn surface_window_reports_wedge_loads() {
+        let mut cfg = SimConfig::small_wedge(0.5);
+        cfg.n_per_cell = 8.0;
+        cfg.reservoir_fill = 16.0;
+        let mut sim = Simulation::new(cfg);
+        sim.run(60);
+        sim.begin_sampling();
+        sim.run(80);
+        let _field = sim.finish_sampling();
+        let surf = sim.finish_surface_sampling().expect("wedge has facets");
+        assert_eq!(surf.steps, 80);
+        assert_eq!(surf.n_facets() as u32, sim.body().n_facets());
+        // The ramp faces the Mach-4 stream: its Cp must be strongly
+        // positive, and the body must feel downstream drag.
+        let front: Vec<usize> = (0..surf.n_facets())
+            .filter(|&k| surf.nx[k] < 0.0 && surf.ny[k] > 0.0)
+            .collect();
+        assert!(!front.is_empty());
+        let cp_front = front.iter().map(|&k| surf.cp[k]).sum::<f64>() / front.len() as f64;
+        assert!(cp_front > 0.3, "front-face mean Cp = {cp_front}");
+        assert!(surf.force_x > 0.0, "drag = {}", surf.force_x);
+        // Specular bodies are adiabatic: |Ch| stays at rounding-noise
+        // level wherever the surface is actually being hit.
+        for k in 0..surf.n_facets() {
+            if surf.impacts_per_step[k] > 0.5 {
+                assert!(
+                    surf.ch[k].abs() < 0.05 * surf.e_inc_coeff[k].max(1e-12),
+                    "facet {k}: ch {} vs incident {}",
+                    surf.ch[k],
+                    surf.e_inc_coeff[k]
+                );
+            }
+        }
+        // Closing again without a window is None.
+        assert!(sim.finish_surface_sampling().is_none());
+    }
+
+    #[test]
+    fn bodyless_window_has_no_surface_field() {
+        let mut sim = Simulation::new(SimConfig::small_test());
+        sim.begin_sampling();
+        sim.run(5);
+        let _ = sim.finish_sampling();
+        assert!(sim.finish_surface_sampling().is_none());
     }
 
     #[test]

@@ -23,6 +23,11 @@
 //! relaxation work, so that freestream injection never needs a Gaussian
 //! sample in the step loop.
 //!
+//! Sampling windows produce two products: the volume fields of the
+//! paper's figures ([`sample`]) and the surface-flux distributions —
+//! Cp/Cf/Ch along the body — that production DSMC codes report
+//! ([`surface`]).
+//!
 //! # Example
 //!
 //! ```
@@ -46,8 +51,10 @@ pub mod motion;
 pub mod particles;
 pub mod sample;
 pub mod sortstep;
+pub mod surface;
 
 pub use config::{BodySpec, PipelineMode, RngMode, SimConfig};
 pub use diag::{Diagnostics, StepTimings, Substep};
 pub use engine::Simulation;
 pub use sample::SampledField;
+pub use surface::{SurfaceAccumulator, SurfaceField};

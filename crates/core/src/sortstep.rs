@@ -51,6 +51,26 @@ impl SortWorkspace {
     }
 }
 
+/// Refresh a particle's cell index from its position (reservoir particles
+/// index into the reservoir box; flow particles into the tunnel grid).
+#[inline(always)]
+fn refresh_cell(
+    cell: &mut u32,
+    x: dsmc_fixed::Fx,
+    y: dsmc_fixed::Fx,
+    tunnel: &Tunnel,
+    res_base: u32,
+    res: ResLayout,
+) -> u32 {
+    let c = if *cell >= res_base {
+        res_base + res.cell(x, y)
+    } else {
+        tunnel.cell_index(x, y)
+    };
+    *cell = c;
+    c
+}
+
 /// The per-particle jittered sort key: scaled cell index plus random
 /// low bits ("a random number less than the scale factor is added").
 #[allow(clippy::too_many_arguments)]
@@ -67,12 +87,7 @@ fn jittered_key(
     jitter_bits: u32,
     rng_mode: RngMode,
 ) -> u32 {
-    let c = if *cell >= res_base {
-        res_base + res.cell(x, y)
-    } else {
-        tunnel.cell_index(x, y)
-    };
-    *cell = c;
+    let c = refresh_cell(cell, x, y, tunnel, res_base, res);
     let jitter = if jitter_bits == 0 {
         0
     } else {
@@ -91,7 +106,13 @@ fn jittered_key(
 /// Refresh cell indices from positions and pack the `(key, index)` pair
 /// words for the rank, in one elementwise sweep (all VPs active).  The
 /// fused path never materialises a separate key column.
-#[allow(clippy::too_many_arguments)]
+///
+/// Specialised per [`RngMode`], because each mode leaves a whole column
+/// out of the sweep: `Explicit` jitter comes from the per-particle
+/// generator and never reads `u`; `DirtyBits` jitter comes from the low
+/// position/velocity bits and never touches the generator column.  The
+/// produced keys (and all RNG state evolution) are bit-identical to the
+/// generic [`jittered_key`] the two-step reference path still uses.
 fn build_pairs(
     parts: &mut ParticleStore,
     tunnel: &Tunnel,
@@ -101,23 +122,32 @@ fn build_pairs(
     rng_mode: RngMode,
     pairs: &mut [u64],
 ) {
+    match rng_mode {
+        RngMode::Explicit => build_pairs_explicit(parts, tunnel, res_base, res, jitter_bits, pairs),
+        RngMode::DirtyBits => build_pairs_dirty(parts, tunnel, res_base, res, jitter_bits, pairs),
+    }
+}
+
+/// `Explicit` sweep: positions + cells + generators; the `u` column stays
+/// cold.
+fn build_pairs_explicit(
+    parts: &mut ParticleStore,
+    tunnel: &Tunnel,
+    res_base: u32,
+    res: ResLayout,
+    jitter_bits: u32,
+    pairs: &mut [u64],
+) {
     let xs = &parts.x;
     let ys = &parts.y;
-    let us = &parts.u;
     let fill = |i: usize, pair: &mut u64, cell: &mut u32, rng: &mut dsmc_rng::XorShift32| {
-        let key = jittered_key(
-            cell,
-            xs[i],
-            ys[i],
-            us[i],
-            rng,
-            tunnel,
-            res_base,
-            res,
-            jitter_bits,
-            rng_mode,
-        );
-        *pair = pack_pair(key, i);
+        let c = refresh_cell(cell, xs[i], ys[i], tunnel, res_base, res);
+        let jitter = if jitter_bits == 0 {
+            0
+        } else {
+            rng.next_bits(jitter_bits)
+        };
+        *pair = pack_pair((c << jitter_bits) | jitter, i);
     };
     if parts.len() < PAR_THRESHOLD {
         for (i, (pair, (cell, rng))) in pairs
@@ -134,6 +164,41 @@ fn build_pairs(
             .zip(parts.rng.par_iter_mut())
             .enumerate()
             .for_each(|(i, ((pair, cell), rng))| fill(i, pair, cell, rng));
+    }
+}
+
+/// `DirtyBits` sweep: positions + cells + the `u` column; the generator
+/// column stays cold (and its state provably unchanged).
+fn build_pairs_dirty(
+    parts: &mut ParticleStore,
+    tunnel: &Tunnel,
+    res_base: u32,
+    res: ResLayout,
+    jitter_bits: u32,
+    pairs: &mut [u64],
+) {
+    let xs = &parts.x;
+    let ys = &parts.y;
+    let us = &parts.u;
+    let fill = |i: usize, pair: &mut u64, cell: &mut u32| {
+        let c = refresh_cell(cell, xs[i], ys[i], tunnel, res_base, res);
+        let jitter = if jitter_bits == 0 {
+            0
+        } else {
+            (xs[i].raw() as u32 ^ (us[i].raw() as u32).rotate_left(5)) & ((1 << jitter_bits) - 1)
+        };
+        *pair = pack_pair((c << jitter_bits) | jitter, i);
+    };
+    if parts.len() < PAR_THRESHOLD {
+        for (i, (pair, cell)) in pairs.iter_mut().zip(parts.cell.iter_mut()).enumerate() {
+            fill(i, pair, cell);
+        }
+    } else {
+        pairs
+            .par_iter_mut()
+            .zip(parts.cell.par_iter_mut())
+            .enumerate()
+            .for_each(|(i, (pair, cell))| fill(i, pair, cell));
     }
 }
 
@@ -407,6 +472,42 @@ mod tests {
         );
         let order4: Vec<i32> = s.u.iter().map(|u| u.raw()).collect();
         assert_eq!(order3, order4, "stable sort without jitter is idempotent");
+    }
+
+    #[test]
+    fn specialised_pair_build_matches_reference_for_both_rng_modes() {
+        // The per-RngMode `build_pairs` specialisations skip a column each
+        // (Explicit: `u`; DirtyBits: the generator) but must produce the
+        // same sorted state — and the same generator evolution — as the
+        // generic jittered-key path the two-step pipeline uses.
+        for mode in [RngMode::Explicit, RngMode::DirtyBits] {
+            let tunnel = Tunnel::new(12, 9);
+            let res = ResLayout::for_cells(16);
+            let kb = key_bits_for(tunnel.n_cells() + res.total(), 6);
+            let mut fused = store(3000, &tunnel, 21);
+            let mut reference = fused.clone();
+            let mut ws = SortWorkspace::new();
+            let (mut bounds, mut order) = (Vec::new(), Vec::new());
+            sort_particles_fused(
+                &mut fused,
+                &tunnel,
+                tunnel.n_cells(),
+                res,
+                6,
+                kb,
+                mode,
+                &mut ws,
+                &mut bounds,
+                &mut order,
+            );
+            let out = sort_particles(&mut reference, &tunnel, tunnel.n_cells(), res, 6, kb, mode);
+            assert_eq!(fused.cell, reference.cell, "{mode:?} cells");
+            assert_eq!(fused.x, reference.x, "{mode:?} x");
+            assert_eq!(fused.u, reference.u, "{mode:?} u");
+            assert_eq!(fused.rng, reference.rng, "{mode:?} generator state");
+            assert_eq!(bounds, out.bounds, "{mode:?} bounds");
+            assert_eq!(order, out.order, "{mode:?} order");
+        }
     }
 
     #[test]

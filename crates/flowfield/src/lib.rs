@@ -14,13 +14,23 @@
 //! * [`render`] — ASCII heat maps, PGM images, CSV/SVG artifacts (figures
 //!   2, 3, 5, 6 are density surfaces: emitted as grids for any plotting
 //!   tool, plus terminal renderings),
-//! * [`region`] — sub-grid extraction for the stagnation-region views.
+//! * [`region`] — sub-grid extraction for the stagnation-region views,
+//! * [`surface`] — CSV/ASCII rendering of the surface-flux distributions
+//!   (Cp/Cf/Ch against arc length along the body), the plots the volume
+//!   figures cannot show.
+
+// Analysis results end up in papers and reports: every public item must
+// say what it measures.  `cargo doc` runs under `-D warnings` in CI, so
+// this lint is load-bearing.
+#![warn(missing_docs)]
 
 pub mod contour;
 pub mod region;
 pub mod render;
 pub mod shock;
+pub mod surface;
 
 pub use contour::{contour_segments, Segment};
 pub use region::Subgrid;
 pub use shock::{fit_shock_front, ShockFit, ShockMetrics};
+pub use surface::{ascii_profile, surface_to_csv};

@@ -1,0 +1,118 @@
+//! Rendering of surface-coefficient distributions.
+//!
+//! The volume fields get contour plots and density surfaces (the paper's
+//! figures); the surface fluxes get the plots production DSMC reports are
+//! built from — Cp/Cf/Ch *against arc length along the body*.  Emitted as
+//! CSV (one row per facet, any plotting tool renders it) plus an ASCII
+//! profile for terminal runs, next to the existing contour renderer.
+
+use dsmc_engine::SurfaceField;
+use std::fmt::Write as _;
+
+/// CSV of the full distribution: one row per facet, arc-length ordered.
+///
+/// Columns: arc-length centre `s`, bin length, outward normal, the three
+/// coefficients, the incident energy-flux coefficient, and the mean
+/// impacts per step.
+pub fn surface_to_csv(f: &SurfaceField) -> String {
+    let mut out = String::with_capacity(64 * (f.n_facets() + 1));
+    out.push_str("s,len,nx,ny,cp,cf,ch,e_inc_coeff,impacts_per_step\n");
+    for k in 0..f.n_facets() {
+        let _ = writeln!(
+            out,
+            "{:.6},{:.6},{:.6},{:.6},{:.6e},{:.6e},{:.6e},{:.6e},{:.6e}",
+            f.s[k],
+            f.len[k],
+            f.nx[k],
+            f.ny[k],
+            f.cp[k],
+            f.cf[k],
+            f.ch[k],
+            f.e_inc_coeff[k],
+            f.impacts_per_step[k],
+        );
+    }
+    out
+}
+
+/// ASCII bar profile of one per-facet quantity against arc length.
+///
+/// Each row is one facet: the arc coordinate, a signed horizontal bar
+/// scaled to the largest magnitude, and the value.  `label` names the
+/// quantity in the header.
+pub fn ascii_profile(f: &SurfaceField, vals: &[f64], label: &str) -> String {
+    assert_eq!(vals.len(), f.n_facets(), "one value per facet");
+    const HALF: usize = 30;
+    let vmax = vals
+        .iter()
+        .map(|v| v.abs())
+        .fold(0.0f64, f64::max)
+        .max(1e-300);
+    let mut out = String::new();
+    let _ = writeln!(out, "{label} along the surface (|max| = {vmax:.4}):");
+    for (k, v) in vals.iter().enumerate() {
+        let frac = (v / vmax).clamp(-1.0, 1.0);
+        let n = (frac.abs() * HALF as f64).round() as usize;
+        let mut bar = [' '; 2 * HALF + 1];
+        bar[HALF] = '|';
+        for i in 0..n {
+            if frac < 0.0 {
+                bar[HALF - 1 - i] = '#';
+            } else {
+                bar[HALF + 1 + i] = '#';
+            }
+        }
+        let bar: String = bar.iter().collect();
+        let _ = writeln!(out, "  s={:7.2} {} {:+.4}", f.s[k], bar, v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> SurfaceField {
+        SurfaceField {
+            steps: 10,
+            s: vec![0.5, 1.5],
+            len: vec![1.0, 1.0],
+            nx: vec![-1.0, 1.0],
+            ny: vec![0.0, 0.0],
+            cp: vec![4.0, -0.1],
+            cf: vec![0.0, 0.0],
+            ch: vec![0.0, 0.0],
+            e_inc_coeff: vec![1.0, 0.1],
+            impacts_per_step: vec![2.0, 0.5],
+            force_x: 3.9,
+            force_y: 0.0,
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_facet() {
+        let csv = surface_to_csv(&field());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("s,len,nx,ny,cp,cf,ch"));
+        assert!(lines[1].starts_with("0.500000,1.000000,-1.000000"));
+        // Every row has the full column count.
+        for l in &lines[1..] {
+            assert_eq!(l.split(',').count(), 9, "row {l}");
+        }
+    }
+
+    #[test]
+    fn ascii_profile_scales_and_signs_bars() {
+        let f = field();
+        let txt = ascii_profile(&f, &f.cp, "Cp");
+        assert!(txt.starts_with("Cp along the surface"));
+        let rows: Vec<&str> = txt.lines().skip(1).collect();
+        assert_eq!(rows.len(), 2);
+        // The 4.0 row carries a full positive bar; the −0.1 row a small
+        // negative one.
+        assert!(rows[0].contains("|##"));
+        assert!(rows[1].contains("#|") || rows[1].contains("#"));
+        assert!(rows[1].contains("-0.1"));
+    }
+}

@@ -9,6 +9,35 @@
 use crate::clip::{clip_polygon, polygon_area, unit_cell, HalfPlane};
 use dsmc_fixed::Fx;
 
+/// One arc-length bin ("facet") of a body's surface parameterisation.
+///
+/// Surface-flux sampling bins every body impact into one of these; the
+/// reduction that turns momentum/energy sums into Cp/Cf/Ch needs each
+/// bin's arc-length span and outward normal.  The tangent convention is
+/// fixed across all bodies: `t̂ = (ny, −nx)` (the outward normal rotated
+/// 90° clockwise), and every parameterisation is oriented so `t̂` points
+/// along *increasing* arc length.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SurfaceFacet {
+    /// Arc-length coordinate of the bin centre, measured from the body's
+    /// parameterisation origin (leading edge / upstream nose), in cells.
+    pub s_mid: f64,
+    /// Bin length along the surface, in cells.
+    pub len: f64,
+    /// Outward unit normal, x component.
+    pub nx: f64,
+    /// Outward unit normal, y component.
+    pub ny: f64,
+}
+
+impl SurfaceFacet {
+    /// Unit tangent along increasing arc length: the outward normal
+    /// rotated 90° clockwise.
+    pub fn tangent(&self) -> (f64, f64) {
+        (self.ny, -self.nx)
+    }
+}
+
 /// A solid impermeable body inside the tunnel.
 pub trait Body: Send + Sync {
     /// True if the fixed-point position is inside the solid.
@@ -41,6 +70,30 @@ pub trait Body: Send + Sync {
             }
         }
         free as f64 / (n * n) as f64
+    }
+
+    /// Number of arc-length bins in this body's surface parameterisation.
+    ///
+    /// `0` (the default) means the body has no parameterisation and the
+    /// engine skips surface-flux sampling for it.
+    fn n_facets(&self) -> u32 {
+        0
+    }
+
+    /// Map an impact point to its facet index.
+    ///
+    /// The point is the *penetrated* position [`Body::resolve`] sees (just
+    /// inside the surface), so implementations classify it against the same
+    /// face-selection rule `resolve` uses and clamp the arc coordinate into
+    /// range — the mapping is total: every in-body point lands in exactly
+    /// one bin.  Only meaningful when [`Body::n_facets`] is non-zero.
+    fn facet_of(&self, _x: Fx, _y: Fx) -> u32 {
+        0
+    }
+
+    /// Geometry of facet `k` (`k < n_facets()`).
+    fn facet(&self, _k: u32) -> SurfaceFacet {
+        panic!("body has no surface parameterisation")
     }
 }
 
@@ -87,6 +140,8 @@ pub struct Wedge {
     cos2_fx: Fx,
     // f64 shadows.
     tan_f: f64,
+    sin_f: f64,
+    cos_f: f64,
     xb_f: f64,
     h_f: f64,
 }
@@ -114,6 +169,8 @@ impl Wedge {
             sin2_fx: Fx::from_f64((2.0 * t).sin()),
             cos2_fx: Fx::from_f64((2.0 * t).cos()),
             tan_f: t.tan(),
+            sin_f: t.sin(),
+            cos_f: t.cos(),
             xb_f: x0 + base,
             h_f: h,
         }
@@ -139,6 +196,19 @@ impl Wedge {
     #[inline]
     fn front_depth(&self, x: Fx, y: Fx) -> Fx {
         (x - self.x0_fx).mul_nearest(self.sin_fx) - y.mul_nearest(self.cos_fx)
+    }
+
+    /// Slant length of the front (ramp) face.
+    fn front_len(&self) -> f64 {
+        self.base / self.cos_f
+    }
+
+    /// Facet counts `(front, back)`: ~1-cell bins along each face.
+    fn facet_split(&self) -> (u32, u32) {
+        (
+            (self.front_len().ceil() as u32).max(1),
+            (self.h_f.ceil() as u32).max(1),
+        )
     }
 }
 
@@ -198,6 +268,52 @@ impl Body for Wedge {
         true
     }
 
+    fn n_facets(&self) -> u32 {
+        let (nf, nb) = self.facet_split();
+        nf + nb
+    }
+
+    fn facet_of(&self, x: Fx, y: Fx) -> u32 {
+        let (nf, nb) = self.facet_split();
+        // The same face-selection rule `resolve` uses: nearest of the
+        // inclined front face and the vertical back face.
+        let d_front = self.front_depth(x, y);
+        let d_back = self.xb_fx - x;
+        if d_front <= d_back {
+            // Arc length up the ramp: the projection of (p − leading edge)
+            // onto the face direction (cosθ, sinθ).
+            let s = (x.to_f64() - self.x0) * self.cos_f + y.to_f64() * self.sin_f;
+            let t = (s / self.front_len()).clamp(0.0, 1.0 - 1e-12);
+            (t * nf as f64) as u32
+        } else {
+            // Back face, parameterised downward from the apex.
+            let t = ((self.h_f - y.to_f64()) / self.h_f).clamp(0.0, 1.0 - 1e-12);
+            nf + (t * nb as f64) as u32
+        }
+    }
+
+    fn facet(&self, k: u32) -> SurfaceFacet {
+        let (nf, nb) = self.facet_split();
+        assert!(k < nf + nb, "wedge facet {k} out of range");
+        if k < nf {
+            let bin = self.front_len() / nf as f64;
+            SurfaceFacet {
+                s_mid: (k as f64 + 0.5) * bin,
+                len: bin,
+                nx: -self.sin_f,
+                ny: self.cos_f,
+            }
+        } else {
+            let bin = self.h_f / nb as f64;
+            SurfaceFacet {
+                s_mid: self.front_len() + ((k - nf) as f64 + 0.5) * bin,
+                len: bin,
+                nx: 1.0,
+                ny: 0.0,
+            }
+        }
+    }
+
     fn free_volume_fraction(&self, ix: u32, iy: u32) -> f64 {
         // Exact: area of the cell minus the clipped cell∩wedge area.
         let cell = unit_cell(ix, iy);
@@ -242,6 +358,13 @@ impl ForwardStep {
     pub fn new(x0: f64, x1: f64, h: f64) -> Self {
         assert!(x0 < x1 && h > 0.0, "degenerate step");
         Self { x0, x1, h }
+    }
+
+    /// Facet counts `(front, top, back)`: ~1-cell bins along each face.
+    fn facet_split(&self) -> (u32, u32, u32) {
+        let nf = (self.h.ceil() as u32).max(1);
+        let nt = (((self.x1 - self.x0).ceil()) as u32).max(1);
+        (nf, nt, nf)
     }
 }
 
@@ -288,6 +411,62 @@ impl Body for ForwardStep {
         let ox = (self.x1.min(ix as f64 + 1.0) - self.x0.max(ix as f64)).max(0.0);
         let oy = (self.h.min(iy as f64 + 1.0) - 0f64.max(iy as f64)).max(0.0);
         (1.0 - ox * oy).clamp(0.0, 1.0)
+    }
+
+    fn n_facets(&self) -> u32 {
+        let (nf, nt, nb) = self.facet_split();
+        nf + nt + nb
+    }
+
+    fn facet_of(&self, x: Fx, y: Fx) -> u32 {
+        let (nf, nt, nb) = self.facet_split();
+        let (xf, yf) = (x.to_f64(), y.to_f64());
+        // The same nearest-face rule `resolve` uses.
+        let d_front = xf - self.x0;
+        let d_back = self.x1 - xf;
+        let d_top = self.h - yf;
+        let bin = |t: f64, n: u32| ((t.clamp(0.0, 1.0 - 1e-12)) * n as f64) as u32;
+        if d_front <= d_back && d_front <= d_top {
+            // Front face, upward from the foot.
+            bin(yf / self.h, nf)
+        } else if d_back <= d_top {
+            // Back face, downward from the top-back corner.
+            nf + nt + bin((self.h - yf) / self.h, nb)
+        } else {
+            // Top face, downstream from the top-front corner.
+            nf + bin((xf - self.x0) / (self.x1 - self.x0), nt)
+        }
+    }
+
+    fn facet(&self, k: u32) -> SurfaceFacet {
+        let (nf, nt, nb) = self.facet_split();
+        assert!(k < nf + nt + nb, "step facet {k} out of range");
+        let w = self.x1 - self.x0;
+        if k < nf {
+            let bin = self.h / nf as f64;
+            SurfaceFacet {
+                s_mid: (k as f64 + 0.5) * bin,
+                len: bin,
+                nx: -1.0,
+                ny: 0.0,
+            }
+        } else if k < nf + nt {
+            let bin = w / nt as f64;
+            SurfaceFacet {
+                s_mid: self.h + ((k - nf) as f64 + 0.5) * bin,
+                len: bin,
+                nx: 0.0,
+                ny: 1.0,
+            }
+        } else {
+            let bin = self.h / nb as f64;
+            SurfaceFacet {
+                s_mid: self.h + w + ((k - nf - nt) as f64 + 0.5) * bin,
+                len: bin,
+                nx: 1.0,
+                ny: 0.0,
+            }
+        }
     }
 }
 
@@ -352,6 +531,20 @@ impl Cylinder {
     /// The stagnation point on the upstream side of the body.
     pub fn nose_x(&self) -> f64 {
         self.cx - self.r
+    }
+
+    /// Number of ~1-cell angular surface bins.
+    fn n_bins(&self) -> u32 {
+        (((core::f64::consts::TAU * self.r).ceil()) as u32).max(4)
+    }
+
+    /// Surface angle ψ ∈ [0, 2π) of a point, measured from the upstream
+    /// nose going over the top (nose → top → rear → bottom), so that the
+    /// tangent convention `t̂ = (n̂.y, −n̂.x)` points along increasing ψ.
+    fn psi_of(&self, x: f64, y: f64) -> f64 {
+        let a = (y - self.cy).atan2(x - self.cx);
+        let psi = core::f64::consts::PI - a;
+        psi.rem_euclid(core::f64::consts::TAU)
     }
 }
 
@@ -424,10 +617,43 @@ impl Body for Cylinder {
         let inside = clip_polygon(&cell, &self.planes);
         (1.0 - polygon_area(&inside)).clamp(0.0, 1.0)
     }
+
+    fn n_facets(&self) -> u32 {
+        self.n_bins()
+    }
+
+    fn facet_of(&self, x: Fx, y: Fx) -> u32 {
+        let n = self.n_bins();
+        let t = self.psi_of(x.to_f64(), y.to_f64()) / core::f64::consts::TAU;
+        (((t.clamp(0.0, 1.0 - 1e-12)) * n as f64) as u32).min(n - 1)
+    }
+
+    fn facet(&self, k: u32) -> SurfaceFacet {
+        let n = self.n_bins();
+        assert!(k < n, "cylinder facet {k} out of range");
+        let dpsi = core::f64::consts::TAU / n as f64;
+        let psi = (k as f64 + 0.5) * dpsi;
+        let a = core::f64::consts::PI - psi;
+        SurfaceFacet {
+            s_mid: self.r * psi,
+            len: self.r * dpsi,
+            nx: a.cos(),
+            ny: a.sin(),
+        }
+    }
 }
 
 /// A thin vertical plate spanning `[0, h]` at station `x0` (thickness
 /// `0.25` cells so that containment-based resolution works).
+///
+/// Caveat for surface-flux sampling: particles whose per-step
+/// displacement approaches the thickness can land past the mid-plane (or
+/// clean through), and the nearest-face rule then reflects them out the
+/// *far* side — a transmission artefact that shows up in the plate's
+/// Cp/Cf distributions.  Quantitative surface work should use a
+/// [`ForwardStep`] of ≥1-cell depth, whose windward face is the same
+/// normal flat plate; the plate remains fine for the volume-field wake
+/// studies it was added for.
 #[derive(Clone, Copy, Debug)]
 pub struct FlatPlate {
     /// Plate station (centre of thickness).
@@ -463,6 +689,15 @@ impl Body for FlatPlate {
     }
     fn free_volume_fraction(&self, ix: u32, iy: u32) -> f64 {
         self.step.free_volume_fraction(ix, iy)
+    }
+    fn n_facets(&self) -> u32 {
+        self.step.n_facets()
+    }
+    fn facet_of(&self, x: Fx, y: Fx) -> u32 {
+        self.step.facet_of(x, y)
+    }
+    fn facet(&self, k: u32) -> SurfaceFacet {
+        self.step.facet(k)
     }
 }
 
@@ -824,6 +1059,105 @@ mod tests {
     #[should_panic(expected = "lower wall")]
     fn cylinder_touching_the_wall_is_rejected() {
         let _ = Cylinder::new(30.0, 3.0, 6.0);
+    }
+
+    /// Shared facet-parameterisation invariants: unit normals, positive
+    /// bin lengths, monotonically increasing arc-length centres, and a
+    /// total arc length matching the body's wetted perimeter.
+    fn check_facets(body: &dyn Body, expect_perimeter: f64) {
+        let n = body.n_facets();
+        assert!(n > 0, "body must expose facets");
+        let mut total = 0.0;
+        let mut last_s = f64::NEG_INFINITY;
+        for k in 0..n {
+            let f = body.facet(k);
+            assert!(
+                (f.nx * f.nx + f.ny * f.ny - 1.0).abs() < 1e-12,
+                "unit normal"
+            );
+            assert!(f.len > 0.0, "positive bin length");
+            assert!(f.s_mid > last_s, "arc length must increase with k");
+            last_s = f.s_mid;
+            let (tx, ty) = f.tangent();
+            assert_eq!((tx, ty), (f.ny, -f.nx), "tangent convention");
+            total += f.len;
+        }
+        assert!(
+            (total - expect_perimeter).abs() < 1e-9,
+            "perimeter {total} vs expected {expect_perimeter}"
+        );
+    }
+
+    #[test]
+    fn wedge_facets_cover_both_faces() {
+        let w = Wedge::paper();
+        let front_len = 25.0 / (30f64).to_radians().cos();
+        check_facets(&w, front_len + w.height());
+        // A point just under the mid-ramp maps to a front-face facet with
+        // the ramp's outward normal; a point just inside the back face maps
+        // to a back-face facet with normal +x.
+        let mid = w.facet_of(fx(32.0), fx(0.4 * w.tan_f * 12.0));
+        let f = w.facet(mid);
+        assert!(f.nx < 0.0 && f.ny > 0.0, "front-face normal {f:?}");
+        let back = w.facet_of(fx(44.95), fx(3.0));
+        let fb = w.facet(back);
+        assert_eq!((fb.nx, fb.ny), (1.0, 0.0), "back-face normal");
+        assert!(fb.s_mid > front_len, "back face lies after the ramp arc");
+        // Totality: any interior point maps in range.
+        for i in 0..500 {
+            let x = 20.0 + 25.0 * (i as f64 / 500.0);
+            let y = 0.9 * w.tan_f * (x - 20.0);
+            if w.contains_f64(x, y) {
+                assert!(w.facet_of(fx(x), fx(y)) < w.n_facets());
+            }
+        }
+    }
+
+    #[test]
+    fn step_facets_cover_three_faces() {
+        let s = ForwardStep::new(10.0, 14.0, 3.0);
+        check_facets(&s, 3.0 + 4.0 + 3.0);
+        // Near-front, near-top and near-back points pick the right face.
+        let ff = s.facet(s.facet_of(fx(10.05), fx(1.0)));
+        assert_eq!((ff.nx, ff.ny), (-1.0, 0.0));
+        let ft = s.facet(s.facet_of(fx(12.0), fx(2.95)));
+        assert_eq!((ft.nx, ft.ny), (0.0, 1.0));
+        let fb = s.facet(s.facet_of(fx(13.95), fx(1.0)));
+        assert_eq!((fb.nx, fb.ny), (1.0, 0.0));
+        // Arc ordering: front < top < back.
+        assert!(ff.s_mid < ft.s_mid && ft.s_mid < fb.s_mid);
+    }
+
+    #[test]
+    fn cylinder_facets_wrap_the_circle_from_the_nose() {
+        let c = Cylinder::new(30.0, 20.0, 6.0);
+        check_facets(&c, core::f64::consts::TAU * 6.0);
+        let n = c.n_facets();
+        // The nose maps to the first bin, the top to ~n/4, the rear to
+        // ~n/2, the bottom to ~3n/4.
+        assert_eq!(c.facet_of(fx(24.1), fx(20.01)), 0);
+        let top = c.facet_of(fx(30.0), fx(25.9));
+        assert!((top as i64 - n as i64 / 4).abs() <= 1, "top bin {top}");
+        let rear = c.facet_of(fx(35.9), fx(20.01));
+        assert!((rear as i64 - n as i64 / 2).abs() <= 1, "rear bin {rear}");
+        let bottom = c.facet_of(fx(30.0), fx(14.1));
+        assert!((bottom as i64 - 3 * n as i64 / 4).abs() <= 1);
+        // The nose facet's outward normal faces upstream.
+        let f0 = c.facet(0);
+        assert!(f0.nx < -0.9, "nose normal {f0:?}");
+    }
+
+    #[test]
+    fn plate_facets_delegate_to_the_thin_step() {
+        let p = FlatPlate::new(12.0, 4.0);
+        assert_eq!(p.n_facets(), 4 + 1 + 4);
+        let front = p.facet(p.facet_of(fx(11.9), fx(1.5)));
+        assert_eq!((front.nx, front.ny), (-1.0, 0.0));
+    }
+
+    #[test]
+    fn bodies_without_facets_report_zero() {
+        assert_eq!(NoBody.n_facets(), 0);
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! * [`Body`] — the body-in-test-section abstraction; [`Wedge`] is the
 //!   paper's geometry, [`ForwardStep`], [`FlatPlate`] and the blunt
 //!   [`Cylinder`] exercise the generality, and [`NoBody`] gives an empty
-//!   tunnel.
+//!   tunnel.  Bodies also expose an arc-length facet parameterisation
+//!   ([`SurfaceFacet`], [`Body::facet_of`]) that the engine's
+//!   surface-flux sampler bins Cp/Cf/Ch distributions into.
 //! * [`clip`] — host-side polygon clipping used for the *fractional cell
 //!   volumes* of cells cut by the wedge surface (the paper's eq. (8) must
 //!   use the fractional volume when computing the cell density, and so must
@@ -28,5 +30,5 @@ pub mod body;
 pub mod clip;
 pub mod tunnel;
 
-pub use body::{Body, Cylinder, FlatPlate, ForwardStep, NoBody, Wedge};
+pub use body::{Body, Cylinder, FlatPlate, ForwardStep, NoBody, SurfaceFacet, Wedge};
 pub use tunnel::{Plunger, PlungerEvent, Tunnel, WallOutcome};

@@ -12,6 +12,7 @@
 //! signal.  Every run writes a `BENCH_scenario_<name>.json` artifact.
 
 use dsmc_bench::write_artifact;
+use dsmc_flowfield::surface::{ascii_profile, surface_to_csv};
 use dsmc_scenarios::{outcome_json, registry, run, RunOutcome, Scale, Scenario};
 
 fn print_list() {
@@ -70,6 +71,16 @@ fn run_and_record(s: &Scenario, scale: Scale) -> bool {
         &format!("BENCH_scenario_{}.json", s.name),
         outcome_json(&outcome).pretty().as_bytes(),
     );
+    // Body-bearing cases: the Cp/Cf/Ch distributions along the surface,
+    // as a CSV artifact (one row per arc-length facet) plus a terminal
+    // profile of Cp.
+    if let Some(surf) = &outcome.surface {
+        write_artifact(
+            &format!("BENCH_surface_{}.csv", s.name),
+            surface_to_csv(surf).as_bytes(),
+        );
+        print!("{}", ascii_profile(surf, &surf.cp, "Cp"));
+    }
     outcome.passed
 }
 

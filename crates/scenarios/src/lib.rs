@@ -23,7 +23,7 @@
 use dsmc_baselines::nanbu::pairwise_step;
 use dsmc_baselines::UniformBox;
 use dsmc_bench::json;
-use dsmc_engine::{Diagnostics, SampledField, SimConfig, Simulation};
+use dsmc_engine::{Diagnostics, SampledField, SimConfig, Simulation, SurfaceField};
 
 pub mod registry;
 
@@ -103,8 +103,9 @@ pub struct TunnelCase {
     pub quick_steps: (usize, usize),
     /// (settle, average) step counts at FULL scale.
     pub full_steps: (usize, usize),
-    /// Scenario-specific metric extraction from the averaged field.
-    pub extract: fn(&Simulation, &SampledField) -> Vec<Metric>,
+    /// Scenario-specific metric extraction from the averaged volume field
+    /// and (for body-bearing cases) the surface-flux distributions.
+    pub extract: fn(&Simulation, &SampledField, Option<&SurfaceField>) -> Vec<Metric>,
 }
 
 /// A free-relaxation case driven through the baselines harness.
@@ -208,6 +209,10 @@ pub struct RunOutcome {
     pub n_particles: usize,
     /// Steps taken.
     pub steps: u64,
+    /// Surface-flux distributions of the averaging window (body-bearing
+    /// tunnel cases only); the `scenarios` bin renders these to the
+    /// `BENCH_surface_<name>.csv` artifact.
+    pub surface: Option<SurfaceField>,
 }
 
 /// Standard conservation residuals of a tunnel run.
@@ -247,10 +252,30 @@ fn conservation_metrics(sim: &Simulation, d0: &Diagnostics) -> Vec<Metric> {
     ]
 }
 
+/// Standard surface metrics shared by every body-bearing case: the total
+/// drag normalised by `q∞` (an effective drag area in cells — divide by a
+/// frontal height for a conventional `C_D`) and the peak Cp anywhere on
+/// the surface.
+fn surface_metrics(sim: &Simulation, surf: &SurfaceField) -> Vec<Metric> {
+    let fs = sim.freestream();
+    let q_inf = 0.5 * sim.config().n_per_cell * fs.u_inf() * fs.u_inf();
+    let cp_peak = surf.cp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    vec![
+        Metric {
+            name: "surface_drag_per_q",
+            value: surf.force_x / q_inf,
+        },
+        Metric {
+            name: "surface_cp_peak",
+            value: cp_peak,
+        },
+    ]
+}
+
 /// Execute one scenario at the given scale.
 pub fn run(s: &Scenario, scale: Scale) -> RunOutcome {
     let t0 = std::time::Instant::now();
-    let (metrics, n_particles, steps) = match &s.kind {
+    let (metrics, n_particles, steps, surface) = match &s.kind {
         CaseKind::Tunnel(t) => {
             let cfg = s.tunnel_config(scale).expect("tunnel case");
             let (settle, average) = match scale {
@@ -263,9 +288,13 @@ pub fn run(s: &Scenario, scale: Scale) -> RunOutcome {
             sim.begin_sampling();
             sim.run(average);
             let field = sim.finish_sampling();
+            let surface = sim.finish_surface_sampling();
             let mut metrics = conservation_metrics(&sim, &d0);
-            metrics.extend((t.extract)(&sim, &field));
-            (metrics, sim.n_particles(), sim.diagnostics().steps)
+            if let Some(surf) = &surface {
+                metrics.extend(surface_metrics(&sim, surf));
+            }
+            metrics.extend((t.extract)(&sim, &field, surface.as_ref()));
+            (metrics, sim.n_particles(), sim.diagnostics().steps, surface)
         }
         CaseKind::Relax(r) => {
             let steps = match scale {
@@ -302,7 +331,7 @@ pub fn run(s: &Scenario, scale: Scale) -> RunOutcome {
                     value: energy_drift,
                 },
             ];
-            (metrics, b.len(), steps as u64)
+            (metrics, b.len(), steps as u64, None)
         }
     };
 
@@ -338,6 +367,7 @@ pub fn run(s: &Scenario, scale: Scale) -> RunOutcome {
         wall_seconds: t0.elapsed().as_secs_f64(),
         n_particles,
         steps,
+        surface,
     }
 }
 

@@ -16,7 +16,7 @@
 use dsmc_baselines::SerialSim;
 use dsmc_bench::{json, report, write_artifact, RunScale};
 use dsmc_datapar::pack_pair;
-use dsmc_engine::{PipelineMode, SimConfig, Simulation, StepTimings};
+use dsmc_engine::{BodySpec, PipelineMode, SimConfig, Simulation, StepTimings};
 use dsmc_fixed::Fx;
 use dsmc_rng::XorShift32;
 use std::time::Instant;
@@ -55,7 +55,7 @@ fn timed_ab(
     (out(&sims[0]), out(&sims[1]))
 }
 
-fn substep_ns(t: &StepTimings, n_flow: usize) -> [(&'static str, f64); 5] {
+fn substep_ns(t: &StepTimings, n_flow: usize) -> [(&'static str, f64); 6] {
     let per = |d: std::time::Duration| {
         if t.steps == 0 || n_flow == 0 {
             0.0
@@ -66,10 +66,44 @@ fn substep_ns(t: &StepTimings, n_flow: usize) -> [(&'static str, f64); 5] {
     [
         ("motion", per(t.motion)),
         ("boundary", per(t.boundary)),
+        ("move", per(t.move_phase)),
         ("sort", per(t.sort)),
         ("select", per(t.select)),
         ("collide", per(t.collide)),
     ]
+}
+
+/// Combined *move-side* cost in ns/particle/step: everything that
+/// advances, bounds and key-packs the population before the rank runs.
+///
+/// Under the fused pipeline that is the single `move` bucket (motion and
+/// boundary stay zero); under the two-step reference it is motion +
+/// boundary *plus an attribution estimate* of the pair-build share of its
+/// sort bucket (`pair_build_est_ns`, measured standalone by
+/// [`pair_build_ab`]) — the reference times key build and rank as one
+/// `sort` phase, so the split cannot be observed directly.
+fn move_side_ns(t: &StepTimings, n_flow: usize, pair_build_est_ns: f64) -> f64 {
+    let sub = substep_ns(t, n_flow);
+    let (motion, boundary, mv) = (sub[0].1, sub[1].1, sub[2].1);
+    if mv > 0.0 {
+        motion + boundary + mv
+    } else {
+        motion + boundary + pair_build_est_ns
+    }
+}
+
+/// One fused-vs-two-step A/B on a scenario config: returns
+/// `(name, fused timings, two-step timings, fused s/step, two-step
+/// s/step, flow particles)`.
+type ScenarioAb = (StepTimings, StepTimings, f64, f64, usize);
+
+fn scenario_ab(mut cfg: SimConfig, warm: usize, measure: usize) -> ScenarioAb {
+    let mut cfg_two = cfg.clone();
+    cfg.pipeline = PipelineMode::Fused;
+    cfg_two.pipeline = PipelineMode::TwoStep;
+    let ((t_fused, step_fused, n_flow), (t_two, step_two, _)) =
+        timed_ab(cfg, cfg_two, warm, measure);
+    (t_fused, t_two, step_fused, step_two, n_flow)
 }
 
 /// Sequential A/B of the two pair-build sweep shapes on one engine-like
@@ -246,5 +280,84 @@ fn main() {
     pb.num("explicit_specialised_ns_per_particle", ns_special);
     pb.num("speedup", ns_generic / ns_special);
     j.obj("pair_build", pb);
-    write_artifact("BENCH_step.json", j.pretty().as_bytes());
+
+    // The move-side trajectory (PR 4's tentpole): combined
+    // motion+boundary+pair-build cost per particle, fused single-sweep
+    // move phase vs the two-step reference, on the main (wedge-paper)
+    // workload and on the cylinder blunt-body scenario.  The generic
+    // pair-build ns is the attribution estimate for the reference, whose
+    // sort bucket times key build and rank together.
+    let scen_json = |tag: &str,
+                     t_f: &StepTimings,
+                     t_t: &StepTimings,
+                     s_f: f64,
+                     s_t: f64,
+                     nf: usize,
+                     j: &mut json::Object| {
+        let (mf, mt) = (
+            move_side_ns(t_f, nf, ns_generic),
+            move_side_ns(t_t, nf, ns_generic),
+        );
+        let mut o = json::Object::new();
+        o.int("flow_particles", nf as i64);
+        o.num("move_side_ns_fused", mf);
+        o.num("move_side_ns_two_step", mt);
+        o.num("move_side_reduction", 1.0 - mf / mt);
+        o.num("full_step_ratio", s_t / s_f);
+        j.obj(tag, o);
+        report(
+            &format!("move-side ns/particle [{tag}]"),
+            "n/a (fused move phase)",
+            &format!(
+                "{mt:.2} -> {mf:.2} ({:.0}% less), full step {:.2}x",
+                100.0 * (1.0 - mf / mt),
+                s_t / s_f
+            ),
+        );
+        s_t / s_f
+    };
+    let mut scen = json::Object::new();
+    scen.num("pair_build_attribution_ns", ns_generic);
+    // The main A/B above runs the wedge-paper config already.
+    let r_wedge = scen_json(
+        "wedge-paper",
+        &t_fused,
+        &t_twostep,
+        step_fused,
+        step_twostep,
+        n_flow,
+        &mut scen,
+    );
+    // The blunt-body scenario (config mirrors the registry's `cylinder`
+    // case; dsmc-scenarios depends on this crate, so the builder cannot
+    // be imported from there).
+    let mut cyl = SimConfig::paper(0.0);
+    cyl.body = BodySpec::Cylinder {
+        cx: 32.0,
+        cy: 32.0,
+        r: 6.0,
+    };
+    cyl.n_per_cell = (75.0 * scale.density).max(4.0);
+    cyl.reservoir_fill = cyl.n_per_cell * 1.4;
+    let (ct_f, ct_t, cs_f, cs_t, c_n) = scenario_ab(cyl, warm / 2, (measure / 2).max(20));
+    let r_cyl = scen_json("cylinder", &ct_f, &ct_t, cs_f, cs_t, c_n, &mut scen);
+    j.obj("move_side", scen);
+
+    let out = j.pretty();
+    write_artifact("BENCH_step.json", out.as_bytes());
+    // The perf trajectory record lives at the repo root (checked in, one
+    // entry per perf PR); the artifacts/ copy is the CI upload.
+    std::fs::write("BENCH_step.json", out.as_bytes()).expect("write BENCH_step.json");
+    println!("  wrote BENCH_step.json");
+
+    // CI regression floor (`--check-floor`): the fused pipeline must
+    // never fall behind the two-step reference on a full step.
+    if std::env::args().any(|a| a == "--check-floor") {
+        let worst = speedup.min(r_wedge).min(r_cyl);
+        if worst < 1.0 {
+            eprintln!("FAIL: fused-vs-two-step full-step ratio {worst:.3} < 1.0");
+            std::process::exit(1);
+        }
+        println!("check-floor: worst fused-vs-two-step ratio {worst:.3} >= 1.0");
+    }
 }

@@ -4,8 +4,10 @@
 //! `cargo run --release -p dsmc-bench --bin profile_sort [n]`
 
 use dsmc_datapar::{
-    pack_pair, segment_bounds_from_sorted, segment_bounds_from_sorted_into, sort_order_from_pairs,
-    sort_perm_by_key, BoundsScratch, SortScratch,
+    fill_cells_from_bounds, first_pass_bits, pack_pair, radix_chunk_len,
+    segment_bounds_from_sorted, segment_bounds_from_sorted_into,
+    sort_order_and_bounds_from_pairs_cells, sort_order_from_pairs, sort_perm_by_key, BoundsScratch,
+    SortScratch,
 };
 use dsmc_engine::particles::ParticleStore;
 use dsmc_fixed::Fx;
@@ -93,6 +95,76 @@ fn main() {
         let _ = segment_bounds_from_sorted(&s_two.cell);
     });
     println!("two-step: perm {t_perm:6.2}  apply {t_apply:6.2}  bounds {t_bounds2:6.2}  ns/p");
+
+    // --- PR-4 levers: histogram-seeded rank + cell reconstruction --------
+    // (a) Fold the first radix histogram into the packing sweep: the
+    // seeded rank skips one full count pass over the pair buffer, at the
+    // cost of a counter increment per particle in the pack loop.
+    let cell_bits = key_bits - jitter_bits;
+    let first_bits = first_pass_bits(cell_bits, jitter_bits);
+    let first_mask = (1u32 << first_bits) - 1;
+    let chunk = radix_chunk_len(n);
+    let mut seg_cells = Vec::new();
+    let t_pack_hist = time_ns_per(n, reps, || {
+        let (pairs, hist) = scratch.input_pairs_and_hist(n, first_bits);
+        for (i, p) in pairs.iter_mut().enumerate() {
+            *p = pack_pair(keys[i], i);
+            hist[((i / chunk) << first_bits) + (keys[i] & first_mask) as usize] += 1;
+        }
+    });
+    let t_rank_seeded = time_ns_per(n, reps, || {
+        let (pairs, hist) = scratch.input_pairs_and_hist(n, first_bits);
+        for (i, p) in pairs.iter_mut().enumerate() {
+            *p = pack_pair(keys[i], i);
+            hist[((i / chunk) << first_bits) + (keys[i] & first_mask) as usize] += 1;
+        }
+        sort_order_and_bounds_from_pairs_cells(
+            cell_bits,
+            jitter_bits,
+            &mut scratch,
+            &mut order,
+            &mut bounds,
+            &mut seg_cells,
+            true,
+        );
+    }) - t_pack_hist;
+    let t_rank_unseeded = time_ns_per(n, reps, || {
+        let pairs = scratch.input_pairs(n);
+        for (i, p) in pairs.iter_mut().enumerate() {
+            *p = pack_pair(keys[i], i);
+        }
+        sort_order_and_bounds_from_pairs_cells(
+            cell_bits,
+            jitter_bits,
+            &mut scratch,
+            &mut order,
+            &mut bounds,
+            &mut seg_cells,
+            false,
+        );
+    }) - t_pack;
+    println!(
+        "seeded rank: pack+count {t_pack_hist:5.2} (vs pack {t_pack:5.2})  \
+         rank {t_rank_seeded:6.2} (vs unseeded {t_rank_unseeded:6.2})  \
+         total {:6.2} vs {:6.2}  ns/p",
+        t_pack_hist + t_rank_seeded,
+        t_pack + t_rank_unseeded
+    );
+
+    // (b) Re-materialise the sorted cell column from (bounds, seg_cells)
+    // with sequential stores instead of gathering it through the order.
+    let sorted_cells: Vec<u32> = order
+        .iter()
+        .map(|&o| keys[o as usize] >> jitter_bits)
+        .collect();
+    let mut cells_out = vec![0u32; n];
+    let t_cell_gather = time_ns_per(n, reps, || {
+        dsmc_datapar::apply_perm(&sorted_cells, &order, &mut cells_out);
+    });
+    let t_cell_fill = time_ns_per(n, reps, || {
+        fill_cells_from_bounds(&bounds, &seg_cells, &mut cells_out);
+    });
+    println!("cell column: gather {t_cell_gather:5.2}  fill-from-bounds {t_cell_fill:5.2}  ns/p");
 
     // --- one-column gather microbenchmark --------------------------------
     let src: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761)).collect();

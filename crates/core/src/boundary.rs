@@ -29,7 +29,7 @@ pub struct BoundaryScratch {
     exit_mask: Vec<bool>,
     wall_hit: Vec<u8>,
     exits: Vec<u32>,
-    res_idx: Vec<u32>,
+    pub(crate) res_idx: Vec<u32>,
 }
 
 impl BoundaryScratch {
@@ -97,6 +97,177 @@ pub struct BoundaryOutcome {
     pub shortfall: u32,
 }
 
+/// The per-particle wall/body/plunger resolve of one *flow* particle —
+/// the body of [`enforce`]'s parallel pass, extracted so the fused move
+/// phase (`crate::movephase`) runs byte-identical physics from its own
+/// sweep.  Returns `(wall_hit, exited)`: which diffuse wall was crossed
+/// (0 none, 1 bottom, 2 top) and whether the particle left downstream.
+///
+/// `DO_BODY = false` compiles the body resolve out entirely — used for
+/// runs of cells the geometry classification proves cannot reach the
+/// body within one step.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub(crate) fn resolve_flow_one<B: Body + ?Sized, const DO_BODY: bool>(
+    p: &BoundaryParams<'_, B>,
+    plunger: &Plunger,
+    diffuse: bool,
+    x: &mut Fx,
+    y: &mut Fx,
+    u: &mut Fx,
+    v: &mut Fx,
+    w: Fx,
+) -> (u8, bool) {
+    plunger.reflect(x, u);
+    let mut hit = 0u8;
+    if diffuse {
+        hit = if *y < Fx::ZERO {
+            1
+        } else if *y >= p.tunnel.height_fx() {
+            2
+        } else {
+            0
+        };
+    }
+    // Position always folds specularly (keeps the spatial distribution
+    // right); the diffuse model re-draws the velocity afterwards.
+    let wall = p.tunnel.enforce_walls(y, v, *x);
+    if DO_BODY {
+        match p.surface {
+            // Sampling window open: capture the impact state so the
+            // resolve's momentum/energy exchange can be binned into the
+            // facet the penetration point maps to.
+            Some(acc) => {
+                let (xi, yi, u0, v0) = (*x, *y, *u, *v);
+                if p.body.resolve(x, y, u, v) {
+                    acc.record(p.body.facet_of(xi, yi), u0, v0, w, *u, *v);
+                }
+            }
+            None => {
+                p.body.resolve(x, y, u, v);
+            }
+        }
+    }
+    let exited = wall == WallOutcome::ExitedDownstream || *x >= p.tunnel.width_fx();
+    (hit, exited)
+}
+
+/// Diffuse re-emission of one wall-hit particle: full accommodation —
+/// tangential and rotational components Maxwellian at `T_wall`,
+/// wall-normal component from the effusive (flux-weighted) distribution,
+/// directed into the gas.  Draw order is part of the determinism
+/// contract (u, w, r1, r2 Gaussians, then the normal speed).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub(crate) fn diffuse_reemit_one(
+    sigma_wall_raw: i32,
+    which: u8,
+    u: &mut Fx,
+    v: &mut Fx,
+    w: &mut Fx,
+    r1: &mut Fx,
+    r2: &mut Fx,
+    rng: &mut dsmc_rng::XorShift32,
+) {
+    let sigma_w = sigma_wall_raw as f64;
+    let gauss = |rng: &mut dsmc_rng::XorShift32| {
+        let (g, _) = dsmc_kinetics::sampling::box_muller(rng);
+        g
+    };
+    *u = Fx::from_raw((sigma_w * gauss(rng)) as i32);
+    *w = Fx::from_raw((sigma_w * gauss(rng)) as i32);
+    *r1 = Fx::from_raw((sigma_w * gauss(rng)) as i32);
+    *r2 = Fx::from_raw((sigma_w * gauss(rng)) as i32);
+    let speed = sigma_w * (-2.0 * rng.next_f64().max(1e-12).ln()).sqrt();
+    let vn = Fx::from_raw(speed as i32);
+    *v = if which == 1 { vn } else { -vn };
+}
+
+/// Move one downstream exit into the reservoir: position uniform in the
+/// reservoir box, velocities re-drawn from the rectangular distribution
+/// with freestream variance about the drift.  Draw order (x, y, then
+/// u v w r1 r2) is part of the determinism contract.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub(crate) fn exit_redraw_one<B: Body + ?Sized>(
+    p: &BoundaryParams<'_, B>,
+    x: &mut Fx,
+    y: &mut Fx,
+    u: &mut Fx,
+    v: &mut Fx,
+    w: &mut Fx,
+    r1: &mut Fx,
+    r2: &mut Fx,
+    cell: &mut u32,
+    rng: &mut dsmc_rng::XorShift32,
+) {
+    let res_w_fx = Fx::from_int(p.res.w as i32);
+    let res_h_fx = Fx::from_int(p.res.h as i32);
+    *x = Fx::from_raw(((rng.next_u32() as u64 * res_w_fx.raw() as u64) >> 32) as i32);
+    *y = Fx::from_raw(((rng.next_u32() as u64 * res_h_fx.raw() as u64) >> 32) as i32);
+    let span = (2 * p.rect_half_raw + 1) as u32;
+    let draw = |rng: &mut dsmc_rng::XorShift32| {
+        Fx::from_raw(rng.next_below(span) as i32 - p.rect_half_raw)
+    };
+    let du = draw(rng);
+    let dv = draw(rng);
+    let dw = draw(rng);
+    let dr1 = draw(rng);
+    let dr2 = draw(rng);
+    *u = p.u_drift + du;
+    *v = dv;
+    *w = dw;
+    *r1 = dr1;
+    *r2 = dr2;
+    *cell = p.res_base + p.res.cell(*x, *y);
+}
+
+/// Refill the void behind a withdrawn plunger face with particles *taken
+/// from the reservoir* — the whole point of the reservoir: freestream
+/// injection without a single Gaussian sample in the step loop.  Returns
+/// `(introduced, shortfall)`.  `res_idx` is caller-owned scratch for the
+/// reservoir census.
+pub(crate) fn refill_void(
+    parts: &mut ParticleStore,
+    tunnel: &Tunnel,
+    res_base: u32,
+    n_inf: f64,
+    void_end: Fx,
+    res_idx: &mut Vec<u32>,
+) -> (u32, u32) {
+    let need = (n_inf * void_end.to_f64() * tunnel.height as f64).round() as usize;
+    // Reservoir census (the reservoir is cell-sorted, so a strided take
+    // draws roughly uniformly across reservoir cells).
+    res_idx.clear();
+    res_idx.extend(
+        parts
+            .cell
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &c)| (c >= res_base).then_some(i as u32)),
+    );
+    let avail = res_idx.len();
+    let take = need.min(avail);
+    let shortfall = (need - take) as u32;
+    if take > 0 {
+        let stride = (avail as f64 / take as f64).max(1.0);
+        let h = tunnel.height as f64;
+        let void_f = void_end.to_f64();
+        for k in 0..take {
+            let i = res_idx[(k as f64 * stride) as usize % avail] as usize;
+            let rng = &mut parts.rng[i];
+            let x = Fx::from_f64(void_f * rng.next_f64());
+            let y = Fx::from_f64((h * rng.next_f64()).min(h - 1e-6));
+            parts.x[i] = x;
+            parts.y[i] = y;
+            // Velocities stay as relaxed in the reservoir: they *are*
+            // the freestream sample.
+            parts.cell[i] = tunnel.cell_index(x, y);
+        }
+    }
+    (take as u32, shortfall)
+}
+
 /// Enforce all boundaries; see module docs for the sequence.
 pub fn enforce<B: Body + ?Sized>(
     parts: &mut ParticleStore,
@@ -117,9 +288,6 @@ pub fn enforce<B: Body + ?Sized>(
     wall_hit.resize(n, 0);
     let diffuse = matches!(p.walls, WallModel::Diffuse { .. });
     {
-        let tunnel = p.tunnel;
-        let body = p.body;
-        let surface = p.surface;
         let plunger_now = *plunger;
         let res_base = p.res_base;
         let cells = &parts.cell;
@@ -140,60 +308,29 @@ pub fn enforce<B: Body + ?Sized>(
                     *hit = 0;
                     return;
                 }
-                plunger_now.reflect(x, u);
-                if diffuse {
-                    *hit = if *y < Fx::ZERO {
-                        1
-                    } else if *y >= tunnel.height_fx() {
-                        2
-                    } else {
-                        0
-                    };
-                }
-                // Position always folds specularly (keeps the spatial
-                // distribution right); the diffuse model re-draws the
-                // velocity afterwards.
-                let wall = tunnel.enforce_walls(y, v, *x);
-                match surface {
-                    // Sampling window open: capture the impact state so the
-                    // resolve's momentum/energy exchange can be binned into
-                    // the facet the penetration point maps to.
-                    Some(acc) => {
-                        let (xi, yi, u0, v0) = (*x, *y, *u, *v);
-                        if body.resolve(x, y, u, v) {
-                            acc.record(body.facet_of(xi, yi), u0, v0, w, *u, *v);
-                        }
-                    }
-                    None => {
-                        body.resolve(x, y, u, v);
-                    }
-                }
-                *exit = wall == WallOutcome::ExitedDownstream || *x >= tunnel.width_fx();
+                let (h, e) = resolve_flow_one::<B, true>(p, &plunger_now, diffuse, x, y, u, v, w);
+                *hit = h;
+                *exit = e;
             });
     }
 
-    // Diffuse re-emission: full accommodation — tangential and rotational
-    // components Maxwellian at T_wall, wall-normal component from the
-    // effusive (flux-weighted) distribution, directed into the gas.
+    // Diffuse re-emission (see `diffuse_reemit_one` for the physics).
     if let WallModel::Diffuse { .. } = p.walls {
-        let sigma_w = p.sigma_wall_raw as f64;
         for i in 0..n {
             let which = wall_hit[i];
             if which == 0 || exit_mask[i] {
                 continue;
             }
-            let rng = &mut parts.rng[i];
-            let mut gauss = || {
-                let (g, _) = dsmc_kinetics::sampling::box_muller(rng);
-                g
-            };
-            parts.u[i] = Fx::from_raw((sigma_w * gauss()) as i32);
-            parts.w[i] = Fx::from_raw((sigma_w * gauss()) as i32);
-            parts.r1[i] = Fx::from_raw((sigma_w * gauss()) as i32);
-            parts.r2[i] = Fx::from_raw((sigma_w * gauss()) as i32);
-            let speed = sigma_w * (-2.0 * parts.rng[i].next_f64().max(1e-12).ln()).sqrt();
-            let vn = Fx::from_raw(speed as i32);
-            parts.v[i] = if which == 1 { vn } else { -vn };
+            diffuse_reemit_one(
+                p.sigma_wall_raw,
+                which,
+                &mut parts.u[i],
+                &mut parts.v[i],
+                &mut parts.w[i],
+                &mut parts.r1[i],
+                &mut parts.r2[i],
+                &mut parts.rng[i],
+            );
         }
     }
 
@@ -211,67 +348,35 @@ pub fn enforce<B: Body + ?Sized>(
     );
     let exits = &scratch.exits;
     out.exited = exits.len() as u32;
-    let res_w_fx = Fx::from_int(p.res.w as i32);
-    let res_h_fx = Fx::from_int(p.res.h as i32);
     for &i in exits {
         let i = i as usize;
-        let rng = &mut parts.rng[i];
-        // Position uniformly in the reservoir box.
-        parts.x[i] = Fx::from_raw(((rng.next_u32() as u64 * res_w_fx.raw() as u64) >> 32) as i32);
-        parts.y[i] = Fx::from_raw(((rng.next_u32() as u64 * res_h_fx.raw() as u64) >> 32) as i32);
-        // Rectangular velocities with freestream variance about the drift.
-        let span = (2 * p.rect_half_raw + 1) as u32;
-        let draw = |rng: &mut dsmc_rng::XorShift32| {
-            Fx::from_raw(rng.next_below(span) as i32 - p.rect_half_raw)
-        };
-        let du = draw(rng);
-        let dv = draw(rng);
-        let dw = draw(rng);
-        let dr1 = draw(rng);
-        let dr2 = draw(rng);
-        parts.u[i] = p.u_drift + du;
-        parts.v[i] = dv;
-        parts.w[i] = dw;
-        parts.r1[i] = dr1;
-        parts.r2[i] = dr2;
-        parts.cell[i] = p.res_base + p.res.cell(parts.x[i], parts.y[i]);
+        exit_redraw_one(
+            p,
+            &mut parts.x[i],
+            &mut parts.y[i],
+            &mut parts.u[i],
+            &mut parts.v[i],
+            &mut parts.w[i],
+            &mut parts.r1[i],
+            &mut parts.r2[i],
+            &mut parts.cell[i],
+            &mut parts.rng[i],
+        );
     }
 
     // Plunger: advance, and refill the void on withdrawal.
     if let PlungerEvent::Withdrawn { void_end } = plunger.advance() {
         out.withdrew = true;
-        let need = (p.n_inf * void_end.to_f64() * p.tunnel.height as f64).round() as usize;
-        // Reservoir census (the reservoir is cell-sorted, so a strided take
-        // draws roughly uniformly across reservoir cells).
-        scratch.res_idx.clear();
-        scratch.res_idx.extend(
-            parts
-                .cell
-                .iter()
-                .enumerate()
-                .filter_map(|(i, &c)| (c >= p.res_base).then_some(i as u32)),
+        let (introduced, shortfall) = refill_void(
+            parts,
+            p.tunnel,
+            p.res_base,
+            p.n_inf,
+            void_end,
+            &mut scratch.res_idx,
         );
-        let res_idx = &scratch.res_idx;
-        let avail = res_idx.len();
-        let take = need.min(avail);
-        out.shortfall = (need - take) as u32;
-        if take > 0 {
-            let stride = (avail as f64 / take as f64).max(1.0);
-            let h = p.tunnel.height as f64;
-            let void_f = void_end.to_f64();
-            for k in 0..take {
-                let i = res_idx[(k as f64 * stride) as usize % avail] as usize;
-                let rng = &mut parts.rng[i];
-                let x = Fx::from_f64(void_f * rng.next_f64());
-                let y = Fx::from_f64((h * rng.next_f64()).min(h - 1e-6));
-                parts.x[i] = x;
-                parts.y[i] = y;
-                // Velocities stay as relaxed in the reservoir: they *are*
-                // the freestream sample.
-                parts.cell[i] = p.tunnel.cell_index(x, y);
-            }
-            out.introduced = take as u32;
-        }
+        out.introduced = introduced;
+        out.shortfall = shortfall;
     }
     out
 }

@@ -6,12 +6,17 @@ use crate::config::{PipelineMode, ResLayout, RngMode, SimConfig, WallModel};
 use crate::diag::{Diagnostics, StepTimings, Substep};
 use crate::init;
 use crate::motion;
+use crate::movephase::{self, KeyPack, MoveOutcome, MoveScratch};
 use crate::particles::ParticleStore;
 use crate::sample::{FieldAccumulator, SampledField};
 use crate::sortstep::{self, key_bits_for, SortWorkspace};
 use crate::surface::{SurfaceAccumulator, SurfaceField};
+use dsmc_datapar::{bounds_rank_supported, first_pass_bits, PAR_THRESHOLD};
 use dsmc_fixed::{Fx, Rounding};
-use dsmc_geom::{Body, Cylinder, FlatPlate, ForwardStep, NoBody, Plunger, Tunnel, Wedge};
+use dsmc_geom::{
+    Body, CellClassifier, Cylinder, FlatPlate, ForwardStep, NoBody, Plunger, PlungerEvent, Tunnel,
+    Wedge,
+};
 use dsmc_kinetics::{FreeStream, SelectionTable};
 use std::sync::Arc;
 use std::time::Instant;
@@ -68,6 +73,10 @@ pub struct Simulation {
     order: Vec<u32>,
     sort_ws: SortWorkspace,
     boundary_scratch: BoundaryScratch,
+    classifier: CellClassifier,
+    move_scratch: MoveScratch,
+    move_by_kind: [u64; 4],
+    max_speed_raw: u32,
     timings: StepTimings,
     sampler: Option<FieldAccumulator>,
     surf_sampler: Option<SurfaceAccumulator>,
@@ -101,6 +110,20 @@ impl Simulation {
         let total_cells = res_base + res.total();
         let key_bits = key_bits_for(total_cells, cfg.jitter_bits);
         let plunger = Plunger::new(Fx::from_f64(fs.u_inf()), Fx::from_f64(cfg.plunger_trigger));
+        // The halo invariant's speed bound (cells/step): drift plus a
+        // six-sigma thermal margin (widened to the wall temperature under
+        // diffuse walls).  The move phase guards every particle against
+        // this bound individually — a rare faster outlier just takes the
+        // full resolve path, and `track_halo` rebuilds the classifier if
+        // the flow ever outgrows the bound for good.
+        let t_scale = match cfg.walls {
+            WallModel::Specular => 1.0,
+            WallModel::Diffuse { t_wall } => t_wall.sqrt().max(1.0),
+        };
+        let halo = (fs.u_inf().abs() + 6.0 * fs.sigma() * t_scale).max(1.0);
+        let classifier = CellClassifier::build(&tunnel, body.as_ref(), cfg.plunger_trigger, halo);
+        let mut move_scratch = MoveScratch::new();
+        move_scratch.reserve_segments((total_cells + 1) as usize);
         let n = parts.len();
         let mut sim = Self {
             res,
@@ -124,6 +147,10 @@ impl Simulation {
             order: Vec::new(),
             sort_ws: SortWorkspace::new(),
             boundary_scratch: BoundaryScratch::new(),
+            classifier,
+            move_scratch,
+            move_by_kind: [0; 4],
+            max_speed_raw: 0,
             timings: StepTimings::default(),
             sampler: None,
             surf_sampler: None,
@@ -177,6 +204,87 @@ impl Simulation {
         }
     }
 
+    /// The rank-seeding plan for the current population: whether the
+    /// move sweep should pre-count the first radix digit (only when the
+    /// bounds-emitting radix rank will actually run and read it), and
+    /// that pass's digit width.
+    fn seed_plan(&self) -> (bool, u32) {
+        let cell_bits = self.key_bits - self.cfg.jitter_bits;
+        let seeded = bounds_rank_supported(cell_bits) && self.parts.len() >= PAR_THRESHOLD;
+        (seeded, first_pass_bits(cell_bits, self.cfg.jitter_bits))
+    }
+
+    /// The fused single-sweep move phase with a concrete body type (see
+    /// [`crate::movephase`]): advance, resolve boundaries, refresh cells
+    /// and — on ordinary steps (`pack_keys`) — pack the jittered sort
+    /// pairs and seed the first radix histogram, in one traversal
+    /// dispatched by the per-cell geometry classification.
+    fn move_phase_mono<B: Body>(&mut self, body: &B, pack_keys: bool) -> MoveOutcome {
+        let u_drift = Fx::from_f64(self.fs.u_inf());
+        let rect_half_raw = Fx::from_f64(self.fs.sigma() * 3f64.sqrt()).raw();
+        let sigma_wall_raw = match self.cfg.walls {
+            WallModel::Specular => 0,
+            WallModel::Diffuse { t_wall } => Fx::from_f64(self.fs.sigma() * t_wall.sqrt()).raw(),
+        };
+        let params = BoundaryParams {
+            tunnel: &self.tunnel,
+            body,
+            res_base: self.res_base,
+            res: self.res,
+            u_drift,
+            rect_half_raw,
+            n_inf: self.cfg.n_per_cell,
+            walls: self.cfg.walls,
+            sigma_wall_raw,
+            surface: self.surf_sampler.as_ref(),
+        };
+        let keys = if pack_keys {
+            let (seeded, first_bits) = self.seed_plan();
+            let (pairs, hist) = self
+                .sort_ws
+                .move_buffers(self.parts.len(), first_bits, seeded);
+            Some(KeyPack {
+                pairs,
+                hist,
+                jitter_bits: self.cfg.jitter_bits,
+                first_bits,
+                rng_mode: self.rng_mode,
+            })
+        } else {
+            None
+        };
+        movephase::move_phase(
+            &mut self.parts,
+            &params,
+            &self.classifier,
+            &self.plunger,
+            &self.bounds,
+            self.res_w_fx,
+            self.res_h_fx,
+            keys,
+            &mut self.move_scratch,
+        )
+    }
+
+    /// Record the step's observed speed bound; if the flow outgrew the
+    /// classifier's halo, rebuild the classification with twice the
+    /// observed bound so rebuilds stay rare.  (Correctness never depends
+    /// on this: the sweep re-routes every faster-than-halo particle
+    /// through the full resolve path individually.)
+    fn track_halo(&mut self, max_speed_raw: u32) {
+        self.max_speed_raw = self.max_speed_raw.max(max_speed_raw);
+        let halo_raw = Fx::from_f64(self.classifier.halo()).raw() as u32;
+        if max_speed_raw > halo_raw {
+            let observed = max_speed_raw as f64 / (1u64 << Fx::FRAC_BITS) as f64;
+            self.classifier = CellClassifier::build(
+                &self.tunnel,
+                self.body.as_ref(),
+                self.cfg.plunger_trigger,
+                2.0 * observed,
+            );
+        }
+    }
+
     fn sort_phase(&mut self) {
         match self.cfg.pipeline {
             PipelineMode::Fused => sortstep::sort_particles_fused(
@@ -207,33 +315,81 @@ impl Simulation {
         }
     }
 
-    /// Advance one time step (the paper's four sub-steps, plus sampling if
-    /// a window is open).
-    pub fn step(&mut self) {
+    /// Sub-steps 1 + 2 + 3a of the fused pipeline: the single-sweep move
+    /// phase (motion, boundaries, cell refresh, key pack, first radix
+    /// histogram — timed as [`Substep::Move`]), then the rank + send of
+    /// the pre-packed pairs (timed as [`Substep::Sort`]).
+    ///
+    /// On the rare plunger-withdrawal step the sweep runs key-less — the
+    /// refill repositions reservoir particles *after* the sweep, which
+    /// would invalidate packed keys — and the sort falls back to the
+    /// separate pair-build path, exactly as the two-step reference
+    /// orders its draws.
+    fn front_half_fused(&mut self) {
+        let t = Instant::now();
+        let withdraw = self.plunger.will_withdraw();
+        let mono = self.body_mono.clone();
+        let out = match &mono {
+            MonoBody::None(b) => self.move_phase_mono(b, !withdraw),
+            MonoBody::Wedge(b) => self.move_phase_mono(b, !withdraw),
+            MonoBody::Step(b) => self.move_phase_mono(b, !withdraw),
+            MonoBody::Plate(b) => self.move_phase_mono(b, !withdraw),
+            MonoBody::Cylinder(b) => self.move_phase_mono(b, !withdraw),
+        };
+        self.exited += out.exited as u64;
+        for (acc, n) in self.move_by_kind.iter_mut().zip(out.by_kind) {
+            *acc += n;
+        }
+        self.track_halo(out.max_speed_raw);
+        if let Some(acc) = &self.surf_sampler {
+            acc.bump_step();
+        }
+        if let PlungerEvent::Withdrawn { void_end } = self.plunger.advance() {
+            debug_assert!(withdraw, "will_withdraw must predict the advance");
+            self.plunger_cycles += 1;
+            let (introduced, _shortfall) = boundary::refill_void(
+                &mut self.parts,
+                &self.tunnel,
+                self.res_base,
+                self.cfg.n_per_cell,
+                void_end,
+                &mut self.boundary_scratch.res_idx,
+            );
+            self.introduced += introduced as u64;
+        }
+        self.timings.add(Substep::Move, t.elapsed());
+
+        let t = Instant::now();
+        if withdraw {
+            self.sort_phase();
+        } else {
+            let (seeded, _) = self.seed_plan();
+            sortstep::rank_and_send(
+                &mut self.parts,
+                self.key_bits,
+                self.cfg.jitter_bits,
+                seeded,
+                &mut self.sort_ws,
+                &mut self.bounds,
+                &mut self.order,
+            );
+        }
+        self.timings.add(Substep::Sort, t.elapsed());
+    }
+
+    /// Sub-steps 1 + 2 + 3a of the pre-refactor reference pipeline:
+    /// advect, enforce boundaries, then the key-build + rank + send sort
+    /// — three separate streams over the particle columns.
+    fn front_half_two_step(&mut self) {
         // 1) Collisionless motion.
         let t = Instant::now();
         motion::advect(&mut self.parts, self.res_base, self.res_w_fx, self.res_h_fx);
         self.timings.add(Substep::Motion, t.elapsed());
 
-        // 2) Boundary conditions (monomorphised per body shape; the
-        // pre-refactor pipeline keeps the seed's vtable dispatch).
+        // 2) Boundary conditions (the seed's vtable dispatch).
         let t = Instant::now();
-        let out = match self.cfg.pipeline {
-            PipelineMode::Fused => {
-                let mono = self.body_mono.clone();
-                match &mono {
-                    MonoBody::None(b) => self.boundary_phase(b),
-                    MonoBody::Wedge(b) => self.boundary_phase(b),
-                    MonoBody::Step(b) => self.boundary_phase(b),
-                    MonoBody::Plate(b) => self.boundary_phase(b),
-                    MonoBody::Cylinder(b) => self.boundary_phase(b),
-                }
-            }
-            PipelineMode::TwoStep => {
-                let body = Arc::clone(&self.body);
-                self.boundary_phase(body.as_ref())
-            }
-        };
+        let body = Arc::clone(&self.body);
+        let out = self.boundary_phase(body.as_ref());
         self.exited += out.exited as u64;
         self.introduced += out.introduced as u64;
         self.plunger_cycles += out.withdrew as u64;
@@ -246,6 +402,15 @@ impl Simulation {
         let t = Instant::now();
         self.sort_phase();
         self.timings.add(Substep::Sort, t.elapsed());
+    }
+
+    /// Advance one time step (the paper's four sub-steps, plus sampling if
+    /// a window is open).
+    pub fn step(&mut self) {
+        match self.cfg.pipeline {
+            PipelineMode::Fused => self.front_half_fused(),
+            PipelineMode::TwoStep => self.front_half_two_step(),
+        }
 
         // 3b + 4) Selection and collision of partners.  The fused pipeline
         // runs both in one traversal per run of cells (columns stay
@@ -415,7 +580,28 @@ impl Simulation {
         caps.extend(self.sort_ws.capacities());
         caps.extend(self.boundary_scratch.capacities());
         caps.extend(self.parts.back_buffer_capacities());
+        caps.extend(self.move_scratch.capacities());
         caps
+    }
+
+    /// The geometry-aware cell classification driving the move phase's
+    /// dispatch (rebuilt only if the flow outgrows its halo bound).
+    pub fn cell_classifier(&self) -> &CellClassifier {
+        &self.classifier
+    }
+
+    /// Particles dispatched per move-phase run kind `[Free, Walls, Full,
+    /// Reservoir]`, accumulated since construction (all zero under the
+    /// two-step pipeline).
+    pub fn move_dispatch_counts(&self) -> [u64; 4] {
+        self.move_by_kind
+    }
+
+    /// Largest per-component speed (raw fixed-point units) any particle
+    /// has carried into a fused move sweep — the quantity the halo
+    /// invariant bounds.
+    pub fn max_observed_speed_raw(&self) -> u32 {
+        self.max_speed_raw
     }
 
     /// Reset the timing accumulators (e.g. after warm-up).

@@ -15,6 +15,13 @@
 //! 4. **collision of selected partners** — the 5-vector Maxwell-diatomic
 //!    kernel ([`collide`]).
 //!
+//! The production pipeline restructures sub-steps 1–3a into a
+//! *single-sweep move phase* ([`movephase`]): motion, boundary resolve,
+//! cell refresh, sort-key packing and the first radix histogram in one
+//! traversal, dispatched per run of the previous step's sorted order by
+//! a geometry-aware cell classification — bit-identical to running the
+//! sub-steps separately (the retained `TwoStep` reference pipeline).
+//!
 //! The public entry point is [`Simulation`], configured by [`SimConfig`].
 //! State is structure-of-arrays 32-bit fixed point ([`particles`]); the
 //! sort is what load-balances the collision phase ("the total processing
@@ -48,6 +55,7 @@ pub mod diag;
 pub mod engine;
 pub mod init;
 pub mod motion;
+pub mod movephase;
 pub mod particles;
 pub mod sample;
 pub mod sortstep;

@@ -14,20 +14,18 @@ use dsmc_fixed::Fx;
 use rayon::prelude::*;
 
 /// Wrap a coordinate into `[0, span)` by lattice translations (exact).
+///
+/// Implemented as a fixed-point Euclidean remainder on the raw
+/// representations: the result is the unique value in `[0, span)` that
+/// differs from `x` by an integer multiple of `span`, for *any* input —
+/// unlike the add/sub loop this replaced, there is no iteration cap and
+/// no branch whose count depends on how far out of range `x` is.
 #[inline(always)]
-pub fn wrap(mut x: Fx, span: Fx) -> Fx {
+pub fn wrap(x: Fx, span: Fx) -> Fx {
     debug_assert!(span > Fx::ZERO);
-    let mut guard = 0;
-    while x < Fx::ZERO && guard < 16 {
-        x += span;
-        guard += 1;
-    }
-    while x >= span && guard < 16 {
-        x -= span;
-        guard += 1;
-    }
-    debug_assert!(x >= Fx::ZERO && x < span, "runaway coordinate");
-    x
+    // i64 keeps the intermediate exact (raw values are i32); rem_euclid's
+    // result lies in [0, span.raw) and so fits back into an i32.
+    Fx::from_raw((x.raw() as i64).rem_euclid(span.raw() as i64) as i32)
 }
 
 /// Advance every particle one step.
@@ -184,5 +182,51 @@ mod tests {
         assert_eq!(wrap(fx(-0.5), span), fx(3.5));
         assert_eq!(wrap(fx(9.0), span), fx(1.0));
         assert_eq!(wrap(fx(3.999), span), fx(3.999));
+    }
+
+    #[test]
+    fn wrap_handles_far_out_of_range_inputs() {
+        // The old guarded loop capped at 16 translations; the modular
+        // reduction is exact arbitrarily far out (within the Q8.23 range).
+        let span = fx(4.0);
+        assert_eq!(wrap(fx(4.0 * 60.0 + 1.25), span), fx(1.25));
+        assert_eq!(wrap(fx(-4.0 * 60.0 - 0.75), span), fx(3.25));
+        assert_eq!(wrap(Fx::from_raw(i32::MIN), Fx::EPSILON), Fx::ZERO);
+    }
+
+    /// The add/sub loop the branch-free reduction replaced, kept as the
+    /// executable specification for the property test below.
+    fn wrap_by_loop(mut x: Fx, span: Fx) -> Fx {
+        let mut guard = 0;
+        while x < Fx::ZERO && guard < 16 {
+            x += span;
+            guard += 1;
+        }
+        while x >= span && guard < 16 {
+            x -= span;
+            guard += 1;
+        }
+        x
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_wrap_matches_the_translation_loop(
+            // Spans cover the engine's whole range (reservoir strips are
+            // 1..=64 cells; allow any positive fixed-point span) and inputs
+            // stay within the loop's 16-translation reach.
+            span_raw in 1i32..=(64 << 23),
+            lattice in -15i64..=15,
+            frac in 0i64..(1i64 << 31),
+        ) {
+            let span = Fx::from_raw(span_raw);
+            let off = frac % span_raw as i64;
+            let x_raw = lattice * span_raw as i64 + off;
+            proptest::prop_assume!(x_raw >= i32::MIN as i64 && x_raw <= i32::MAX as i64);
+            let x = Fx::from_raw(x_raw as i32);
+            let got = wrap(x, span);
+            proptest::prop_assert_eq!(got, wrap_by_loop(x, span));
+            proptest::prop_assert!(got >= Fx::ZERO && got < span);
+        }
     }
 }

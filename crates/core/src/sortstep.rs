@@ -11,8 +11,9 @@
 use crate::config::{ResLayout, RngMode};
 use crate::particles::ParticleStore;
 use dsmc_datapar::{
-    pack_pair, segment_bounds_from_sorted_into, sort_order_and_bounds_from_pairs,
-    sort_order_from_pairs, sort_perm_by_key, BoundsScratch, SortScratch, PAR_THRESHOLD,
+    fill_cells_from_bounds, pack_pair, segment_bounds_from_sorted_into,
+    sort_order_and_bounds_from_pairs_cells, sort_order_from_pairs, sort_perm_by_key, BoundsScratch,
+    SortScratch, PAR_THRESHOLD,
 };
 use dsmc_geom::Tunnel;
 use rayon::prelude::*;
@@ -35,6 +36,7 @@ pub struct SortOutput {
 pub struct SortWorkspace {
     radix: SortScratch,
     bounds: BoundsScratch,
+    seg_cells: Vec<u32>,
 }
 
 impl SortWorkspace {
@@ -44,10 +46,36 @@ impl SortWorkspace {
     }
 
     /// Capacities of the owned buffers `[pairs, pong, hists, offsets,
-    /// bounds-scratch]` — asserted stable by the zero-allocation tests.
-    pub fn capacities(&self) -> [usize; 5] {
+    /// bounds-scratch, seg-cells]` — asserted stable by the
+    /// zero-allocation tests.
+    pub fn capacities(&self) -> [usize; 6] {
         let [pairs, pong, hists, offsets] = self.radix.capacities();
-        [pairs, pong, hists, offsets, self.bounds.capacity()]
+        [
+            pairs,
+            pong,
+            hists,
+            offsets,
+            self.bounds.capacity(),
+            self.seg_cells.capacity(),
+        ]
+    }
+
+    /// The buffers the fused move phase packs into: the `(key, index)`
+    /// pair buffer, plus — when `seeded` — the zeroed chunk-major
+    /// first-radix-pass histogram (`first_bits` from
+    /// [`dsmc_datapar::first_pass_bits`]; an empty slice otherwise, which
+    /// tells the move phase not to count).
+    pub fn move_buffers(
+        &mut self,
+        n: usize,
+        first_bits: u32,
+        seeded: bool,
+    ) -> (&mut [u64], &mut [u32]) {
+        if seeded {
+            self.radix.input_pairs_and_hist(n, first_bits)
+        } else {
+            (self.radix.input_pairs(n), &mut [])
+        }
     }
 }
 
@@ -234,25 +262,69 @@ pub fn sort_particles_fused(
         rng_mode,
         ws.radix.input_pairs(n),
     );
-    // Rank with the (jitter passes, cell pass) digit split: the cell
-    // pass's histogram doubles as the per-cell population table, so the
-    // segment bounds come out of the sort itself.  Falls back to the
-    // generic rank plus a bounds sweep for out-of-range cell widths.
+    rank_and_send(parts, key_bits, jitter_bits, false, ws, bounds, order);
+}
+
+/// The back half of the sort phase, shared between [`sort_particles_fused`]
+/// and the single-sweep move phase (`crate::movephase`), whose sweep has
+/// already packed the pairs — and, when `seeded`, counted the first radix
+/// digit — into the workspace's buffers ([`SortWorkspace::move_buffers`]).
+///
+/// Rank with the (jitter passes, cell pass) digit split: the cell pass's
+/// histogram doubles as the per-cell population table, so the segment
+/// bounds *and their occupied cell ids* come out of the sort itself.  The
+/// send then gathers only nine columns — the sorted `cell` column is
+/// run-length coded by `(bounds, seg_cells)` and is re-materialised with
+/// sequential stores instead of gathered.  Falls back to the generic rank
+/// plus a ten-column send and a bounds sweep for out-of-range cell widths.
+pub fn rank_and_send(
+    parts: &mut ParticleStore,
+    key_bits: u32,
+    jitter_bits: u32,
+    seeded: bool,
+    ws: &mut SortWorkspace,
+    bounds: &mut Vec<u32>,
+    order: &mut Vec<u32>,
+) {
     let cell_bits = key_bits - jitter_bits;
-    let have_bounds =
-        sort_order_and_bounds_from_pairs(cell_bits, jitter_bits, &mut ws.radix, order, bounds);
-    if !have_bounds {
+    let have_bounds = sort_order_and_bounds_from_pairs_cells(
+        cell_bits,
+        jitter_bits,
+        &mut ws.radix,
+        order,
+        bounds,
+        &mut ws.seg_cells,
+        seeded,
+    );
+    if have_bounds {
+        // The send: nine column gathers through the freshly-emitted
+        // addresses.  The rotating back buffer makes each gather's
+        // destination the pages just read as the previous column's source
+        // — L2-hot writes, measured faster here than the one-launch task
+        // grid of [`ParticleStore::apply_order_fused`] (see dsmc-datapar's
+        // sort docs).
+        parts.apply_order_no_cell(order);
+        fill_cells_from_bounds(bounds, &ws.seg_cells, &mut parts.cell);
+    } else {
         sort_order_from_pairs(key_bits, &mut ws.radix, order);
-    }
-    // The send: ten column gathers through the freshly-emitted addresses.
-    // The rotating back buffer makes each gather's destination the pages
-    // just read as the previous column's source — L2-hot writes, measured
-    // faster here than the one-launch task grid of
-    // [`ParticleStore::apply_order_fused`] (see dsmc-datapar's sort docs).
-    parts.apply_order(order);
-    if !have_bounds {
+        parts.apply_order(order);
         segment_bounds_from_sorted_into(&parts.cell, bounds, &mut ws.bounds);
     }
+}
+
+/// Test-only access to the pair-build sweep (the move-phase equivalence
+/// tests replay the reference path sweep by sweep).
+#[cfg(test)]
+pub(crate) fn build_pairs_for_test(
+    parts: &mut ParticleStore,
+    tunnel: &Tunnel,
+    res_base: u32,
+    res: ResLayout,
+    jitter_bits: u32,
+    rng_mode: RngMode,
+    pairs: &mut [u64],
+) {
+    build_pairs(parts, tunnel, res_base, res, jitter_bits, rng_mode, pairs);
 }
 
 /// The two-step reference sort phase (the pre-refactor pipeline): build a

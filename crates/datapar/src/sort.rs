@@ -124,6 +124,37 @@ fn digit_plan(key_bits: u32) -> ([(u32, u32); MAX_PASSES], usize) {
     (plan, passes)
 }
 
+/// The chunk width every radix pass uses for `n` pairs.
+///
+/// Exported because the histogram-seeded rank
+/// ([`sort_order_and_bounds_from_pairs_cells`]) requires the caller's
+/// counting sweep to chunk the population on exactly this grid — the
+/// per-chunk counts are what make the stable scatter's destination ranges
+/// line up.
+pub fn radix_chunk_len(n: usize) -> usize {
+    let threads = rayon::current_num_threads().max(1);
+    n.div_ceil(threads * 4).max(4096)
+}
+
+/// Digit width (in bits) of the *first* radix pass of the bounds-emitting
+/// plan for a `(cell << jitter_bits) | jitter` key layout.  A caller
+/// seeding the first-pass histogram accumulates
+/// `row[key & ((1 << bits) - 1)] += 1` per chunk of [`radix_chunk_len`].
+pub fn first_pass_bits(cell_bits: u32, jitter_bits: u32) -> u32 {
+    if jitter_bits > 0 {
+        digit_plan(jitter_bits).0[0].1
+    } else {
+        cell_bits
+    }
+}
+
+/// Whether the bounds-emitting rank supports this cell-field width (the
+/// seeded entry point refuses the same layouts
+/// [`sort_order_and_bounds_from_pairs`] does).
+pub fn bounds_rank_supported(cell_bits: u32) -> bool {
+    (1..=MAX_CELL_BITS).contains(&cell_bits)
+}
+
 /// Reusable workspace for the fused sort: packed-pair ping-pong buffers
 /// plus the histogram/offset tables of every pass.  Repeated sorts of
 /// same-sized inputs reuse every byte.
@@ -147,6 +178,21 @@ impl SortScratch {
     pub fn input_pairs(&mut self, n: usize) -> &mut [u64] {
         self.pairs.resize(n, 0);
         &mut self.pairs
+    }
+
+    /// The input pair buffer plus a zeroed first-pass histogram for
+    /// [`sort_order_and_bounds_from_pairs_cells`]: the caller packs pairs
+    /// *and* counts the first radix digit in its own sweep, chunked on the
+    /// [`radix_chunk_len`] grid (`first_bits` from [`first_pass_bits`]).
+    /// The histogram is chunk-major: row `c` holds the `1 << first_bits`
+    /// counters of chunk `c`.
+    pub fn input_pairs_and_hist(&mut self, n: usize, first_bits: u32) -> (&mut [u64], &mut [u32]) {
+        self.pairs.resize(n, 0);
+        let n_chunks = n.div_ceil(radix_chunk_len(n)).max(1);
+        let len = n_chunks << first_bits;
+        self.hists.clear();
+        self.hists.resize(len, 0);
+        (&mut self.pairs, &mut self.hists[..len])
     }
 
     /// Current buffer capacities `[pairs, pong, hists, offsets]` — the
@@ -195,8 +241,7 @@ pub fn sort_order_from_pairs(key_bits: u32, scratch: &mut SortScratch, order: &m
     }
 
     let (plan, passes) = digit_plan(key_bits);
-    let threads = rayon::current_num_threads().max(1);
-    let chunk = n.div_ceil(threads * 4).max(4096);
+    let chunk = radix_chunk_len(n);
     let n_chunks = n.div_ceil(chunk);
 
     scratch.offsets.clear();
@@ -301,6 +346,55 @@ pub fn sort_order_and_bounds_from_pairs(
     order: &mut Vec<u32>,
     bounds: &mut Vec<u32>,
 ) -> bool {
+    rank_bounds_impl(cell_bits, jitter_bits, scratch, order, bounds, None, false)
+}
+
+/// [`sort_order_and_bounds_from_pairs`] with the two remaining seams of
+/// the sort removed:
+///
+/// * **Seeded first pass** (`seeded = true`): the caller has already
+///   counted the first radix digit — chunk-major on the
+///   [`radix_chunk_len`] grid, digit width [`first_pass_bits`] — into the
+///   histogram obtained from [`SortScratch::input_pairs_and_hist`],
+///   during the same sweep that packed the pairs.  The rank then skips
+///   its own first counting pass: one full read of the pair buffer gone.
+/// * **Segment cell ids** (`seg_cells`): alongside each emitted bound,
+///   the occupied cell index of that segment.  The sorted `cell` column
+///   is fully determined by `(bounds, seg_cells)` — see
+///   [`fill_cells_from_bounds`] — so the send can skip gathering it.
+///
+/// Falls back (returning `false`, performing no work) exactly when
+/// [`sort_order_and_bounds_from_pairs`] would; `seeded` is ignored on the
+/// small-input comparison-sort path, which never reads the histogram.
+pub fn sort_order_and_bounds_from_pairs_cells(
+    cell_bits: u32,
+    jitter_bits: u32,
+    scratch: &mut SortScratch,
+    order: &mut Vec<u32>,
+    bounds: &mut Vec<u32>,
+    seg_cells: &mut Vec<u32>,
+    seeded: bool,
+) -> bool {
+    rank_bounds_impl(
+        cell_bits,
+        jitter_bits,
+        scratch,
+        order,
+        bounds,
+        Some(seg_cells),
+        seeded,
+    )
+}
+
+fn rank_bounds_impl(
+    cell_bits: u32,
+    jitter_bits: u32,
+    scratch: &mut SortScratch,
+    order: &mut Vec<u32>,
+    bounds: &mut Vec<u32>,
+    mut seg_cells: Option<&mut Vec<u32>>,
+    seeded: bool,
+) -> bool {
     let key_bits = cell_bits + jitter_bits;
     assert!(key_bits <= 32, "key_bits must be at most 32");
     if cell_bits == 0 || cell_bits > MAX_CELL_BITS {
@@ -308,6 +402,9 @@ pub fn sort_order_and_bounds_from_pairs(
     }
     let n = scratch.pairs.len();
     order.resize(n, 0);
+    if let Some(cells) = seg_cells.as_deref_mut() {
+        cells.clear();
+    }
 
     if n <= 1 || n < PAR_THRESHOLD {
         if n > 1 {
@@ -320,6 +417,9 @@ pub fn sort_order_and_bounds_from_pairs(
             let cell = p >> (32 + jitter_bits);
             if cell != prev_cell {
                 bounds.push(i as u32);
+                if let Some(cells) = seg_cells.as_deref_mut() {
+                    cells.push(cell as u32);
+                }
                 prev_cell = cell;
             }
         }
@@ -327,12 +427,13 @@ pub fn sort_order_and_bounds_from_pairs(
         return true;
     }
 
-    let threads = rayon::current_num_threads().max(1);
-    let chunk = n.div_ceil(threads * 4).max(4096);
+    let chunk = radix_chunk_len(n);
     let n_chunks = n.div_ceil(chunk);
 
     // Jitter passes (≤ 8-bit digits, L1-resident streams), as in the
-    // generic plan but stopping short of the cell field.
+    // generic plan but stopping short of the cell field.  When the caller
+    // seeded the first-pass histogram, the first count sweep is skipped.
+    let mut first_pass = true;
     if jitter_bits > 0 {
         let (jitter_plan, jitter_passes) = digit_plan(jitter_bits);
         scratch.offsets.clear();
@@ -341,17 +442,26 @@ pub fn sort_order_and_bounds_from_pairs(
         for &(shift, bits) in &jitter_plan[..jitter_passes] {
             let n_digits = 1usize << bits;
             let digit_mask = n_digits - 1;
-            scratch.hists.clear();
-            scratch.hists.resize(n_chunks * n_digits, 0);
-            scratch
-                .pairs
-                .par_chunks(chunk)
-                .zip(scratch.hists.par_chunks_mut(n_digits))
-                .for_each(|(c, h)| {
-                    for &x in c {
-                        h[((x >> shift) as usize) & digit_mask] += 1;
-                    }
-                });
+            if seeded && first_pass {
+                debug_assert_eq!(
+                    scratch.hists.len(),
+                    n_chunks * n_digits,
+                    "seeded histogram not on the radix chunk grid"
+                );
+            } else {
+                scratch.hists.clear();
+                scratch.hists.resize(n_chunks * n_digits, 0);
+                scratch
+                    .pairs
+                    .par_chunks(chunk)
+                    .zip(scratch.hists.par_chunks_mut(n_digits))
+                    .for_each(|(c, h)| {
+                        for &x in c {
+                            h[((x >> shift) as usize) & digit_mask] += 1;
+                        }
+                    });
+            }
+            first_pass = false;
             let offsets = &mut scratch.offsets[..n_chunks * n_digits];
             let mut acc = 0u32;
             for d in 0..n_digits {
@@ -381,20 +491,30 @@ pub fn sort_order_and_bounds_from_pairs(
     }
 
     // The cell pass: histogram doubles as the per-cell population table.
+    // A zero-jitter layout makes this the first pass, so a seeded
+    // histogram substitutes here instead.
     let shift = 32 + jitter_bits;
     let n_digits = 1usize << cell_bits;
     let digit_mask = n_digits - 1;
-    scratch.hists.clear();
-    scratch.hists.resize(n_chunks * n_digits, 0);
-    scratch
-        .pairs
-        .par_chunks(chunk)
-        .zip(scratch.hists.par_chunks_mut(n_digits))
-        .for_each(|(c, h)| {
-            for &x in c {
-                h[((x >> shift) as usize) & digit_mask] += 1;
-            }
-        });
+    if seeded && first_pass {
+        debug_assert_eq!(
+            scratch.hists.len(),
+            n_chunks * n_digits,
+            "seeded histogram not on the radix chunk grid"
+        );
+    } else {
+        scratch.hists.clear();
+        scratch.hists.resize(n_chunks * n_digits, 0);
+        scratch
+            .pairs
+            .par_chunks(chunk)
+            .zip(scratch.hists.par_chunks_mut(n_digits))
+            .for_each(|(c, h)| {
+                for &x in c {
+                    h[((x >> shift) as usize) & digit_mask] += 1;
+                }
+            });
+    }
 
     scratch.offsets.clear();
     scratch.offsets.resize(n_chunks * n_digits, 0);
@@ -409,6 +529,9 @@ pub fn sort_order_and_bounds_from_pairs(
         if acc > start {
             // Occupied cell: its run starts where the scan stood.
             bounds.push(start);
+            if let Some(cells) = seg_cells.as_deref_mut() {
+                cells.push(d as u32);
+            }
         }
     }
     debug_assert_eq!(acc as usize, n);
@@ -430,6 +553,45 @@ pub fn sort_order_and_bounds_from_pairs(
             }
         });
     true
+}
+
+/// Reconstruct a sorted cell column from its segment bounds and cell ids
+/// (as emitted by [`sort_order_and_bounds_from_pairs_cells`]):
+/// `out[bounds[s]..bounds[s+1]] = seg_cells[s]` for every segment.
+///
+/// This replaces the send's gather of the `cell` column — `n` random
+/// reads plus `n` writes — with `n` sequential stores: the sorted cell
+/// column *is* run-length coded by the bounds, so re-materialising it
+/// costs only the decode.  Deterministic for any thread count (each
+/// segment's slice is written by exactly one task with a data-determined
+/// value).
+pub fn fill_cells_from_bounds(bounds: &[u32], seg_cells: &[u32], out: &mut [u32]) {
+    let n_seg = bounds.len().saturating_sub(1);
+    assert_eq!(n_seg, seg_cells.len(), "bounds/seg_cells mismatch");
+    if n_seg == 0 {
+        assert!(out.is_empty());
+        return;
+    }
+    assert_eq!(
+        bounds[n_seg] as usize,
+        out.len(),
+        "sentinel != column length"
+    );
+    if out.len() < PAR_THRESHOLD {
+        for s in 0..n_seg {
+            out[bounds[s] as usize..bounds[s + 1] as usize].fill(seg_cells[s]);
+        }
+        return;
+    }
+    let dst = DisjointWrites::new(out);
+    (0..n_seg).into_par_iter().for_each(|s| {
+        let (lo, hi) = (bounds[s] as usize, bounds[s + 1] as usize);
+        for i in lo..hi {
+            // SAFETY: segment ranges [bounds[s], bounds[s+1]) partition
+            // 0..out.len(), so no two tasks write the same slot.
+            unsafe { dst.write(i, seg_cells[s]) };
+        }
+    });
 }
 
 /// [`sort_order_from_pairs`] over a plain key column: packs the pairs
@@ -750,6 +912,96 @@ mod tests {
         ] {
             check_order_and_bounds(cells, jitter, n, 0x9E3779B9);
         }
+    }
+
+    /// Pack pairs the way the engine's move sweep does — filling the
+    /// chunk-major first-pass histogram in the same loop — then rank with
+    /// the seeded entry point and demand bit-equality with the unseeded
+    /// reference (order, bounds, *and* the emitted segment cell ids).
+    fn check_seeded_cells(cells: u32, jitter_bits: u32, n: usize) {
+        let cell_bits = 32 - (cells - 1).leading_zeros().min(31);
+        if !bounds_rank_supported(cell_bits) {
+            return;
+        }
+        let mut state = 0x2545F491u32;
+        let keys: Vec<u32> = (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 17;
+                state ^= state << 5;
+                ((state % cells) << jitter_bits) | ((state >> 16) & ((1u32 << jitter_bits) - 1))
+            })
+            .collect();
+
+        // Unseeded reference (plus reference bounds from the plain path).
+        let mut ref_scratch = SortScratch::new();
+        for (i, (p, &k)) in ref_scratch.input_pairs(n).iter_mut().zip(&keys).enumerate() {
+            *p = pack_pair(k, i);
+        }
+        let (mut ref_order, mut ref_bounds, mut ref_cells) = (Vec::new(), Vec::new(), Vec::new());
+        assert!(sort_order_and_bounds_from_pairs_cells(
+            cell_bits,
+            jitter_bits,
+            &mut ref_scratch,
+            &mut ref_order,
+            &mut ref_bounds,
+            &mut ref_cells,
+            false,
+        ));
+
+        // Seeded: the caller counts the first digit in its packing sweep.
+        let first_bits = first_pass_bits(cell_bits, jitter_bits);
+        let chunk = radix_chunk_len(n);
+        let mut scratch = SortScratch::new();
+        let (pairs, hist) = scratch.input_pairs_and_hist(n, first_bits);
+        let first_mask = (1u32 << first_bits) - 1;
+        for (i, (p, &k)) in pairs.iter_mut().zip(&keys).enumerate() {
+            *p = pack_pair(k, i);
+            hist[((i / chunk) << first_bits) + (k & first_mask) as usize] += 1;
+        }
+        let (mut order, mut bounds, mut seg_cells) = (Vec::new(), Vec::new(), Vec::new());
+        assert!(sort_order_and_bounds_from_pairs_cells(
+            cell_bits,
+            jitter_bits,
+            &mut scratch,
+            &mut order,
+            &mut bounds,
+            &mut seg_cells,
+            true,
+        ));
+        assert_eq!(order, ref_order, "cells={cells} j={jitter_bits} n={n}");
+        assert_eq!(bounds, ref_bounds);
+        assert_eq!(seg_cells, ref_cells);
+
+        // The emitted ids reconstruct the sorted cell column exactly.
+        let want: Vec<u32> = order
+            .iter()
+            .map(|&i| keys[i as usize] >> jitter_bits)
+            .collect();
+        let mut got = vec![u32::MAX; n];
+        fill_cells_from_bounds(&bounds, &seg_cells, &mut got);
+        assert_eq!(got, want, "reconstructed cell column");
+    }
+
+    #[test]
+    fn seeded_rank_and_cell_reconstruction_match_reference() {
+        // Radix path (≥ PAR_THRESHOLD), jittered and jitterless, plus the
+        // small comparison-sort path.
+        check_seeded_cells(6912, 8, 60_000);
+        check_seeded_cells(250, 6, 40_000);
+        check_seeded_cells(255, 8, 33_000);
+        check_seeded_cells(97, 0, 20_000);
+        check_seeded_cells(240, 6, 500);
+        check_seeded_cells(3, 1, 17_000);
+    }
+
+    #[test]
+    fn fill_cells_handles_degenerate_inputs() {
+        let mut out: [u32; 0] = [];
+        fill_cells_from_bounds(&[0], &[], &mut out);
+        let mut out = [9u32; 4];
+        fill_cells_from_bounds(&[0, 3, 4], &[5, 2], &mut out);
+        assert_eq!(out, [5, 5, 5, 2]);
     }
 
     #[test]

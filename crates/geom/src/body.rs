@@ -95,6 +95,25 @@ pub trait Body: Send + Sync {
     fn facet(&self, _k: u32) -> SurfaceFacet {
         panic!("body has no surface parameterisation")
     }
+
+    /// Axis-aligned bounding box of the solid, `(x_min, y_min, x_max,
+    /// y_max)` in cell coordinates; `None` when the body occupies no
+    /// volume at all.
+    ///
+    /// Consumed by the per-cell classification
+    /// ([`crate::classify::CellClassifier`]): any over-estimate is safe
+    /// (cells are merely dispatched through the slower full-resolve
+    /// path), an under-estimate is not.  The default is therefore the
+    /// whole plane — a body that does not override this is classified
+    /// conservatively everywhere.
+    fn aabb(&self) -> Option<(f64, f64, f64, f64)> {
+        Some((
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::INFINITY,
+        ))
+    }
 }
 
 /// An empty tunnel (uniform-flow and relaxation studies).
@@ -113,6 +132,9 @@ impl Body for NoBody {
     }
     fn free_volume_fraction(&self, _ix: u32, _iy: u32) -> f64 {
         1.0
+    }
+    fn aabb(&self) -> Option<(f64, f64, f64, f64)> {
+        None
     }
 }
 
@@ -314,6 +336,10 @@ impl Body for Wedge {
         }
     }
 
+    fn aabb(&self) -> Option<(f64, f64, f64, f64)> {
+        Some((self.x0, 0.0, self.xb_f, self.h_f))
+    }
+
     fn free_volume_fraction(&self, ix: u32, iy: u32) -> f64 {
         // Exact: area of the cell minus the clipped cell∩wedge area.
         let cell = unit_cell(ix, iy);
@@ -404,6 +430,10 @@ impl Body for ForwardStep {
         }
         *y = h + Fx::from_f64(1e-4);
         true
+    }
+
+    fn aabb(&self) -> Option<(f64, f64, f64, f64)> {
+        Some((self.x0, 0.0, self.x1, self.h))
     }
 
     fn free_volume_fraction(&self, ix: u32, iy: u32) -> f64 {
@@ -610,6 +640,15 @@ impl Body for Cylinder {
         true
     }
 
+    fn aabb(&self) -> Option<(f64, f64, f64, f64)> {
+        Some((
+            self.cx - self.r,
+            self.cy - self.r,
+            self.cx + self.r,
+            self.cy + self.r,
+        ))
+    }
+
     fn free_volume_fraction(&self, ix: u32, iy: u32) -> f64 {
         // Clip the unit cell against the circumscribing polygon's tangent
         // half-planes; what survives approximates cell ∩ body.
@@ -698,6 +737,9 @@ impl Body for FlatPlate {
     }
     fn facet(&self, k: u32) -> SurfaceFacet {
         self.step.facet(k)
+    }
+    fn aabb(&self) -> Option<(f64, f64, f64, f64)> {
+        self.step.aabb()
     }
 }
 

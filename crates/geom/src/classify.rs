@@ -1,0 +1,244 @@
+//! Geometry-aware cell classification for the single-sweep move phase.
+//!
+//! Most cells of the tunnel grid never touch a wall, the plunger, the
+//! downstream outflow, or the body — yet the naive move phase pays full
+//! geometry checks for 100% of particles every step.  The classifier
+//! precomputes, once per geometry, which checks a particle *starting* in
+//! each cell can possibly need during one step, so the engine can
+//! dispatch whole runs of the previous step's sorted order through a
+//! branch-minimal inline loop.
+//!
+//! # The halo invariant
+//!
+//! The classification is sound only under a speed bound: a particle in a
+//! cell classified [`CellClass::Free`] must move by **at most `halo`
+//! cells per component per step**.  Every cell whose `halo`-expanded box
+//! touches a feature is classified into one of the feature classes, so a
+//! bounded particle starting in a `Free` cell provably cannot reach a
+//! wall, the plunger's sweep range, the downstream boundary, or the
+//! body's bounding box within the step.  The engine enforces the bound
+//! *per particle*: its fast loop compares each particle's |u|, |v|
+//! against the halo and routes the (physically absent) outliers through
+//! the full resolve path, so correctness never rests on the flow staying
+//! tame — only the speed of the common case does.
+
+use crate::body::Body;
+use crate::tunnel::Tunnel;
+
+/// What a particle starting one step inside this cell can possibly hit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellClass {
+    /// No feature reachable: motion + cell refresh only, no geometry
+    /// tests at all.
+    Free = 0,
+    /// The tunnel walls, the plunger's sweep range, or the downstream
+    /// outflow boundary are reachable — but not the body.
+    NearWall = 1,
+    /// The body's bounding box overlaps the cell itself.
+    NearBody = 2,
+    /// The cell is clear of the body but inside its conservative halo
+    /// band: one step of bounded motion could still penetrate, so the
+    /// full resolve path runs here too.
+    Halo = 3,
+}
+
+impl CellClass {
+    /// Whether particles from this cell need the body-containment test.
+    #[inline(always)]
+    pub fn needs_body(self) -> bool {
+        matches!(self, CellClass::NearBody | CellClass::Halo)
+    }
+
+    /// Whether particles from this cell need wall/plunger/outflow checks.
+    /// The body classes answer `true`: bodies may sit on the lower wall
+    /// (the paper's wedge does), so their runs take the full path.
+    #[inline(always)]
+    pub fn needs_walls(self) -> bool {
+        !matches!(self, CellClass::Free)
+    }
+}
+
+/// Per-flow-cell [`CellClass`] table, built once per geometry.
+#[derive(Clone, Debug)]
+pub struct CellClassifier {
+    classes: Vec<CellClass>,
+    counts: [u32; 4],
+    halo: f64,
+}
+
+impl CellClassifier {
+    /// Classify every cell of `tunnel` against `body`.
+    ///
+    /// `plunger_reach` is the furthest station the plunger face can
+    /// occupy when it reflects particles (the trigger station: the face
+    /// withdraws once it crosses it).  `halo` is the speed bound of the
+    /// halo invariant, in cells per step.
+    pub fn build(tunnel: &Tunnel, body: &dyn Body, plunger_reach: f64, halo: f64) -> Self {
+        assert!(halo > 0.0, "halo must be positive");
+        let (w, h) = (tunnel.width, tunnel.height);
+        // Features are compared against boxes expanded by one Q8.23 ulp
+        // beyond the halo, so fixed-point rounding at a box edge can
+        // never flip a cell to a *less* careful class.
+        let ulp = 1.0 / (1u64 << dsmc_fixed::Fx::FRAC_BITS) as f64;
+        let aabb = body
+            .aabb()
+            .map(|(x0, y0, x1, y1)| (x0 - ulp, y0 - ulp, x1 + ulp, y1 + ulp));
+        let overlaps = |x0: f64, y0: f64, x1: f64, y1: f64| -> bool {
+            aabb.is_some_and(|(bx0, by0, bx1, by1)| x0 < bx1 && bx0 < x1 && y0 < by1 && by0 < y1)
+        };
+        let mut classes = Vec::with_capacity((w * h) as usize);
+        let mut counts = [0u32; 4];
+        for iy in 0..h {
+            for ix in 0..w {
+                let (x0, y0) = (ix as f64, iy as f64);
+                let (x1, y1) = (x0 + 1.0, y0 + 1.0);
+                let m = halo + ulp;
+                let class = if overlaps(x0, y0, x1, y1) {
+                    CellClass::NearBody
+                } else if overlaps(x0 - m, y0 - m, x1 + m, y1 + m) {
+                    CellClass::Halo
+                } else if y0 - m < 0.0
+                    || y1 + m > h as f64
+                    || x0 - m < plunger_reach
+                    || x1 + m >= w as f64
+                {
+                    CellClass::NearWall
+                } else {
+                    CellClass::Free
+                };
+                counts[class as usize] += 1;
+                classes.push(class);
+            }
+        }
+        Self {
+            classes,
+            counts,
+            halo,
+        }
+    }
+
+    /// Class of flow cell `cell` (`cell < tunnel.n_cells()`).
+    #[inline(always)]
+    pub fn class(&self, cell: u32) -> CellClass {
+        self.classes[cell as usize]
+    }
+
+    /// Number of cells per class, indexed `[Free, NearWall, NearBody,
+    /// Halo]`.
+    pub fn counts(&self) -> [u32; 4] {
+        self.counts
+    }
+
+    /// The speed bound the classification assumed, in cells per step.
+    pub fn halo(&self) -> f64 {
+        self.halo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::{NoBody, Wedge};
+    use dsmc_fixed::Fx;
+
+    fn classify(body: &dyn Body) -> (Tunnel, CellClassifier) {
+        let tunnel = Tunnel::new(64, 40);
+        let c = CellClassifier::build(&tunnel, body, 4.0, 1.0);
+        (tunnel, c)
+    }
+
+    #[test]
+    fn empty_tunnel_is_free_inside_a_wall_ring() {
+        let (tunnel, c) = classify(&NoBody);
+        let [free, wall, body, halo] = c.counts();
+        assert_eq!(body, 0);
+        assert_eq!(halo, 0);
+        assert!(free > wall, "interior must dominate");
+        assert_eq!(free + wall, tunnel.n_cells());
+        // Deep interior cell: free.  Wall-adjacent, plunger-range and
+        // outflow-adjacent cells: near-wall.
+        assert_eq!(
+            c.class(tunnel.cell_index(Fx::from_f64(30.5), Fx::from_f64(20.5))),
+            CellClass::Free
+        );
+        for (x, y) in [(30.5, 0.5), (30.5, 39.5), (2.5, 20.5), (63.5, 20.5)] {
+            assert_eq!(
+                c.class(tunnel.cell_index(Fx::from_f64(x), Fx::from_f64(y))),
+                CellClass::NearWall,
+                "cell at ({x}, {y})"
+            );
+        }
+    }
+
+    #[test]
+    fn wedge_carves_body_and_halo_bands() {
+        let wedge = Wedge::new(14.0, 16.0, 30.0);
+        let (tunnel, c) = classify(&wedge);
+        let [_, _, body, halo] = c.counts();
+        assert!(body > 0 && halo > 0);
+        // Mid-ramp cell overlaps the AABB.
+        assert_eq!(
+            c.class(tunnel.cell_index(Fx::from_f64(22.5), Fx::from_f64(3.5))),
+            CellClass::NearBody
+        );
+        // One-cell band just above the apex height: halo.
+        let apex = wedge.height();
+        assert_eq!(
+            c.class(tunnel.cell_index(Fx::from_f64(22.5), Fx::from_f64(apex.ceil() + 0.5))),
+            CellClass::Halo
+        );
+        // Far downstream interior: free.
+        assert_eq!(
+            c.class(tunnel.cell_index(Fx::from_f64(50.5), Fx::from_f64(20.5))),
+            CellClass::Free
+        );
+    }
+
+    #[test]
+    fn free_cells_cannot_reach_any_feature_within_the_halo() {
+        // The invariant, checked exhaustively: from any point of a Free
+        // cell, a displacement of up to `halo` per component stays inside
+        // the tunnel, ahead of the plunger reach, short of the outflow,
+        // and outside the body AABB.
+        let wedge = Wedge::new(14.0, 16.0, 30.0);
+        let (tunnel, c) = classify(&wedge);
+        let (bx0, by0, bx1, by1) = wedge.aabb().unwrap();
+        let halo = c.halo();
+        for iy in 0..tunnel.height {
+            for ix in 0..tunnel.width {
+                if c.class(iy * tunnel.width + ix) != CellClass::Free {
+                    continue;
+                }
+                let (x0, y0) = (ix as f64 - halo, iy as f64 - halo);
+                let (x1, y1) = (ix as f64 + 1.0 + halo, iy as f64 + 1.0 + halo);
+                assert!(y0 >= 0.0 && y1 <= tunnel.height as f64, "wall reachable");
+                assert!(x0 >= 4.0, "plunger reachable");
+                assert!(x1 < tunnel.width as f64, "outflow reachable");
+                assert!(
+                    !(x0 < bx1 && bx0 < x1 && y0 < by1 && by0 < y1),
+                    "body reachable from free cell ({ix}, {iy})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_aabb_is_conservative_everywhere() {
+        // A body that does not override `aabb` classifies every cell as
+        // near-body: slow but safe.
+        struct Opaque;
+        impl Body for Opaque {
+            fn contains(&self, _x: Fx, _y: Fx) -> bool {
+                false
+            }
+            fn contains_f64(&self, _x: f64, _y: f64) -> bool {
+                false
+            }
+            fn resolve(&self, _x: &mut Fx, _y: &mut Fx, _u: &mut Fx, _v: &mut Fx) -> bool {
+                false
+            }
+        }
+        let (tunnel, c) = classify(&Opaque);
+        assert_eq!(c.counts()[CellClass::NearBody as usize], tunnel.n_cells());
+    }
+}

@@ -27,8 +27,10 @@
 //! `reflection_energy_statistics` test bounds the drift.
 
 pub mod body;
+pub mod classify;
 pub mod clip;
 pub mod tunnel;
 
 pub use body::{Body, Cylinder, FlatPlate, ForwardStep, NoBody, SurfaceFacet, Wedge};
+pub use classify::{CellClass, CellClassifier};
 pub use tunnel::{Plunger, PlungerEvent, Tunnel, WallOutcome};

@@ -156,6 +156,18 @@ impl Plunger {
         }
     }
 
+    /// Whether the *next* [`Plunger::advance`] will withdraw the face.
+    ///
+    /// The decision depends only on the plunger's own state, so the
+    /// engine can pick its step shape (the fully fused move phase packs
+    /// sort keys in the same sweep, which a withdrawal would invalidate)
+    /// before any particle moves.  Exact fixed-point: the same sum
+    /// `advance` computes.
+    #[inline]
+    pub fn will_withdraw(&self) -> bool {
+        self.face + self.speed >= self.trigger
+    }
+
     /// Advance the face by one time step; report whether it withdrew.
     ///
     /// The withdrawal happens *after* the advance, so the void to refill is

@@ -3,8 +3,9 @@
 //! the hot path, and fixed-seed runs are identical for any thread count.
 
 use dsmc_datapar::{sort_order_by_key, sort_perm_by_key, SortScratch};
+use dsmc_engine::config::WallModel;
 use dsmc_engine::particles::ParticleStore;
-use dsmc_engine::{PipelineMode, SimConfig, Simulation};
+use dsmc_engine::{BodySpec, PipelineMode, RngMode, SimConfig, Simulation};
 use dsmc_fixed::Fx;
 use dsmc_rng::XorShift32;
 use proptest::prelude::*;
@@ -100,6 +101,120 @@ fn pipelines_produce_identical_trajectories() {
     assert_eq!(df.n_flow, dt.n_flow);
 }
 
+/// Run the same config through both pipelines and demand bit-identical
+/// trajectories, bounds, orders and ledgers.  `steps` spans several
+/// plunger cycles, so the move phase's key-less withdrawal fallback is
+/// exercised along with the ordinary fused steps.
+fn check_pipelines_agree(mut cfg: SimConfig, steps: usize) {
+    cfg.pipeline = PipelineMode::Fused;
+    let mut fused = Simulation::new(cfg.clone());
+    cfg.pipeline = PipelineMode::TwoStep;
+    let mut two_step = Simulation::new(cfg);
+    fused.run(steps);
+    two_step.run(steps);
+    assert_stores_equal(fused.particles(), two_step.particles());
+    assert_eq!(fused.segment_bounds(), two_step.segment_bounds());
+    assert_eq!(fused.last_sort_order(), two_step.last_sort_order());
+    let (df, dt) = (fused.diagnostics(), two_step.diagnostics());
+    assert_eq!(df.collisions, dt.collisions);
+    assert_eq!(df.candidates, dt.candidates);
+    assert_eq!(df.exited, dt.exited);
+    assert_eq!(df.introduced, dt.introduced);
+    assert_eq!(df.plunger_cycles, dt.plunger_cycles);
+}
+
+/// A small tunnel with every knob available to the grid below.
+fn grid_config(body: BodySpec, walls: WallModel, rng_mode: RngMode, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::small_test();
+    cfg.tunnel_w = 24;
+    cfg.tunnel_h = 16;
+    cfg.n_per_cell = 8.0;
+    cfg.reservoir_cells = 64;
+    cfg.reservoir_fill = 10.0;
+    cfg.body = body;
+    cfg.walls = walls;
+    cfg.rng_mode = rng_mode;
+    cfg.seed = seed;
+    cfg
+}
+
+/// The move-phase contract at whole-simulation level: the fused
+/// single-sweep pipeline is bit-identical to the two-step reference for
+/// **every** body shape × wall model × RNG mode — the geometry-aware
+/// dispatch may skip work, never change it.
+#[test]
+fn fused_move_matches_two_step_across_geometries() {
+    let steps = if cfg!(debug_assertions) { 16 } else { 40 };
+    let bodies = [
+        BodySpec::None,
+        BodySpec::Wedge {
+            x0: 8.0,
+            base: 8.0,
+            angle_deg: 30.0,
+        },
+        BodySpec::Step {
+            x0: 9.0,
+            x1: 12.0,
+            h: 4.0,
+        },
+        BodySpec::Plate { x0: 10.0, h: 5.0 },
+        BodySpec::Cylinder {
+            cx: 11.0,
+            cy: 8.0,
+            r: 3.0,
+        },
+    ];
+    for body in &bodies {
+        for walls in [WallModel::Specular, WallModel::Diffuse { t_wall: 2.0 }] {
+            for rng_mode in [RngMode::Explicit, RngMode::DirtyBits] {
+                check_pipelines_agree(grid_config(body.clone(), walls, rng_mode, 11), steps);
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Seed sweep on the gnarliest corner of the grid (body + diffuse
+    /// walls + dirty-bit jitter) at tiny scale: agreement must not
+    /// depend on where the trajectories happen to go.
+    #[test]
+    fn prop_fused_move_matches_two_step(seed in 1u64..=400) {
+        let mut cfg = grid_config(
+            BodySpec::Wedge { x0: 6.0, base: 6.0, angle_deg: 30.0 },
+            WallModel::Diffuse { t_wall: 1.5 },
+            RngMode::DirtyBits,
+            seed,
+        );
+        cfg.tunnel_w = 16;
+        cfg.tunnel_h = 12;
+        cfg.n_per_cell = 5.0;
+        cfg.reservoir_cells = 32;
+        cfg.reservoir_fill = 6.0;
+        check_pipelines_agree(cfg, 8);
+    }
+}
+
+/// The classifier's fast path must actually be the common case on a
+/// body-bearing workload — otherwise the dispatch is dead weight — and
+/// the halo bound must have held for the test flow (the per-particle
+/// guard makes violations safe, but they should be rare).
+#[test]
+fn free_cells_dominate_the_move_dispatch() {
+    let mut sim = Simulation::new(SimConfig::small_wedge(0.5));
+    sim.run(30);
+    let [free, walls, full, reservoir] = sim.move_dispatch_counts();
+    assert!(full > 0, "wedge cells must take the full path");
+    assert!(
+        free > walls + full,
+        "free must dominate: free={free} walls={walls} full={full} res={reservoir}"
+    );
+    let halo_raw = (sim.cell_classifier().halo() * (1u64 << Fx::FRAC_BITS) as f64) as u32;
+    assert!(
+        sim.max_observed_speed_raw() <= halo_raw,
+        "test flow should stay within the halo bound"
+    );
+}
+
 /// Steady-state steps must not allocate in the sort/send path: every
 /// hot-path buffer's capacity is stable across 100 further steps.
 #[test]
@@ -160,13 +275,35 @@ fn state_hash(sim: &Simulation) -> u64 {
 const DETERMINISM_STEPS: usize = 30;
 
 /// Helper target for the subprocess determinism test; runs under a pinned
-/// `RAYON_NUM_THREADS` and prints the state hash.
+/// `RAYON_NUM_THREADS` and prints one combined state hash covering both
+/// an empty tunnel and a body-bearing diffuse-wall workload — the latter
+/// drives the fused move phase through all four dispatch kinds (free,
+/// walls-only, full-resolve, reservoir) plus its withdrawal fallback.
 #[test]
 #[ignore = "helper: spawned by determinism_across_thread_counts"]
 fn helper_print_state_hash() {
     let mut sim = Simulation::new(SimConfig::small_test());
     sim.run(DETERMINISM_STEPS);
-    println!("STATE_HASH={:#018x}", state_hash(&sim));
+    let mut geom_cfg = grid_config(
+        BodySpec::Wedge {
+            x0: 8.0,
+            base: 8.0,
+            angle_deg: 30.0,
+        },
+        WallModel::Diffuse { t_wall: 2.0 },
+        RngMode::DirtyBits,
+        23,
+    );
+    geom_cfg.n_per_cell = 24.0;
+    geom_cfg.reservoir_fill = 24.0;
+    let mut geom = Simulation::new(geom_cfg);
+    geom.run(DETERMINISM_STEPS);
+    let [free, _, full, _] = geom.move_dispatch_counts();
+    assert!(free > 0 && full > 0, "move dispatch must be exercised");
+    println!(
+        "STATE_HASH={:#018x}",
+        state_hash(&sim) ^ state_hash(&geom).rotate_left(1)
+    );
 }
 
 /// Fixed-seed runs must be bitwise identical across rayon thread counts.

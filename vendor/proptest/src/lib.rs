@@ -226,6 +226,20 @@ macro_rules! prop_assert {
     ($($tt:tt)*) => { assert!($($tt)*) };
 }
 
+/// Discard the current case when its inputs don't satisfy a precondition.
+///
+/// The shim's cases run in a plain loop, so a rejected case simply moves
+/// on to the next draw (real proptest re-draws; the difference only
+/// affects how many cases effectively run).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
 /// Assert equality inside a property.
 #[macro_export]
 macro_rules! prop_assert_eq {
@@ -256,7 +270,9 @@ macro_rules! proptest {
 
 /// The glob import every test module uses.
 pub mod prelude {
-    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy,
+    };
 }
 
 #[cfg(test)]

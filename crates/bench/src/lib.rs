@@ -7,6 +7,8 @@
 //! at a reduced default scale or at the paper's full 512k-particle scale
 //! with `--full`.
 
+#![warn(missing_docs)]
+
 use dsmc_engine::{SampledField, SimConfig, Simulation};
 use dsmc_flowfield::shock::{wedge_metrics, ShockMetrics};
 use dsmc_flowfield::{contour, render};

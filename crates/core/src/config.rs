@@ -312,6 +312,90 @@ impl SimConfig {
     pub fn freestream(&self) -> dsmc_kinetics::FreeStream {
         dsmc_kinetics::FreeStream::new(self.mach, self.c_m, self.lambda)
     }
+
+    /// Canonical 64-bit fingerprint of every field that influences a
+    /// trajectory.
+    ///
+    /// Snapshots store this value and [`crate::Simulation::resume`]
+    /// refuses a snapshot whose fingerprint differs from the offered
+    /// configuration's: restoring particle state under different physics
+    /// would not crash, it would *silently* produce a run that is neither
+    /// the old trajectory nor a valid new one.  Floats are hashed by bit
+    /// pattern, enums by a stable discriminant plus their payloads, so
+    /// any two configs that could diverge hash differently.  Fingerprint
+    /// the *validated* config (validation normalises defaulted fields).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = dsmc_state::Fnv64::new();
+        h.u32(self.tunnel_w);
+        h.u32(self.tunnel_h);
+        match self.body {
+            BodySpec::None => h.u32(0),
+            BodySpec::Wedge {
+                x0,
+                base,
+                angle_deg,
+            } => {
+                h.u32(1);
+                h.f64(x0);
+                h.f64(base);
+                h.f64(angle_deg);
+            }
+            BodySpec::Step { x0, x1, h: sh } => {
+                h.u32(2);
+                h.f64(x0);
+                h.f64(x1);
+                h.f64(sh);
+            }
+            BodySpec::Plate { x0, h: ph } => {
+                h.u32(3);
+                h.f64(x0);
+                h.f64(ph);
+            }
+            BodySpec::Cylinder { cx, cy, r } => {
+                h.u32(4);
+                h.f64(cx);
+                h.f64(cy);
+                h.f64(r);
+            }
+        }
+        h.f64(self.mach);
+        h.f64(self.c_m);
+        h.f64(self.lambda);
+        h.f64(self.n_per_cell);
+        h.u32(self.reservoir_cells);
+        h.f64(self.reservoir_fill);
+        h.f64(self.plunger_trigger);
+        h.u32(self.jitter_bits);
+        h.u32(match self.rounding {
+            Rounding::Truncate => 0,
+            Rounding::Stochastic => 1,
+            Rounding::PaperLiteral => 2,
+        });
+        h.u32(match self.rng_mode {
+            RngMode::Explicit => 0,
+            RngMode::DirtyBits => 1,
+        });
+        // PipelineMode is deliberately *excluded*: Fused and TwoStep are
+        // pinned bit-identical by the pipeline property tests, so a
+        // checkpoint is portable between them.
+        match self.model {
+            MolecularModel::Maxwell => h.u32(0),
+            MolecularModel::HardSphere => h.u32(1),
+            MolecularModel::PowerLaw { alpha } => {
+                h.u32(2);
+                h.f64(alpha);
+            }
+        }
+        match self.walls {
+            WallModel::Specular => h.u32(0),
+            WallModel::Diffuse { t_wall } => {
+                h.u32(1);
+                h.f64(t_wall);
+            }
+        }
+        h.u64(self.seed);
+        h.finish()
+    }
 }
 
 #[cfg(test)]

@@ -91,6 +91,27 @@ pub struct Simulation {
 impl Simulation {
     /// Build and initialise a simulation from a configuration.
     pub fn new(cfg: SimConfig) -> Self {
+        let mut sim = Self::shell(cfg);
+        sim.parts = init::populate(
+            &sim.cfg,
+            &sim.tunnel,
+            sim.body.as_ref(),
+            &sim.fs,
+            &sim.volumes,
+        );
+        sim.decisions.reserve(sim.parts.len());
+        // Establish sorted order once so `bounds` is valid before step 1.
+        sim.sort_phase();
+        sim
+    }
+
+    /// Everything [`Simulation::new`] derives from the configuration alone
+    /// — geometry, kinetics tables, classifier, scratch — with *no*
+    /// particles and no initial sort.  `new` populates and sorts on top of
+    /// this; [`Simulation::resume`] instead installs a snapshot's particle
+    /// state verbatim (re-sorting would consume per-particle jitter draws
+    /// an uninterrupted run never made, breaking resume bit-identity).
+    fn shell(cfg: SimConfig) -> Self {
         let cfg = cfg.validated();
         let tunnel = Tunnel::new(cfg.tunnel_w, cfg.tunnel_h);
         let body = cfg.body.build();
@@ -105,7 +126,6 @@ impl Simulation {
             cfg.model,
             fs.mean_relative_speed(),
         );
-        let parts = init::populate(&cfg, &tunnel, body.as_ref(), &fs, &volumes);
         let res_base = tunnel.n_cells();
         let total_cells = res_base + res.total();
         let key_bits = key_bits_for(total_cells, cfg.jitter_bits);
@@ -124,8 +144,7 @@ impl Simulation {
         let classifier = CellClassifier::build(&tunnel, body.as_ref(), cfg.plunger_trigger, halo);
         let mut move_scratch = MoveScratch::new();
         move_scratch.reserve_segments((total_cells + 1) as usize);
-        let n = parts.len();
-        let mut sim = Self {
+        Self {
             res,
             res_w_fx: Fx::from_int(res.w as i32),
             res_h_fx: Fx::from_int(res.h as i32),
@@ -138,11 +157,11 @@ impl Simulation {
             fs,
             sel,
             volumes,
-            parts,
+            parts: ParticleStore::default(),
             plunger,
             res_base,
             key_bits,
-            decisions: Vec::with_capacity(n),
+            decisions: Vec::new(),
             bounds: Vec::new(),
             order: Vec::new(),
             sort_ws: SortWorkspace::new(),
@@ -160,10 +179,7 @@ impl Simulation {
             exited: 0,
             introduced: 0,
             plunger_cycles: 0,
-        };
-        // Establish sorted order once so `bounds` is valid before step 1.
-        sim.sort_phase();
-        sim
+        }
     }
 
     /// Sub-step 2 with a concrete body type, so `resolve` inlines into the
@@ -530,6 +546,13 @@ impl Simulation {
         self.surf_sampler.as_ref()
     }
 
+    /// The open volume-field window, if any — lets a resumed run tell how
+    /// far through a protocol's averaging phase its checkpoint was taken
+    /// and continue the window instead of restarting it.
+    pub fn field_sampler(&self) -> Option<&FieldAccumulator> {
+        self.sampler.as_ref()
+    }
+
     /// Current physical ledgers.
     ///
     /// Population counts come from a binary search over the sorted segment
@@ -660,6 +683,12 @@ impl Simulation {
         self.body.as_ref()
     }
 }
+
+// Checkpoint/restart lives in a child module so it can reach the private
+// fields above without widening their visibility; the file stays flat in
+// `src/` beside the other engine modules.
+#[path = "snapshot.rs"]
+pub mod snapshot;
 
 #[cfg(test)]
 mod tests {

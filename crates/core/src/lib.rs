@@ -35,6 +35,13 @@
 //! Cp/Cf/Ch along the body — that production DSMC codes report
 //! ([`surface`]).
 //!
+//! The full simulation state — particle columns, sorted-order bounds,
+//! counters, plunger phase, open sampling windows — checkpoints to a
+//! versioned binary snapshot and resumes *bit-exactly*: stop-at-N /
+//! resume-to-M hashes identically to never having stopped
+//! ([`engine::snapshot`]; format specified in the repository's
+//! `STATE.md`).
+//!
 //! # Example
 //!
 //! ```
@@ -66,3 +73,6 @@ pub use diag::{Diagnostics, StepTimings, Substep};
 pub use engine::Simulation;
 pub use sample::SampledField;
 pub use surface::{SurfaceAccumulator, SurfaceField};
+// The snapshot error/version surface, so downstream crates handle resume
+// failures without a direct dsmc-state dependency.
+pub use dsmc_state::{StateError, FORMAT_VERSION as STATE_FORMAT_VERSION};

@@ -113,6 +113,64 @@ impl FieldAccumulator {
         self.steps
     }
 
+    /// Grid dimensions `(w, h)` this accumulator was opened over.
+    pub fn dims(&self) -> (u32, u32) {
+        (self.w, self.h)
+    }
+
+    /// Export the window's raw sums as plain data (for checkpoints).
+    pub fn export(&self) -> FieldAccumState {
+        let load_i = |v: &[AtomicI64]| v.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+        FieldAccumState {
+            w: self.w,
+            h: self.h,
+            steps: self.steps,
+            count: self
+                .count
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+            mom_u: load_i(&self.mom_u),
+            mom_v: load_i(&self.mom_v),
+            mom_w: load_i(&self.mom_w),
+            e_trans: load_i(&self.e_trans),
+            e_rot: load_i(&self.e_rot),
+        }
+    }
+
+    /// Rebuild an open window from exported sums.
+    ///
+    /// Panics if the vector lengths disagree with the grid — checkpoint
+    /// decode validates them (with a typed error) before calling.
+    pub fn restore(st: &FieldAccumState) -> Self {
+        let n = (st.w * st.h) as usize;
+        assert!(
+            [
+                st.count.len(),
+                st.mom_u.len(),
+                st.mom_v.len(),
+                st.mom_w.len(),
+                st.e_trans.len(),
+                st.e_rot.len(),
+            ]
+            .iter()
+            .all(|&l| l == n),
+            "field accumulator state does not match its grid"
+        );
+        let from_i = |v: &[i64]| v.iter().map(|&x| AtomicI64::new(x)).collect::<Vec<_>>();
+        Self {
+            w: st.w,
+            h: st.h,
+            steps: st.steps,
+            count: st.count.iter().map(|&x| AtomicU64::new(x)).collect(),
+            mom_u: from_i(&st.mom_u),
+            mom_v: from_i(&st.mom_v),
+            mom_w: from_i(&st.mom_w),
+            e_trans: from_i(&st.e_trans),
+            e_rot: from_i(&st.e_rot),
+        }
+    }
+
     /// Finish the window: turn sums into per-cell averaged fields.
     ///
     /// `n_inf` is the freestream density (particles per full cell) and
@@ -168,6 +226,31 @@ impl FieldAccumulator {
             occupancy,
         }
     }
+}
+
+/// Plain-data image of an open [`FieldAccumulator`] window — everything a
+/// checkpoint must carry to continue the window bit-exactly (the sums are
+/// exact integers, so export → restore loses nothing).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldAccumState {
+    /// Grid width.
+    pub w: u32,
+    /// Grid height.
+    pub h: u32,
+    /// Steps accumulated so far.
+    pub steps: u64,
+    /// Per-cell occupancy sums.
+    pub count: Vec<u64>,
+    /// Per-cell streamwise momentum sums (raw).
+    pub mom_u: Vec<i64>,
+    /// Per-cell wall-normal momentum sums (raw).
+    pub mom_v: Vec<i64>,
+    /// Per-cell out-of-plane momentum sums (raw).
+    pub mom_w: Vec<i64>,
+    /// Per-cell translational energy sums (`raw² >> ESHIFT`).
+    pub e_trans: Vec<i64>,
+    /// Per-cell rotational energy sums (`raw² >> ESHIFT`).
+    pub e_rot: Vec<i64>,
 }
 
 /// Time-averaged macroscopic fields on the flow grid (row-major, `w × h`).

@@ -194,6 +194,65 @@ impl SurfaceAccumulator {
         }
     }
 
+    /// Export the window's raw sums as plain data (for checkpoints).
+    pub fn export(&self) -> SurfaceAccumState {
+        let load_i = |v: &[AtomicI64]| {
+            v.iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect::<Vec<_>>()
+        };
+        SurfaceAccumState {
+            n_facets: self.n_facets,
+            steps: self.steps(),
+            count: self
+                .count
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+            imp_u: load_i(&self.imp_u),
+            imp_v: load_i(&self.imp_v),
+            e_inc: load_i(&self.e_inc),
+            e_ref: load_i(&self.e_ref),
+            global: self.global_sums(),
+        }
+    }
+
+    /// Rebuild an open window from exported sums.
+    ///
+    /// Panics if the vector lengths disagree with the facet count —
+    /// checkpoint decode validates them (with a typed error) before
+    /// calling.
+    pub fn restore(st: &SurfaceAccumState) -> Self {
+        let n = st.n_facets as usize;
+        assert!(
+            [
+                st.count.len(),
+                st.imp_u.len(),
+                st.imp_v.len(),
+                st.e_inc.len(),
+                st.e_ref.len(),
+            ]
+            .iter()
+            .all(|&l| l == n),
+            "surface accumulator state does not match its facet count"
+        );
+        let from_i = |v: &[i64]| v.iter().map(|&x| AtomicI64::new(x)).collect::<Vec<_>>();
+        Self {
+            n_facets: st.n_facets,
+            steps: AtomicU64::new(st.steps),
+            count: st.count.iter().map(|&x| AtomicU64::new(x)).collect(),
+            imp_u: from_i(&st.imp_u),
+            imp_v: from_i(&st.imp_v),
+            e_inc: from_i(&st.e_inc),
+            e_ref: from_i(&st.e_ref),
+            tot_count: AtomicU64::new(st.global.impacts),
+            tot_imp_u: AtomicI64::new(st.global.imp_u),
+            tot_imp_v: AtomicI64::new(st.global.imp_v),
+            tot_e_inc: AtomicI64::new(st.global.e_inc),
+            tot_e_ref: AtomicI64::new(st.global.e_ref),
+        }
+    }
+
     /// Finish the window: reduce the sums into coefficient distributions.
     ///
     /// `body` supplies the facet geometry (must be the body the window
@@ -257,6 +316,29 @@ impl SurfaceAccumulator {
         }
         out
     }
+}
+
+/// Plain-data image of an open [`SurfaceAccumulator`] window — everything
+/// a checkpoint must carry to continue the window bit-exactly, including
+/// the global ledgers the conservation-closure tests fold against.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SurfaceAccumState {
+    /// Number of surface bins.
+    pub n_facets: u32,
+    /// Steps accumulated so far.
+    pub steps: u64,
+    /// Per-facet impact counts.
+    pub count: Vec<u64>,
+    /// Per-facet streamwise momentum delivered (raw).
+    pub imp_u: Vec<i64>,
+    /// Per-facet wall-normal momentum delivered (raw).
+    pub imp_v: Vec<i64>,
+    /// Per-facet incident energy sums (`raw² >> ESHIFT`).
+    pub e_inc: Vec<i64>,
+    /// Per-facet reflected energy sums (`raw² >> ESHIFT`).
+    pub e_ref: Vec<i64>,
+    /// The global boundary-exchange ledgers.
+    pub global: SurfaceSums,
 }
 
 /// Windowed surface-coefficient distributions along a body's arc length.

@@ -4,27 +4,40 @@
 //! scenarios --list                 # enumerate every named case
 //! scenarios <name> [--quick|--full]
 //! scenarios --all [--quick|--full]
+//! scenarios <name> --checkpoint-every <steps>   # save rolling + settled checkpoints
+//! scenarios <name> --resume <file>              # warm-start from a checkpoint
 //! ```
 //!
 //! A QUICK run (the default) compares each golden metric against its
 //! checked-in reference and exits non-zero when any drifts outside its
 //! tolerance — the CI scenario matrix uses that exit code as the pass/fail
 //! signal.  Every run writes a `BENCH_scenario_<name>.json` artifact.
+//!
+//! `--checkpoint-every k` saves `artifacts/checkpoint_<name>_<scale>.bin`
+//! every `k` steps plus `..._settled.bin` once at the settle → average
+//! boundary.  `--resume <file>` warm-starts the protocol from a snapshot:
+//! steps the checkpoint already covers are skipped, and resuming the
+//! settled checkpoint reproduces the golden metrics bit-exactly (runs are
+//! deterministic, so the warm arm retraces the cold one).  Both flags
+//! apply to steady tunnel cases only; the snapshot's config fingerprint
+//! must match the scenario at the chosen scale.
 
 use dsmc_bench::write_artifact;
 use dsmc_flowfield::surface::{ascii_profile, surface_to_csv};
-use dsmc_scenarios::{outcome_json, registry, run, RunOutcome, Scale, Scenario};
+use dsmc_scenarios::{
+    outcome_json, registry, run_with, transient_to_csv, RunOptions, RunOutcome, Scale, Scenario,
+};
 
 fn print_list() {
     println!("{} registered scenarios:\n", registry().len());
     for s in registry() {
-        println!("  {:<14} {}", s.name, s.about);
+        println!("  {:<16} {}", s.name, s.about);
         let goldens: Vec<String> = s
             .golden
             .iter()
             .map(|g| format!("{} = {} ±{}", g.metric, g.value, g.tol))
             .collect();
-        println!("  {:<14}   golden: {}", "", goldens.join(", "));
+        println!("  {:<16}   golden: {}", "", goldens.join(", "));
     }
     println!("\nrun one with: scenarios <name> [--quick|--full]");
 }
@@ -63,9 +76,15 @@ fn print_outcome(o: &RunOutcome) {
     }
 }
 
-fn run_and_record(s: &Scenario, scale: Scale) -> bool {
+fn run_and_record(s: &Scenario, scale: Scale, opts: &RunOptions) -> bool {
     println!("running {} at {} scale…", s.name, scale.label());
-    let outcome = run(s, scale);
+    let outcome = match run_with(s, scale, opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("cannot run {}: {e}", s.name);
+            std::process::exit(2);
+        }
+    };
     print_outcome(&outcome);
     write_artifact(
         &format!("BENCH_scenario_{}.json", s.name),
@@ -81,45 +100,96 @@ fn run_and_record(s: &Scenario, scale: Scale) -> bool {
         );
         print!("{}", ascii_profile(surf, &surf.cp, "Cp"));
     }
+    // Transient cases: the windowed time series, one row per window.
+    if let Some(points) = &outcome.transient {
+        write_artifact(
+            &format!("BENCH_transient_{}.csv", s.name),
+            transient_to_csv(points).as_bytes(),
+        );
+    }
     outcome.passed
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // Reject unknown flags outright: a misspelled `--full` must not
-    // silently run (and pass) at the other scale.
-    for a in &args {
-        if a.starts_with("--") && !matches!(a.as_str(), "--list" | "--all" | "--quick" | "--full") {
-            eprintln!("unknown flag '{a}'; known: --list --all --quick --full");
-            std::process::exit(2);
+    let mut scale = Scale::Quick;
+    let mut names: Vec<String> = Vec::new();
+    let mut list = false;
+    let mut all = false;
+    let mut opts = RunOptions::default();
+    let usage = "usage: scenarios --list | scenarios <name>|--all [--quick|--full] \
+                 [--checkpoint-every <steps>] [--resume <file>]";
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--list" => list = true,
+            "--all" => all = true,
+            "--quick" => scale = Scale::Quick,
+            "--full" => scale = Scale::Full,
+            "--checkpoint-every" => {
+                let v = it.next().and_then(|v| v.parse::<u64>().ok());
+                match v {
+                    Some(k) if k > 0 => opts.checkpoint_every = Some(k),
+                    _ => {
+                        eprintln!("--checkpoint-every needs a positive step count\n{usage}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--resume" => match it.next().map(std::fs::read) {
+                Some(Ok(bytes)) => opts.resume_from = Some(bytes),
+                Some(Err(e)) => {
+                    eprintln!("cannot read --resume file: {e}");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("--resume needs a snapshot path\n{usage}");
+                    std::process::exit(2);
+                }
+            },
+            // A misspelled flag must not silently run (and pass) with the
+            // wrong behaviour.
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag '{flag}'\n{usage}");
+                std::process::exit(2);
+            }
+            name => names.push(name.to_string()),
         }
     }
-    let scale = if args.iter().any(|a| a == "--full") {
-        Scale::Full
-    } else {
-        Scale::Quick
-    };
-    let names: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
-    if args.iter().any(|a| a == "--list") {
+    if list {
         print_list();
         return;
     }
-    let all = args.iter().any(|a| a == "--all");
     if names.is_empty() && !all {
-        eprintln!("usage: scenarios --list | scenarios <name>|--all [--quick|--full]");
+        eprintln!("{usage}");
+        std::process::exit(2);
+    }
+    let checkpointing = opts.checkpoint_every.is_some() || opts.resume_from.is_some();
+    if checkpointing && (all || names.len() != 1) {
+        eprintln!("--checkpoint-every/--resume apply to exactly one named scenario");
         std::process::exit(2);
     }
 
     let mut ok = true;
     if all {
         for s in registry() {
-            ok &= run_and_record(s, scale);
+            ok &= run_and_record(s, scale, &opts);
         }
     } else {
-        for name in names {
+        for name in &names {
             match dsmc_scenarios::find(name) {
-                Some(s) => ok &= run_and_record(s, scale),
+                Some(s) => {
+                    if checkpointing && !s.supports_checkpoints() {
+                        eprintln!(
+                            "scenario '{name}' owns its run shape; \
+                             --checkpoint-every/--resume apply to steady tunnel cases"
+                        );
+                        std::process::exit(2);
+                    }
+                    ok &= run_and_record(s, scale, &opts);
+                }
                 None => {
                     eprintln!(
                         "unknown scenario '{name}'; known: {}",

@@ -20,10 +20,12 @@
 //! CI; the tolerances exist to give legitimate physics-preserving
 //! refactors slack, not to absorb noise.
 
+#![warn(missing_docs)]
+
 use dsmc_baselines::nanbu::pairwise_step;
 use dsmc_baselines::UniformBox;
-use dsmc_bench::json;
-use dsmc_engine::{Diagnostics, SampledField, SimConfig, Simulation, SurfaceField};
+use dsmc_bench::{json, write_artifact};
+use dsmc_engine::{Diagnostics, SampledField, SimConfig, Simulation, StateError, SurfaceField};
 
 pub mod registry;
 
@@ -119,6 +121,57 @@ pub struct RelaxCase {
     pub full_steps: usize,
 }
 
+/// One closed transient window: the step count at which it closed plus
+/// the probe's named measurements over that window.
+#[derive(Clone, Debug)]
+pub struct TransientPoint {
+    /// Engine step count when the window closed.
+    pub step_end: u64,
+    /// The probe's measurements for this window.
+    pub values: Vec<Metric>,
+}
+
+/// A startup-transient case: run from the impulsive cold start and close
+/// a short sampling window every `window_steps`, building the time series
+/// the paper's time-normalised scheme makes cheap to capture (bow-shock
+/// formation, plunger impulsive start).  Goldens pin reductions of the
+/// series, not single-window noise.
+#[derive(Clone, Copy, Debug)]
+pub struct TransientCase {
+    /// Base configuration at the paper's full density.
+    pub config: fn() -> SimConfig,
+    /// Density multiplier applied at [`Scale::Quick`].
+    pub quick_density: f64,
+    /// Steps per sampling window.
+    pub window_steps: usize,
+    /// Number of windows at QUICK scale.
+    pub quick_windows: usize,
+    /// Number of windows at FULL scale.
+    pub full_windows: usize,
+    /// Measure one closed window (fields + surface) into named values.
+    pub probe: fn(&Simulation, &SampledField, Option<&SurfaceField>) -> Vec<Metric>,
+    /// Reduce the whole series into the golden-checked metrics.
+    pub extract: fn(&[TransientPoint]) -> Vec<Metric>,
+}
+
+/// A checkpoint/restart equivalence case: run to `settle`, open the
+/// sampling window, snapshot `open` steps later (window open — the
+/// snapshot must carry it), resume the snapshot into a second simulation,
+/// run both arms `tail` more steps and compare full state hashes.  The
+/// goldens pin both comparisons at exactly 1 — the resume-bit-identity
+/// invariant as a CI-checked scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct RestartCase {
+    /// Base configuration at the paper's full density.
+    pub config: fn() -> SimConfig,
+    /// Density multiplier applied at [`Scale::Quick`].
+    pub quick_density: f64,
+    /// (settle, window-open, tail) step counts at QUICK scale.
+    pub quick_steps: (usize, usize, usize),
+    /// (settle, window-open, tail) step counts at FULL scale.
+    pub full_steps: (usize, usize, usize),
+}
+
 /// What kind of run a scenario performs.
 #[derive(Clone, Copy, Debug)]
 pub enum CaseKind {
@@ -126,6 +179,10 @@ pub enum CaseKind {
     Tunnel(TunnelCase),
     /// Spatially uniform relaxation box.
     Relax(RelaxCase),
+    /// Wind-tunnel startup transient: windowed time series from cold.
+    Transient(TransientCase),
+    /// Checkpoint/restart bit-identity check.
+    Restart(RestartCase),
 }
 
 /// One named, reproducible case.
@@ -143,26 +200,33 @@ pub struct Scenario {
 
 impl Scenario {
     /// The simulation config this scenario runs at the given scale
-    /// (tunnel cases only).
+    /// (every wind-tunnel-backed kind; `None` for relaxation boxes).
     pub fn tunnel_config(&self, scale: Scale) -> Option<SimConfig> {
-        match &self.kind {
-            CaseKind::Tunnel(t) => {
-                let cfg = (t.config)();
-                Some(match scale {
-                    Scale::Quick => at_density(cfg, t.quick_density),
-                    Scale::Full => cfg,
-                })
-            }
-            CaseKind::Relax(_) => None,
-        }
+        let (config, quick_density) = match &self.kind {
+            CaseKind::Tunnel(t) => (t.config, t.quick_density),
+            CaseKind::Transient(t) => (t.config, t.quick_density),
+            CaseKind::Restart(t) => (t.config, t.quick_density),
+            CaseKind::Relax(_) => return None,
+        };
+        let cfg = config();
+        Some(match scale {
+            Scale::Quick => at_density(cfg, quick_density),
+            Scale::Full => cfg,
+        })
     }
 
     /// The relaxation-box spec (relax cases only).
     pub fn relax_spec(&self) -> Option<BoxSpec> {
         match &self.kind {
             CaseKind::Relax(r) => Some(r.spec),
-            CaseKind::Tunnel(_) => None,
+            _ => None,
         }
+    }
+
+    /// Whether `--checkpoint-every` / `--resume` apply to this case (the
+    /// steady-protocol tunnel runs; the other kinds own their run shape).
+    pub fn supports_checkpoints(&self) -> bool {
+        matches!(self.kind, CaseKind::Tunnel(_))
     }
 }
 
@@ -213,6 +277,46 @@ pub struct RunOutcome {
     /// tunnel cases only); the `scenarios` bin renders these to the
     /// `BENCH_surface_<name>.csv` artifact.
     pub surface: Option<SurfaceField>,
+    /// Windowed time series (transient cases only); the `scenarios` bin
+    /// renders it to the `BENCH_transient_<name>.csv` artifact.
+    pub transient: Option<Vec<TransientPoint>>,
+}
+
+/// Optional checkpoint/restart behaviour of one scenario execution
+/// (steady-protocol tunnel cases only).
+#[derive(Clone, Debug, Default)]
+pub struct RunOptions {
+    /// Save a rolling `checkpoint_<name>_<scale>.bin` artifact every this
+    /// many steps, plus `checkpoint_<name>_<scale>_settled.bin` once at
+    /// the settle → average boundary (the warm-start product: resuming it
+    /// reproduces the golden metrics bit-exactly).
+    pub checkpoint_every: Option<u64>,
+    /// Resume from this snapshot instead of a cold start.  Steps the
+    /// checkpoint already covers are *not* re-run: the settle phase is
+    /// shortened by the checkpoint's step count, and a checkpoint taken
+    /// mid-average continues its open sampling window.  The snapshot's
+    /// config fingerprint must match the scenario at this scale.
+    pub resume_from: Option<Vec<u8>>,
+}
+
+/// Step `sim` forward `n` steps, saving the rolling checkpoint artifact
+/// whenever the cadence divides the step counter.
+fn run_checkpointed(sim: &mut Simulation, n: u64, every: Option<u64>, stem: &str) {
+    match every {
+        None => sim.run(n as usize),
+        Some(k) => {
+            // Track the counter locally: `diagnostics()` sums energy and
+            // momentum over the whole population, far too heavy per step.
+            let mut steps = sim.diagnostics().steps;
+            for _ in 0..n {
+                sim.step();
+                steps += 1;
+                if steps.is_multiple_of(k) {
+                    write_artifact(&format!("{stem}.bin"), &sim.save_state());
+                }
+            }
+        }
+    }
 }
 
 /// Standard conservation residuals of a tunnel run.
@@ -252,13 +356,19 @@ fn conservation_metrics(sim: &Simulation, d0: &Diagnostics) -> Vec<Metric> {
     ]
 }
 
+/// Freestream dynamic pressure `q∞ = ½ n∞ U∞²` of a run — the one
+/// normalisation every drag metric (steady and transient) must share.
+pub(crate) fn q_inf(sim: &Simulation) -> f64 {
+    let fs = sim.freestream();
+    0.5 * sim.config().n_per_cell * fs.u_inf() * fs.u_inf()
+}
+
 /// Standard surface metrics shared by every body-bearing case: the total
 /// drag normalised by `q∞` (an effective drag area in cells — divide by a
 /// frontal height for a conventional `C_D`) and the peak Cp anywhere on
 /// the surface.
 fn surface_metrics(sim: &Simulation, surf: &SurfaceField) -> Vec<Metric> {
-    let fs = sim.freestream();
-    let q_inf = 0.5 * sim.config().n_per_cell * fs.u_inf() * fs.u_inf();
+    let q_inf = q_inf(sim);
     let cp_peak = surf.cp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     vec![
         Metric {
@@ -272,9 +382,18 @@ fn surface_metrics(sim: &Simulation, surf: &SurfaceField) -> Vec<Metric> {
     ]
 }
 
-/// Execute one scenario at the given scale.
+/// Execute one scenario at the given scale (cold start, no checkpoints).
 pub fn run(s: &Scenario, scale: Scale) -> RunOutcome {
+    run_with(s, scale, &RunOptions::default()).expect("cold runs cannot fail to start")
+}
+
+/// Execute one scenario at the given scale with checkpoint/restart
+/// options.  Fails only when `resume_from` is rejected (wrong config
+/// fingerprint, corrupt snapshot, or a case kind that owns its own run
+/// shape).
+pub fn run_with(s: &Scenario, scale: Scale, opts: &RunOptions) -> Result<RunOutcome, StateError> {
     let t0 = std::time::Instant::now();
+    let mut transient = None;
     let (metrics, n_particles, steps, surface) = match &s.kind {
         CaseKind::Tunnel(t) => {
             let cfg = s.tunnel_config(scale).expect("tunnel case");
@@ -282,11 +401,26 @@ pub fn run(s: &Scenario, scale: Scale) -> RunOutcome {
                 Scale::Quick => t.quick_steps,
                 Scale::Full => t.full_steps,
             };
-            let mut sim = Simulation::new(cfg);
+            let mut sim = match &opts.resume_from {
+                Some(bytes) => Simulation::resume(cfg, bytes)?,
+                None => Simulation::new(cfg),
+            };
             let d0 = sim.diagnostics();
-            sim.run(settle);
-            sim.begin_sampling();
-            sim.run(average);
+            let stem = format!("checkpoint_{}_{}", s.name, scale.label());
+            // Warm start: steps the checkpoint already covers are not
+            // re-run, and a checkpoint taken mid-average continues its
+            // open sampling window instead of restarting it.
+            if sim.field_sampler().is_none() {
+                let remaining = (settle as u64).saturating_sub(d0.steps);
+                run_checkpointed(&mut sim, remaining, opts.checkpoint_every, &stem);
+                if opts.checkpoint_every.is_some() && sim.diagnostics().steps == settle as u64 {
+                    write_artifact(&format!("{stem}_settled.bin"), &sim.save_state());
+                }
+                sim.begin_sampling();
+            }
+            let sampled = sim.field_sampler().map_or(0, |a| a.steps());
+            let remaining = (average as u64).saturating_sub(sampled);
+            run_checkpointed(&mut sim, remaining, opts.checkpoint_every, &stem);
             let field = sim.finish_sampling();
             let surface = sim.finish_surface_sampling();
             let mut metrics = conservation_metrics(&sim, &d0);
@@ -295,6 +429,78 @@ pub fn run(s: &Scenario, scale: Scale) -> RunOutcome {
             }
             metrics.extend((t.extract)(&sim, &field, surface.as_ref()));
             (metrics, sim.n_particles(), sim.diagnostics().steps, surface)
+        }
+        CaseKind::Transient(t) => {
+            if opts.resume_from.is_some() {
+                return Err(StateError::Malformed(
+                    "transient cases always run from the cold start they measure",
+                ));
+            }
+            let cfg = s.tunnel_config(scale).expect("transient case");
+            let windows = match scale {
+                Scale::Quick => t.quick_windows,
+                Scale::Full => t.full_windows,
+            };
+            let mut sim = Simulation::new(cfg);
+            let d0 = sim.diagnostics();
+            let mut points = Vec::with_capacity(windows);
+            for _ in 0..windows {
+                sim.begin_sampling();
+                sim.run(t.window_steps);
+                let field = sim.finish_sampling();
+                let surf = sim.finish_surface_sampling();
+                points.push(TransientPoint {
+                    step_end: sim.diagnostics().steps,
+                    values: (t.probe)(&sim, &field, surf.as_ref()),
+                });
+            }
+            let mut metrics = conservation_metrics(&sim, &d0);
+            metrics.extend((t.extract)(&points));
+            let (n, steps) = (sim.n_particles(), sim.diagnostics().steps);
+            transient = Some(points);
+            (metrics, n, steps, None)
+        }
+        CaseKind::Restart(rc) => {
+            if opts.resume_from.is_some() {
+                return Err(StateError::Malformed(
+                    "restart cases drive save/resume themselves",
+                ));
+            }
+            let cfg = s.tunnel_config(scale).expect("restart case");
+            let (settle, open, tail) = match scale {
+                Scale::Quick => rc.quick_steps,
+                Scale::Full => rc.full_steps,
+            };
+            let mut a = Simulation::new(cfg.clone());
+            let d0 = a.diagnostics();
+            a.run(settle);
+            a.begin_sampling();
+            a.run(open);
+            let bytes = a.save_state();
+            let hash_at_save = a.state_hash();
+            let mut b = Simulation::resume(cfg, &bytes).expect("own snapshot must resume cleanly");
+            let restore_exact = b.state_hash() == hash_at_save;
+            a.run(tail);
+            b.run(tail);
+            let resume_exact = a.state_hash() == b.state_hash();
+            let mut metrics = conservation_metrics(&a, &d0);
+            metrics.extend([
+                // Both pinned at exactly 1.0: restore fidelity at the
+                // checkpoint, and bit-identity after running on.
+                Metric {
+                    name: "restore_hash_equal",
+                    value: restore_exact as u32 as f64,
+                },
+                Metric {
+                    name: "resume_hash_equal",
+                    value: resume_exact as u32 as f64,
+                },
+                Metric {
+                    name: "snapshot_bytes_per_particle",
+                    value: bytes.len() as f64 / a.n_particles() as f64,
+                },
+            ]);
+            (metrics, a.n_particles(), a.diagnostics().steps, None)
         }
         CaseKind::Relax(r) => {
             let steps = match scale {
@@ -358,7 +564,7 @@ pub fn run(s: &Scenario, scale: Scale) -> RunOutcome {
     } else {
         Vec::new()
     };
-    RunOutcome {
+    Ok(RunOutcome {
         scenario: s.name,
         scale,
         passed: checks.iter().all(|c| c.ok),
@@ -368,7 +574,29 @@ pub fn run(s: &Scenario, scale: Scale) -> RunOutcome {
         n_particles,
         steps,
         surface,
+        transient,
+    })
+}
+
+/// Render a transient time series for the `BENCH_transient_<name>.csv`
+/// artifact: one row per window, columns from the probe's metric names.
+pub fn transient_to_csv(points: &[TransientPoint]) -> String {
+    let mut out = String::from("step_end");
+    if let Some(first) = points.first() {
+        for m in &first.values {
+            out.push(',');
+            out.push_str(m.name);
+        }
     }
+    out.push('\n');
+    for p in points {
+        out.push_str(&p.step_end.to_string());
+        for m in &p.values {
+            out.push_str(&format!(",{:.6}", m.value));
+        }
+        out.push('\n');
+    }
+    out
 }
 
 /// Serialise an outcome for the `BENCH_scenario_<name>.json` artifact.
@@ -399,6 +627,20 @@ pub fn outcome_json(o: &RunOutcome) -> json::Object {
         })
         .collect();
     j.obj_array("golden_checks", checks);
+    if let Some(points) = &o.transient {
+        let rows = points
+            .iter()
+            .map(|p| {
+                let mut jp = json::Object::new();
+                jp.int("step_end", p.step_end as i64);
+                for m in &p.values {
+                    jp.num(m.name, m.value);
+                }
+                jp
+            })
+            .collect();
+        j.obj_array("transient", rows);
+    }
     j
 }
 

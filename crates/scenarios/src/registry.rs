@@ -10,7 +10,10 @@
 //! independent, so they reproduce exactly); tolerances leave room for
 //! physics-preserving refactors while catching real drift.
 
-use crate::{BoxSpec, CaseKind, Golden, Metric, RelaxCase, Scenario, TunnelCase};
+use crate::{
+    BoxSpec, CaseKind, Golden, Metric, RelaxCase, RestartCase, Scenario, TransientCase,
+    TransientPoint, TunnelCase,
+};
 use dsmc_engine::{BodySpec, SampledField, SimConfig, Simulation, SurfaceField};
 use dsmc_flowfield::shock::{box_mean_density, wedge_metrics};
 
@@ -146,22 +149,16 @@ fn extract_wedge(
     surface
 }
 
-/// Bow-shock standoff and stagnation compression for the cylinder.
+/// Stagnation-line shock location for a cylinder at `(cx, cy)` of radius
+/// `r`: `(standoff_cells, peak_density)`.
 ///
 /// The density along the stagnation line (the row pair bracketing the
 /// centre height) rises through the detached shock to a peak just off the
 /// nose; the standoff distance is measured from the nose to the point
 /// where the rise crosses half the peak, linearly interpolated between
-/// cell centres.
-fn extract_cylinder(
-    sim: &Simulation,
-    field: &SampledField,
-    surf: Option<&SurfaceField>,
-) -> Vec<Metric> {
-    let (cx, cy, r) = match sim.config().body {
-        BodySpec::Cylinder { cx, cy, r } => (cx, cy, r),
-        ref b => unreachable!("cylinder extractor on {b:?}"),
-    };
+/// cell centres.  Shared by the steady `cylinder` extractor and the
+/// `cylinder-startup` transient probe.
+fn stagnation_line(field: &SampledField, cx: f64, cy: f64, r: f64) -> (f64, f64) {
     // Cell centres sit at iy + 0.5: average the two rows bracketing cy.
     let row_hi = (cy.round() as u32).min(field.h - 1);
     let row_lo = row_hi.saturating_sub(1);
@@ -184,6 +181,102 @@ fn extract_cylinder(
             break;
         }
     }
+    (nose - shock_x, peak)
+}
+
+/// One startup window of the impulsively-started cylinder: where the
+/// forming bow shock sits, how compressed the stagnation line is, and
+/// what the body feels (drag and impact rate from the window's surface
+/// ledgers).
+fn probe_cylinder_startup(
+    sim: &Simulation,
+    field: &SampledField,
+    surf: Option<&SurfaceField>,
+) -> Vec<Metric> {
+    let (cx, cy, r) = match sim.config().body {
+        BodySpec::Cylinder { cx, cy, r } => (cx, cy, r),
+        ref b => unreachable!("cylinder probe on {b:?}"),
+    };
+    let (standoff, peak) = stagnation_line(field, cx, cy, r);
+    let q_inf = crate::q_inf(sim);
+    let (drag_per_q, impacts) = match surf {
+        Some(f) => (f.force_x / q_inf, f.impacts_per_step.iter().sum::<f64>()),
+        None => (f64::NAN, f64::NAN),
+    };
+    vec![
+        Metric {
+            name: "standoff",
+            value: standoff,
+        },
+        Metric {
+            name: "stag_peak",
+            value: peak,
+        },
+        Metric {
+            name: "drag_per_q",
+            value: drag_per_q,
+        },
+        Metric {
+            name: "impacts_per_step",
+            value: impacts,
+        },
+    ]
+}
+
+/// Reduce the startup series: where the flow ends up, how the drag
+/// history ran, and when the bow shock formed.
+fn extract_cylinder_startup(points: &[TransientPoint]) -> Vec<Metric> {
+    let get = |p: &TransientPoint, name: &str| {
+        p.values
+            .iter()
+            .find(|m| m.name == name)
+            .map_or(f64::NAN, |m| m.value)
+    };
+    let first = points.first().expect("at least one window");
+    let last = points.last().expect("at least one window");
+    let standoff_final = get(last, "standoff");
+    // The first window in which the standoff reached 75% of its final
+    // value: the bow-shock formation time (NaN standoffs from pre-shock
+    // windows compare false and are skipped).
+    let formation_step = points
+        .iter()
+        .find(|p| get(p, "standoff") >= 0.75 * standoff_final)
+        .map_or(f64::NAN, |p| p.step_end as f64);
+    vec![
+        Metric {
+            name: "standoff_final",
+            value: standoff_final,
+        },
+        Metric {
+            name: "stag_peak_final",
+            value: get(last, "stag_peak"),
+        },
+        Metric {
+            name: "drag_per_q_first_window",
+            value: get(first, "drag_per_q"),
+        },
+        Metric {
+            name: "drag_per_q_final_window",
+            value: get(last, "drag_per_q"),
+        },
+        Metric {
+            name: "shock_formation_step",
+            value: formation_step,
+        },
+    ]
+}
+
+/// Bow-shock standoff and stagnation compression for the cylinder.
+fn extract_cylinder(
+    sim: &Simulation,
+    field: &SampledField,
+    surf: Option<&SurfaceField>,
+) -> Vec<Metric> {
+    let (cx, cy, r) = match sim.config().body {
+        BodySpec::Cylinder { cx, cy, r } => (cx, cy, r),
+        ref b => unreachable!("cylinder extractor on {b:?}"),
+    };
+    let (standoff, peak) = stagnation_line(field, cx, cy, r);
     // Surface distributions: arc length runs nose → top → rear → bottom,
     // so the stagnation region is the first ~25° of arc plus the matching
     // wrap-around tail, and the front/rear halves split at s = πr/2 and
@@ -210,7 +303,7 @@ fn extract_cylinder(
     vec![
         Metric {
             name: "shock_standoff_cells",
-            value: nose - shock_x,
+            value: standoff,
         },
         Metric {
             name: "stagnation_peak_density",
@@ -451,6 +544,65 @@ static CYLINDER_GOLDEN: &[Golden] = tunnel_goldens![
     },
 ];
 
+static CYLINDER_STARTUP_GOLDEN: &[Golden] = tunnel_goldens![
+    // Recorded at QUICK on the reference seed.  The final-window values
+    // must agree with the steady `cylinder` scenario's picture (the
+    // startup converges to the same bow shock); the first-window drag and
+    // the formation step pin the transient itself — the history a cold
+    // FULL re-settle pays for and a warm start skips.
+    Golden {
+        metric: "standoff_final",
+        value: 3.85,
+        tol: 1.2,
+    },
+    Golden {
+        metric: "stag_peak_final",
+        value: 4.64,
+        tol: 0.8,
+    },
+    Golden {
+        metric: "drag_per_q_first_window",
+        value: 18.29,
+        tol: 2.0,
+    },
+    Golden {
+        metric: "drag_per_q_final_window",
+        value: 16.45,
+        tol: 2.0,
+    },
+    Golden {
+        metric: "shock_formation_step",
+        value: 120.0,
+        tol: 120.0,
+    },
+    Golden {
+        metric: "energy_per_particle",
+        value: 0.0824,
+        tol: 0.004,
+    },
+];
+
+static WEDGE_RESTART_GOLDEN: &[Golden] = tunnel_goldens![
+    // The resume-bit-identity invariant as CI goldens: restoring the
+    // snapshot must reproduce the exact state hash, and running both arms
+    // on must keep them identical — tolerance zero, by design.
+    Golden {
+        metric: "restore_hash_equal",
+        value: 1.0,
+        tol: 0.0,
+    },
+    Golden {
+        metric: "resume_hash_equal",
+        value: 1.0,
+        tol: 0.0,
+    },
+    Golden {
+        metric: "energy_per_particle",
+        value: 0.0834,
+        tol: 0.004,
+    },
+];
+
 static RELAX_BOX_GOLDEN: &[Golden] = &[
     Golden {
         metric: "kurtosis_final",
@@ -529,6 +681,31 @@ static REGISTRY: &[Scenario] = &[
             extract: extract_cylinder,
         }),
         golden: CYLINDER_GOLDEN,
+    },
+    Scenario {
+        name: "cylinder-startup",
+        about: "startup transient: bow-shock formation history of the impulsively started cylinder",
+        kind: CaseKind::Transient(TransientCase {
+            config: config_cylinder,
+            quick_density: 0.15,
+            window_steps: 60,
+            quick_windows: 8,
+            full_windows: 30,
+            probe: probe_cylinder_startup,
+            extract: extract_cylinder_startup,
+        }),
+        golden: CYLINDER_STARTUP_GOLDEN,
+    },
+    Scenario {
+        name: "wedge-restart",
+        about: "checkpoint/restart: save-at-N/resume-to-M must hash identically to never stopping",
+        kind: CaseKind::Restart(RestartCase {
+            config: config_wedge_paper,
+            quick_density: 0.15,
+            quick_steps: (250, 50, 200),
+            full_steps: (1200, 500, 1500),
+        }),
+        golden: WEDGE_RESTART_GOLDEN,
     },
     Scenario {
         name: "relax-box",

@@ -2,7 +2,10 @@
 //!
 //! Builds a 64×40 tunnel with a 30° wedge, runs a few hundred steps of
 //! Mach-4 flow, and prints the density field, conservation diagnostics and
-//! the measured shock angle against oblique-shock theory.
+//! the measured shock angle against oblique-shock theory — then shows the
+//! checkpoint/restart subsystem: the settled state is snapshotted and
+//! resumed, and the resumed simulation hashes identically to the original
+//! (so long campaigns never re-pay the settling steps).
 //!
 //! ```text
 //! cargo run --release -p dsmc-examples --bin quickstart
@@ -11,6 +14,7 @@
 use dsmc_engine::{SimConfig, Simulation};
 use dsmc_flowfield::render::ascii_heatmap;
 use dsmc_flowfield::shock::wedge_metrics;
+use std::time::Instant;
 
 fn main() {
     // The library's scaled-down wedge configuration; near-continuum
@@ -21,11 +25,29 @@ fn main() {
         cfg.tunnel_w, cfg.tunnel_h, cfg.mach, cfg.n_per_cell
     );
 
-    let mut sim = Simulation::new(cfg);
+    let mut sim = Simulation::new(cfg.clone());
     println!("{} particles initialised", sim.n_particles());
 
-    // Let the shock system establish itself, then time-average.
+    // Let the shock system establish itself…
+    let t_settle = Instant::now();
     sim.run(500);
+    let settle_seconds = t_settle.elapsed().as_secs_f64();
+
+    // …snapshot the settled state: resuming it later skips those 500
+    // steps, bit-exactly (stop-and-resume hashes identically to never
+    // having stopped).
+    let snapshot = sim.save_state();
+    let t_resume = Instant::now();
+    let warm = Simulation::resume(cfg, &snapshot).expect("own snapshot resumes");
+    let resume_seconds = t_resume.elapsed().as_secs_f64();
+    assert_eq!(warm.state_hash(), sim.state_hash(), "resume is bit-exact");
+    println!(
+        "settled in {settle_seconds:.2} s; a warm start resumes the same state \
+         from a {:.1} MB snapshot in {resume_seconds:.3} s",
+        snapshot.len() as f64 / 1e6
+    );
+
+    // …then time-average.
     sim.begin_sampling();
     sim.run(400);
     let field = sim.finish_sampling();

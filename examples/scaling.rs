@@ -3,13 +3,17 @@
 //! Sweeps the wind-tunnel workload over total populations at a fixed
 //! modelled machine (32k processors) and prints both the CM-2 model series
 //! (reproducing the paper's falling curve) and the wall-clock series on
-//! this machine's rayon backend.
+//! this machine's rayon backend — then the third axis long campaigns care
+//! about: what a settling transient costs cold versus resuming it from a
+//! checkpoint.
 //!
 //! ```text
 //! cargo run --release -p dsmc-examples --bin scaling
 //! ```
 
+use dsmc_engine::{SimConfig, Simulation};
 use dsmc_perfmodel::{sweep, Cm2};
+use std::time::Instant;
 
 fn main() {
     let machine = Cm2::paper();
@@ -45,5 +49,27 @@ fn main() {
         (1.0 - last.us_model / first.us_model) * 100.0,
         first.n_particles / 1024,
         last.n_particles / 1024
+    );
+
+    // Warm start vs cold start: steady-state campaigns re-pay the settle
+    // transient on every cold run; a checkpoint amortises it to one
+    // deserialisation (bit-exactly — the resumed state hashes identical).
+    const SETTLE: usize = 400;
+    println!("\nwarm-start economics (small wedge, {SETTLE}-step settle):");
+    let t_cold = Instant::now();
+    let mut sim = Simulation::new(SimConfig::small_wedge(0.0));
+    sim.run(SETTLE);
+    let cold = t_cold.elapsed().as_secs_f64();
+    let snapshot = sim.save_state();
+    let t_warm = Instant::now();
+    let warm_sim =
+        Simulation::resume(SimConfig::small_wedge(0.0), &snapshot).expect("snapshot resumes");
+    let warm = t_warm.elapsed().as_secs_f64();
+    assert_eq!(warm_sim.state_hash(), sim.state_hash());
+    println!(
+        "  cold start (init + settle): {cold:.2} s\n  \
+         warm start (resume {:.1} MB):  {warm:.3} s  ({:.0}x)",
+        snapshot.len() as f64 / 1e6,
+        cold / warm.max(1e-9)
     );
 }

@@ -19,8 +19,9 @@ fn registry_enumerates_at_least_five_named_cases() {
     }
 }
 
-/// The registry must cover the paper's case, the new blunt body, and the
-/// relaxation box — the suite the CI matrix enumerates.
+/// The registry must cover the paper's case, the blunt body, the
+/// relaxation box, and the startup/restart cases — the suite the CI
+/// matrix enumerates.
 #[test]
 fn registry_covers_the_expected_workloads() {
     for name in [
@@ -29,6 +30,8 @@ fn registry_covers_the_expected_workloads() {
         "flat-plate",
         "forward-step",
         "cylinder",
+        "cylinder-startup",
+        "wedge-restart",
         "relax-box",
     ] {
         assert!(find(name).is_some(), "scenario {name} missing");
@@ -102,7 +105,10 @@ fn all_scenarios_reproduce_their_goldens_at_quick_scale() {
         if s.name == "cylinder" {
             continue; // covered (with extra assertions) above
         }
-        if cfg!(debug_assertions) && matches!(s.kind, CaseKind::Tunnel(_)) {
+        // Every wind-tunnel-backed kind (steady, transient, restart) is
+        // release-only here: a debug tunnel run costs ~a minute each, and
+        // the CI scenario matrix already runs them all in release.
+        if cfg!(debug_assertions) && !matches!(s.kind, CaseKind::Relax(_)) {
             continue;
         }
         let o = run(s, Scale::Quick);

@@ -100,19 +100,30 @@ pub fn run_wedge(lambda: f64, scale: RunScale) -> WedgeRun {
 
 /// Directory where experiment artifacts are written.
 pub fn artifact_dir() -> PathBuf {
+    try_artifact_dir().expect("create artifact dir")
+}
+
+/// [`artifact_dir`] with the I/O failure surfaced instead of panicking —
+/// what long-running callers (the run supervisor) use.
+pub fn try_artifact_dir() -> std::io::Result<PathBuf> {
     let dir = std::env::var("DSMC_ARTIFACTS").unwrap_or_else(|_| "artifacts".into());
     let p = PathBuf::from(dir);
-    std::fs::create_dir_all(&p).expect("create artifact dir");
-    p
+    std::fs::create_dir_all(&p)?;
+    Ok(p)
 }
 
 /// Write a text/binary artifact and log its path.
 pub fn write_artifact(name: &str, bytes: &[u8]) -> PathBuf {
-    let path = artifact_dir().join(name);
-    let mut f = std::fs::File::create(&path).expect("create artifact");
-    f.write_all(bytes).expect("write artifact");
+    try_write_artifact(name, bytes).expect("write artifact")
+}
+
+/// [`write_artifact`] with the I/O failure surfaced instead of panicking.
+pub fn try_write_artifact(name: &str, bytes: &[u8]) -> std::io::Result<PathBuf> {
+    let path = try_artifact_dir()?.join(name);
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(bytes)?;
     println!("  wrote {}", path.display());
-    path
+    Ok(path)
 }
 
 /// Emit the standard density artifacts for one field: CSV grid, PGM

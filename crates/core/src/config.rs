@@ -5,6 +5,80 @@ use dsmc_geom::{Body, Cylinder, FlatPlate, ForwardStep, NoBody, Wedge};
 use dsmc_kinetics::MolecularModel;
 use std::sync::Arc;
 
+/// Why a [`SimConfig`] was rejected by [`SimConfig::try_validated`].
+///
+/// Every variant names the offending field, so a supervisor or service
+/// front-end can report (and log) exactly what to fix instead of crashing
+/// a worker with a panic or — worse — feeding NaN through the fixed-point
+/// conversions and producing a silently-garbage run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// A floating-point field is NaN or infinite.
+    NotFinite {
+        /// Field name.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A field is finite but outside its admissible range.
+    OutOfRange {
+        /// Field name.
+        field: &'static str,
+        /// The constraint that failed, human-readable.
+        why: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The tunnel grid is below the 4×2 minimum.
+    TunnelTooSmall {
+        /// Requested width in cells.
+        w: u32,
+        /// Requested height in cells.
+        h: u32,
+    },
+    /// The tunnel grid exceeds the Q8.23 position range.
+    TunnelTooLarge {
+        /// Requested width in cells.
+        w: u32,
+        /// Requested height in cells.
+        h: u32,
+    },
+    /// The reservoir cannot buffer one plunger refill.
+    ReservoirTooSmall {
+        /// Reservoir capacity in particles.
+        capacity: f64,
+        /// One refill's demand in particles.
+        refill: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NotFinite { field, value } => {
+                write!(f, "{field} must be finite (got {value})")
+            }
+            ConfigError::OutOfRange { field, why, value } => {
+                write!(f, "{field} {why} (got {value})")
+            }
+            ConfigError::TunnelTooSmall { w, h } => {
+                write!(f, "tunnel too small: {w}×{h} (need at least 4×2 cells)")
+            }
+            ConfigError::TunnelTooLarge { w, h } => write!(
+                f,
+                "tunnel {w}×{h} exceeds the Q8.23 position range (each axis < 250 cells)"
+            ),
+            ConfigError::ReservoirTooSmall { capacity, refill } => write!(
+                f,
+                "reservoir ({capacity:.0}) cannot buffer one plunger refill ({refill:.0}); \
+                 increase reservoir_cells"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Which body sits in the test section.
 #[derive(Clone, Debug, PartialEq)]
 pub enum BodySpec {
@@ -269,20 +343,136 @@ impl SimConfig {
     ///
     /// Panics with a descriptive message on nonsense configurations — the
     /// library's contract is that a validated config cannot crash the step
-    /// loop.
-    pub fn validated(mut self) -> Self {
-        assert!(self.tunnel_w >= 4 && self.tunnel_h >= 2, "tunnel too small");
-        assert!(
-            self.tunnel_w < 250 && self.tunnel_h < 250,
-            "tunnel exceeds the Q8.23 position range"
-        );
-        assert!(self.n_per_cell >= 1.0, "need at least ~1 particle per cell");
-        assert!(self.reservoir_cells >= 1, "reservoir must exist");
-        assert!(
+    /// loop.  Services and supervisors that must survive a bad config use
+    /// [`SimConfig::try_validated`] instead; this is the same check.
+    pub fn validated(self) -> Self {
+        self.try_validated()
+            .unwrap_or_else(|e| panic!("invalid SimConfig: {e}"))
+    }
+
+    /// Validate and normalise, reporting problems as a typed
+    /// [`ConfigError`] instead of panicking.
+    ///
+    /// Checks, in order: every float field (including enum payloads) is
+    /// finite; the tunnel grid fits the 4×2 minimum and the Q8.23 position
+    /// range; density, thermal speed, Mach and mean free path are in
+    /// range; the plunger trigger and jitter width are admissible; and the
+    /// reservoir can buffer one plunger refill.  A `reservoir_fill ≤ 0`
+    /// (but finite) is normalised to `n_per_cell`, not rejected.
+    pub fn try_validated(mut self) -> Result<Self, ConfigError> {
+        // Finiteness first: every later range check (and the fixed-point
+        // conversions in the engine) may assume real numbers.
+        let finite = |field: &'static str, value: f64| {
+            if value.is_finite() {
+                Ok(())
+            } else {
+                Err(ConfigError::NotFinite { field, value })
+            }
+        };
+        finite("mach", self.mach)?;
+        finite("c_m", self.c_m)?;
+        finite("lambda", self.lambda)?;
+        finite("n_per_cell", self.n_per_cell)?;
+        finite("reservoir_fill", self.reservoir_fill)?;
+        finite("plunger_trigger", self.plunger_trigger)?;
+        match self.body {
+            BodySpec::None => {}
+            BodySpec::Wedge {
+                x0,
+                base,
+                angle_deg,
+            } => {
+                finite("body.x0", x0)?;
+                finite("body.base", base)?;
+                finite("body.angle_deg", angle_deg)?;
+            }
+            BodySpec::Step { x0, x1, h } => {
+                finite("body.x0", x0)?;
+                finite("body.x1", x1)?;
+                finite("body.h", h)?;
+            }
+            BodySpec::Plate { x0, h } => {
+                finite("body.x0", x0)?;
+                finite("body.h", h)?;
+            }
+            BodySpec::Cylinder { cx, cy, r } => {
+                finite("body.cx", cx)?;
+                finite("body.cy", cy)?;
+                finite("body.r", r)?;
+            }
+        }
+        if let MolecularModel::PowerLaw { alpha } = self.model {
+            finite("model.alpha", alpha)?;
+        }
+        if let WallModel::Diffuse { t_wall } = self.walls {
+            finite("walls.t_wall", t_wall)?;
+            if t_wall <= 0.0 {
+                return Err(ConfigError::OutOfRange {
+                    field: "walls.t_wall",
+                    why: "must be a positive temperature ratio",
+                    value: t_wall,
+                });
+            }
+        }
+        let range = |field: &'static str, value: f64, ok: bool, why: &'static str| {
+            if ok {
+                Ok(())
+            } else {
+                Err(ConfigError::OutOfRange { field, why, value })
+            }
+        };
+        if self.tunnel_w < 4 || self.tunnel_h < 2 {
+            return Err(ConfigError::TunnelTooSmall {
+                w: self.tunnel_w,
+                h: self.tunnel_h,
+            });
+        }
+        if self.tunnel_w >= 250 || self.tunnel_h >= 250 {
+            return Err(ConfigError::TunnelTooLarge {
+                w: self.tunnel_w,
+                h: self.tunnel_h,
+            });
+        }
+        range(
+            "n_per_cell",
+            self.n_per_cell,
+            self.n_per_cell >= 1.0,
+            "needs at least ~1 particle per cell",
+        )?;
+        range("mach", self.mach, self.mach >= 0.0, "must be non-negative")?;
+        // The engine's time-step scale: `FreeStream::new` asserts this
+        // same window, so enforce it here where it is a typed error (a
+        // zero or negative c_m is the "zero/negative dt" failure mode).
+        range(
+            "c_m",
+            self.c_m,
+            self.c_m > 0.0 && self.c_m < 0.5,
+            "must be in (0, 0.5) cells/step",
+        )?;
+        range(
+            "lambda",
+            self.lambda,
+            self.lambda >= 0.0,
+            "must be non-negative (0 = near-continuum)",
+        )?;
+        range(
+            "reservoir_cells",
+            self.reservoir_cells as f64,
+            self.reservoir_cells >= 1,
+            "reservoir must exist",
+        )?;
+        range(
+            "plunger_trigger",
+            self.plunger_trigger,
             self.plunger_trigger >= 1.0 && self.plunger_trigger < self.tunnel_w as f64 / 2.0,
-            "plunger trigger out of range"
-        );
-        assert!(self.jitter_bits <= 12, "jitter beyond 12 bits is wasteful");
+            "must be in [1, tunnel_w/2)",
+        )?;
+        range(
+            "jitter_bits",
+            self.jitter_bits as f64,
+            self.jitter_bits <= 12,
+            "beyond 12 bits is wasteful",
+        )?;
         if self.reservoir_fill <= 0.0 {
             self.reservoir_fill = self.n_per_cell;
         }
@@ -300,12 +490,13 @@ impl SimConfig {
         // The reservoir must be able to supply one plunger refill.
         let refill = self.n_per_cell * self.plunger_trigger * self.tunnel_h as f64;
         let res_cap = self.reservoir_fill * self.reservoir_cells as f64;
-        assert!(
-            res_cap >= refill,
-            "reservoir ({res_cap:.0}) cannot buffer one plunger refill ({refill:.0}); \
-             increase reservoir_cells"
-        );
-        self
+        if res_cap < refill {
+            return Err(ConfigError::ReservoirTooSmall {
+                capacity: res_cap,
+                refill,
+            });
+        }
+        Ok(self)
     }
 
     /// The freestream state implied by this configuration.
@@ -451,6 +642,120 @@ mod tests {
         let mut c = SimConfig::small_test();
         c.tunnel_w = 400;
         let _ = c.validated();
+    }
+
+    #[test]
+    fn nonfinite_floats_are_typed_errors() {
+        for (mutate, field) in [
+            (
+                (|c: &mut SimConfig| c.mach = f64::NAN) as fn(&mut SimConfig),
+                "mach",
+            ),
+            (|c: &mut SimConfig| c.c_m = f64::INFINITY, "c_m"),
+            (|c: &mut SimConfig| c.lambda = f64::NEG_INFINITY, "lambda"),
+            (|c: &mut SimConfig| c.n_per_cell = f64::NAN, "n_per_cell"),
+            (
+                |c: &mut SimConfig| c.reservoir_fill = f64::NAN,
+                "reservoir_fill",
+            ),
+            (
+                |c: &mut SimConfig| c.plunger_trigger = f64::NAN,
+                "plunger_trigger",
+            ),
+            (
+                |c: &mut SimConfig| {
+                    c.body = BodySpec::Wedge {
+                        x0: f64::NAN,
+                        base: 6.0,
+                        angle_deg: 30.0,
+                    }
+                },
+                "body.x0",
+            ),
+            (
+                |c: &mut SimConfig| c.walls = WallModel::Diffuse { t_wall: f64::NAN },
+                "walls.t_wall",
+            ),
+            (
+                |c: &mut SimConfig| {
+                    c.model = dsmc_kinetics::MolecularModel::PowerLaw { alpha: f64::NAN }
+                },
+                "model.alpha",
+            ),
+        ] {
+            let mut c = SimConfig::small_test();
+            mutate(&mut c);
+            match c.try_validated() {
+                Err(ConfigError::NotFinite { field: f, .. }) => assert_eq!(f, field),
+                other => panic!("{field}: expected NotFinite, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_or_negative_time_scale_is_rejected() {
+        // c_m is the step's thermal displacement scale — the config-level
+        // analogue of a zero/negative dt.
+        for bad in [0.0, -0.08, 0.5] {
+            let mut c = SimConfig::small_test();
+            c.c_m = bad;
+            assert!(
+                matches!(
+                    c.try_validated(),
+                    Err(ConfigError::OutOfRange { field: "c_m", .. })
+                ),
+                "c_m = {bad} must be out of range"
+            );
+        }
+        let mut c = SimConfig::small_test();
+        c.n_per_cell = 0.0;
+        assert!(matches!(
+            c.try_validated(),
+            Err(ConfigError::OutOfRange {
+                field: "n_per_cell",
+                ..
+            })
+        ));
+        let mut c = SimConfig::small_test();
+        c.mach = -1.0;
+        assert!(matches!(
+            c.try_validated(),
+            Err(ConfigError::OutOfRange { field: "mach", .. })
+        ));
+        let mut c = SimConfig::small_test();
+        c.walls = WallModel::Diffuse { t_wall: -2.0 };
+        assert!(matches!(
+            c.try_validated(),
+            Err(ConfigError::OutOfRange {
+                field: "walls.t_wall",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn tunnel_size_errors_are_typed() {
+        let mut c = SimConfig::small_test();
+        c.tunnel_w = 2;
+        assert!(matches!(
+            c.try_validated(),
+            Err(ConfigError::TunnelTooSmall { w: 2, .. })
+        ));
+        let mut c = SimConfig::small_test();
+        c.tunnel_h = 300;
+        assert!(matches!(
+            c.try_validated(),
+            Err(ConfigError::TunnelTooLarge { h: 300, .. })
+        ));
+    }
+
+    #[test]
+    fn try_validated_accepts_and_normalises_good_configs() {
+        let mut c = SimConfig::small_test();
+        c.reservoir_fill = -1.0; // finite non-positive → defaulted
+        let v = c.try_validated().expect("good config");
+        assert_eq!(v.reservoir_fill, v.n_per_cell);
+        let _ = SimConfig::paper(0.5).try_validated().expect("paper config");
     }
 
     #[test]

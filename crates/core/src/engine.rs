@@ -88,9 +88,38 @@ pub struct Simulation {
     plunger_cycles: u64,
 }
 
+/// Which particle column [`Simulation::inject_fault`] corrupts.
+///
+/// Test/fault-injection surface: each class is crafted so a specific
+/// [`crate::sentinel`] check catches it (see `inject_fault` for the
+/// physics of why).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// Kick the out-of-plane velocity `w` of a block of particles —
+    /// trips the momentum-budget sentinel (and the energy pin in small
+    /// populations) while leaving 2-D advection untouched.
+    OutOfPlaneVelocity,
+    /// Spike one particle's streamwise velocity `u` far past the
+    /// classifier halo — trips the velocity-halo sentinel.
+    StreamwiseVelocity,
+    /// Rotate one particle's cached cell index to a different (still
+    /// in-range) cell — trips the segment-consistency sentinel.
+    CellIndex,
+}
+
 impl Simulation {
     /// Build and initialise a simulation from a configuration.
+    ///
+    /// Panics on an invalid configuration; services that must survive bad
+    /// input use [`Simulation::try_new`].
     pub fn new(cfg: SimConfig) -> Self {
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("invalid SimConfig: {e}"))
+    }
+
+    /// Build and initialise a simulation, reporting configuration
+    /// problems as a typed [`crate::config::ConfigError`] instead of panicking.
+    pub fn try_new(cfg: SimConfig) -> Result<Self, crate::config::ConfigError> {
+        let cfg = cfg.try_validated()?;
         let mut sim = Self::shell(cfg);
         sim.parts = init::populate(
             &sim.cfg,
@@ -102,7 +131,7 @@ impl Simulation {
         sim.decisions.reserve(sim.parts.len());
         // Establish sorted order once so `bounds` is valid before step 1.
         sim.sort_phase();
-        sim
+        Ok(sim)
     }
 
     /// Everything [`Simulation::new`] derives from the configuration alone
@@ -111,8 +140,10 @@ impl Simulation {
     /// this; [`Simulation::resume`] instead installs a snapshot's particle
     /// state verbatim (re-sorting would consume per-particle jitter draws
     /// an uninterrupted run never made, breaking resume bit-identity).
+    /// `cfg` must already be validated/normalised: `try_new` and
+    /// [`Simulation::resume`] both run `try_validated` first and surface
+    /// failures as typed errors.
     fn shell(cfg: SimConfig) -> Self {
-        let cfg = cfg.validated();
         let tunnel = Tunnel::new(cfg.tunnel_w, cfg.tunnel_h);
         let body = cfg.body.build();
         let body_mono = MonoBody::build(&cfg.body);
@@ -627,6 +658,58 @@ impl Simulation {
         self.max_speed_raw
     }
 
+    /// Deterministically corrupt particle state — the fault-injection
+    /// surface for the supervisor test harness.
+    ///
+    /// Each class models a distinct real failure (bit rot in a column,
+    /// a stray write, a stale cache) and is designed so that a specific
+    /// [`crate::sentinel`] check catches it.  The corruption is a pure
+    /// function of `(target, salt, current state)`: no RNG stream is
+    /// consumed, so an uninterrupted reference run and a
+    /// corrupt-then-recover run share trajectories exactly.  Returns a
+    /// human-readable description of what was damaged (for recovery
+    /// logs).
+    pub fn inject_fault(&mut self, target: FaultTarget, salt: u64) -> String {
+        let n = self.parts.len();
+        assert!(n > 0, "cannot inject a fault into an empty simulation");
+        let start = (salt as usize) % n;
+        match target {
+            FaultTarget::OutOfPlaneVelocity => {
+                // +4 cells/step of w over a block: a deterministic
+                // momentum-ledger jolt (and an energy jolt in small
+                // populations).  w does not advect 2-D motion, so the
+                // damage persists until a sentinel looks at the ledgers.
+                const KICK: i32 = 1 << 25;
+                let block = (n / 64).clamp(32.min(n), n);
+                for k in 0..block {
+                    let i = (start + k) % n;
+                    let raw = self.parts.w[i].raw();
+                    self.parts.w[i] = Fx::from_raw(raw.saturating_add(KICK));
+                }
+                format!("w += 4.0 c/s over {block} particles from slot {start}")
+            }
+            FaultTarget::StreamwiseVelocity => {
+                // One particle at 4 c/s streamwise: far past the 3x halo
+                // bound for every registry config, yet slow enough that a
+                // few move phases neither overflow positions nor matter.
+                const SPIKE: i32 = 1 << 25;
+                self.parts.u[start] = Fx::from_raw(SPIKE);
+                format!("u := 4.0 c/s on particle {start}")
+            }
+            FaultTarget::CellIndex => {
+                // Rotate one cached cell index to a different in-range
+                // cell.  The move phase recomputes `cell` from position,
+                // so this class self-heals after one step — inject it at
+                // a sentinel boundary to model a stale cache caught in
+                // the act.
+                let total = self.total_cells();
+                let old = self.parts.cell[start];
+                self.parts.cell[start] = (old + 1) % total;
+                format!("cell {old} -> {} on particle {start}", (old + 1) % total)
+            }
+        }
+    }
+
     /// Reset the timing accumulators (e.g. after warm-up).
     pub fn reset_timings(&mut self) {
         self.timings.reset();
@@ -656,6 +739,13 @@ impl Simulation {
     /// First reservoir cell index.
     pub fn reservoir_base(&self) -> u32 {
         self.res_base
+    }
+
+    /// Total cell count, tunnel plus reservoir box — the exclusive upper
+    /// bound of the `cell` column (what the segment-consistency sentinel
+    /// checks against).
+    pub fn total_cells(&self) -> u32 {
+        self.res_base + self.res.total()
     }
 
     /// The tunnel geometry.

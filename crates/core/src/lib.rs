@@ -65,13 +65,15 @@ pub mod motion;
 pub mod movephase;
 pub mod particles;
 pub mod sample;
+pub mod sentinel;
 pub mod sortstep;
 pub mod surface;
 
-pub use config::{BodySpec, PipelineMode, RngMode, SimConfig};
+pub use config::{BodySpec, ConfigError, PipelineMode, RngMode, SimConfig};
 pub use diag::{Diagnostics, StepTimings, Substep};
-pub use engine::Simulation;
+pub use engine::{FaultTarget, Simulation};
 pub use sample::SampledField;
+pub use sentinel::{Sentinel, SentinelError, SentinelThresholds};
 pub use surface::{SurfaceAccumulator, SurfaceField};
 // The snapshot error/version surface, so downstream crates handle resume
 // failures without a direct dsmc-state dependency.

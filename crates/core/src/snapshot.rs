@@ -152,8 +152,10 @@ impl Simulation {
 
     /// [`Simulation::save_state`] straight to a file.
     pub fn save_state_to(&self, path: impl AsRef<Path>) -> Result<(), StateError> {
-        std::fs::write(path, self.save_state())?;
-        Ok(())
+        // Atomic replacement: a crash mid-save leaves the previous
+        // checkpoint intact instead of a torn file (see STATE.md,
+        // "Crash safety & retention").
+        dsmc_state::store::atomic_write(path, &self.save_state())
     }
 
     /// Rebuild a simulation from a snapshot, verifying the configuration
@@ -168,7 +170,9 @@ impl Simulation {
     /// resume cannot crash the step loop.
     pub fn resume(cfg: SimConfig, bytes: &[u8]) -> Result<Self, StateError> {
         let r = Reader::new(bytes)?;
-        let cfg = cfg.validated();
+        let cfg = cfg
+            .try_validated()
+            .map_err(|e| StateError::InvalidConfig(e.to_string()))?;
         let expected = cfg.fingerprint();
         if r.fingerprint() != expected {
             return Err(StateError::FingerprintMismatch {

@@ -6,6 +6,9 @@
 //! scenarios --all [--quick|--full]
 //! scenarios <name> --checkpoint-every <steps>   # save rolling + settled checkpoints
 //! scenarios <name> --resume <file>              # warm-start from a checkpoint
+//! scenarios <name> --supervise [--ckpt-dir <dir>] [--keep <k>] [--max-recoveries <n>]
+//!     [--sentinel-every <steps>] [--die-at-step <s>] [--truncate-ckpt-at-step <s>]
+//!     [--flip-ckpt-at-step <s>] [--chaos-seed <seed>]
 //! ```
 //!
 //! A QUICK run (the default) compares each golden metric against its
@@ -21,11 +24,27 @@
 //! deterministic, so the warm arm retraces the cold one).  Both flags
 //! apply to steady tunnel cases only; the snapshot's config fingerprint
 //! must match the scenario at the chosen scale.
+//!
+//! `--supervise` runs the case (steady tunnel or startup transient) under
+//! the fault-tolerant supervisor: physics sentinels every
+//! `--sentinel-every` steps, crash-safe rolling checkpoints every
+//! `--checkpoint-every` steps in `--ckpt-dir`, and automatic
+//! restore-and-replay on any fault.  If valid checkpoints from a previous
+//! interrupted invocation exist in `--ckpt-dir`, the run resumes from the
+//! newest one — so `kill -9` + rerun completes the run, bit-exactly.  The
+//! chaos flags schedule deterministic fault injection (`--die-at-step`
+//! simulates a crash, the checkpoint flags damage the newest on-disk
+//! checkpoint, `--chaos-seed` derives a mixed schedule); a supervised run
+//! must finish with the same goldens and `state_hash` as an uninterrupted
+//! one.  The recovery log is written to `BENCH_supervisor_<name>.log`;
+//! exit code 3 means the run was abandoned (recovery budget exhausted).
 
-use dsmc_bench::write_artifact;
+use dsmc_bench::{try_artifact_dir, try_write_artifact};
 use dsmc_flowfield::surface::{ascii_profile, surface_to_csv};
+use dsmc_scenarios::fault::{Fault, FaultPlan};
 use dsmc_scenarios::{
-    outcome_json, registry, run_with, transient_to_csv, RunOptions, RunOutcome, Scale, Scenario,
+    outcome_json, registry, run_supervised, run_with, supervisor_json, RunOptions, RunOutcome,
+    Scale, Scenario, SuperviseError, SuperviseOptions, SupervisorReport,
 };
 
 fn print_list() {
@@ -64,6 +83,9 @@ fn print_outcome(o: &RunOutcome) {
             None => println!("  {:<28} {:>12.4}", m.name, m.value),
         }
     }
+    if let Some(h) = o.state_hash {
+        println!("  {:<28} {h:#018x}", "state_hash");
+    }
     if o.scale == Scale::Quick {
         println!(
             "  -> {}",
@@ -76,6 +98,47 @@ fn print_outcome(o: &RunOutcome) {
     }
 }
 
+/// Write one artifact, downgrading I/O failure to a warning: a full
+/// artifact volume must not turn a finished, passing run into a crash.
+fn record_artifact(name: &str, bytes: &[u8]) {
+    if let Err(e) = try_write_artifact(name, bytes) {
+        eprintln!("warning: artifact {name} not written: {e}");
+    }
+}
+
+fn record_outcome(s: &Scenario, outcome: &RunOutcome, supervisor: Option<&SupervisorReport>) {
+    print_outcome(outcome);
+    let mut j = outcome_json(outcome);
+    if let Some(report) = supervisor {
+        j.obj("supervisor", supervisor_json(report));
+    }
+    record_artifact(
+        &format!("BENCH_scenario_{}.json", s.name),
+        j.pretty().as_bytes(),
+    );
+    // Body-bearing cases: the Cp/Cf/Ch distributions along the surface,
+    // as a CSV artifact (one row per arc-length facet) plus a terminal
+    // profile of Cp.
+    if let Some(surf) = &outcome.surface {
+        record_artifact(
+            &format!("BENCH_surface_{}.csv", s.name),
+            surface_to_csv(surf).as_bytes(),
+        );
+        print!("{}", ascii_profile(surf, &surf.cp, "Cp"));
+    }
+    // Transient cases: the windowed time series, one row per window.
+    if let Some(points) = &outcome.transient {
+        record_artifact(
+            &format!("BENCH_transient_{}.csv", s.name),
+            transient_points_csv(points).as_bytes(),
+        );
+    }
+}
+
+fn transient_points_csv(points: &[dsmc_scenarios::TransientPoint]) -> String {
+    dsmc_scenarios::transient_to_csv(points)
+}
+
 fn run_and_record(s: &Scenario, scale: Scale, opts: &RunOptions) -> bool {
     println!("running {} at {} scale…", s.name, scale.label());
     let outcome = match run_with(s, scale, opts) {
@@ -85,29 +148,56 @@ fn run_and_record(s: &Scenario, scale: Scale, opts: &RunOptions) -> bool {
             std::process::exit(2);
         }
     };
-    print_outcome(&outcome);
-    write_artifact(
-        &format!("BENCH_scenario_{}.json", s.name),
-        outcome_json(&outcome).pretty().as_bytes(),
-    );
-    // Body-bearing cases: the Cp/Cf/Ch distributions along the surface,
-    // as a CSV artifact (one row per arc-length facet) plus a terminal
-    // profile of Cp.
-    if let Some(surf) = &outcome.surface {
-        write_artifact(
-            &format!("BENCH_surface_{}.csv", s.name),
-            surface_to_csv(surf).as_bytes(),
-        );
-        print!("{}", ascii_profile(surf, &surf.cp, "Cp"));
-    }
-    // Transient cases: the windowed time series, one row per window.
-    if let Some(points) = &outcome.transient {
-        write_artifact(
-            &format!("BENCH_transient_{}.csv", s.name),
-            transient_to_csv(points).as_bytes(),
-        );
-    }
+    record_outcome(s, &outcome, None);
     outcome.passed
+}
+
+fn supervise_and_record(s: &Scenario, scale: Scale, opts: &SuperviseOptions) -> bool {
+    println!(
+        "running {} at {} scale under supervision (checkpoints in {})…",
+        s.name,
+        scale.label(),
+        opts.ckpt_dir.display()
+    );
+    match run_supervised(s, scale, opts) {
+        Ok((outcome, report)) => {
+            record_outcome(s, &outcome, Some(&report));
+            println!(
+                "  supervisor: {} ({} recoveries, {} checkpoints)",
+                report.outcome.label(),
+                report.recoveries.len(),
+                report.checkpoints_written
+            );
+            record_artifact(
+                &format!("BENCH_supervisor_{}.log", s.name),
+                report.render_log().as_bytes(),
+            );
+            outcome.passed
+        }
+        Err(SuperviseError::Abandoned(report)) => {
+            eprintln!("run abandoned: recovery budget exhausted");
+            eprint!("{}", report.render_log());
+            record_artifact(
+                &format!("BENCH_supervisor_{}.log", s.name),
+                report.render_log().as_bytes(),
+            );
+            std::process::exit(3);
+        }
+        Err(e) => {
+            eprintln!("cannot supervise {}: {e}", s.name);
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_step(it: &mut std::slice::Iter<'_, String>, flag: &str, usage: &str) -> u64 {
+    match it.next().and_then(|v| v.parse::<u64>().ok()) {
+        Some(v) => v,
+        None => {
+            eprintln!("{flag} needs a non-negative step count\n{usage}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn main() {
@@ -117,8 +207,21 @@ fn main() {
     let mut list = false;
     let mut all = false;
     let mut opts = RunOptions::default();
+    let mut supervise = false;
+    let mut ckpt_dir: Option<String> = None;
+    let mut keep: Option<usize> = None;
+    let mut max_recoveries: Option<u32> = None;
+    let mut checkpoint_every_flag: Option<u64> = None;
+    let mut sentinel_every: Option<u64> = None;
+    let mut die_at: Option<u64> = None;
+    let mut truncate_at: Option<u64> = None;
+    let mut flip_at: Option<u64> = None;
+    let mut chaos_seed: Option<u64> = None;
     let usage = "usage: scenarios --list | scenarios <name>|--all [--quick|--full] \
-                 [--checkpoint-every <steps>] [--resume <file>]";
+                 [--checkpoint-every <steps>] [--resume <file>] | scenarios <name> --supervise \
+                 [--ckpt-dir <dir>] [--keep <k>] [--max-recoveries <n>] [--sentinel-every <steps>] \
+                 [--die-at-step <s>] [--truncate-ckpt-at-step <s>] [--flip-ckpt-at-step <s>] \
+                 [--chaos-seed <seed>]";
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -127,10 +230,33 @@ fn main() {
             "--all" => all = true,
             "--quick" => scale = Scale::Quick,
             "--full" => scale = Scale::Full,
+            "--supervise" => supervise = true,
+            "--ckpt-dir" => match it.next() {
+                Some(d) => ckpt_dir = Some(d.clone()),
+                None => {
+                    eprintln!("--ckpt-dir needs a directory\n{usage}");
+                    std::process::exit(2);
+                }
+            },
+            "--keep" => keep = Some(parse_step(&mut it, "--keep", usage) as usize),
+            "--max-recoveries" => {
+                max_recoveries = Some(parse_step(&mut it, "--max-recoveries", usage) as u32)
+            }
+            "--sentinel-every" => {
+                sentinel_every = Some(parse_step(&mut it, "--sentinel-every", usage))
+            }
+            "--die-at-step" => die_at = Some(parse_step(&mut it, "--die-at-step", usage)),
+            "--truncate-ckpt-at-step" => {
+                truncate_at = Some(parse_step(&mut it, "--truncate-ckpt-at-step", usage))
+            }
+            "--flip-ckpt-at-step" => {
+                flip_at = Some(parse_step(&mut it, "--flip-ckpt-at-step", usage))
+            }
+            "--chaos-seed" => chaos_seed = Some(parse_step(&mut it, "--chaos-seed", usage)),
             "--checkpoint-every" => {
                 let v = it.next().and_then(|v| v.parse::<u64>().ok());
                 match v {
-                    Some(k) if k > 0 => opts.checkpoint_every = Some(k),
+                    Some(k) if k > 0 => checkpoint_every_flag = Some(k),
                     _ => {
                         eprintln!("--checkpoint-every needs a positive step count\n{usage}");
                         std::process::exit(2);
@@ -157,6 +283,7 @@ fn main() {
             name => names.push(name.to_string()),
         }
     }
+    opts.checkpoint_every = checkpoint_every_flag;
 
     if list {
         print_list();
@@ -167,8 +294,12 @@ fn main() {
         std::process::exit(2);
     }
     let checkpointing = opts.checkpoint_every.is_some() || opts.resume_from.is_some();
-    if checkpointing && (all || names.len() != 1) {
-        eprintln!("--checkpoint-every/--resume apply to exactly one named scenario");
+    if (checkpointing || supervise) && (all || names.len() != 1) {
+        eprintln!("--checkpoint-every/--resume/--supervise apply to exactly one named scenario");
+        std::process::exit(2);
+    }
+    if supervise && opts.resume_from.is_some() {
+        eprintln!("--supervise auto-resumes from --ckpt-dir; --resume does not combine with it");
         std::process::exit(2);
     }
 
@@ -180,6 +311,52 @@ fn main() {
     } else {
         for name in &names {
             match dsmc_scenarios::find(name) {
+                Some(s) if supervise => {
+                    let dir = match &ckpt_dir {
+                        Some(d) => std::path::PathBuf::from(d),
+                        None => match try_artifact_dir() {
+                            Ok(d) => d.join(format!("supervisor_{}_{}", s.name, scale.label())),
+                            Err(e) => {
+                                eprintln!("cannot create checkpoint dir: {e}");
+                                std::process::exit(2);
+                            }
+                        },
+                    };
+                    let mut sopts =
+                        SuperviseOptions::new(dir, format!("{}_{}", s.name, scale.label()));
+                    if let Some(k) = checkpoint_every_flag {
+                        sopts.checkpoint_every = k;
+                    }
+                    if let Some(k) = sentinel_every {
+                        sopts.sentinel_every = k;
+                    }
+                    if let Some(k) = keep {
+                        sopts.keep = k;
+                    }
+                    if let Some(n) = max_recoveries {
+                        sopts.max_recoveries = n;
+                    }
+                    let mut plan = match chaos_seed {
+                        Some(seed) => FaultPlan::seeded(
+                            seed,
+                            dsmc_scenarios::supervisor::protocol_total_steps(s, scale)
+                                .unwrap_or(1000),
+                            sopts.sentinel_every,
+                        ),
+                        None => FaultPlan::none(),
+                    };
+                    if let Some(step) = truncate_at {
+                        plan = plan.and(step, Fault::TruncateCheckpoint);
+                    }
+                    if let Some(step) = flip_at {
+                        plan = plan.and(step, Fault::FlipCheckpointByte);
+                    }
+                    if let Some(step) = die_at {
+                        plan = plan.and(step, Fault::Crash);
+                    }
+                    sopts.faults = plan;
+                    ok &= supervise_and_record(s, scale, &sopts);
+                }
                 Some(s) => {
                     if checkpointing && !s.supports_checkpoints() {
                         eprintln!(

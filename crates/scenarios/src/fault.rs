@@ -1,0 +1,209 @@
+//! Deterministic fault injection for the run supervisor.
+//!
+//! A [`FaultPlan`] is a step-indexed schedule of [`Fault`]s, fixed before
+//! the run starts.  Determinism is the whole point: a supervised run with
+//! a plan must converge to the *same* `state_hash` as an uninterrupted
+//! run, and that assertion is only meaningful if the faults land at
+//! reproducible steps.  Each planned fault fires exactly once —
+//! [`FaultPlan::take`] removes it — so replaying past the injection step
+//! after a recovery does not re-injure the run.
+//!
+//! The plan is a test/chaos surface, not production behaviour: an empty
+//! plan ([`FaultPlan::none`]) is the default everywhere, and the
+//! supervisor's handling of *real* faults (torn checkpoint on disk, a
+//! sick simulation) shares the exact code paths these exercise.
+
+use dsmc_engine::FaultTarget;
+
+/// One injectable failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Corrupt a particle column in-memory via
+    /// [`dsmc_engine::Simulation::inject_fault`] — the sentinels must
+    /// catch it and the supervisor must replay from a clean checkpoint.
+    ///
+    /// `CellIndex` faults self-heal after one step (the move phase
+    /// recomputes the column from positions), so schedule them on
+    /// sentinel boundaries; the velocity classes persist and may land
+    /// anywhere.
+    CorruptColumn {
+        /// Which column to damage.
+        target: FaultTarget,
+        /// Deterministic placement salt (selects the victim slot).
+        salt: u64,
+    },
+    /// Simulated hard crash of the step loop: the supervisor abandons
+    /// the in-memory simulation and recovers from disk, exactly as after
+    /// a real `kill -9` + restart (which the integration suite also
+    /// exercises out-of-process).
+    Crash,
+    /// The next due checkpoint save reports an I/O error instead of
+    /// persisting (disk full, volume detached).  The supervisor logs it
+    /// and keeps running on the older retained checkpoints.
+    SaveIoError,
+    /// Truncate the newest on-disk checkpoint to half its length — a
+    /// torn write the recovery scan must step over.
+    TruncateCheckpoint,
+    /// Flip one payload byte in the newest on-disk checkpoint — silent
+    /// media corruption the container checksum must reject.
+    FlipCheckpointByte,
+}
+
+/// A step-stamped [`Fault`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlannedFault {
+    /// Step (0-based boundary, before stepping) at which to fire.
+    pub step: u64,
+    /// What to do.
+    pub fault: Fault,
+}
+
+/// A deterministic, fire-once schedule of faults.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    faults: Vec<PlannedFault>,
+}
+
+impl FaultPlan {
+    /// The empty plan (production default: inject nothing).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Single-fault plan.
+    pub fn at(step: u64, fault: Fault) -> Self {
+        Self {
+            faults: vec![PlannedFault { step, fault }],
+        }
+    }
+
+    /// Add another fault (builder style).
+    pub fn and(mut self, step: u64, fault: Fault) -> Self {
+        self.faults.push(PlannedFault { step, fault });
+        self
+    }
+
+    /// Derive a mixed-class chaos schedule from a seed, for a run of
+    /// `total_steps` with sentinel checks every `sentinel_every` steps.
+    ///
+    /// Pure function of its arguments (splitmix64 over the seed): one
+    /// persistent column corruption in the first half, one checkpoint
+    /// damage in the middle, one crash in the final third, and a
+    /// cell-index corruption pinned to a sentinel boundary.
+    pub fn seeded(seed: u64, total_steps: u64, sentinel_every: u64) -> Self {
+        let mut s = seed;
+        let mut next = move || {
+            // splitmix64: tiny, deterministic, and not a stream the
+            // engine shares, so injection cannot perturb trajectories.
+            s = s.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let span = total_steps.max(8);
+        let in_range = |r: u64, lo: u64, hi: u64| lo + r % (hi - lo).max(1);
+        let r1 = next();
+        let r2 = next();
+        let r3 = next();
+        let r4 = next();
+        let cell_step = {
+            let raw = in_range(next(), span / 4, span / 2);
+            (raw / sentinel_every.max(1)) * sentinel_every.max(1)
+        };
+        Self::at(
+            in_range(r1, span / 8, span / 2),
+            Fault::CorruptColumn {
+                target: FaultTarget::OutOfPlaneVelocity,
+                salt: r2,
+            },
+        )
+        .and(
+            in_range(r3, span / 2, 2 * span / 3),
+            if r3 % 2 == 0 {
+                Fault::TruncateCheckpoint
+            } else {
+                Fault::FlipCheckpointByte
+            },
+        )
+        .and(in_range(r4, 2 * span / 3, span), Fault::Crash)
+        .and(
+            cell_step,
+            Fault::CorruptColumn {
+                target: FaultTarget::CellIndex,
+                salt: r4,
+            },
+        )
+    }
+
+    /// Whether any faults remain unfired.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The planned faults still pending, in insertion order.
+    pub fn pending(&self) -> &[PlannedFault] {
+        &self.faults
+    }
+
+    /// Remove and return every fault scheduled at exactly `step`.  Each
+    /// fault fires once: after a recovery replays past `step`, nothing
+    /// re-fires.
+    pub fn take(&mut self, step: u64) -> Vec<Fault> {
+        let mut fired = Vec::new();
+        self.faults.retain(|p| {
+            if p.step == step {
+                fired.push(p.fault);
+                false
+            } else {
+                true
+            }
+        });
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_fire_exactly_once() {
+        let mut plan = FaultPlan::at(10, Fault::Crash)
+            .and(10, Fault::SaveIoError)
+            .and(
+                20,
+                Fault::CorruptColumn {
+                    target: FaultTarget::OutOfPlaneVelocity,
+                    salt: 3,
+                },
+            );
+        assert!(plan.take(5).is_empty());
+        assert_eq!(plan.take(10), vec![Fault::Crash, Fault::SaveIoError]);
+        assert!(plan.take(10).is_empty(), "no re-fire on replay");
+        assert_eq!(plan.take(20).len(), 1);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_in_range() {
+        let a = FaultPlan::seeded(42, 1000, 25);
+        let b = FaultPlan::seeded(42, 1000, 25);
+        assert_eq!(a.pending(), b.pending());
+        assert_ne!(
+            a.pending(),
+            FaultPlan::seeded(43, 1000, 25).pending(),
+            "different seeds, different schedules"
+        );
+        for p in a.pending() {
+            assert!(p.step < 1000, "fault at {} past end of run", p.step);
+            if let Fault::CorruptColumn {
+                target: FaultTarget::CellIndex,
+                ..
+            } = p.fault
+            {
+                assert_eq!(p.step % 25, 0, "cell faults pin to sentinel boundaries");
+            }
+        }
+    }
+}

@@ -24,12 +24,20 @@
 
 use dsmc_baselines::nanbu::pairwise_step;
 use dsmc_baselines::UniformBox;
-use dsmc_bench::{json, write_artifact};
+use dsmc_bench::json;
 use dsmc_engine::{Diagnostics, SampledField, SimConfig, Simulation, StateError, SurfaceField};
 
+pub mod fault;
 pub mod registry;
+pub mod supervisor;
 
+pub use fault::{Fault, FaultPlan, PlannedFault};
 pub use registry::registry;
+pub use supervisor::{
+    protocol_total_steps, run_supervised, supervise, supervisor_json, Protocol, RecoveryEvent,
+    SuperviseError, SuperviseOptions, SuperviseOutcome, SupervisorReport, TransientProtocol,
+    TunnelProtocol,
+};
 
 /// Run scale of a scenario execution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -273,6 +281,11 @@ pub struct RunOutcome {
     pub n_particles: usize,
     /// Steps taken.
     pub steps: u64,
+    /// Full resume-bit-identity hash of the final simulation state
+    /// (wind-tunnel-backed kinds; `None` for relaxation boxes).  A
+    /// supervised/recovered run must reproduce the uninterrupted run's
+    /// value exactly — the chaos CI job diffs this field.
+    pub state_hash: Option<u64>,
     /// Surface-flux distributions of the averaging window (body-bearing
     /// tunnel cases only); the `scenarios` bin renders these to the
     /// `BENCH_surface_<name>.csv` artifact.
@@ -299,6 +312,19 @@ pub struct RunOptions {
     pub resume_from: Option<Vec<u8>>,
 }
 
+/// Atomically write a checkpoint artifact; an I/O failure is reported
+/// and survived (the run's physics is unaffected and older checkpoints
+/// remain usable), never a panic that kills a long run at its last step.
+pub(crate) fn write_checkpoint_artifact(name: &str, bytes: &[u8]) {
+    let written = dsmc_bench::try_artifact_dir()
+        .map_err(dsmc_engine::StateError::Io)
+        .and_then(|dir| dsmc_state::store::atomic_write(dir.join(name), bytes));
+    match written {
+        Ok(()) => println!("  wrote checkpoint artifact {name}"),
+        Err(e) => eprintln!("warning: checkpoint artifact {name} not written: {e}"),
+    }
+}
+
 /// Step `sim` forward `n` steps, saving the rolling checkpoint artifact
 /// whenever the cadence divides the step counter.
 fn run_checkpointed(sim: &mut Simulation, n: u64, every: Option<u64>, stem: &str) {
@@ -312,7 +338,7 @@ fn run_checkpointed(sim: &mut Simulation, n: u64, every: Option<u64>, stem: &str
                 sim.step();
                 steps += 1;
                 if steps.is_multiple_of(k) {
-                    write_artifact(&format!("{stem}.bin"), &sim.save_state());
+                    write_checkpoint_artifact(&format!("{stem}.bin"), &sim.save_state());
                 }
             }
         }
@@ -328,7 +354,7 @@ fn run_checkpointed(sim: &mut Simulation, n: u64, every: Option<u64>, stem: &str
 /// system-level conservation tests); a value ≥ 1 means the budget is
 /// blown.  Energy per particle is a plain regression metric: the
 /// steady-state value is pinned by the goldens rather than by theory.
-fn conservation_metrics(sim: &Simulation, d0: &Diagnostics) -> Vec<Metric> {
+pub(crate) fn conservation_metrics(sim: &Simulation, d0: &Diagnostics) -> Vec<Metric> {
     let d = sim.diagnostics();
     let count_drift = (d.n_flow + d.n_reservoir) as f64 - (d0.n_flow + d0.n_reservoir) as f64;
     let one = dsmc_fixed::Fx::ONE_RAW as f64;
@@ -367,7 +393,7 @@ pub(crate) fn q_inf(sim: &Simulation) -> f64 {
 /// drag normalised by `q∞` (an effective drag area in cells — divide by a
 /// frontal height for a conventional `C_D`) and the peak Cp anywhere on
 /// the surface.
-fn surface_metrics(sim: &Simulation, surf: &SurfaceField) -> Vec<Metric> {
+pub(crate) fn surface_metrics(sim: &Simulation, surf: &SurfaceField) -> Vec<Metric> {
     let q_inf = q_inf(sim);
     let cp_peak = surf.cp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     vec![
@@ -394,6 +420,7 @@ pub fn run(s: &Scenario, scale: Scale) -> RunOutcome {
 pub fn run_with(s: &Scenario, scale: Scale, opts: &RunOptions) -> Result<RunOutcome, StateError> {
     let t0 = std::time::Instant::now();
     let mut transient = None;
+    let mut state_hash = None;
     let (metrics, n_particles, steps, surface) = match &s.kind {
         CaseKind::Tunnel(t) => {
             let cfg = s.tunnel_config(scale).expect("tunnel case");
@@ -414,7 +441,7 @@ pub fn run_with(s: &Scenario, scale: Scale, opts: &RunOptions) -> Result<RunOutc
                 let remaining = (settle as u64).saturating_sub(d0.steps);
                 run_checkpointed(&mut sim, remaining, opts.checkpoint_every, &stem);
                 if opts.checkpoint_every.is_some() && sim.diagnostics().steps == settle as u64 {
-                    write_artifact(&format!("{stem}_settled.bin"), &sim.save_state());
+                    write_checkpoint_artifact(&format!("{stem}_settled.bin"), &sim.save_state());
                 }
                 sim.begin_sampling();
             }
@@ -428,6 +455,7 @@ pub fn run_with(s: &Scenario, scale: Scale, opts: &RunOptions) -> Result<RunOutc
                 metrics.extend(surface_metrics(&sim, surf));
             }
             metrics.extend((t.extract)(&sim, &field, surface.as_ref()));
+            state_hash = Some(sim.state_hash());
             (metrics, sim.n_particles(), sim.diagnostics().steps, surface)
         }
         CaseKind::Transient(t) => {
@@ -457,6 +485,7 @@ pub fn run_with(s: &Scenario, scale: Scale, opts: &RunOptions) -> Result<RunOutc
             let mut metrics = conservation_metrics(&sim, &d0);
             metrics.extend((t.extract)(&points));
             let (n, steps) = (sim.n_particles(), sim.diagnostics().steps);
+            state_hash = Some(sim.state_hash());
             transient = Some(points);
             (metrics, n, steps, None)
         }
@@ -484,6 +513,7 @@ pub fn run_with(s: &Scenario, scale: Scale, opts: &RunOptions) -> Result<RunOutc
             b.run(tail);
             let resume_exact = a.state_hash() == b.state_hash();
             let mut metrics = conservation_metrics(&a, &d0);
+            state_hash = Some(a.state_hash());
             metrics.extend([
                 // Both pinned at exactly 1.0: restore fidelity at the
                 // checkpoint, and bit-identity after running on.
@@ -541,29 +571,7 @@ pub fn run_with(s: &Scenario, scale: Scale, opts: &RunOptions) -> Result<RunOutc
         }
     };
 
-    // Golden comparison — the goldens are recorded at QUICK scale, so only
-    // a QUICK run is pass/fail.
-    let checks: Vec<CheckResult> = if scale == Scale::Quick {
-        s.golden
-            .iter()
-            .map(|g| {
-                let measured = metrics
-                    .iter()
-                    .find(|m| m.name == g.metric)
-                    .unwrap_or_else(|| panic!("golden references unknown metric {}", g.metric))
-                    .value;
-                CheckResult {
-                    metric: g.metric,
-                    measured,
-                    golden: g.value,
-                    tol: g.tol,
-                    ok: (measured - g.value).abs() <= g.tol,
-                }
-            })
-            .collect()
-    } else {
-        Vec::new()
-    };
+    let checks = check_goldens(s, scale, &metrics);
     Ok(RunOutcome {
         scenario: s.name,
         scale,
@@ -573,9 +581,36 @@ pub fn run_with(s: &Scenario, scale: Scale, opts: &RunOptions) -> Result<RunOutc
         wall_seconds: t0.elapsed().as_secs_f64(),
         n_particles,
         steps,
+        state_hash,
         surface,
         transient,
     })
+}
+
+/// Golden comparison — the goldens are recorded at QUICK scale, so only
+/// a QUICK run is pass/fail (FULL runs yield no checks).  Shared by the
+/// plain runner and the supervisor, which must grade identically.
+pub(crate) fn check_goldens(s: &Scenario, scale: Scale, metrics: &[Metric]) -> Vec<CheckResult> {
+    if scale != Scale::Quick {
+        return Vec::new();
+    }
+    s.golden
+        .iter()
+        .map(|g| {
+            let measured = metrics
+                .iter()
+                .find(|m| m.name == g.metric)
+                .unwrap_or_else(|| panic!("golden references unknown metric {}", g.metric))
+                .value;
+            CheckResult {
+                metric: g.metric,
+                measured,
+                golden: g.value,
+                tol: g.tol,
+                ok: (measured - g.value).abs() <= g.tol,
+            }
+        })
+        .collect()
 }
 
 /// Render a transient time series for the `BENCH_transient_<name>.csv`
@@ -608,6 +643,11 @@ pub fn outcome_json(o: &RunOutcome) -> json::Object {
     j.int("n_particles", o.n_particles as i64);
     j.int("steps", o.steps as i64);
     j.num("wall_seconds", o.wall_seconds);
+    if let Some(h) = o.state_hash {
+        // Hex string: JSON integers are i64 and a u64 hash must survive
+        // a round-trip through any consumer exactly.
+        j.str("state_hash", &format!("{h:#018x}"));
+    }
     let mut jm = json::Object::new();
     for m in &o.metrics {
         jm.num(m.name, m.value);

@@ -1,0 +1,847 @@
+//! Fault-tolerant run supervisor: step, watch, checkpoint, recover.
+//!
+//! The supervisor wraps a scenario's step loop in the machinery an
+//! unattended batch run needs:
+//!
+//! * every `sentinel_every` steps (and always immediately before a
+//!   checkpoint is saved) the armed [`Sentinel`] re-verifies the physics
+//!   invariants, so a sick simulation is detected — and **never
+//!   checkpointed**;
+//! * every `checkpoint_every` steps the full run state (simulation
+//!   snapshot *plus* the protocol journal — baseline diagnostics,
+//!   completed transient windows) is persisted through the crash-safe
+//!   [`CheckpointStore`] (atomic rename, rolling retention);
+//! * on any fault — a sentinel trip, an injected crash, or starting up
+//!   next to a half-finished previous run — it restores the newest
+//!   checkpoint that passes *every* check (container checksum, config
+//!   fingerprint, semantic resume, journal decode, sentinel re-check)
+//!   and replays, falling back to a cold restart when nothing on disk
+//!   survives, under a bounded retry budget with exponential backoff.
+//!
+//! Because stepping is bit-deterministic and sentinels/checkpoints are
+//! read-only (no RNG draws), a recovered run replays the *identical*
+//! trajectory: it must finish with the same golden metrics and
+//! `state_hash` as a run that never faulted.  The integration suite
+//! asserts exactly that for every fault class in [`crate::fault`].
+
+use crate::fault::{Fault, FaultPlan};
+use crate::{
+    check_goldens, conservation_metrics, surface_metrics, CaseKind, RunOutcome, Scale, Scenario,
+    TransientCase, TransientPoint, TunnelCase,
+};
+use dsmc_bench::json;
+use dsmc_engine::sentinel::{Sentinel, SentinelThresholds};
+use dsmc_engine::{ConfigError, Diagnostics, SimConfig, Simulation, StateError};
+use dsmc_state::store::CheckpointStore;
+use dsmc_state::{Cursor, Section, Writer};
+use std::path::PathBuf;
+
+/// Section tag: the embedded simulation snapshot.
+const SEC_SIM: [u8; 4] = *b"SIMS";
+/// Section tag: the protocol journal (baselines + completed windows).
+const SEC_JOURNAL: [u8; 4] = *b"JRNL";
+
+/// How a supervised run is driven and protected.
+#[derive(Clone, Debug)]
+pub struct SuperviseOptions {
+    /// Directory the checkpoint store writes into.
+    pub ckpt_dir: PathBuf,
+    /// Checkpoint file stem (`<stem>.step<N>.ckpt`).
+    pub stem: String,
+    /// Checkpoint cadence in steps (a final checkpoint at the last step
+    /// is always written); clamped to ≥ 1.
+    pub checkpoint_every: u64,
+    /// Sentinel cadence in steps (checks also run before every
+    /// checkpoint save); clamped to ≥ 1.
+    pub sentinel_every: u64,
+    /// Rolling retention: how many checkpoints survive pruning.
+    pub keep: usize,
+    /// Recovery budget: the run is abandoned after this many recoveries.
+    pub max_recoveries: u32,
+    /// First-recovery backoff in milliseconds (doubles per recovery).
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling in milliseconds.
+    pub backoff_cap_ms: u64,
+    /// Sentinel trip thresholds.
+    pub thresholds: SentinelThresholds,
+    /// Deterministic fault schedule (empty in production).
+    pub faults: FaultPlan,
+}
+
+impl SuperviseOptions {
+    /// Production-shaped defaults for a store at `dir`/`stem`.
+    pub fn new(dir: impl Into<PathBuf>, stem: impl Into<String>) -> Self {
+        Self {
+            ckpt_dir: dir.into(),
+            stem: stem.into(),
+            checkpoint_every: 100,
+            sentinel_every: 25,
+            keep: 3,
+            max_recoveries: 5,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 500,
+            thresholds: SentinelThresholds::default(),
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+/// How a supervised run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SuperviseOutcome {
+    /// Ran to the end with no recoveries.
+    Completed,
+    /// Ran to the end after this many recoveries.
+    Recovered(u32),
+    /// Recovery budget exhausted; the run did not finish.
+    Abandoned,
+}
+
+impl SuperviseOutcome {
+    /// Stable lower-case label for reports and artifacts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Completed => "completed",
+            Self::Recovered(_) => "recovered",
+            Self::Abandoned => "abandoned",
+        }
+    }
+}
+
+/// One recovery the supervisor performed.
+#[derive(Clone, Debug)]
+pub struct RecoveryEvent {
+    /// Step the fault was detected at.
+    pub at_step: u64,
+    /// Human-readable cause (sentinel trip text, "injected crash", …).
+    pub cause: String,
+    /// Step of the checkpoint restored from; `None` = cold restart.
+    pub restored_step: Option<u64>,
+    /// Backoff slept before this recovery, in milliseconds.
+    pub backoff_ms: u64,
+}
+
+/// Everything the supervisor observed: the recovery log artifact.
+#[derive(Clone, Debug)]
+pub struct SupervisorReport {
+    /// Final outcome.
+    pub outcome: SuperviseOutcome,
+    /// Every recovery, in order.
+    pub recoveries: Vec<RecoveryEvent>,
+    /// Checkpoints successfully persisted.
+    pub checkpoints_written: u64,
+    /// Checkpoint saves that failed (injected or real I/O errors) — the
+    /// run continues on retained checkpoints.
+    pub save_errors: u64,
+    /// Sentinel check invocations.
+    pub sentinel_checks: u64,
+    /// Step of the checkpoint the run auto-resumed from at startup.
+    pub resumed_at_start: Option<u64>,
+    /// Step count when supervision ended.
+    pub final_step: u64,
+    /// Chronological human-readable log lines.
+    pub log: Vec<String>,
+}
+
+impl SupervisorReport {
+    fn new() -> Self {
+        Self {
+            outcome: SuperviseOutcome::Completed,
+            recoveries: Vec::new(),
+            checkpoints_written: 0,
+            save_errors: 0,
+            sentinel_checks: 0,
+            resumed_at_start: None,
+            final_step: 0,
+            log: Vec::new(),
+        }
+    }
+
+    fn note(&mut self, step: u64, line: impl Into<String>) {
+        self.log.push(format!("step {step:>8}: {}", line.into()));
+    }
+
+    /// Render the chronological log (the CI artifact).
+    pub fn render_log(&self) -> String {
+        let mut out = String::new();
+        for line in &self.log {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "outcome: {} ({} recoveries, {} checkpoints, {} save errors, {} sentinel checks)\n",
+            self.outcome.label(),
+            self.recoveries.len(),
+            self.checkpoints_written,
+            self.save_errors,
+            self.sentinel_checks,
+        ));
+        out
+    }
+}
+
+/// Why supervision could not produce a finished run.
+#[derive(Debug)]
+pub enum SuperviseError {
+    /// This case kind owns its run shape and cannot be supervised.
+    Unsupported(&'static str),
+    /// The configuration failed validation before the run started.
+    Config(ConfigError),
+    /// The checkpoint store itself failed (directory not creatable, …).
+    Store(StateError),
+    /// Recovery budget exhausted; the report carries the full log.
+    Abandoned(Box<SupervisorReport>),
+}
+
+impl std::fmt::Display for SuperviseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Unsupported(what) => write!(f, "cannot supervise: {what}"),
+            Self::Config(e) => write!(f, "invalid configuration: {e}"),
+            Self::Store(e) => write!(f, "checkpoint store failed: {e}"),
+            Self::Abandoned(r) => write!(
+                f,
+                "run abandoned after {} recoveries (budget exhausted)",
+                r.recoveries.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SuperviseError {}
+
+/// The run shape the supervisor drives: how many steps, what happens at
+/// each step boundary (window transitions, baseline capture), and how to
+/// persist/restore the protocol's own state alongside the simulation.
+///
+/// `at_step(sim, s)` is called at every step boundary `s` — including
+/// again at a restored step after recovery — so implementations must be
+/// idempotent: guard window opens on the sampler being absent and window
+/// closes on the journal not already holding that window.
+/// `restore_journal` must be transactional: parse everything into locals
+/// first, commit only on success (a damaged candidate is skipped, and a
+/// partial restore would corrupt the next attempt).
+pub trait Protocol {
+    /// Total steps of the run (the loop visits boundaries `0..=total`).
+    fn total_steps(&self) -> u64;
+    /// Perform boundary-`step` transitions (idempotent).
+    fn at_step(&mut self, sim: &mut Simulation, step: u64);
+    /// Serialise journal state into the checkpoint container.
+    fn export_journal(&self, sec: &mut Section<'_>);
+    /// Replace journal state from a checkpoint container (transactional).
+    fn restore_journal(&mut self, c: &mut Cursor<'_>) -> Result<(), StateError>;
+    /// Forget all journal state (cold restart).
+    fn reset(&mut self);
+}
+
+fn write_diag(sec: &mut Section<'_>, d: &Diagnostics) {
+    sec.u64(d.steps);
+    sec.u64(d.n_flow as u64);
+    sec.u64(d.n_reservoir as u64);
+    sec.u64(d.candidates);
+    sec.u64(d.collisions);
+    sec.u64(d.exited);
+    sec.u64(d.introduced);
+    sec.u64(d.plunger_cycles);
+    // i128 as (low, high) halves — the container has no native i128.
+    sec.u64(d.energy_raw as u64);
+    sec.i64((d.energy_raw >> 64) as i64);
+    sec.vec_i64(&d.momentum_raw);
+}
+
+fn read_diag(c: &mut Cursor<'_>) -> Result<Diagnostics, StateError> {
+    let steps = c.u64()?;
+    let n_flow = c.u64()? as usize;
+    let n_reservoir = c.u64()? as usize;
+    let candidates = c.u64()?;
+    let collisions = c.u64()?;
+    let exited = c.u64()?;
+    let introduced = c.u64()?;
+    let plunger_cycles = c.u64()?;
+    let lo = c.u64()?;
+    let hi = c.i64()?;
+    let energy_raw = ((hi as i128) << 64) | (lo as i128);
+    let momentum = c.vec_i64()?;
+    let momentum_raw: [i64; 5] = momentum
+        .try_into()
+        .map_err(|_| StateError::Malformed("journal momentum must have 5 components"))?;
+    Ok(Diagnostics {
+        steps,
+        n_flow,
+        n_reservoir,
+        candidates,
+        collisions,
+        exited,
+        introduced,
+        plunger_cycles,
+        energy_raw,
+        momentum_raw,
+    })
+}
+
+/// Steady tunnel protocol: settle, open the sampling window, average to
+/// the end.  Journal: the cold-start baseline diagnostics (conservation
+/// metrics are drifts against it).
+pub struct TunnelProtocol {
+    settle: u64,
+    total: u64,
+    /// Baseline captured at step 0 (restored from the journal on
+    /// recovery/startup-resume).
+    pub d0: Option<Diagnostics>,
+}
+
+impl TunnelProtocol {
+    /// Protocol for `case` at `scale`.
+    pub fn new(case: TunnelCase, scale: Scale) -> Self {
+        let (settle, average) = match scale {
+            Scale::Quick => case.quick_steps,
+            Scale::Full => case.full_steps,
+        };
+        Self {
+            settle: settle as u64,
+            total: (settle + average) as u64,
+            d0: None,
+        }
+    }
+}
+
+impl Protocol for TunnelProtocol {
+    fn total_steps(&self) -> u64 {
+        self.total
+    }
+
+    fn at_step(&mut self, sim: &mut Simulation, step: u64) {
+        if step == 0 && self.d0.is_none() {
+            self.d0 = Some(sim.diagnostics());
+        }
+        if step == self.settle && sim.field_sampler().is_none() {
+            sim.begin_sampling();
+        }
+    }
+
+    fn export_journal(&self, sec: &mut Section<'_>) {
+        let d0 = self.d0.expect("journal exported after step 0");
+        write_diag(sec, &d0);
+    }
+
+    fn restore_journal(&mut self, c: &mut Cursor<'_>) -> Result<(), StateError> {
+        let d0 = read_diag(c)?;
+        self.d0 = Some(d0);
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.d0 = None;
+    }
+}
+
+/// Startup-transient protocol: one sampling window every `window_steps`,
+/// each closed into a [`TransientPoint`].  Journal: the baseline
+/// diagnostics plus every completed window (recovery must not re-measure
+/// or lose windows).
+pub struct TransientProtocol {
+    case: TransientCase,
+    windows: u64,
+    /// Baseline captured at step 0.
+    pub d0: Option<Diagnostics>,
+    /// Completed windows so far.
+    pub points: Vec<TransientPoint>,
+}
+
+impl TransientProtocol {
+    /// Protocol for `case` at `scale`.
+    pub fn new(case: TransientCase, scale: Scale) -> Self {
+        let windows = match scale {
+            Scale::Quick => case.quick_windows,
+            Scale::Full => case.full_windows,
+        };
+        Self {
+            case,
+            windows: windows as u64,
+            d0: None,
+            points: Vec::new(),
+        }
+    }
+}
+
+impl Protocol for TransientProtocol {
+    fn total_steps(&self) -> u64 {
+        self.windows * self.case.window_steps as u64
+    }
+
+    fn at_step(&mut self, sim: &mut Simulation, step: u64) {
+        let window = self.case.window_steps as u64;
+        if step == 0 && self.d0.is_none() {
+            self.d0 = Some(sim.diagnostics());
+        }
+        if step > 0 && step.is_multiple_of(window) {
+            // Close the window ending here — unless the journal already
+            // holds it (we are revisiting this boundary after recovery).
+            let idx = (step / window) as usize;
+            if self.points.len() < idx {
+                let field = sim.finish_sampling();
+                let surf = sim.finish_surface_sampling();
+                self.points.push(TransientPoint {
+                    step_end: step,
+                    values: (self.case.probe)(sim, &field, surf.as_ref()),
+                });
+            }
+        }
+        if step < self.total_steps() && step.is_multiple_of(window) && sim.field_sampler().is_none()
+        {
+            sim.begin_sampling();
+        }
+    }
+
+    fn export_journal(&self, sec: &mut Section<'_>) {
+        let d0 = self.d0.expect("journal exported after step 0");
+        write_diag(sec, &d0);
+        sec.u64(self.points.len() as u64);
+        for p in &self.points {
+            sec.u64(p.step_end);
+            sec.u64(p.values.len() as u64);
+            for m in &p.values {
+                sec.vec_u8(m.name.as_bytes());
+                sec.u64(m.value.to_bits());
+            }
+        }
+    }
+
+    fn restore_journal(&mut self, c: &mut Cursor<'_>) -> Result<(), StateError> {
+        let d0 = read_diag(c)?;
+        let n_points = c.u64()? as usize;
+        let mut points = Vec::with_capacity(n_points.min(4096));
+        for _ in 0..n_points {
+            let step_end = c.u64()?;
+            let n_values = c.u64()? as usize;
+            let mut values = Vec::with_capacity(n_values.min(64));
+            for _ in 0..n_values {
+                let name_bytes = c.vec_u8()?;
+                let name = String::from_utf8(name_bytes)
+                    .map_err(|_| StateError::Malformed("journal metric name is not UTF-8"))?;
+                let value = f64::from_bits(c.u64()?);
+                values.push(crate::Metric {
+                    // Probe metric names are &'static in the registry; a
+                    // restored journal re-materialises them.  Leaked
+                    // strings are bounded by windows × metrics per run.
+                    name: Box::leak(name.into_boxed_str()),
+                    value,
+                });
+            }
+            points.push(TransientPoint { step_end, values });
+        }
+        // Commit only after the whole journal parsed.
+        self.d0 = Some(d0);
+        self.points = points;
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.d0 = None;
+        self.points.clear();
+    }
+}
+
+enum CheckpointDamage {
+    Truncate,
+    FlipByte,
+}
+
+fn damage_newest(store: &CheckpointStore, kind: CheckpointDamage) -> String {
+    let Some((step, path)) = store.candidates().ok().and_then(|c| c.into_iter().next()) else {
+        return "no checkpoint on disk to damage".into();
+    };
+    let Ok(bytes) = std::fs::read(&path) else {
+        return format!("could not read checkpoint at step {step} to damage it");
+    };
+    match kind {
+        CheckpointDamage::Truncate => {
+            let _ = std::fs::write(&path, &bytes[..bytes.len() / 2]);
+            format!("truncated checkpoint at step {step} to half length")
+        }
+        CheckpointDamage::FlipByte => {
+            let mut bytes = bytes;
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x01;
+            let _ = std::fs::write(&path, &bytes);
+            format!("flipped a byte in checkpoint at step {step}")
+        }
+    }
+}
+
+fn save_checkpoint(
+    store: &CheckpointStore,
+    cfg: &SimConfig,
+    sim: &Simulation,
+    protocol: &dyn Protocol,
+    step: u64,
+) -> Result<(), StateError> {
+    let mut w = Writer::new(cfg.fingerprint());
+    {
+        let mut sec = w.section(SEC_SIM);
+        sec.vec_u8(&sim.save_state());
+    }
+    {
+        let mut sec = w.section(SEC_JOURNAL);
+        protocol.export_journal(&mut sec);
+    }
+    store.save(step, &w.finish()).map(|_| ())
+}
+
+/// Walk the store newest-to-oldest and return the first checkpoint that
+/// survives *every* gate: container checksum, config fingerprint,
+/// semantic simulation resume, journal decode, and (when armed) a
+/// sentinel re-check of the restored state.  Damaged candidates are
+/// logged and skipped.
+fn try_restore(
+    store: &CheckpointStore,
+    cfg: &SimConfig,
+    protocol: &mut dyn Protocol,
+    sentinel: Option<&Sentinel>,
+    report: &mut SupervisorReport,
+) -> Option<(u64, Simulation)> {
+    for (step, path) in store.candidates().unwrap_or_default() {
+        let Ok(bytes) = std::fs::read(&path) else {
+            report.note(step, "recovery: candidate unreadable, skipping");
+            continue;
+        };
+        let restored = (|| -> Result<Simulation, StateError> {
+            let r = dsmc_state::Reader::new(&bytes)?;
+            if r.fingerprint() != cfg.fingerprint() {
+                return Err(StateError::FingerprintMismatch {
+                    stored: r.fingerprint(),
+                    expected: cfg.fingerprint(),
+                });
+            }
+            let mut c = r.section(SEC_SIM)?;
+            let sim_bytes = c.vec_u8()?;
+            c.done()?;
+            let sim = Simulation::resume(cfg.clone(), &sim_bytes)?;
+            let mut jc = r.section(SEC_JOURNAL)?;
+            protocol.restore_journal(&mut jc)?;
+            jc.done()?;
+            Ok(sim)
+        })();
+        match restored {
+            Ok(sim) => {
+                if let Some(sen) = sentinel {
+                    if let Err(e) = sen.check(&sim) {
+                        report.note(
+                            step,
+                            format!("recovery: candidate fails sentinel ({e}), skipping"),
+                        );
+                        continue;
+                    }
+                }
+                return Some((sim.diagnostics().steps, sim));
+            }
+            Err(e) => {
+                report.note(step, format!("recovery: candidate invalid ({e}), skipping"));
+            }
+        }
+    }
+    None
+}
+
+/// Drive `protocol` over a fresh or auto-resumed simulation of `cfg`
+/// under full supervision.  On success the simulation has completed
+/// every step of the protocol (windows still open where the protocol
+/// leaves them open — the caller extracts metrics exactly as an
+/// unsupervised run would).
+pub fn supervise(
+    cfg: &SimConfig,
+    protocol: &mut dyn Protocol,
+    opts: &SuperviseOptions,
+) -> Result<(Simulation, SupervisorReport), SuperviseError> {
+    let cfg = cfg
+        .clone()
+        .try_validated()
+        .map_err(SuperviseError::Config)?;
+    let store = CheckpointStore::new(&opts.ckpt_dir, &*opts.stem, opts.keep)
+        .map_err(SuperviseError::Store)?;
+    let ckpt_every = opts.checkpoint_every.max(1);
+    let sentinel_every = opts.sentinel_every.max(1);
+    let total = protocol.total_steps();
+    let mut report = SupervisorReport::new();
+    let mut faults = opts.faults.clone();
+
+    // Startup: adopt a half-finished previous run if a valid checkpoint
+    // survives (the crash-recovery path after kill -9), else cold-start.
+    let mut sim = match try_restore(&store, &cfg, protocol, None, &mut report) {
+        Some((step, sim)) => {
+            report.resumed_at_start = Some(step);
+            report.note(step, "startup: resumed from checkpoint");
+            sim
+        }
+        None => {
+            protocol.reset();
+            Simulation::try_new(cfg.clone()).map_err(SuperviseError::Config)?
+        }
+    };
+    let sentinel = Sentinel::arm_with(&sim, opts.thresholds);
+    let mut s = sim.diagnostics().steps;
+    let mut fail_next_save = false;
+
+    loop {
+        protocol.at_step(&mut sim, s);
+
+        // Fire any faults planned for this boundary (each fires once).
+        let mut crash = false;
+        for f in faults.take(s) {
+            match f {
+                Fault::CorruptColumn { target, salt } => {
+                    let what = sim.inject_fault(target, salt);
+                    report.note(s, format!("injected column corruption: {what}"));
+                }
+                Fault::Crash => {
+                    crash = true;
+                    report.note(s, "injected crash");
+                }
+                Fault::SaveIoError => {
+                    fail_next_save = true;
+                    report.note(s, "injected I/O error armed for next checkpoint save");
+                }
+                Fault::TruncateCheckpoint => {
+                    let what = damage_newest(&store, CheckpointDamage::Truncate);
+                    report.note(s, format!("injected: {what}"));
+                }
+                Fault::FlipCheckpointByte => {
+                    let what = damage_newest(&store, CheckpointDamage::FlipByte);
+                    report.note(s, format!("injected: {what}"));
+                }
+            }
+        }
+
+        let due_ckpt = (s > 0 && s.is_multiple_of(ckpt_every)) || s == total;
+        // A corrupt state must never be checkpointed: every save is
+        // preceded by a sentinel check, whatever the sentinel cadence.
+        let due_sentinel = s.is_multiple_of(sentinel_every) || due_ckpt;
+
+        let mut fault_cause: Option<String> = None;
+        if due_sentinel {
+            report.sentinel_checks += 1;
+            if let Err(e) = sentinel.check(&sim) {
+                fault_cause = Some(format!("sentinel trip: {e}"));
+            }
+        }
+
+        if fault_cause.is_none() && due_ckpt {
+            if fail_next_save {
+                fail_next_save = false;
+                report.save_errors += 1;
+                report.note(
+                    s,
+                    "checkpoint save failed (injected I/O error); continuing on retained checkpoints",
+                );
+            } else {
+                match save_checkpoint(&store, &cfg, &sim, protocol, s) {
+                    Ok(()) => {
+                        report.checkpoints_written += 1;
+                    }
+                    Err(e) => {
+                        // A failed save is not fatal: older retained
+                        // checkpoints still cover recovery.
+                        report.save_errors += 1;
+                        report.note(s, format!("checkpoint save failed ({e}); continuing"));
+                    }
+                }
+            }
+        }
+
+        if fault_cause.is_none() && crash {
+            fault_cause = Some("injected crash".into());
+        }
+
+        if let Some(cause) = fault_cause {
+            let n = report.recoveries.len() as u32 + 1;
+            if n > opts.max_recoveries {
+                report.note(s, format!("{cause}; recovery budget exhausted, abandoning"));
+                report.outcome = SuperviseOutcome::Abandoned;
+                report.final_step = s;
+                return Err(SuperviseError::Abandoned(Box::new(report)));
+            }
+            let backoff_ms = opts
+                .backoff_base_ms
+                .saturating_mul(1u64 << (n - 1).min(16))
+                .min(opts.backoff_cap_ms);
+            std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+            let restored = try_restore(&store, &cfg, protocol, Some(&sentinel), &mut report);
+            let (restored_step, new_s) = match restored {
+                Some((step, restored_sim)) => {
+                    sim = restored_sim;
+                    report.note(
+                        s,
+                        format!("{cause}; recovered to checkpoint at step {step}"),
+                    );
+                    (Some(step), step)
+                }
+                None => {
+                    protocol.reset();
+                    sim = Simulation::try_new(cfg.clone()).map_err(SuperviseError::Config)?;
+                    report.note(s, format!("{cause}; no valid checkpoint, cold restart"));
+                    (None, 0)
+                }
+            };
+            report.recoveries.push(RecoveryEvent {
+                at_step: s,
+                cause,
+                restored_step,
+                backoff_ms,
+            });
+            s = new_s;
+            continue;
+        }
+
+        if s == total {
+            break;
+        }
+        sim.step();
+        s += 1;
+    }
+
+    report.final_step = s;
+    report.outcome = match report.recoveries.len() as u32 {
+        0 => SuperviseOutcome::Completed,
+        n => SuperviseOutcome::Recovered(n),
+    };
+    Ok((sim, report))
+}
+
+/// Run a scenario under supervision and produce the same [`RunOutcome`]
+/// an unsupervised [`crate::run_with`] would — identical metrics, golden
+/// checks, and `state_hash` — plus the supervisor's report.
+///
+/// Supported kinds: steady tunnel and startup-transient cases (the
+/// restart and relaxation kinds own their run shapes).
+pub fn run_supervised(
+    s: &Scenario,
+    scale: Scale,
+    opts: &SuperviseOptions,
+) -> Result<(RunOutcome, SupervisorReport), SuperviseError> {
+    let t0 = std::time::Instant::now();
+    let cfg = s.tunnel_config(scale).ok_or(SuperviseError::Unsupported(
+        "relaxation boxes have no step loop to supervise",
+    ))?;
+    match &s.kind {
+        CaseKind::Tunnel(t) => {
+            let mut protocol = TunnelProtocol::new(*t, scale);
+            let (mut sim, report) = supervise(&cfg, &mut protocol, opts)?;
+            let d0 = protocol.d0.expect("tunnel protocol captured its baseline");
+            let field = sim.finish_sampling();
+            let surface = sim.finish_surface_sampling();
+            let mut metrics = conservation_metrics(&sim, &d0);
+            if let Some(surf) = &surface {
+                metrics.extend(surface_metrics(&sim, surf));
+            }
+            metrics.extend((t.extract)(&sim, &field, surface.as_ref()));
+            let checks = check_goldens(s, scale, &metrics);
+            let outcome = RunOutcome {
+                scenario: s.name,
+                scale,
+                passed: checks.iter().all(|c| c.ok),
+                metrics,
+                checks,
+                wall_seconds: t0.elapsed().as_secs_f64(),
+                n_particles: sim.n_particles(),
+                steps: sim.diagnostics().steps,
+                state_hash: Some(sim.state_hash()),
+                surface,
+                transient: None,
+            };
+            Ok((outcome, report))
+        }
+        CaseKind::Transient(t) => {
+            let mut protocol = TransientProtocol::new(*t, scale);
+            let (sim, report) = supervise(&cfg, &mut protocol, opts)?;
+            let d0 = protocol
+                .d0
+                .expect("transient protocol captured its baseline");
+            let mut metrics = conservation_metrics(&sim, &d0);
+            metrics.extend((t.extract)(&protocol.points));
+            let checks = check_goldens(s, scale, &metrics);
+            let outcome = RunOutcome {
+                scenario: s.name,
+                scale,
+                passed: checks.iter().all(|c| c.ok),
+                metrics,
+                checks,
+                wall_seconds: t0.elapsed().as_secs_f64(),
+                n_particles: sim.n_particles(),
+                steps: sim.diagnostics().steps,
+                state_hash: Some(sim.state_hash()),
+                surface: None,
+                transient: Some(protocol.points),
+            };
+            Ok((outcome, report))
+        }
+        CaseKind::Restart(_) => Err(SuperviseError::Unsupported(
+            "restart cases drive save/resume themselves",
+        )),
+        CaseKind::Relax(_) => Err(SuperviseError::Unsupported(
+            "relaxation boxes have no step loop to supervise",
+        )),
+    }
+}
+
+/// Total protocol steps a supervised run of `s` at `scale` takes
+/// (`None` for kinds the supervisor does not drive) — what seeded fault
+/// plans scale their schedules to.
+pub fn protocol_total_steps(s: &Scenario, scale: Scale) -> Option<u64> {
+    match &s.kind {
+        CaseKind::Tunnel(t) => {
+            let (settle, average) = match scale {
+                Scale::Quick => t.quick_steps,
+                Scale::Full => t.full_steps,
+            };
+            Some((settle + average) as u64)
+        }
+        CaseKind::Transient(t) => {
+            let windows = match scale {
+                Scale::Quick => t.quick_windows,
+                Scale::Full => t.full_windows,
+            };
+            Some((windows * t.window_steps) as u64)
+        }
+        CaseKind::Restart(_) | CaseKind::Relax(_) => None,
+    }
+}
+
+/// Serialise a report for the scenario JSON artifact.
+pub fn supervisor_json(r: &SupervisorReport) -> json::Object {
+    let mut j = json::Object::new();
+    j.str("outcome", r.outcome.label());
+    j.int("recoveries", r.recoveries.len() as i64);
+    j.int("checkpoints_written", r.checkpoints_written as i64);
+    j.int("save_errors", r.save_errors as i64);
+    j.int("sentinel_checks", r.sentinel_checks as i64);
+    j.int("final_step", r.final_step as i64);
+    match r.resumed_at_start {
+        Some(step) => {
+            j.int("resumed_at_start", step as i64);
+        }
+        None => {
+            j.bool("resumed_at_start", false);
+        }
+    }
+    let events = r
+        .recoveries
+        .iter()
+        .map(|e| {
+            let mut je = json::Object::new();
+            je.int("at_step", e.at_step as i64);
+            je.str("cause", &e.cause);
+            match e.restored_step {
+                Some(step) => {
+                    je.int("restored_step", step as i64);
+                }
+                None => {
+                    je.str("restored_step", "cold-restart");
+                }
+            }
+            je.int("backoff_ms", e.backoff_ms as i64);
+            je
+        })
+        .collect();
+    j.obj_array("recovery_events", events);
+    j
+}

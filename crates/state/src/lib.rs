@@ -51,6 +51,8 @@
 
 #![warn(missing_docs)]
 
+pub mod store;
+
 use std::fmt;
 
 /// Version of the container + section layout.  Bump on ANY change to the
@@ -94,6 +96,9 @@ pub enum StateError {
     /// The container framing is intact but a payload violates a semantic
     /// invariant (mismatched lengths, out-of-range values, …).
     Malformed(&'static str),
+    /// The configuration offered at resume failed its own validation, so
+    /// no fingerprint comparison is even meaningful.
+    InvalidConfig(String),
     /// Underlying file I/O failed (load/save helpers only).
     Io(std::io::Error),
 }
@@ -124,6 +129,9 @@ impl fmt::Display for StateError {
                 write!(f, "section '{}' payload shorter than its schema", tag(t))
             }
             StateError::Malformed(what) => write!(f, "malformed snapshot payload: {what}"),
+            StateError::InvalidConfig(why) => {
+                write!(f, "resume configuration is invalid: {why}")
+            }
             StateError::Io(e) => write!(f, "snapshot i/o: {e}"),
         }
     }
@@ -332,6 +340,13 @@ impl Section<'_> {
             self.i64(v);
         }
     }
+
+    /// Append a length-prefixed opaque byte blob (e.g. a nested
+    /// container).
+    pub fn vec_u8(&mut self, vs: &[u8]) {
+        self.u64(vs.len() as u64);
+        self.bytes(vs);
+    }
 }
 
 impl Drop for Section<'_> {
@@ -473,7 +488,8 @@ impl Cursor<'_> {
     fn vec_len(&mut self, elem_bytes: usize) -> Result<usize, StateError> {
         let n = self.u64()? as usize;
         if n.checked_mul(elem_bytes)
-            .is_none_or(|b| self.at + b > self.buf.len())
+            .and_then(|b| self.at.checked_add(b))
+            .is_none_or(|end| end > self.buf.len())
         {
             return Err(StateError::SectionOverrun(self.tag));
         }
@@ -508,6 +524,12 @@ impl Cursor<'_> {
     pub fn vec_i64(&mut self) -> Result<Vec<i64>, StateError> {
         let n = self.vec_len(8)?;
         (0..n).map(|_| self.i64()).collect()
+    }
+
+    /// Read a length-prefixed opaque byte blob.
+    pub fn vec_u8(&mut self) -> Result<Vec<u8>, StateError> {
+        let n = self.vec_len(1)?;
+        Ok(self.take(n)?.to_vec())
     }
 
     /// Assert the whole payload was consumed — a schema/length mismatch
@@ -667,6 +689,32 @@ mod tests {
         h.write(b"foo");
         h.write(b"bar");
         assert_eq!(h.finish(), fnv1a64(b"foobar"));
+    }
+
+    #[test]
+    fn byte_blobs_round_trip_and_bound_check() {
+        let mut w = Writer::new(1);
+        {
+            let mut s = w.section(*b"BLOB");
+            s.vec_u8(b"nested bytes");
+            s.u32(9);
+        }
+        let bytes = w.finish();
+        let r = Reader::new(&bytes).unwrap();
+        let mut c = r.section(*b"BLOB").unwrap();
+        assert_eq!(c.vec_u8().unwrap(), b"nested bytes");
+        assert_eq!(c.u32().unwrap(), 9);
+        c.done().unwrap();
+        // A lying blob length must be a typed overrun, not an allocation.
+        let mut w = Writer::new(1);
+        {
+            let mut s = w.section(*b"BLOB");
+            s.u64(u64::MAX);
+        }
+        let bytes = w.finish();
+        let r = Reader::new(&bytes).unwrap();
+        let mut c = r.section(*b"BLOB").unwrap();
+        assert!(matches!(c.vec_u8(), Err(StateError::SectionOverrun(_))));
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Crash-safe checkpoint persistence: atomic writes, rolling retention,
+//! and the newest-to-oldest recovery scan.
+//!
+//! The container format ([`crate::Reader`]) already makes *detection*
+//! airtight — any torn write, truncation or bit flip fails the trailing
+//! checksum.  This module adds the other half of crash safety:
+//!
+//! * **Atomic replacement.**  [`atomic_write`] writes to a temporary file
+//!   in the same directory, `fsync`s it, then `rename`s over the target
+//!   (and best-effort-syncs the directory so the rename itself survives a
+//!   power cut).  A reader therefore only ever observes the old complete
+//!   file or the new complete file, never a partial one.
+//! * **Rolling retention.**  [`CheckpointStore`] names checkpoints
+//!   `<stem>.step<N>.ckpt` with a zero-padded step so lexical order is
+//!   numeric order, and prunes to the newest `keep` files after every
+//!   save.  Retention > 1 is what makes recovery robust: if the *newest*
+//!   checkpoint is damaged (crash mid-rename on a filesystem without
+//!   atomic rename, cosmic-ray bit flip at rest), an older intact one is
+//!   still on disk.
+//! * **Recovery scan.**  [`CheckpointStore::candidates`] lists surviving
+//!   checkpoints newest first; [`CheckpointStore::find_latest_valid`]
+//!   walks that order and returns the first file whose container validates
+//!   end to end, skipping damaged ones.  Callers with stronger semantic
+//!   checks (a simulation resume, say) walk `candidates` themselves and
+//!   apply their own validation per file.
+//!
+//! The store knows nothing about what the bytes mean — it persists opaque,
+//! self-validating containers.  `STATE.md` documents the on-disk contract.
+
+use crate::{Reader, StateError};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Write `bytes` to `path` atomically: temp file in the same directory,
+/// flush + `fsync`, then rename over the target.
+///
+/// After this returns `Ok`, the file at `path` is the complete new
+/// content; if the process dies at any point before that, `path` still
+/// holds its previous content (or remains absent).  The directory entry
+/// is synced best-effort after the rename — on filesystems where that
+/// fails the rename is still atomic, merely not yet durable.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), StateError> {
+    let path = path.as_ref();
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path.file_name().ok_or(StateError::Malformed(
+        "atomic_write target has no file name",
+    ))?;
+    let mut tmp = PathBuf::from(path);
+    tmp.set_file_name({
+        let mut n = std::ffi::OsString::from(".");
+        n.push(file_name);
+        n.push(".tmp");
+        n
+    });
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(StateError::Io(e));
+    }
+    // Durability of the rename itself: sync the directory entry.  Some
+    // filesystems refuse to open a directory for writing; atomicity does
+    // not depend on this, so failure here is not an error.
+    if let Some(dir) = dir {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// A rolling, crash-safe set of step-stamped checkpoint files in one
+/// directory.
+///
+/// Files are named `<stem>.step<N>.ckpt` with `N` zero-padded to 12
+/// digits; the newest `keep` are retained, older ones pruned after each
+/// save.  Every write goes through [`atomic_write`].
+#[derive(Clone, Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    stem: String,
+    keep: usize,
+}
+
+impl CheckpointStore {
+    /// Open (creating the directory if needed) a store rooted at `dir`
+    /// for checkpoints named after `stem`, retaining the newest `keep`
+    /// files (`keep` is clamped to at least 1).
+    pub fn new(
+        dir: impl Into<PathBuf>,
+        stem: impl Into<String>,
+        keep: usize,
+    ) -> Result<Self, StateError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            stem: stem.into(),
+            keep: keep.max(1),
+        })
+    }
+
+    /// Directory the store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The on-disk path a checkpoint at `step` uses.
+    pub fn path_for(&self, step: u64) -> PathBuf {
+        self.dir.join(format!("{}.step{step:012}.ckpt", self.stem))
+    }
+
+    /// Atomically persist a checkpoint for `step`, then prune retention.
+    /// Returns the final path.
+    pub fn save(&self, step: u64, bytes: &[u8]) -> Result<PathBuf, StateError> {
+        let path = self.path_for(step);
+        atomic_write(&path, bytes)?;
+        self.prune()?;
+        Ok(path)
+    }
+
+    /// Delete all but the newest `keep` checkpoints.
+    pub fn prune(&self) -> Result<(), StateError> {
+        let all = self.candidates()?;
+        for (_, path) in all.iter().skip(self.keep) {
+            // Retention is best-effort: a file another process already
+            // removed is not an error.
+            let _ = fs::remove_file(path);
+        }
+        Ok(())
+    }
+
+    /// Surviving checkpoints as `(step, path)`, **newest first**.  Only
+    /// files matching this store's naming scheme are listed; damaged
+    /// content is not detected here (see [`Self::find_latest_valid`]).
+    pub fn candidates(&self) -> Result<Vec<(u64, PathBuf)>, StateError> {
+        let prefix = format!("{}.step", self.stem);
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(rest) = name.strip_prefix(&prefix) else {
+                continue;
+            };
+            let Some(digits) = rest.strip_suffix(".ckpt") else {
+                continue;
+            };
+            let Ok(step) = digits.parse::<u64>() else {
+                continue;
+            };
+            out.push((step, entry.path()));
+        }
+        out.sort_unstable_by_key(|&(step, _)| std::cmp::Reverse(step));
+        Ok(out)
+    }
+
+    /// Walk [`Self::candidates`] newest to oldest and return the first
+    /// checkpoint whose container validates end to end (magic, version,
+    /// framing, checksum), as `(step, path, bytes)`.  Damaged or
+    /// unreadable files are skipped, not errors; `None` means no valid
+    /// checkpoint survives.
+    pub fn find_latest_valid(&self) -> Result<Option<(u64, PathBuf, Vec<u8>)>, StateError> {
+        for (step, path) in self.candidates()? {
+            let Ok(bytes) = fs::read(&path) else { continue };
+            if Reader::new(&bytes).is_ok() {
+                return Ok(Some((step, path, bytes)));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Writer;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dsmc_store_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn snapshot(fingerprint: u64) -> Vec<u8> {
+        let mut w = Writer::new(fingerprint);
+        {
+            let mut s = w.section(*b"DATA");
+            s.vec_u32(&[1, 2, 3, fingerprint as u32]);
+        }
+        w.finish()
+    }
+
+    #[test]
+    fn atomic_write_replaces_content_completely() {
+        let dir = tmp_dir("atomic");
+        let path = dir.join("x.ckpt");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer");
+        // No temp litter left behind.
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["x.ckpt".to_string()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_keeps_only_the_newest_k() {
+        let dir = tmp_dir("retain");
+        let store = CheckpointStore::new(&dir, "run", 3).unwrap();
+        for step in [10, 20, 30, 40, 50] {
+            store.save(step, &snapshot(step)).unwrap();
+        }
+        let steps: Vec<u64> = store.candidates().unwrap().iter().map(|c| c.0).collect();
+        assert_eq!(steps, vec![50, 40, 30], "newest first, pruned to keep=3");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_scan_skips_damaged_checkpoints() {
+        let dir = tmp_dir("scan");
+        let store = CheckpointStore::new(&dir, "run", 5).unwrap();
+        for step in [100, 200, 300] {
+            store.save(step, &snapshot(step)).unwrap();
+        }
+        // Newest truncated (torn write), next byte-flipped: the scan must
+        // land on step 100.
+        let p300 = store.path_for(300);
+        let bytes = fs::read(&p300).unwrap();
+        fs::write(&p300, &bytes[..bytes.len() / 2]).unwrap();
+        let p200 = store.path_for(200);
+        let mut bytes = fs::read(&p200).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        fs::write(&p200, &bytes).unwrap();
+
+        let (step, _, payload) = store.find_latest_valid().unwrap().expect("100 survives");
+        assert_eq!(step, 100);
+        assert_eq!(Reader::new(&payload).unwrap().fingerprint(), 100);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_or_alien_directories_yield_no_candidates() {
+        let dir = tmp_dir("alien");
+        let store = CheckpointStore::new(&dir, "run", 2).unwrap();
+        assert!(store.find_latest_valid().unwrap().is_none());
+        // Files that do not match the scheme are ignored.
+        fs::write(dir.join("README"), b"hi").unwrap();
+        fs::write(dir.join("run.stepXYZ.ckpt"), b"junk").unwrap();
+        fs::write(dir.join("other.step000000000001.ckpt"), b"junk").unwrap();
+        assert!(store.candidates().unwrap().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keep_is_clamped_to_one() {
+        let dir = tmp_dir("clamp");
+        let store = CheckpointStore::new(&dir, "run", 0).unwrap();
+        store.save(1, &snapshot(1)).unwrap();
+        store.save(2, &snapshot(2)).unwrap();
+        let steps: Vec<u64> = store.candidates().unwrap().iter().map(|c| c.0).collect();
+        assert_eq!(steps, vec![2]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

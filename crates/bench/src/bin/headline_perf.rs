@@ -16,7 +16,7 @@
 use dsmc_baselines::SerialSim;
 use dsmc_bench::{json, report, write_artifact, RunScale};
 use dsmc_datapar::pack_pair;
-use dsmc_engine::{BodySpec, PipelineMode, SimConfig, Simulation, StepTimings};
+use dsmc_engine::{BodySpec, Engine, PipelineMode, SimConfig, Simulation, StepTimings};
 use dsmc_fixed::Fx;
 use dsmc_rng::XorShift32;
 use std::time::Instant;
@@ -166,6 +166,30 @@ fn pair_build_ab(n: usize) -> (f64, f64) {
     (ns_generic, ns_special)
 }
 
+/// Wall-clock step cost of the sharded domain-decomposition engine at
+/// shard counts {1, 2, 4} (shard count 1 routes to the single-domain
+/// `Simulation` and is the baseline), interleaved windows so shared-host
+/// drift cancels.  Returns `(shards, seconds_per_step)` per count.
+fn shard_ab(cfg: &SimConfig, warm: usize, measure: usize) -> [(usize, f64); 3] {
+    let window = (measure / WINDOWS).max(5);
+    let mut engines: Vec<(usize, Engine, f64)> = [1usize, 2, 4]
+        .iter()
+        .map(|&s| (s, Engine::new(cfg.clone(), s), 0.0))
+        .collect();
+    for (_, e, _) in engines.iter_mut() {
+        e.run(warm);
+    }
+    for _ in 0..WINDOWS {
+        for (_, e, secs) in engines.iter_mut() {
+            let t0 = Instant::now();
+            e.run(window);
+            *secs += t0.elapsed().as_secs_f64();
+        }
+    }
+    let steps = (WINDOWS * window) as f64;
+    core::array::from_fn(|i| (engines[i].0, engines[i].2 / steps))
+}
+
 fn main() {
     let scale = RunScale::from_args();
     println!("== PERF-H: parallel engine vs serial comparator ==");
@@ -185,6 +209,7 @@ fn main() {
     let t_par = step_fused * 1e6 / n_flow as f64;
 
     // Serial comparator (same physics, one core).
+    let cfg_shard = cfg.clone();
     let mut ser = SerialSim::new(cfg);
     ser.run(warm);
     let n_flow_s = ser.n_flow();
@@ -342,6 +367,34 @@ fn main() {
     let (ct_f, ct_t, cs_f, cs_t, c_n) = scenario_ab(cyl, warm / 2, (measure / 2).max(20));
     let r_cyl = scen_json("cylinder", &ct_f, &ct_t, cs_f, cs_t, c_n, &mut scen);
     j.obj("move_side", scen);
+
+    // The sharded-engine baseline (SHARDING.md, "Performance honesty"):
+    // bit-identical physics at shard counts {1, 2, 4} on the wedge
+    // workload, recorded as the honest ratio against the single-domain
+    // engine on whatever cores this host has.  On the 1-vCPU container
+    // the exchange/merge overhead makes the ratio < 1 by construction;
+    // the keys exist so a real multi-core measurement lands next to the
+    // number it replaces.  Not part of the `--check-floor` gate.
+    let shard_res = shard_ab(&cfg_shard, warm / 2, (measure / 2).max(20));
+    let base_step = shard_res[0].1;
+    let mut sh = json::Object::new();
+    sh.int("threads", rayon::current_num_threads() as i64);
+    for (s, per_step) in shard_res {
+        let mut o = json::Object::new();
+        o.num("steps_per_sec", 1.0 / per_step);
+        o.num("ratio_vs_single_domain", base_step / per_step);
+        sh.obj(&format!("shard{s}"), o);
+        report(
+            &format!("sharded engine, {s} shard(s)"),
+            "n/a (bit-identical physics)",
+            &format!(
+                "{:.1} steps/s ({:.2}x vs single-domain)",
+                1.0 / per_step,
+                base_step / per_step
+            ),
+        );
+    }
+    j.obj("sharding", sh);
 
     let out = j.pretty();
     write_artifact("BENCH_step.json", out.as_bytes());

@@ -35,6 +35,17 @@ pub struct PairStats {
     pub collisions: u64,
 }
 
+/// Local offset of a segment's first pair head: the canonical start
+/// parity from the override table when one is given, the segment's own
+/// start parity otherwise.
+#[inline(always)]
+fn parity_at(seg_parity: Option<&[u32]>, seg: usize, start: u32) -> usize {
+    match seg_parity {
+        Some(p) => p[seg] as usize,
+        None => (start & 1) as usize,
+    }
+}
+
 /// Dirty-bits word for the pair `(i, i+1)`: a mix of low-order state bits,
 /// the paper's "quick but dirty random number".
 #[inline(always)]
@@ -139,7 +150,6 @@ pub struct FusedPhase {
 /// collision across *different* pairs cannot change any outcome.  The two
 /// sub-loops are timed per run (a handful of clock reads per ~4k
 /// particles), preserving the paper's select/collide timing split.
-#[allow(clippy::type_complexity)]
 pub fn select_and_collide(
     parts: &mut ParticleStore,
     bounds: &[u32],
@@ -148,7 +158,35 @@ pub fn select_and_collide(
     rng_mode: RngMode,
     decisions: &mut Vec<u8>,
 ) -> FusedPhase {
+    select_and_collide_with_parity(parts, bounds, sel, rounding, rng_mode, decisions, None)
+}
+
+/// [`select_and_collide`] with an explicit pairing parity per segment.
+///
+/// Pair heads must sit at even *canonical* sorted addresses (see
+/// [`select_pairs`]).  When `parts` holds the whole population those
+/// addresses are the segment bounds themselves and `seg_parity` is
+/// `None`.  A shard of the population holds a canonical *subsequence*:
+/// its local segment starts say nothing about the canonical address, so
+/// the sharded engine passes the canonical start parity of each local
+/// segment (`seg_parity[s] ∈ {0, 1}`, one entry per segment of `bounds`)
+/// — with it, every pair drawn here is exactly the pair the
+/// whole-population phase would draw.
+#[allow(clippy::type_complexity)]
+pub fn select_and_collide_with_parity(
+    parts: &mut ParticleStore,
+    bounds: &[u32],
+    sel: &SelectionTable,
+    rounding: Rounding,
+    rng_mode: RngMode,
+    decisions: &mut Vec<u8>,
+    seg_parity: Option<&[u32]>,
+) -> FusedPhase {
     let n = parts.len();
+    debug_assert!(
+        seg_parity.is_none_or(|p| p.len() + 1 == bounds.len()),
+        "need one parity per segment"
+    );
     decisions.clear();
     decisions.resize(n, 0);
     let candidates = AtomicU64::new(0);
@@ -170,7 +208,7 @@ pub fn select_and_collide(
             RoCol(parts.cell.as_slice()),
         ),
         bounds,
-        &|_first,
+        &|first,
           brun,
           (u, v, w, r1, r2, perm, rng, dec, cell): (
             &mut [Fx],
@@ -196,9 +234,10 @@ pub fn select_and_collide(
                 }
                 let c = cell.0[lo];
                 let count = (hi - lo) as u32;
-                // Pair heads sit at even *global* sorted addresses (see
-                // `select_pairs`); brun holds global offsets.
-                let mut i = lo + (brun[s] & 1) as usize;
+                // Pair heads sit at even *canonical* sorted addresses (see
+                // `select_pairs`); brun holds this store's offsets, which
+                // are canonical only when no parity table overrides them.
+                let mut i = lo + parity_at(seg_parity, first + s, brun[s]);
                 while i + 1 < hi {
                     local_candidates += 1;
                     let rand24 = match rng_mode {
@@ -227,7 +266,7 @@ pub fn select_and_collide(
             for s in 0..brun.len() - 1 {
                 let lo = brun[s] as usize - base;
                 let hi = brun[s + 1] as usize - base;
-                let mut i = lo + (brun[s] & 1) as usize;
+                let mut i = lo + parity_at(seg_parity, first + s, brun[s]);
                 while i + 1 < hi {
                     if dec[i] == 1 {
                         local_collisions += 1;

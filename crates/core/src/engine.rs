@@ -780,6 +780,12 @@ impl Simulation {
 #[path = "snapshot.rs"]
 pub mod snapshot;
 
+// The sharded domain-decomposition engine is likewise a child module: it
+// replays the private step loop above per column-block shard and must
+// reach the same private state.
+#[path = "shard.rs"]
+pub mod shard;
+
 #[cfg(test)]
 mod tests {
     use super::*;

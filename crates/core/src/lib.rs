@@ -71,6 +71,7 @@ pub mod surface;
 
 pub use config::{BodySpec, ConfigError, PipelineMode, RngMode, SimConfig};
 pub use diag::{Diagnostics, StepTimings, Substep};
+pub use engine::shard::{Engine, ShardLayout, ShardedSimulation, REPARTITION_THRESHOLD};
 pub use engine::{FaultTarget, Simulation};
 pub use sample::SampledField;
 pub use sentinel::{Sentinel, SentinelError, SentinelThresholds};

@@ -169,9 +169,11 @@ impl ParticleStore {
     /// column's source (L2-hot writes).
     ///
     /// This is the hot loop's send.  The one-launch task grid
-    /// [`ParticleStore::apply_order_fused`] exists as the multi-core
-    /// oriented alternative; both are pinned equal by the pipeline
-    /// property tests.
+    /// [`ParticleStore::apply_order_fused`] exists as the measured
+    /// alternative (slower on one core; both pinned equal by the
+    /// pipeline property tests).  Multi-core sends now go through the
+    /// sharded engine instead — per-shard sends on smaller arrays, with
+    /// the 1-vCPU baseline recorded in `BENCH_step.json` (`sharding`).
     pub fn apply_order(&mut self, order: &[u32]) {
         self.apply_order_no_cell(order);
         dsmc_datapar::apply_perm(&self.cell, order, &mut self.back.cell);

@@ -52,14 +52,30 @@ impl FieldAccumulator {
 
     /// Accumulate one (sorted) step.  `bounds` are the segment bounds of
     /// the sorted store; reservoir segments are skipped.
-    #[allow(clippy::type_complexity)]
     pub fn accumulate(&mut self, parts: &ParticleStore, bounds: &[u32], res_base: u32) {
+        self.bump_step();
+        self.accumulate_partial(parts, bounds, res_base);
+    }
+
+    /// Advance the window's step counter by one.  The sharded engine calls
+    /// this once per step after feeding every shard's partial sums through
+    /// [`FieldAccumulator::accumulate_partial`]; the single-store path uses
+    /// [`FieldAccumulator::accumulate`], which is exactly the two calls.
+    pub fn bump_step(&mut self) {
         self.steps += 1;
+    }
+
+    /// Fold one sorted particle block into the per-cell sums *without*
+    /// advancing the step counter.  Takes `&self`: the per-cell slots are
+    /// relaxed atomics (order-independent integer adds), so disjoint
+    /// shards of one step may feed the same window — each flow cell lives
+    /// in exactly one shard, so the merged sums are bit-identical to one
+    /// whole-population pass.
+    #[allow(clippy::type_complexity)]
+    pub fn accumulate_partial(&self, parts: &ParticleStore, bounds: &[u32], res_base: u32) {
         // One task per cell; each writes its own accumulator slot, so the
         // relaxed atomics never contend.
-        let mut cells_ro: Vec<u32> = Vec::new();
-        let _ = &mut cells_ro;
-        let this = &*self;
+        let this = self;
         par_segments_mut(
             (
                 RoCol(parts.cell.as_slice()),

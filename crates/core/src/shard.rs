@@ -1,0 +1,1353 @@
+//! Sharded domain decomposition of the wind tunnel, bit-identical to the
+//! single-domain engine for **any** shard count.
+//!
+//! The paper ran this simulation by mapping particles to (virtual)
+//! processors on the Connection Machine; the modern equivalent is a small
+//! number of coarse shards, each owning a *column block* of the tunnel.
+//! [`ShardedSimulation`] partitions the grid at column boundaries and
+//! gives every shard its own particle columns, sort scratch and segment
+//! bounds; per-particle `XorShift32` streams travel with their particles,
+//! so a shard's random draws are exactly the draws the canonical engine
+//! would have made for those particles.
+//!
+//! # The determinism invariant
+//!
+//! > *Every shard's particle array is, at every step boundary, exactly the
+//! > canonical sorted array restricted to the cells that shard owns — in
+//! > canonical order.*
+//!
+//! Everything else follows from maintaining that subsequence invariant:
+//!
+//! * **Move** runs per shard with the sort-key pack disabled; per-particle
+//!   arithmetic and RNG draws are position-independent, and the shared
+//!   surface-flux window uses the same relaxed-atomic discipline as the
+//!   field accumulators, so concurrent shards never race on a sum that
+//!   feeds back into the trajectory.
+//! * **Migration** is an explicit deterministic exchange phase: each
+//!   source shard walks its array in order and routes every particle by
+//!   the column block that owns its *post-move* cell; each destination
+//!   then k-way-merges its incoming lists keyed by the particles'
+//!   *previous* (pre-move, sorted) cell.  Previous cells partition across
+//!   shards, so the merge has a unique total order — concatenation in any
+//!   other order would scramble the stable sort's tie-breaking and change
+//!   the trajectory.
+//! * **Sort** then runs per shard with the *global* cell keys and key
+//!   width.  Because the input order equals the canonical order restricted
+//!   to the shard, the stable radix sort emits the canonical order
+//!   restricted to the shard: the invariant is reproduced.
+//! * **Collide** needs one global datum: the even/odd parity of each
+//!   segment's *global* start index (the canonical pairing rule).  A k-way
+//!   merge of all shards' segment tables by cell yields a running global
+//!   prefix, and [`crate::collide::select_and_collide_with_parity`]
+//!   accepts the resulting per-segment parities in place of the local
+//!   `bounds[s] & 1`.
+//! * **Plunger refill** (the one genuinely global boundary event) takes a
+//!   canonical census: the post-move reservoir-parked slots of all shards,
+//!   merged by previous cell — the exact array order
+//!   [`crate::boundary`]'s single-domain refill scans.
+//!
+//! The integration suite pins the contract: `shard_counts_agree_bitwise`
+//! (proptest over seeds, bodies and RNG modes) and
+//! `registry_scenarios_are_shard_count_invariant` assert equal
+//! [`Simulation::state_hash`] across shard counts {1, 2, 4};
+//! `sharded_checkpoint_resumes_at_any_shard_count` pins save-at-S /
+//! resume-at-S′.  The single-shard path stays the executable spec the
+//! same way `PipelineMode::TwoStep` pins the fused pipeline: [`Engine`]
+//! routes `shards <= 1` to the untouched [`Simulation`].
+//!
+//! # Weighted repartition
+//!
+//! The radix sort's segment bounds are a free per-cell census.  Before
+//! each exchange the engine folds them into per-column flow loads; when
+//! the heaviest shard exceeds [`REPARTITION_THRESHOLD`] × the mean, the
+//! column cuts are re-drawn by balanced prefix sums.  Because ownership is
+//! only consulted *during* the exchange (whose merge is keyed by previous
+//! cells under the invariant, not by the new cuts), moving a cut is free —
+//! it just reroutes the exchange that was about to run anyway — and has no
+//! effect on the trajectory, only on balance.
+//!
+//! # Checkpoints
+//!
+//! [`ShardedSimulation::save_state`] writes the canonical sections
+//! (identical bytes to the single-domain save — the sync is a pure merge
+//! that consumes no RNG) plus an advisory `SHRD` manifest: shard count,
+//! column cuts, per-shard populations, repartition count.  Resume scatters
+//! the canonical state under *any* shard count and warm-starts the stored
+//! cuts only when the counts match, so a checkpoint taken at S shards
+//! resumes bit-exactly at S′ — including S′ = 1 via [`Simulation::resume`],
+//! which skips the unknown section.  The manifest is outside both the
+//! config fingerprint and the state hash, exactly like `PipelineMode`.
+
+use super::{FaultTarget, MonoBody, Simulation};
+use crate::boundary::BoundaryParams;
+use crate::collide;
+use crate::config::{ConfigError, SimConfig, WallModel};
+use crate::diag::{Diagnostics, StepTimings, Substep};
+use crate::movephase::{self, MoveOutcome, MoveScratch};
+use crate::particles::ParticleStore;
+use crate::sample::{FieldAccumulator, SampledField};
+use crate::sortstep::{self, SortWorkspace};
+use crate::surface::SurfaceField;
+use dsmc_fixed::Fx;
+use dsmc_geom::{Body, PlungerEvent};
+use dsmc_state::{Reader, StateError, Writer};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Sharded-run manifest: shard count, column cuts, per-shard populations,
+/// repartition count.  Advisory (execution layout, not physics): resume
+/// ignores it except to warm-start the cuts at a matching shard count.
+const SEC_SHRD: [u8; 4] = *b"SHRD";
+
+/// Repartition trigger: re-draw the column cuts when the heaviest shard's
+/// flow population exceeds this multiple of the mean.  1.25 keeps
+/// repartitions rare in settled flows while still reacting to the
+/// pile-up behind a forming shock (the failure mode of static equal-cell
+/// splits in the load-balancing DSMC literature).
+pub const REPARTITION_THRESHOLD: f64 = 1.25;
+
+/// The column-block ownership map: shard `k` owns tunnel columns
+/// `cuts[k] .. cuts[k+1]` (and the last shard additionally owns the
+/// reservoir box, which keeps the reservoir's relaxation segments — and
+/// the plunger refill census — from straddling a cut).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardLayout {
+    /// `n_shards + 1` ascending column cuts: `cuts[0] == 0`,
+    /// `cuts[n_shards] == tunnel_w`.
+    cuts: Vec<u32>,
+    tunnel_w: u32,
+    res_base: u32,
+}
+
+impl ShardLayout {
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.cuts.len() - 1
+    }
+
+    /// The ascending column cuts (`n_shards + 1` entries, first 0, last
+    /// the tunnel width).
+    pub fn cuts(&self) -> &[u32] {
+        &self.cuts
+    }
+
+    /// The shard owning `cell`.  Flow cells are row-major (`iy * w + ix`),
+    /// so a column block owns a *strided* cell set; reservoir cells all
+    /// belong to the last shard.
+    #[inline]
+    pub fn owner(&self, cell: u32) -> usize {
+        if cell >= self.res_base {
+            return self.n_shards() - 1;
+        }
+        let col = cell % self.tunnel_w;
+        self.cuts[1..].partition_point(|&c| c <= col)
+    }
+}
+
+/// Deterministic balanced cuts from per-column loads: cut `k` is placed by
+/// the greedy prefix rule at the column where the running load first
+/// exceeds `k/n` of the total, clamped so every shard keeps at least one
+/// column.
+fn balanced_cuts(col_load: &[u64], n_shards: usize) -> Vec<u32> {
+    let w = col_load.len();
+    debug_assert!(n_shards >= 1 && n_shards <= w);
+    let total: u64 = col_load.iter().sum();
+    let mut cuts = Vec::with_capacity(n_shards + 1);
+    cuts.push(0u32);
+    let mut acc: u64 = 0;
+    let mut col = 0usize;
+    for k in 1..n_shards {
+        let target = (total as u128 * k as u128 / n_shards as u128) as u64;
+        let min_col = cuts[k - 1] as usize + 1;
+        let max_col = w - (n_shards - k);
+        while col < min_col {
+            acc += col_load[col];
+            col += 1;
+        }
+        while col < max_col && acc + col_load[col] <= target {
+            acc += col_load[col];
+            col += 1;
+        }
+        cuts.push(col as u32);
+    }
+    cuts.push(w as u32);
+    cuts
+}
+
+/// Uniform cuts (the cold-start fallback when there is no census yet).
+fn uniform_cuts(w: usize, n_shards: usize) -> Vec<u32> {
+    (0..=n_shards).map(|k| (k * w / n_shards) as u32).collect()
+}
+
+/// One shard: its slice of the particle population plus private sort
+/// machinery.  `parts` is always the canonical sorted array restricted to
+/// the shard's owned cells (the module-level invariant); `bounds`,
+/// `seg_cell` and `seg_parity` describe its segments under the *global*
+/// cell ids.
+struct Shard {
+    parts: ParticleStore,
+    bounds: Vec<u32>,
+    order: Vec<u32>,
+    /// Cell id of each segment of the last sort (the "previous cells" the
+    /// exchange merges by).
+    seg_cell: Vec<u32>,
+    /// Global even/odd parity of each segment's canonical start index —
+    /// what makes per-shard pairing identical to canonical pairing.
+    seg_parity: Vec<u32>,
+    sort_ws: SortWorkspace,
+    move_scratch: MoveScratch,
+    decisions: Vec<u8>,
+}
+
+impl Shard {
+    fn new(total_cells: usize) -> Self {
+        let mut move_scratch = MoveScratch::new();
+        move_scratch.reserve_segments(total_cells + 1);
+        Self {
+            parts: ParticleStore::default(),
+            bounds: Vec::new(),
+            order: Vec::new(),
+            seg_cell: Vec::new(),
+            seg_parity: Vec::new(),
+            sort_ws: SortWorkspace::new(),
+            move_scratch,
+            decisions: Vec::new(),
+        }
+    }
+
+    fn n_segments(&self) -> usize {
+        self.bounds.len().saturating_sub(1)
+    }
+}
+
+fn clear_store(p: &mut ParticleStore) {
+    p.x.clear();
+    p.y.clear();
+    p.u.clear();
+    p.v.clear();
+    p.w.clear();
+    p.r1.clear();
+    p.r2.clear();
+    p.perm.clear();
+    p.rng.clear();
+    p.cell.clear();
+}
+
+/// Rebuild a shard's segment table from its (cell-sorted) array — used
+/// after a scatter, where the canonical order guarantees sortedness.
+fn rebuild_segments(shard: &mut Shard) {
+    let cells = &shard.parts.cell;
+    shard.bounds.clear();
+    shard.seg_cell.clear();
+    shard.order.clear();
+    if cells.is_empty() {
+        return;
+    }
+    shard.bounds.push(0);
+    shard.seg_cell.push(cells[0]);
+    for i in 1..cells.len() {
+        if cells[i] != cells[i - 1] {
+            shard.bounds.push(i as u32);
+            shard.seg_cell.push(cells[i]);
+        }
+    }
+    shard.bounds.push(cells.len() as u32);
+}
+
+/// One shard's key-less move sweep, with the same monomorphised boundary
+/// parameters the canonical engine builds (`Simulation::move_phase_mono`).
+fn move_one<B: Body>(base: &Simulation, shard: &mut Shard, body: &B) -> MoveOutcome {
+    let u_drift = Fx::from_f64(base.fs.u_inf());
+    let rect_half_raw = Fx::from_f64(base.fs.sigma() * 3f64.sqrt()).raw();
+    let sigma_wall_raw = match base.cfg.walls {
+        WallModel::Specular => 0,
+        WallModel::Diffuse { t_wall } => Fx::from_f64(base.fs.sigma() * t_wall.sqrt()).raw(),
+    };
+    let params = BoundaryParams {
+        tunnel: &base.tunnel,
+        body,
+        res_base: base.res_base,
+        res: base.res,
+        u_drift,
+        rect_half_raw,
+        n_inf: base.cfg.n_per_cell,
+        walls: base.cfg.walls,
+        sigma_wall_raw,
+        surface: base.surf_sampler.as_ref(),
+    };
+    movephase::move_phase(
+        &mut shard.parts,
+        &params,
+        &base.classifier,
+        &base.plunger,
+        &shard.bounds,
+        base.res_w_fx,
+        base.res_h_fx,
+        None,
+        &mut shard.move_scratch,
+    )
+}
+
+/// The sharded engine: a [`Simulation`] decomposed into column-block
+/// shards, stepping bit-identically to the canonical single-domain run
+/// (see the module docs for the invariant and the phase-by-phase
+/// argument).
+///
+/// The embedded `base` holds everything global — config, geometry,
+/// kinetics tables, classifier, plunger, counters, open sampling windows —
+/// while its own particle columns act as the *canonical view*, refreshed
+/// lazily by a pure merge whenever a caller needs whole-population state
+/// ([`ShardedSimulation::canonical`], hashing, checkpointing,
+/// diagnostics).
+pub struct ShardedSimulation {
+    base: Simulation,
+    layout: ShardLayout,
+    shards: Vec<Shard>,
+    /// Per-destination rebuild buffers for the exchange (swapped with the
+    /// shard stores each step, so steady state allocates nothing).
+    inbox: Vec<ParticleStore>,
+    /// `routes[src][dst]`: (previous cell, source index) of every particle
+    /// migrating src → dst, in source order.
+    routes: Vec<Vec<Vec<(u32, u32)>>>,
+    /// Per-shard cursors for the k-way merges.
+    merge_pos: Vec<usize>,
+    /// Plunger-refill census: (shard, index) of reservoir-parked slots in
+    /// canonical order.
+    census: Vec<(u32, u32)>,
+    /// Per-column flow loads from the last sort's segment bounds.
+    col_load: Vec<u64>,
+    /// True when the shards have stepped past the canonical view.
+    dirty: bool,
+    repartitions: u64,
+}
+
+impl ShardedSimulation {
+    /// Build and initialise a sharded simulation.  `n_shards` is clamped
+    /// to `[1, tunnel width]`.
+    ///
+    /// Panics on an invalid configuration; services that must survive bad
+    /// input use [`ShardedSimulation::try_new`].
+    pub fn new(cfg: SimConfig, n_shards: usize) -> Self {
+        Self::try_new(cfg, n_shards).unwrap_or_else(|e| panic!("invalid SimConfig: {e}"))
+    }
+
+    /// Build and initialise a sharded simulation, reporting configuration
+    /// problems as a typed error.
+    pub fn try_new(cfg: SimConfig, n_shards: usize) -> Result<Self, ConfigError> {
+        Ok(Self::from_simulation(Simulation::try_new(cfg)?, n_shards))
+    }
+
+    /// Decompose an existing simulation (at a step boundary) into
+    /// `n_shards` column blocks.  The initial cuts are weighted by the
+    /// current per-column populations, so a shock that already exists is
+    /// balanced from step one.
+    pub fn from_simulation(base: Simulation, n_shards: usize) -> Self {
+        let w = base.tunnel.width as usize;
+        let n_shards = n_shards.clamp(1, w);
+        let mut col_load = vec![0u64; w];
+        let n_seg = base.bounds.len().saturating_sub(1);
+        for j in 0..n_seg {
+            let c = base.parts.cell[base.bounds[j] as usize];
+            if c < base.res_base {
+                col_load[(c as usize) % w] += (base.bounds[j + 1] - base.bounds[j]) as u64;
+            }
+        }
+        let cuts = if col_load.iter().all(|&l| l == 0) {
+            uniform_cuts(w, n_shards)
+        } else {
+            balanced_cuts(&col_load, n_shards)
+        };
+        let layout = ShardLayout {
+            cuts,
+            tunnel_w: base.tunnel.width,
+            res_base: base.res_base,
+        };
+        let total_cells = (base.res_base + base.res.total()) as usize;
+        let mut sharded = Self {
+            base,
+            layout,
+            shards: (0..n_shards).map(|_| Shard::new(total_cells)).collect(),
+            inbox: (0..n_shards).map(|_| ParticleStore::default()).collect(),
+            routes: vec![vec![Vec::new(); n_shards]; n_shards],
+            merge_pos: Vec::new(),
+            census: Vec::new(),
+            col_load,
+            dirty: false,
+            repartitions: 0,
+        };
+        sharded.scatter();
+        sharded
+    }
+
+    /// Rebuild a sharded simulation from a snapshot under **any** shard
+    /// count — the snapshot's canonical sections gate exactly as in
+    /// [`Simulation::resume`], and the advisory `SHRD` manifest (when
+    /// present *and* taken at the same shard count) warm-starts the column
+    /// cuts.  Bit-identity never depends on the manifest.
+    pub fn resume(cfg: SimConfig, bytes: &[u8], n_shards: usize) -> Result<Self, StateError> {
+        let base = Simulation::resume(cfg, bytes)?;
+        let mut sharded = Self::from_simulation(base, n_shards);
+        let r = Reader::new(bytes)?;
+        if r.has_section(SEC_SHRD) {
+            let mut c = r.section(SEC_SHRD)?;
+            let stored_shards = c.u32()? as usize;
+            let cuts = c.vec_u32()?;
+            let pops = c.vec_u32()?;
+            let repartitions = c.u64()?;
+            c.done()?;
+            let valid = stored_shards >= 1
+                && cuts.len() == stored_shards + 1
+                && pops.len() == stored_shards
+                && cuts.first() == Some(&0)
+                && cuts.last() == Some(&sharded.base.tunnel.width)
+                && cuts.windows(2).all(|p| p[0] < p[1]);
+            if !valid {
+                return Err(StateError::Malformed("sharded manifest inconsistent"));
+            }
+            sharded.repartitions = repartitions;
+            if stored_shards == sharded.layout.n_shards() {
+                sharded.layout.cuts = cuts;
+                sharded.scatter();
+            }
+        }
+        Ok(sharded)
+    }
+
+    /// [`ShardedSimulation::resume`] from a file.
+    pub fn resume_from_file(
+        cfg: SimConfig,
+        path: impl AsRef<Path>,
+        n_shards: usize,
+    ) -> Result<Self, StateError> {
+        let bytes = std::fs::read(path)?;
+        Self::resume(cfg, &bytes, n_shards)
+    }
+
+    /// Scatter the canonical view into the shards by cell ownership.  A
+    /// pure copy — no RNG is consumed, no particle is reordered — so the
+    /// subsequence invariant holds by construction.
+    fn scatter(&mut self) {
+        for shard in &mut self.shards {
+            clear_store(&mut shard.parts);
+        }
+        {
+            let p = &self.base.parts;
+            let layout = &self.layout;
+            let shards = &mut self.shards;
+            for i in 0..p.len() {
+                let d = layout.owner(p.cell[i]);
+                shards[d].parts.push(
+                    p.x[i],
+                    p.y[i],
+                    p.velocity5(i),
+                    p.perm[i],
+                    p.rng[i],
+                    p.cell[i],
+                );
+            }
+        }
+        for shard in &mut self.shards {
+            rebuild_segments(shard);
+        }
+        self.dirty = false;
+    }
+
+    /// Merge the shards back into the canonical view (pure copy, no RNG).
+    /// Segments are merged by cell — ownership makes the order total — so
+    /// the rebuilt columns and bounds are exactly what the single-domain
+    /// sort would have produced.
+    fn sync_canonical(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        let s_count = self.shards.len();
+        let total: usize = self.shards.iter().map(|s| s.parts.len()).sum();
+        let base = &mut self.base;
+        let shards = &self.shards;
+        clear_store(&mut base.parts);
+        base.parts.x.reserve(total);
+        base.bounds.clear();
+        base.bounds.push(0);
+        self.merge_pos.clear();
+        self.merge_pos.resize(s_count, 0);
+        loop {
+            let mut best: Option<(u32, usize)> = None;
+            for (s, shard) in shards.iter().enumerate() {
+                let j = self.merge_pos[s];
+                if j < shard.n_segments() {
+                    let c = shard.seg_cell[j];
+                    if best.is_none_or(|(bc, _)| c < bc) {
+                        best = Some((c, s));
+                    }
+                }
+            }
+            let Some((_, s)) = best else { break };
+            let j = self.merge_pos[s];
+            let p = &shards[s].parts;
+            let lo = shards[s].bounds[j] as usize;
+            let hi = shards[s].bounds[j + 1] as usize;
+            base.parts.x.extend_from_slice(&p.x[lo..hi]);
+            base.parts.y.extend_from_slice(&p.y[lo..hi]);
+            base.parts.u.extend_from_slice(&p.u[lo..hi]);
+            base.parts.v.extend_from_slice(&p.v[lo..hi]);
+            base.parts.w.extend_from_slice(&p.w[lo..hi]);
+            base.parts.r1.extend_from_slice(&p.r1[lo..hi]);
+            base.parts.r2.extend_from_slice(&p.r2[lo..hi]);
+            base.parts.perm.extend_from_slice(&p.perm[lo..hi]);
+            base.parts.rng.extend_from_slice(&p.rng[lo..hi]);
+            base.parts.cell.extend_from_slice(&p.cell[lo..hi]);
+            base.bounds.push(base.parts.len() as u32);
+            self.merge_pos[s] += 1;
+        }
+        debug_assert_eq!(base.parts.len(), total, "merge lost particles");
+        debug_assert!(base.parts.check_coherent());
+        self.dirty = false;
+    }
+
+    /// The canonical single-domain view of the current state (syncing the
+    /// shards first if they have stepped past it).  This is what sentinels
+    /// check, protocols probe and analysis tools read.
+    pub fn canonical(&mut self) -> &Simulation {
+        self.sync_canonical();
+        &self.base
+    }
+
+    /// Advance one time step — the same four sub-steps as
+    /// [`Simulation::step`], each decomposed per shard (see module docs).
+    pub fn step(&mut self) {
+        self.dirty = true;
+
+        // 1+2) Per-shard key-less move sweeps, then the global boundary
+        // bookkeeping exactly as the canonical front half orders it.
+        let t = Instant::now();
+        let withdraw = self.base.plunger.will_withdraw();
+        let (exited, max_speed, by_kind) = self.move_shards();
+        self.base.exited += exited as u64;
+        for (acc, n) in self.base.move_by_kind.iter_mut().zip(by_kind) {
+            *acc += n;
+        }
+        self.base.track_halo(max_speed);
+        if let Some(acc) = &self.base.surf_sampler {
+            acc.bump_step();
+        }
+        if let PlungerEvent::Withdrawn { void_end } = self.base.plunger.advance() {
+            debug_assert!(withdraw, "will_withdraw must predict the advance");
+            self.base.plunger_cycles += 1;
+            let introduced = self.refill_void_sharded(void_end);
+            self.base.introduced += introduced as u64;
+        }
+        self.base.timings.add(Substep::Move, t.elapsed());
+
+        // 3a) Repartition check (free: cuts only steer the exchange that
+        // runs next), the migration exchange, then per-shard sorts.
+        let t = Instant::now();
+        self.maybe_repartition();
+        self.exchange();
+        self.sort_shards();
+        self.base.timings.add(Substep::Sort, t.elapsed());
+
+        // 3b+4) Global pairing parity, then per-shard select + collide.
+        let t = Instant::now();
+        self.compute_parities();
+        let mut cand = 0u64;
+        let mut cols = 0u64;
+        let mut select_cpu = Duration::ZERO;
+        let mut collide_cpu = Duration::ZERO;
+        {
+            let base = &self.base;
+            for shard in &mut self.shards {
+                let out = collide::select_and_collide_with_parity(
+                    &mut shard.parts,
+                    &shard.bounds,
+                    &base.sel,
+                    base.rounding,
+                    base.rng_mode,
+                    &mut shard.decisions,
+                    Some(&shard.seg_parity),
+                );
+                cand += out.stats.candidates;
+                cols += out.stats.collisions;
+                select_cpu += out.select;
+                collide_cpu += out.collide;
+            }
+        }
+        self.base.candidates += cand;
+        self.base.collisions += cols;
+        let wall = t.elapsed();
+        let cpu_total = select_cpu + collide_cpu;
+        let select_wall = if cpu_total.is_zero() {
+            wall / 2
+        } else {
+            wall.mul_f64(select_cpu.as_secs_f64() / cpu_total.as_secs_f64())
+        };
+        self.base.timings.add(Substep::Select, select_wall);
+        self.base
+            .timings
+            .add(Substep::Collide, wall.saturating_sub(select_wall));
+
+        // Optional sampling pass: per-shard partial sums into the shared
+        // relaxed-atomic accumulator, one step bump.
+        if self.base.sampler.is_some() {
+            let t = Instant::now();
+            if let Some(acc) = &self.base.sampler {
+                for shard in &self.shards {
+                    acc.accumulate_partial(&shard.parts, &shard.bounds, self.base.res_base);
+                }
+            }
+            if let Some(acc) = self.base.sampler.as_mut() {
+                acc.bump_step();
+            }
+            self.base.timings.add(Substep::Sample, t.elapsed());
+        }
+
+        self.base.steps += 1;
+        self.base.timings.steps += 1;
+    }
+
+    /// Run `n` steps.
+    pub fn run(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// The per-shard move sweeps, monomorphised over the body like the
+    /// canonical engine.  Returns (exited, max observed speed, dispatch
+    /// counts) summed/maxed across shards — per-particle sums, so the
+    /// totals are independent of the decomposition.
+    fn move_shards(&mut self) -> (u32, u32, [u64; 4]) {
+        let mono = self.base.body_mono.clone();
+        let base = &self.base;
+        let mut exited = 0u32;
+        let mut max_speed = 0u32;
+        let mut by_kind = [0u64; 4];
+        for shard in &mut self.shards {
+            let out = match &mono {
+                MonoBody::None(b) => move_one(base, shard, b),
+                MonoBody::Wedge(b) => move_one(base, shard, b),
+                MonoBody::Step(b) => move_one(base, shard, b),
+                MonoBody::Plate(b) => move_one(base, shard, b),
+                MonoBody::Cylinder(b) => move_one(base, shard, b),
+            };
+            exited += out.exited;
+            max_speed = max_speed.max(out.max_speed_raw);
+            for (acc, n) in by_kind.iter_mut().zip(out.by_kind) {
+                *acc += n;
+            }
+        }
+        (exited, max_speed, by_kind)
+    }
+
+    /// The sharded plunger refill — bit-identical to
+    /// `boundary::refill_void` because the census is taken in canonical
+    /// array order: the shards' pre-move segments merged by cell (previous
+    /// cells partition across shards), scanning each segment's slots for
+    /// post-move reservoir parking.  Selection arithmetic and the
+    /// per-particle x/y draws then match the single-domain code verbatim.
+    fn refill_void_sharded(&mut self, void_end: Fx) -> u32 {
+        let need = (self.base.cfg.n_per_cell * void_end.to_f64() * self.base.tunnel.height as f64)
+            .round() as usize;
+        let res_base = self.base.res_base;
+        let s_count = self.shards.len();
+        self.census.clear();
+        self.merge_pos.clear();
+        self.merge_pos.resize(s_count, 0);
+        loop {
+            let mut best: Option<(u32, usize)> = None;
+            for s in 0..s_count {
+                let j = self.merge_pos[s];
+                if j < self.shards[s].n_segments() {
+                    let c = self.shards[s].seg_cell[j];
+                    if best.is_none_or(|(bc, _)| c < bc) {
+                        best = Some((c, s));
+                    }
+                }
+            }
+            let Some((_, s)) = best else { break };
+            let j = self.merge_pos[s];
+            let shard = &self.shards[s];
+            for i in shard.bounds[j]..shard.bounds[j + 1] {
+                if shard.parts.cell[i as usize] >= res_base {
+                    self.census.push((s as u32, i));
+                }
+            }
+            self.merge_pos[s] += 1;
+        }
+        let avail = self.census.len();
+        let take = need.min(avail);
+        if take == 0 {
+            return 0;
+        }
+        let stride = (avail as f64 / take as f64).max(1.0);
+        let h = self.base.tunnel.height as f64;
+        let void_f = void_end.to_f64();
+        for k in 0..take {
+            let (s, i) = self.census[(k as f64 * stride) as usize % avail];
+            let parts = &mut self.shards[s as usize].parts;
+            let i = i as usize;
+            let rng = &mut parts.rng[i];
+            let x = Fx::from_f64(void_f * rng.next_f64());
+            let y = Fx::from_f64((h * rng.next_f64()).min(h - 1e-6));
+            parts.x[i] = x;
+            parts.y[i] = y;
+            // Velocities stay as relaxed in the reservoir: they *are*
+            // the freestream sample.
+            parts.cell[i] = self.base.tunnel.cell_index(x, y);
+        }
+        take as u32
+    }
+
+    /// Fold the last sort's segment bounds into per-column flow loads and
+    /// re-draw the cuts if the measured imbalance exceeds the threshold.
+    /// Runs *before* the exchange, whose merge is keyed by previous cells
+    /// under the old sorted order — so new cuts reroute that exchange for
+    /// free and never touch the trajectory.
+    fn maybe_repartition(&mut self) {
+        let s_count = self.shards.len();
+        if s_count <= 1 {
+            return;
+        }
+        let w = self.base.tunnel.width as usize;
+        self.col_load.clear();
+        self.col_load.resize(w, 0);
+        for shard in &self.shards {
+            for j in 0..shard.n_segments() {
+                let c = shard.seg_cell[j];
+                if c < self.base.res_base {
+                    let len = (shard.bounds[j + 1] - shard.bounds[j]) as u64;
+                    self.col_load[(c as usize) % w] += len;
+                }
+            }
+        }
+        let total: u64 = self.col_load.iter().sum();
+        if total == 0 {
+            return;
+        }
+        let mut max_load = 0u64;
+        for s in 0..s_count {
+            let lo = self.layout.cuts[s] as usize;
+            let hi = self.layout.cuts[s + 1] as usize;
+            max_load = max_load.max(self.col_load[lo..hi].iter().sum());
+        }
+        if (max_load as f64) <= REPARTITION_THRESHOLD * (total as f64 / s_count as f64) {
+            return;
+        }
+        let cuts = balanced_cuts(&self.col_load, s_count);
+        if cuts != self.layout.cuts {
+            self.layout.cuts = cuts;
+            self.repartitions += 1;
+        }
+    }
+
+    /// The migration exchange: route every particle by the owner of its
+    /// post-move cell, then rebuild each destination by a k-way merge of
+    /// its incoming lists keyed by previous cell.  Each shard is fully
+    /// rebuilt every step (self-migrants included), which is what
+    /// preserves the canonical tie-order the stable sort depends on.
+    fn exchange(&mut self) {
+        let s_count = self.shards.len();
+        let shards = &self.shards;
+        let layout = &self.layout;
+        let routes = &mut self.routes;
+        for per_src in routes.iter_mut() {
+            for list in per_src.iter_mut() {
+                list.clear();
+            }
+        }
+        for (s, shard) in shards.iter().enumerate() {
+            let per_dst = &mut routes[s];
+            for j in 0..shard.n_segments() {
+                let pc = shard.seg_cell[j];
+                for i in shard.bounds[j]..shard.bounds[j + 1] {
+                    let dst = layout.owner(shard.parts.cell[i as usize]);
+                    per_dst[dst].push((pc, i));
+                }
+            }
+        }
+        let inbox = &mut self.inbox;
+        let pos = &mut self.merge_pos;
+        for (d, dst_store) in inbox.iter_mut().enumerate() {
+            clear_store(dst_store);
+            pos.clear();
+            pos.resize(s_count, 0);
+            loop {
+                let mut best: Option<(u32, usize)> = None;
+                for s in 0..s_count {
+                    if pos[s] < routes[s][d].len() {
+                        let c = routes[s][d][pos[s]].0;
+                        if best.is_none_or(|(bc, _)| c < bc) {
+                            best = Some((c, s));
+                        }
+                    }
+                }
+                let Some((cell, s)) = best else { break };
+                // Drain the whole equal-cell run from this source: the
+                // run's previous cell lives in exactly one shard, so no
+                // other source can contribute to it.
+                let list = &routes[s][d];
+                let p = &shards[s].parts;
+                while pos[s] < list.len() && list[pos[s]].0 == cell {
+                    let i = list[pos[s]].1 as usize;
+                    dst_store.push(
+                        p.x[i],
+                        p.y[i],
+                        p.velocity5(i),
+                        p.perm[i],
+                        p.rng[i],
+                        p.cell[i],
+                    );
+                    pos[s] += 1;
+                }
+            }
+        }
+        for (shard, dst_store) in self.shards.iter_mut().zip(self.inbox.iter_mut()) {
+            std::mem::swap(&mut shard.parts, dst_store);
+        }
+    }
+
+    /// Per-shard sorts with the *global* cell keys, then refresh each
+    /// shard's segment-cell table.  Stability + the subsequence invariant
+    /// on the input order make each output the canonical order restricted
+    /// to the shard.
+    fn sort_shards(&mut self) {
+        let base = &self.base;
+        for shard in &mut self.shards {
+            if shard.parts.is_empty() {
+                shard.bounds.clear();
+                shard.order.clear();
+                shard.seg_cell.clear();
+                continue;
+            }
+            sortstep::sort_particles_fused(
+                &mut shard.parts,
+                &base.tunnel,
+                base.res_base,
+                base.res,
+                base.cfg.jitter_bits,
+                base.key_bits,
+                base.rng_mode,
+                &mut shard.sort_ws,
+                &mut shard.bounds,
+                &mut shard.order,
+            );
+            shard.seg_cell.clear();
+            for j in 0..shard.bounds.len() - 1 {
+                shard
+                    .seg_cell
+                    .push(shard.parts.cell[shard.bounds[j] as usize]);
+            }
+        }
+    }
+
+    /// Merge all shards' fresh segment tables by cell into a running
+    /// global prefix, giving every local segment the even/odd parity of
+    /// its canonical start index — the one global datum the pairing rule
+    /// needs.
+    fn compute_parities(&mut self) {
+        let s_count = self.shards.len();
+        for shard in &mut self.shards {
+            let n_seg = shard.n_segments();
+            shard.seg_parity.clear();
+            shard.seg_parity.resize(n_seg, 0);
+        }
+        self.merge_pos.clear();
+        self.merge_pos.resize(s_count, 0);
+        let mut prefix: u32 = 0;
+        loop {
+            let mut best: Option<(u32, usize)> = None;
+            for s in 0..s_count {
+                let j = self.merge_pos[s];
+                if j < self.shards[s].n_segments() {
+                    let c = self.shards[s].seg_cell[j];
+                    if best.is_none_or(|(bc, _)| c < bc) {
+                        best = Some((c, s));
+                    }
+                }
+            }
+            let Some((_, s)) = best else { break };
+            let j = self.merge_pos[s];
+            let shard = &mut self.shards[s];
+            shard.seg_parity[j] = prefix & 1;
+            prefix += shard.bounds[j + 1] - shard.bounds[j];
+            self.merge_pos[s] += 1;
+        }
+    }
+
+    /// Serialise the canonical state sections (byte-identical to the
+    /// single-domain [`Simulation::save_state`]) plus the advisory `SHRD`
+    /// manifest.  Needs `&mut self` only for the lazy canonical sync —
+    /// the sync is a pure merge, so saving never perturbs the trajectory.
+    pub fn save_state(&mut self) -> Vec<u8> {
+        self.sync_canonical();
+        let mut w = Writer::new(self.base.cfg.fingerprint());
+        self.base.write_state_sections(&mut w);
+        {
+            let mut s = w.section(SEC_SHRD);
+            s.u32(self.layout.n_shards() as u32);
+            s.vec_u32(&self.layout.cuts);
+            let pops: Vec<u32> = self.shards.iter().map(|sh| sh.parts.len() as u32).collect();
+            s.vec_u32(&pops);
+            s.u64(self.repartitions);
+        }
+        w.finish()
+    }
+
+    /// [`ShardedSimulation::save_state`] straight to a file (atomic
+    /// replacement, like the single-domain saver).
+    pub fn save_state_to(&mut self, path: impl AsRef<Path>) -> Result<(), StateError> {
+        let bytes = self.save_state();
+        dsmc_state::store::atomic_write(path, &bytes)
+    }
+
+    /// The canonical resume-bit-identity digest — delegates to
+    /// [`Simulation::state_hash`] on the synced view, so sharded and
+    /// single-domain runs hash into the same space (the shard-count
+    /// invariance tests compare exactly this).
+    pub fn state_hash(&mut self) -> u64 {
+        self.sync_canonical();
+        self.base.state_hash()
+    }
+
+    /// Current physical ledgers (on the synced canonical view).
+    pub fn diagnostics(&mut self) -> Diagnostics {
+        self.sync_canonical();
+        self.base.diagnostics()
+    }
+
+    /// Open a sampling window (fields, and surface fluxes when the body
+    /// has facets) — shared across shards via relaxed-atomic sums.
+    pub fn begin_sampling(&mut self) {
+        self.base.begin_sampling();
+    }
+
+    /// Close the sampling window and return the averaged fields.
+    pub fn finish_sampling(&mut self) -> SampledField {
+        self.base.finish_sampling()
+    }
+
+    /// Close the surface window (if any) and return the reduced Cp/Cf/Ch
+    /// distributions.
+    pub fn finish_surface_sampling(&mut self) -> Option<SurfaceField> {
+        self.base.finish_surface_sampling()
+    }
+
+    /// The open volume-field window, if any.
+    pub fn field_sampler(&self) -> Option<&FieldAccumulator> {
+        self.base.field_sampler()
+    }
+
+    /// Deterministically corrupt particle state (the fault-injection
+    /// surface): applied on the canonical view, then re-scattered.  The
+    /// corrupted trajectory is discarded on recovery, so only the
+    /// sentinel-visible canonical state needs to match the single-domain
+    /// fault.
+    pub fn inject_fault(&mut self, target: FaultTarget, salt: u64) -> String {
+        self.sync_canonical();
+        let msg = self.base.inject_fault(target, salt);
+        self.scatter();
+        msg
+    }
+
+    /// Total number of particles (flow + reservoir), summed over shards.
+    pub fn n_particles(&self) -> usize {
+        self.shards.iter().map(|s| s.parts.len()).sum()
+    }
+
+    /// The configuration the simulation was built with.
+    pub fn config(&self) -> &SimConfig {
+        self.base.config()
+    }
+
+    /// The current column-block layout.
+    pub fn layout(&self) -> &ShardLayout {
+        &self.layout
+    }
+
+    /// How many times the weighted repartition has re-drawn the cuts.
+    pub fn repartitions(&self) -> u64 {
+        self.repartitions
+    }
+
+    /// Current per-shard populations (flow + reservoir).
+    pub fn shard_populations(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.parts.len()).collect()
+    }
+
+    /// Accumulated per-substep wall-clock timings.
+    pub fn timings(&self) -> &StepTimings {
+        self.base.timings()
+    }
+
+    /// Reset the timing accumulators (e.g. after warm-up).
+    pub fn reset_timings(&mut self) {
+        self.base.reset_timings();
+    }
+}
+
+/// Shard-count-polymorphic engine handle: `shards <= 1` runs the untouched
+/// canonical [`Simulation`] (the executable spec, zero overhead), anything
+/// larger runs the [`ShardedSimulation`] pinned bit-identical to it.
+/// Scenario runners and the supervisor drive this enum so every protocol
+/// works at any shard count.
+#[allow(clippy::large_enum_variant)]
+pub enum Engine {
+    /// The canonical single-domain engine.
+    Single(Simulation),
+    /// The sharded domain-decomposition engine.
+    Sharded(ShardedSimulation),
+}
+
+impl Engine {
+    /// Build an engine with `n_shards` shards (`<= 1` selects the
+    /// canonical single-domain path).  Panics on an invalid configuration.
+    pub fn new(cfg: SimConfig, n_shards: usize) -> Self {
+        Self::try_new(cfg, n_shards).unwrap_or_else(|e| panic!("invalid SimConfig: {e}"))
+    }
+
+    /// Build an engine, reporting configuration problems as a typed error.
+    pub fn try_new(cfg: SimConfig, n_shards: usize) -> Result<Self, ConfigError> {
+        if n_shards <= 1 {
+            Ok(Engine::Single(Simulation::try_new(cfg)?))
+        } else {
+            Ok(Engine::Sharded(ShardedSimulation::try_new(cfg, n_shards)?))
+        }
+    }
+
+    /// Resume an engine from a snapshot under `n_shards` shards — any
+    /// snapshot resumes at any shard count (see
+    /// [`ShardedSimulation::resume`]).
+    pub fn resume(cfg: SimConfig, bytes: &[u8], n_shards: usize) -> Result<Self, StateError> {
+        if n_shards <= 1 {
+            Ok(Engine::Single(Simulation::resume(cfg, bytes)?))
+        } else {
+            Ok(Engine::Sharded(ShardedSimulation::resume(
+                cfg, bytes, n_shards,
+            )?))
+        }
+    }
+
+    /// Shard count (1 for the single-domain path).
+    pub fn n_shards(&self) -> usize {
+        match self {
+            Engine::Single(_) => 1,
+            Engine::Sharded(s) => s.layout().n_shards(),
+        }
+    }
+
+    /// Advance one time step.
+    pub fn step(&mut self) {
+        match self {
+            Engine::Single(s) => s.step(),
+            Engine::Sharded(s) => s.step(),
+        }
+    }
+
+    /// Run `n` steps.
+    pub fn run(&mut self, n: usize) {
+        match self {
+            Engine::Single(s) => s.run(n),
+            Engine::Sharded(s) => s.run(n),
+        }
+    }
+
+    /// The canonical single-domain view of the current state (shards sync
+    /// lazily).
+    pub fn canonical(&mut self) -> &Simulation {
+        match self {
+            Engine::Single(s) => s,
+            Engine::Sharded(s) => s.canonical(),
+        }
+    }
+
+    /// The resume-bit-identity digest ([`Simulation::state_hash`]).
+    pub fn state_hash(&mut self) -> u64 {
+        match self {
+            Engine::Single(s) => s.state_hash(),
+            Engine::Sharded(s) => s.state_hash(),
+        }
+    }
+
+    /// Serialise the complete resumable state.
+    pub fn save_state(&mut self) -> Vec<u8> {
+        match self {
+            Engine::Single(s) => s.save_state(),
+            Engine::Sharded(s) => s.save_state(),
+        }
+    }
+
+    /// [`Engine::save_state`] straight to a file (atomic replacement).
+    pub fn save_state_to(&mut self, path: impl AsRef<Path>) -> Result<(), StateError> {
+        match self {
+            Engine::Single(s) => s.save_state_to(path),
+            Engine::Sharded(s) => s.save_state_to(path),
+        }
+    }
+
+    /// Current physical ledgers.
+    pub fn diagnostics(&mut self) -> Diagnostics {
+        match self {
+            Engine::Single(s) => s.diagnostics(),
+            Engine::Sharded(s) => s.diagnostics(),
+        }
+    }
+
+    /// Open a sampling window.
+    pub fn begin_sampling(&mut self) {
+        match self {
+            Engine::Single(s) => s.begin_sampling(),
+            Engine::Sharded(s) => s.begin_sampling(),
+        }
+    }
+
+    /// Close the sampling window and return the averaged fields.
+    pub fn finish_sampling(&mut self) -> SampledField {
+        match self {
+            Engine::Single(s) => s.finish_sampling(),
+            Engine::Sharded(s) => s.finish_sampling(),
+        }
+    }
+
+    /// Close the surface window (if any).
+    pub fn finish_surface_sampling(&mut self) -> Option<SurfaceField> {
+        match self {
+            Engine::Single(s) => s.finish_surface_sampling(),
+            Engine::Sharded(s) => s.finish_surface_sampling(),
+        }
+    }
+
+    /// The open volume-field window, if any.
+    pub fn field_sampler(&self) -> Option<&FieldAccumulator> {
+        match self {
+            Engine::Single(s) => s.field_sampler(),
+            Engine::Sharded(s) => s.field_sampler(),
+        }
+    }
+
+    /// Deterministically corrupt particle state (fault injection).
+    pub fn inject_fault(&mut self, target: FaultTarget, salt: u64) -> String {
+        match self {
+            Engine::Single(s) => s.inject_fault(target, salt),
+            Engine::Sharded(s) => s.inject_fault(target, salt),
+        }
+    }
+
+    /// Total number of particles.
+    pub fn n_particles(&self) -> usize {
+        match self {
+            Engine::Single(s) => s.n_particles(),
+            Engine::Sharded(s) => s.n_particles(),
+        }
+    }
+
+    /// The configuration the engine was built with.
+    pub fn config(&self) -> &SimConfig {
+        match self {
+            Engine::Single(s) => s.config(),
+            Engine::Sharded(s) => s.config(),
+        }
+    }
+
+    /// Accumulated per-substep wall-clock timings.
+    pub fn timings(&self) -> &StepTimings {
+        match self {
+            Engine::Single(s) => s.timings(),
+            Engine::Sharded(s) => s.timings(),
+        }
+    }
+
+    /// Reset the timing accumulators.
+    pub fn reset_timings(&mut self) {
+        match self {
+            Engine::Single(s) => s.reset_timings(),
+            Engine::Sharded(s) => s.reset_timings(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BodySpec, RngMode};
+
+    fn wedge_cfg() -> SimConfig {
+        let mut cfg = SimConfig::small_wedge(0.5);
+        cfg.n_per_cell = 8.0;
+        cfg.reservoir_fill = 16.0;
+        cfg
+    }
+
+    #[test]
+    fn owner_maps_every_cell_to_exactly_one_shard() {
+        let layout = ShardLayout {
+            cuts: vec![0, 3, 7, 16],
+            tunnel_w: 16,
+            res_base: 16 * 12,
+        };
+        for cell in 0..16 * 12 {
+            let col = cell % 16;
+            let expect = if col < 3 {
+                0
+            } else if col < 7 {
+                1
+            } else {
+                2
+            };
+            assert_eq!(layout.owner(cell), expect, "cell {cell}");
+        }
+        // Reservoir cells always land on the last shard.
+        assert_eq!(layout.owner(16 * 12), 2);
+        assert_eq!(layout.owner(16 * 12 + 999), 2);
+    }
+
+    #[test]
+    fn balanced_cuts_track_the_load_and_keep_every_shard_nonempty() {
+        // All the weight in the last two columns: the first cuts collapse
+        // to the minimum-width clamp.
+        let mut load = vec![0u64; 8];
+        load[6] = 100;
+        load[7] = 100;
+        let cuts = balanced_cuts(&load, 4);
+        assert_eq!(cuts.len(), 5);
+        assert_eq!(cuts[0], 0);
+        assert_eq!(cuts[4], 8);
+        assert!(cuts.windows(2).all(|w| w[0] < w[1]), "cuts {cuts:?}");
+        // The heavy columns end up split across the last shards.
+        assert!(cuts[3] >= 6, "cuts {cuts:?}");
+        // Uniform load → (close to) uniform cuts.
+        let cuts = balanced_cuts(&[10; 8], 4);
+        assert_eq!(cuts, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn sharded_runs_hash_identically_to_the_canonical_engine() {
+        for shards in [1usize, 2, 3, 4] {
+            let mut single = Simulation::new(SimConfig::small_test());
+            let mut sharded = ShardedSimulation::new(SimConfig::small_test(), shards);
+            single.run(40);
+            sharded.run(40);
+            assert_eq!(
+                sharded.state_hash(),
+                single.state_hash(),
+                "{shards} shards diverged"
+            );
+            assert_eq!(sharded.diagnostics(), single.diagnostics());
+        }
+    }
+
+    #[test]
+    fn sampling_windows_are_shard_count_invariant() {
+        let mut single = Simulation::new(wedge_cfg());
+        let mut sharded = ShardedSimulation::new(wedge_cfg(), 3);
+        single.run(30);
+        sharded.run(30);
+        single.begin_sampling();
+        sharded.begin_sampling();
+        single.run(40);
+        sharded.run(40);
+        assert_eq!(sharded.state_hash(), single.state_hash());
+        let fa = single.finish_sampling();
+        let fb = sharded.finish_sampling();
+        assert_eq!(fa.density, fb.density);
+        let sa = single.finish_surface_sampling().expect("wedge has facets");
+        let sb = sharded.finish_surface_sampling().expect("wedge has facets");
+        assert_eq!(sa.cp, sb.cp);
+        assert_eq!(sa.force_x, sb.force_x);
+    }
+
+    #[test]
+    fn sharded_checkpoint_resumes_bit_exactly_at_another_shard_count() {
+        let mut straight = Simulation::new(wedge_cfg());
+        straight.run(60);
+        let mut a = ShardedSimulation::new(wedge_cfg(), 3);
+        a.run(35);
+        let bytes = a.save_state();
+        for resume_shards in [1usize, 2, 4] {
+            let mut b = ShardedSimulation::resume(wedge_cfg(), &bytes, resume_shards).unwrap();
+            b.run(25);
+            assert_eq!(
+                b.state_hash(),
+                straight.state_hash(),
+                "resume at {resume_shards} shards diverged"
+            );
+        }
+        // The canonical engine skips the advisory manifest entirely.
+        let mut c = Simulation::resume(wedge_cfg(), &bytes).unwrap();
+        c.run(25);
+        assert_eq!(c.state_hash(), straight.state_hash());
+    }
+
+    #[test]
+    fn manifest_round_trips_cuts_and_repartitions() {
+        let mut a = ShardedSimulation::new(wedge_cfg(), 3);
+        a.run(50);
+        let bytes = a.save_state();
+        let b = ShardedSimulation::resume(wedge_cfg(), &bytes, 3).unwrap();
+        assert_eq!(b.layout().cuts(), a.layout().cuts());
+        assert_eq!(b.repartitions(), a.repartitions());
+        assert_eq!(b.shard_populations(), a.shard_populations());
+    }
+
+    #[test]
+    fn repartition_rebalances_a_skewed_start_without_touching_the_hash() {
+        // Deliberately bad initial cuts on a wedge flow: the engine must
+        // repartition toward balance while staying bit-identical.
+        let mut sharded = ShardedSimulation::new(wedge_cfg(), 4);
+        let w = sharded.base.tunnel.width;
+        sharded.layout.cuts = vec![0, 1, 2, 3, w];
+        sharded.scatter();
+        let mut single = Simulation::new(wedge_cfg());
+        sharded.run(30);
+        single.run(30);
+        assert_eq!(sharded.state_hash(), single.state_hash());
+        assert!(
+            sharded.repartitions() > 0,
+            "a maximally skewed layout must trigger the weighted repartition"
+        );
+        let pops = sharded.shard_populations();
+        let max = *pops.iter().max().unwrap() as f64;
+        let mean = pops.iter().sum::<usize>() as f64 / pops.len() as f64;
+        assert!(
+            max / mean < 2.0,
+            "populations still skewed after repartition: {pops:?}"
+        );
+    }
+
+    #[test]
+    fn engine_dispatch_covers_bodies_and_rng_modes() {
+        for body in [
+            BodySpec::None,
+            BodySpec::Cylinder {
+                cx: 8.0,
+                cy: 6.0,
+                r: 2.0,
+            },
+        ] {
+            for rng_mode in [RngMode::Explicit, RngMode::DirtyBits] {
+                let mut cfg = SimConfig::small_test();
+                cfg.body = body.clone();
+                cfg.rng_mode = rng_mode;
+                let mut one = Engine::new(cfg.clone(), 1);
+                let mut four = Engine::new(cfg.clone(), 4);
+                one.run(25);
+                four.run(25);
+                assert_eq!(
+                    one.state_hash(),
+                    four.state_hash(),
+                    "{body:?}/{rng_mode:?} diverged across shard counts"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_injection_is_identical_on_the_canonical_view() {
+        let mut single = Simulation::new(SimConfig::small_test());
+        let mut sharded = ShardedSimulation::new(SimConfig::small_test(), 2);
+        single.run(20);
+        sharded.run(20);
+        let m1 = single.inject_fault(FaultTarget::StreamwiseVelocity, 99);
+        let m2 = sharded.inject_fault(FaultTarget::StreamwiseVelocity, 99);
+        assert_eq!(m1, m2);
+        assert_eq!(sharded.state_hash(), single.state_hash());
+    }
+}

@@ -86,6 +86,16 @@ impl Simulation {
     /// be taken at any cadence.
     pub fn save_state(&self) -> Vec<u8> {
         let mut w = Writer::new(self.cfg.fingerprint());
+        self.write_state_sections(&mut w);
+        w.finish()
+    }
+
+    /// Write the canonical state sections (`CORE`, `PART`, `BNDS`, and any
+    /// open sampling windows) into an already-open container.  Shared with
+    /// the sharded engine (`crate::shard`), whose snapshot is exactly
+    /// these sections plus its `SHRD` manifest — which is why a sharded
+    /// checkpoint resumes under any shard count, including one.
+    pub(crate) fn write_state_sections(&self, w: &mut Writer) {
         {
             let mut s = w.section(SEC_CORE);
             s.u64(self.steps);
@@ -147,7 +157,6 @@ impl Simulation {
             s.i64(st.global.e_inc);
             s.i64(st.global.e_ref);
         }
-        w.finish()
     }
 
     /// [`Simulation::save_state`] straight to a file.

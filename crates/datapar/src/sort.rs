@@ -41,8 +41,13 @@
 //! hardware — a fully interleaved all-columns-per-chunk pass (~3× slower:
 //! ten columns of random reads thrash L2, where one column at a time
 //! stays resident) and the one-launch (column × chunk) task grid kept as
-//! `ParticleStore::apply_order_fused` for future multi-core hosts (its
-//! ten distinct destination buffers are write-allocate-cold every step).
+//! `ParticleStore::apply_order_fused` (its ten distinct destination
+//! buffers are write-allocate-cold every step).  The multi-core path now
+//! exists as the sharded engine (`SHARDING.md`): each shard runs this
+//! same rank+send on its smaller array, with the 1-vCPU baseline
+//! recorded in `BENCH_step.json` (`sharding`: 0.61×/0.58× vs
+//! single-domain at 2/4 shards — the exchange/merge overhead a
+//! multi-core host gets to amortise).
 //!
 //! [`sort_perm_by_key`] keeps the original fixed-radix, allocating
 //! implementation as the executable specification: property tests pin the

@@ -2,14 +2,22 @@
 //!
 //! ```text
 //! scenarios --list                 # enumerate every named case
-//! scenarios <name> [--quick|--full]
-//! scenarios --all [--quick|--full]
+//! scenarios <name> [--quick|--full] [--shards <n>]
+//! scenarios --all [--quick|--full] [--shards <n>]
 //! scenarios <name> --checkpoint-every <steps>   # save rolling + settled checkpoints
 //! scenarios <name> --resume <file>              # warm-start from a checkpoint
 //! scenarios <name> --supervise [--ckpt-dir <dir>] [--keep <k>] [--max-recoveries <n>]
 //!     [--sentinel-every <steps>] [--die-at-step <s>] [--truncate-ckpt-at-step <s>]
 //!     [--flip-ckpt-at-step <s>] [--chaos-seed <seed>]
 //! ```
+//!
+//! `--shards n` runs the case under the sharded domain-decomposition
+//! engine with `n` column-block shards (1 = the single-domain reference
+//! engine).  Every scenario is shard-count invariant — the goldens and
+//! the printed `state_hash` must be bit-identical for any `n`, and the CI
+//! determinism matrix diffs exactly that (see `SHARDING.md`).  The flag
+//! composes with `--supervise` and the checkpoint flags; a checkpoint
+//! saved at one shard count resumes at any other.
 //!
 //! A QUICK run (the default) compares each golden metric against its
 //! checked-in reference and exits non-zero when any drifts outside its
@@ -217,7 +225,7 @@ fn main() {
     let mut truncate_at: Option<u64> = None;
     let mut flip_at: Option<u64> = None;
     let mut chaos_seed: Option<u64> = None;
-    let usage = "usage: scenarios --list | scenarios <name>|--all [--quick|--full] \
+    let usage = "usage: scenarios --list | scenarios <name>|--all [--quick|--full] [--shards <n>] \
                  [--checkpoint-every <steps>] [--resume <file>] | scenarios <name> --supervise \
                  [--ckpt-dir <dir>] [--keep <k>] [--max-recoveries <n>] [--sentinel-every <steps>] \
                  [--die-at-step <s>] [--truncate-ckpt-at-step <s>] [--flip-ckpt-at-step <s>] \
@@ -253,6 +261,16 @@ fn main() {
                 flip_at = Some(parse_step(&mut it, "--flip-ckpt-at-step", usage))
             }
             "--chaos-seed" => chaos_seed = Some(parse_step(&mut it, "--chaos-seed", usage)),
+            "--shards" => {
+                let v = it.next().and_then(|v| v.parse::<usize>().ok());
+                match v {
+                    Some(n) if n > 0 => opts.shards = n,
+                    _ => {
+                        eprintln!("--shards needs a positive shard count\n{usage}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--checkpoint-every" => {
                 let v = it.next().and_then(|v| v.parse::<u64>().ok());
                 match v {
@@ -324,6 +342,7 @@ fn main() {
                     };
                     let mut sopts =
                         SuperviseOptions::new(dir, format!("{}_{}", s.name, scale.label()));
+                    sopts.shards = opts.shards.max(1);
                     if let Some(k) = checkpoint_every_flag {
                         sopts.checkpoint_every = k;
                     }

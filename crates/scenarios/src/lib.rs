@@ -25,7 +25,9 @@
 use dsmc_baselines::nanbu::pairwise_step;
 use dsmc_baselines::UniformBox;
 use dsmc_bench::json;
-use dsmc_engine::{Diagnostics, SampledField, SimConfig, Simulation, StateError, SurfaceField};
+use dsmc_engine::{
+    Diagnostics, Engine, SampledField, SimConfig, Simulation, StateError, SurfaceField,
+};
 
 pub mod fault;
 pub mod registry;
@@ -310,6 +312,12 @@ pub struct RunOptions {
     /// mid-average continues its open sampling window.  The snapshot's
     /// config fingerprint must match the scenario at this scale.
     pub resume_from: Option<Vec<u8>>,
+    /// Number of column-block domain shards to run under (`0` and `1`
+    /// both mean the single-domain reference engine).  Every scenario is
+    /// shard-count invariant: the goldens, the metrics, and `state_hash`
+    /// are bit-identical for any value here — the CI determinism matrix
+    /// holds the registry to that contract (see `SHARDING.md`).
+    pub shards: usize,
 }
 
 /// Atomically write a checkpoint artifact; an I/O failure is reported
@@ -327,7 +335,7 @@ pub(crate) fn write_checkpoint_artifact(name: &str, bytes: &[u8]) {
 
 /// Step `sim` forward `n` steps, saving the rolling checkpoint artifact
 /// whenever the cadence divides the step counter.
-fn run_checkpointed(sim: &mut Simulation, n: u64, every: Option<u64>, stem: &str) {
+fn run_checkpointed(sim: &mut Engine, n: u64, every: Option<u64>, stem: &str) {
     match every {
         None => sim.run(n as usize),
         Some(k) => {
@@ -429,8 +437,8 @@ pub fn run_with(s: &Scenario, scale: Scale, opts: &RunOptions) -> Result<RunOutc
                 Scale::Full => t.full_steps,
             };
             let mut sim = match &opts.resume_from {
-                Some(bytes) => Simulation::resume(cfg, bytes)?,
-                None => Simulation::new(cfg),
+                Some(bytes) => Engine::resume(cfg, bytes, opts.shards)?,
+                None => Engine::new(cfg, opts.shards),
             };
             let d0 = sim.diagnostics();
             let stem = format!("checkpoint_{}_{}", s.name, scale.label());
@@ -450,11 +458,13 @@ pub fn run_with(s: &Scenario, scale: Scale, opts: &RunOptions) -> Result<RunOutc
             run_checkpointed(&mut sim, remaining, opts.checkpoint_every, &stem);
             let field = sim.finish_sampling();
             let surface = sim.finish_surface_sampling();
-            let mut metrics = conservation_metrics(&sim, &d0);
+            // Metric extraction reads the canonical single-domain view:
+            // identical whether the run was sharded or not.
+            let mut metrics = conservation_metrics(sim.canonical(), &d0);
             if let Some(surf) = &surface {
-                metrics.extend(surface_metrics(&sim, surf));
+                metrics.extend(surface_metrics(sim.canonical(), surf));
             }
-            metrics.extend((t.extract)(&sim, &field, surface.as_ref()));
+            metrics.extend((t.extract)(sim.canonical(), &field, surface.as_ref()));
             state_hash = Some(sim.state_hash());
             (metrics, sim.n_particles(), sim.diagnostics().steps, surface)
         }
@@ -469,7 +479,7 @@ pub fn run_with(s: &Scenario, scale: Scale, opts: &RunOptions) -> Result<RunOutc
                 Scale::Quick => t.quick_windows,
                 Scale::Full => t.full_windows,
             };
-            let mut sim = Simulation::new(cfg);
+            let mut sim = Engine::new(cfg, opts.shards);
             let d0 = sim.diagnostics();
             let mut points = Vec::with_capacity(windows);
             for _ in 0..windows {
@@ -477,12 +487,13 @@ pub fn run_with(s: &Scenario, scale: Scale, opts: &RunOptions) -> Result<RunOutc
                 sim.run(t.window_steps);
                 let field = sim.finish_sampling();
                 let surf = sim.finish_surface_sampling();
+                let step_end = sim.diagnostics().steps;
                 points.push(TransientPoint {
-                    step_end: sim.diagnostics().steps,
-                    values: (t.probe)(&sim, &field, surf.as_ref()),
+                    step_end,
+                    values: (t.probe)(sim.canonical(), &field, surf.as_ref()),
                 });
             }
-            let mut metrics = conservation_metrics(&sim, &d0);
+            let mut metrics = conservation_metrics(sim.canonical(), &d0);
             metrics.extend((t.extract)(&points));
             let (n, steps) = (sim.n_particles(), sim.diagnostics().steps);
             state_hash = Some(sim.state_hash());
@@ -500,19 +511,25 @@ pub fn run_with(s: &Scenario, scale: Scale, opts: &RunOptions) -> Result<RunOutc
                 Scale::Quick => rc.quick_steps,
                 Scale::Full => rc.full_steps,
             };
-            let mut a = Simulation::new(cfg.clone());
+            let mut a = Engine::new(cfg.clone(), opts.shards);
             let d0 = a.diagnostics();
             a.run(settle);
             a.begin_sampling();
             a.run(open);
             let bytes = a.save_state();
             let hash_at_save = a.state_hash();
-            let mut b = Simulation::resume(cfg, &bytes).expect("own snapshot must resume cleanly");
+            // The resume arm deliberately runs at a *different* shard
+            // count than the save arm: the bit-identity goldens below then
+            // pin the save-at-S / resume-at-S′ contract of `SHARDING.md`
+            // on every CI run, not just in the dedicated sharding tests.
+            let alt_shards = if opts.shards <= 1 { 2 } else { 1 };
+            let mut b =
+                Engine::resume(cfg, &bytes, alt_shards).expect("own snapshot must resume cleanly");
             let restore_exact = b.state_hash() == hash_at_save;
             a.run(tail);
             b.run(tail);
             let resume_exact = a.state_hash() == b.state_hash();
-            let mut metrics = conservation_metrics(&a, &d0);
+            let mut metrics = conservation_metrics(a.canonical(), &d0);
             state_hash = Some(a.state_hash());
             metrics.extend([
                 // Both pinned at exactly 1.0: restore fidelity at the

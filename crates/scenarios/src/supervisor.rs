@@ -31,7 +31,7 @@ use crate::{
 };
 use dsmc_bench::json;
 use dsmc_engine::sentinel::{Sentinel, SentinelThresholds};
-use dsmc_engine::{ConfigError, Diagnostics, SimConfig, Simulation, StateError};
+use dsmc_engine::{ConfigError, Diagnostics, Engine, SimConfig, StateError};
 use dsmc_state::store::CheckpointStore;
 use dsmc_state::{Cursor, Section, Writer};
 use std::path::PathBuf;
@@ -66,6 +66,11 @@ pub struct SuperviseOptions {
     pub thresholds: SentinelThresholds,
     /// Deterministic fault schedule (empty in production).
     pub faults: FaultPlan,
+    /// Number of column-block domain shards the supervised run steps
+    /// under (`0`/`1` = the single-domain reference engine).  Recovery
+    /// restores checkpoints back into the same shard count; the final
+    /// metrics and `state_hash` are shard-count invariant either way.
+    pub shards: usize,
 }
 
 impl SuperviseOptions {
@@ -82,6 +87,7 @@ impl SuperviseOptions {
             backoff_cap_ms: 500,
             thresholds: SentinelThresholds::default(),
             faults: FaultPlan::none(),
+            shards: 1,
         }
     }
 }
@@ -224,8 +230,9 @@ impl std::error::Error for SuperviseError {}
 pub trait Protocol {
     /// Total steps of the run (the loop visits boundaries `0..=total`).
     fn total_steps(&self) -> u64;
-    /// Perform boundary-`step` transitions (idempotent).
-    fn at_step(&mut self, sim: &mut Simulation, step: u64);
+    /// Perform boundary-`step` transitions (idempotent).  The engine may
+    /// be sharded; protocols read physics through [`Engine::canonical`].
+    fn at_step(&mut self, sim: &mut Engine, step: u64);
     /// Serialise journal state into the checkpoint container.
     fn export_journal(&self, sec: &mut Section<'_>);
     /// Replace journal state from a checkpoint container (transactional).
@@ -310,7 +317,7 @@ impl Protocol for TunnelProtocol {
         self.total
     }
 
-    fn at_step(&mut self, sim: &mut Simulation, step: u64) {
+    fn at_step(&mut self, sim: &mut Engine, step: u64) {
         if step == 0 && self.d0.is_none() {
             self.d0 = Some(sim.diagnostics());
         }
@@ -369,7 +376,7 @@ impl Protocol for TransientProtocol {
         self.windows * self.case.window_steps as u64
     }
 
-    fn at_step(&mut self, sim: &mut Simulation, step: u64) {
+    fn at_step(&mut self, sim: &mut Engine, step: u64) {
         let window = self.case.window_steps as u64;
         if step == 0 && self.d0.is_none() {
             self.d0 = Some(sim.diagnostics());
@@ -383,7 +390,7 @@ impl Protocol for TransientProtocol {
                 let surf = sim.finish_surface_sampling();
                 self.points.push(TransientPoint {
                     step_end: step,
-                    values: (self.case.probe)(sim, &field, surf.as_ref()),
+                    values: (self.case.probe)(sim.canonical(), &field, surf.as_ref()),
                 });
             }
         }
@@ -472,7 +479,7 @@ fn damage_newest(store: &CheckpointStore, kind: CheckpointDamage) -> String {
 fn save_checkpoint(
     store: &CheckpointStore,
     cfg: &SimConfig,
-    sim: &Simulation,
+    sim: &mut Engine,
     protocol: &dyn Protocol,
     step: u64,
 ) -> Result<(), StateError> {
@@ -498,14 +505,15 @@ fn try_restore(
     cfg: &SimConfig,
     protocol: &mut dyn Protocol,
     sentinel: Option<&Sentinel>,
+    shards: usize,
     report: &mut SupervisorReport,
-) -> Option<(u64, Simulation)> {
+) -> Option<(u64, Engine)> {
     for (step, path) in store.candidates().unwrap_or_default() {
         let Ok(bytes) = std::fs::read(&path) else {
             report.note(step, "recovery: candidate unreadable, skipping");
             continue;
         };
-        let restored = (|| -> Result<Simulation, StateError> {
+        let restored = (|| -> Result<Engine, StateError> {
             let r = dsmc_state::Reader::new(&bytes)?;
             if r.fingerprint() != cfg.fingerprint() {
                 return Err(StateError::FingerprintMismatch {
@@ -516,16 +524,16 @@ fn try_restore(
             let mut c = r.section(SEC_SIM)?;
             let sim_bytes = c.vec_u8()?;
             c.done()?;
-            let sim = Simulation::resume(cfg.clone(), &sim_bytes)?;
+            let sim = Engine::resume(cfg.clone(), &sim_bytes, shards)?;
             let mut jc = r.section(SEC_JOURNAL)?;
             protocol.restore_journal(&mut jc)?;
             jc.done()?;
             Ok(sim)
         })();
         match restored {
-            Ok(sim) => {
+            Ok(mut sim) => {
                 if let Some(sen) = sentinel {
-                    if let Err(e) = sen.check(&sim) {
+                    if let Err(e) = sen.check(sim.canonical()) {
                         report.note(
                             step,
                             format!("recovery: candidate fails sentinel ({e}), skipping"),
@@ -533,7 +541,8 @@ fn try_restore(
                         continue;
                     }
                 }
-                return Some((sim.diagnostics().steps, sim));
+                let at = sim.diagnostics().steps;
+                return Some((at, sim));
             }
             Err(e) => {
                 report.note(step, format!("recovery: candidate invalid ({e}), skipping"));
@@ -552,7 +561,7 @@ pub fn supervise(
     cfg: &SimConfig,
     protocol: &mut dyn Protocol,
     opts: &SuperviseOptions,
-) -> Result<(Simulation, SupervisorReport), SuperviseError> {
+) -> Result<(Engine, SupervisorReport), SuperviseError> {
     let cfg = cfg
         .clone()
         .try_validated()
@@ -567,7 +576,7 @@ pub fn supervise(
 
     // Startup: adopt a half-finished previous run if a valid checkpoint
     // survives (the crash-recovery path after kill -9), else cold-start.
-    let mut sim = match try_restore(&store, &cfg, protocol, None, &mut report) {
+    let mut sim = match try_restore(&store, &cfg, protocol, None, opts.shards, &mut report) {
         Some((step, sim)) => {
             report.resumed_at_start = Some(step);
             report.note(step, "startup: resumed from checkpoint");
@@ -575,10 +584,10 @@ pub fn supervise(
         }
         None => {
             protocol.reset();
-            Simulation::try_new(cfg.clone()).map_err(SuperviseError::Config)?
+            Engine::try_new(cfg.clone(), opts.shards).map_err(SuperviseError::Config)?
         }
     };
-    let sentinel = Sentinel::arm_with(&sim, opts.thresholds);
+    let sentinel = Sentinel::arm_with(sim.canonical(), opts.thresholds);
     let mut s = sim.diagnostics().steps;
     let mut fail_next_save = false;
 
@@ -620,7 +629,7 @@ pub fn supervise(
         let mut fault_cause: Option<String> = None;
         if due_sentinel {
             report.sentinel_checks += 1;
-            if let Err(e) = sentinel.check(&sim) {
+            if let Err(e) = sentinel.check(sim.canonical()) {
                 fault_cause = Some(format!("sentinel trip: {e}"));
             }
         }
@@ -634,7 +643,7 @@ pub fn supervise(
                     "checkpoint save failed (injected I/O error); continuing on retained checkpoints",
                 );
             } else {
-                match save_checkpoint(&store, &cfg, &sim, protocol, s) {
+                match save_checkpoint(&store, &cfg, &mut sim, protocol, s) {
                     Ok(()) => {
                         report.checkpoints_written += 1;
                     }
@@ -665,7 +674,14 @@ pub fn supervise(
                 .saturating_mul(1u64 << (n - 1).min(16))
                 .min(opts.backoff_cap_ms);
             std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
-            let restored = try_restore(&store, &cfg, protocol, Some(&sentinel), &mut report);
+            let restored = try_restore(
+                &store,
+                &cfg,
+                protocol,
+                Some(&sentinel),
+                opts.shards,
+                &mut report,
+            );
             let (restored_step, new_s) = match restored {
                 Some((step, restored_sim)) => {
                     sim = restored_sim;
@@ -677,7 +693,8 @@ pub fn supervise(
                 }
                 None => {
                     protocol.reset();
-                    sim = Simulation::try_new(cfg.clone()).map_err(SuperviseError::Config)?;
+                    sim = Engine::try_new(cfg.clone(), opts.shards)
+                        .map_err(SuperviseError::Config)?;
                     report.note(s, format!("{cause}; no valid checkpoint, cold restart"));
                     (None, 0)
                 }
@@ -729,11 +746,11 @@ pub fn run_supervised(
             let d0 = protocol.d0.expect("tunnel protocol captured its baseline");
             let field = sim.finish_sampling();
             let surface = sim.finish_surface_sampling();
-            let mut metrics = conservation_metrics(&sim, &d0);
+            let mut metrics = conservation_metrics(sim.canonical(), &d0);
             if let Some(surf) = &surface {
-                metrics.extend(surface_metrics(&sim, surf));
+                metrics.extend(surface_metrics(sim.canonical(), surf));
             }
-            metrics.extend((t.extract)(&sim, &field, surface.as_ref()));
+            metrics.extend((t.extract)(sim.canonical(), &field, surface.as_ref()));
             let checks = check_goldens(s, scale, &metrics);
             let outcome = RunOutcome {
                 scenario: s.name,
@@ -752,11 +769,11 @@ pub fn run_supervised(
         }
         CaseKind::Transient(t) => {
             let mut protocol = TransientProtocol::new(*t, scale);
-            let (sim, report) = supervise(&cfg, &mut protocol, opts)?;
+            let (mut sim, report) = supervise(&cfg, &mut protocol, opts)?;
             let d0 = protocol
                 .d0
                 .expect("transient protocol captured its baseline");
-            let mut metrics = conservation_metrics(&sim, &d0);
+            let mut metrics = conservation_metrics(sim.canonical(), &d0);
             metrics.extend((t.extract)(&protocol.points));
             let checks = check_goldens(s, scale, &metrics);
             let outcome = RunOutcome {

@@ -60,7 +60,14 @@ use std::fmt;
 /// reader rejects every other version outright (no migration shims; a
 /// checkpoint is a cache, not an archive).  `CONTRIBUTING.md` documents
 /// when a bump is required.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// History: 1 = the PR-5 snapshot container (CORE/PART/BNDS + sampling
+/// windows); 2 = the sharded-run manifest (`SHRD`) joined the section
+/// set.  The manifest is *advisory* (execution layout, not physics), but
+/// the policy is deliberately blunt — the set of sections changed, so the
+/// version changed; see STATE.md's "Versioning" section for the
+/// rationale.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Leading magic of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"DSMCSNAP";

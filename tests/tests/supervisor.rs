@@ -7,7 +7,7 @@
 //! out-of-process across rayon thread counts.
 
 use dsmc_engine::config::WallModel;
-use dsmc_engine::{BodySpec, FaultTarget, RngMode, SimConfig, Simulation};
+use dsmc_engine::{BodySpec, Engine, FaultTarget, RngMode, SimConfig, Simulation};
 use dsmc_scenarios::{
     find, run, supervise, CaseKind, Fault, FaultPlan, Metric, Protocol, Scale, SuperviseError,
     SuperviseOptions, SuperviseOutcome, SupervisorReport, TransientCase, TransientPoint,
@@ -85,7 +85,7 @@ fn opts_in(tag: &str) -> SuperviseOptions {
 fn supervised_hash(opts: &SuperviseOptions) -> (u64, SupervisorReport) {
     let cfg = wedge_dirty_cfg(7);
     let mut protocol = TunnelProtocol::new(small_case(SETTLE, TOTAL), Scale::Quick);
-    let (sim, report) =
+    let (mut sim, report) =
         supervise(&cfg, &mut protocol, opts).unwrap_or_else(|e| panic!("supervise failed: {e}\n"));
     (sim.state_hash(), report)
 }
@@ -306,7 +306,7 @@ fn transient_windows_survive_recovery_bit_exactly() {
 
     // Unsupervised reference arm.
     let mut reference: Vec<TransientPoint> = Vec::new();
-    let mut sim = Simulation::new(cfg.clone());
+    let mut sim = Engine::new(cfg.clone(), 1);
     let mut ref_protocol = TransientProtocol::new(case, Scale::Quick);
     for s in 0..=40u64 {
         ref_protocol.at_step(&mut sim, s);
@@ -322,7 +322,7 @@ fn transient_windows_survive_recovery_bit_exactly() {
     opts.backoff_base_ms = 1;
     opts.faults = FaultPlan::at(27, Fault::Crash);
     let mut protocol = TransientProtocol::new(case, Scale::Quick);
-    let (sim, report) = supervise(&cfg, &mut protocol, &opts).expect("supervise");
+    let (mut sim, report) = supervise(&cfg, &mut protocol, &opts).expect("supervise");
     assert_eq!(report.outcome, SuperviseOutcome::Recovered(1));
     assert_eq!(sim.state_hash(), ref_hash, "transient trajectory diverged");
     assert_eq!(
@@ -419,7 +419,7 @@ fn helper_supervised_kill9_run() {
     opts.checkpoint_every = 10;
     opts.sentinel_every = 10;
     let mut protocol = TunnelProtocol::new(small_case(KILL9_SETTLE, KILL9_TOTAL), Scale::Quick);
-    let (sim, report) = supervise(&kill9_cfg(), &mut protocol, &opts).expect("supervise");
+    let (mut sim, report) = supervise(&kill9_cfg(), &mut protocol, &opts).expect("supervise");
     if let Some(step) = report.resumed_at_start {
         println!("SUPER_RESUMED={step}");
     }

@@ -16,7 +16,7 @@
 use dsmc_baselines::SerialSim;
 use dsmc_bench::{json, report, write_artifact, RunScale};
 use dsmc_datapar::pack_pair;
-use dsmc_engine::{BodySpec, Engine, PipelineMode, SimConfig, Simulation, StepTimings};
+use dsmc_engine::{BodySpec, Engine, PipelineMode, SimConfig, Simulation, SortMode, StepTimings};
 use dsmc_fixed::Fx;
 use dsmc_rng::XorShift32;
 use std::time::Instant;
@@ -164,6 +164,57 @@ fn pair_build_ab(n: usize) -> (f64, f64) {
     let ns_generic = time(&mut || generic(&mut cells, &mut pairs, &mut rngs));
     let ns_special = time(&mut || specialised(&mut cells, &mut pairs, &mut rngs));
     (ns_generic, ns_special)
+}
+
+/// Incremental-vs-full rank A/B on one config (the temporal-coherence
+/// sort lever): interleaved windows, identical trajectories by the
+/// order-identity invariant, so the ratio isolates pure rank cost.
+struct SortModeAb {
+    sort_ns_incremental: f64,
+    sort_ns_full: f64,
+    step_ratio: f64,
+    mover_fraction: f64,
+    incremental_share: f64,
+    flow_particles: usize,
+}
+
+fn sortmode_ab(cfg: &SimConfig, warm: usize, measure: usize) -> SortModeAb {
+    let window = (measure / WINDOWS).max(5);
+    let mut cfg_inc = cfg.clone();
+    cfg_inc.sort_mode = SortMode::Incremental;
+    let mut cfg_full = cfg.clone();
+    cfg_full.sort_mode = SortMode::Full;
+    let mut sims = [Simulation::new(cfg_inc), Simulation::new(cfg_full)];
+    for sim in sims.iter_mut() {
+        sim.run(warm);
+        sim.reset_timings();
+    }
+    // Path/mover counters have no reset; measure the window deltas.
+    let (i0, f0) = sims[0].sort_path_counts();
+    let (m0, p0) = sims[0].mover_stats();
+    for _ in 0..WINDOWS {
+        for sim in sims.iter_mut() {
+            sim.run(window);
+        }
+    }
+    let sort_ns = |sim: &Simulation| {
+        let t = sim.timings();
+        t.sort.as_secs_f64() * 1e9 / (t.steps.max(1) as f64 * sim.diagnostics().n_flow as f64)
+    };
+    let per_step = |sim: &Simulation| {
+        let t = sim.timings();
+        t.total_algorithmic().as_secs_f64() / t.steps.max(1) as f64
+    };
+    let (i1, f1) = sims[0].sort_path_counts();
+    let (m1, p1) = sims[0].mover_stats();
+    SortModeAb {
+        sort_ns_incremental: sort_ns(&sims[0]),
+        sort_ns_full: sort_ns(&sims[1]),
+        step_ratio: per_step(&sims[1]) / per_step(&sims[0]),
+        mover_fraction: (m1 - m0) as f64 / (p1 - p0).max(1) as f64,
+        incremental_share: (i1 - i0) as f64 / ((i1 - i0) + (f1 - f0)).max(1) as f64,
+        flow_particles: sims[0].diagnostics().n_flow,
+    }
 }
 
 /// Wall-clock step cost of the sharded domain-decomposition engine at
@@ -368,6 +419,54 @@ fn main() {
     let r_cyl = scen_json("cylinder", &ct_f, &ct_t, cs_f, cs_t, c_n, &mut scen);
     j.obj("move_side", scen);
 
+    // The temporal-coherence incremental sort (this PR's tentpole):
+    // SortMode::Incremental vs SortMode::Full, bit-identical
+    // trajectories, so the A/B isolates the rank cost.  Settled
+    // wedge-paper is the headline (low mover fraction); the
+    // cylinder-startup transient is the honest worst case — measured
+    // from cold, where the forming bow shock keeps churn high.
+    let mut sort_inc = json::Object::new();
+    let record_sortmode = |tag: &str, ab: &SortModeAb, j: &mut json::Object| {
+        let mut o = json::Object::new();
+        o.int("flow_particles", ab.flow_particles as i64);
+        o.num("sort_ns_incremental", ab.sort_ns_incremental);
+        o.num("sort_ns_full", ab.sort_ns_full);
+        o.num(
+            "sort_substep_speedup",
+            ab.sort_ns_full / ab.sort_ns_incremental,
+        );
+        o.num("full_step_ratio", ab.step_ratio);
+        o.num("mover_fraction_mean", ab.mover_fraction);
+        o.num("incremental_share", ab.incremental_share);
+        j.obj(tag, o);
+        report(
+            &format!("incremental sort [{tag}]"),
+            "n/a (temporal-coherence lever)",
+            &format!(
+                "sort {:.2} -> {:.2} ns/p ({:.2}x), step {:.2}x, movers {:.1}%, repair {:.0}%",
+                ab.sort_ns_full,
+                ab.sort_ns_incremental,
+                ab.sort_ns_full / ab.sort_ns_incremental,
+                ab.step_ratio,
+                100.0 * ab.mover_fraction,
+                100.0 * ab.incremental_share
+            ),
+        );
+    };
+    let ab_wedge = sortmode_ab(&cfg_shard, warm / 2, (measure / 2).max(20));
+    record_sortmode("wedge-paper", &ab_wedge, &mut sort_inc);
+    let mut cyl_t = SimConfig::paper(0.0);
+    cyl_t.body = BodySpec::Cylinder {
+        cx: 32.0,
+        cy: 32.0,
+        r: 6.0,
+    };
+    cyl_t.n_per_cell = (75.0 * scale.density).max(4.0);
+    cyl_t.reservoir_fill = cyl_t.n_per_cell * 1.4;
+    let ab_cyl = sortmode_ab(&cyl_t, 5, (measure / 2).max(20));
+    record_sortmode("cylinder-startup", &ab_cyl, &mut sort_inc);
+    j.obj("sort_incremental", sort_inc);
+
     // The sharded-engine baseline (SHARDING.md, "Performance honesty"):
     // bit-identical physics at shard counts {1, 2, 4} on the wedge
     // workload, recorded as the honest ratio against the single-domain
@@ -404,7 +503,9 @@ fn main() {
     println!("  wrote BENCH_step.json");
 
     // CI regression floor (`--check-floor`): the fused pipeline must
-    // never fall behind the two-step reference on a full step.
+    // never fall behind the two-step reference on a full step, and the
+    // incremental sort must never fall behind the full radix rank on the
+    // settled wedge workload it exists for.
     if std::env::args().any(|a| a == "--check-floor") {
         let worst = speedup.min(r_wedge).min(r_cyl);
         if worst < 1.0 {
@@ -412,5 +513,16 @@ fn main() {
             std::process::exit(1);
         }
         println!("check-floor: worst fused-vs-two-step ratio {worst:.3} >= 1.0");
+        if ab_wedge.step_ratio < 1.0 {
+            eprintln!(
+                "FAIL: incremental-vs-full step ratio {:.3} < 1.0 on settled wedge-paper",
+                ab_wedge.step_ratio
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "check-floor: incremental-vs-full step ratio {:.3} >= 1.0",
+            ab_wedge.step_ratio
+        );
     }
 }

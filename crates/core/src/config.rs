@@ -210,6 +210,30 @@ pub enum PipelineMode {
     TwoStep,
 }
 
+/// Which rank algorithm the fused sort phase uses on steady-state steps.
+///
+/// Both modes produce the **bitwise-identical** order, segment bounds and
+/// trajectory (see `tests/tests/sort_identity.rs`), so the choice is a pure
+/// performance A/B — the same contract [`PipelineMode::TwoStep`] has with
+/// the fused pipeline.  Only the `Fused` pipeline consults this knob; the
+/// `TwoStep` reference always ranks with the full radix sort.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SortMode {
+    /// Re-derive the permutation from scratch every step with the stable
+    /// LSD radix sort over the packed `(cell | jitter, index)` words.
+    Full,
+    /// Temporal-coherence repair (default): count cell-changers ("movers")
+    /// during the fused move sweep, and when the mover fraction is under
+    /// the threshold, rebuild the order from the previous step's segment
+    /// structure — a one-pass bucket by destination cell followed by a
+    /// per-segment in-cache sort — instead of the full radix rank.  Falls
+    /// back to `Full` when the mover fraction exceeds the threshold, on
+    /// plunger-withdrawal steps, on the step after a cross-shard
+    /// repartition, and whenever the previous structure is unavailable
+    /// (first step, resume).
+    Incremental,
+}
+
 /// Where the per-particle random bits come from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RngMode {
@@ -260,6 +284,9 @@ pub struct SimConfig {
     pub rng_mode: RngMode,
     /// Sort → send implementation for the hot loop.
     pub pipeline: PipelineMode,
+    /// Rank algorithm for steady-state fused steps (full radix vs
+    /// incremental repair); bit-identical outputs either way.
+    pub sort_mode: SortMode,
     /// Molecular interaction model (the paper: Maxwell molecules).
     pub model: MolecularModel,
     /// Tunnel-wall interaction (the paper: specular; diffuse is the
@@ -293,6 +320,7 @@ impl SimConfig {
             rounding: Rounding::Stochastic,
             rng_mode: RngMode::Explicit,
             pipeline: PipelineMode::Fused,
+            sort_mode: SortMode::Incremental,
             model: MolecularModel::Maxwell,
             walls: WallModel::Specular,
             seed: 0xD5_4C_19_89,
@@ -333,6 +361,7 @@ impl SimConfig {
             rounding: Rounding::Stochastic,
             rng_mode: RngMode::Explicit,
             pipeline: PipelineMode::Fused,
+            sort_mode: SortMode::Incremental,
             model: MolecularModel::Maxwell,
             walls: WallModel::Specular,
             seed: 1,
@@ -568,7 +597,10 @@ impl SimConfig {
         });
         // PipelineMode is deliberately *excluded*: Fused and TwoStep are
         // pinned bit-identical by the pipeline property tests, so a
-        // checkpoint is portable between them.
+        // checkpoint is portable between them.  SortMode is excluded for
+        // the same reason: Full and Incremental ranks are pinned
+        // bit-identical by the sort-identity suite, so a checkpoint is
+        // portable between them too.
         match self.model {
             MolecularModel::Maxwell => h.u32(0),
             MolecularModel::HardSphere => h.u32(1),

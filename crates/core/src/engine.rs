@@ -2,7 +2,7 @@
 
 use crate::boundary::{self, BoundaryParams, BoundaryScratch};
 use crate::collide;
-use crate::config::{PipelineMode, ResLayout, RngMode, SimConfig, WallModel};
+use crate::config::{PipelineMode, ResLayout, RngMode, SimConfig, SortMode, WallModel};
 use crate::diag::{Diagnostics, StepTimings, Substep};
 use crate::init;
 use crate::motion;
@@ -86,7 +86,22 @@ pub struct Simulation {
     exited: u64,
     introduced: u64,
     plunger_cycles: u64,
+    // Temporal-coherence sort ledger: which rank path each fused step
+    // took, and the move sweep's mover counts that drive the choice.
+    sort_incremental_steps: u64,
+    sort_full_steps: u64,
+    mover_sum: u64,
+    mover_particle_sum: u64,
+    mover_threshold: f64,
 }
+
+/// Default mover-fraction ceiling for the incremental rank.  The repair's
+/// cost is nearly mover-independent (its scatter and per-segment sorts
+/// touch every particle regardless), so the ceiling exists to bound the
+/// serial counting-sort scatter on highly-parallel hosts, not to protect
+/// single-core throughput; `profile_sort` records the measured mover
+/// histograms that justify the default.
+pub const DEFAULT_MOVER_THRESHOLD: f64 = 0.5;
 
 /// Which particle column [`Simulation::inject_fault`] corrupts.
 ///
@@ -210,6 +225,11 @@ impl Simulation {
             exited: 0,
             introduced: 0,
             plunger_cycles: 0,
+            sort_incremental_steps: 0,
+            sort_full_steps: 0,
+            mover_sum: 0,
+            mover_particle_sum: 0,
+            mover_threshold: DEFAULT_MOVER_THRESHOLD,
         }
     }
 
@@ -257,6 +277,10 @@ impl Simulation {
     /// that pass's digit width.
     fn seed_plan(&self) -> (bool, u32) {
         let cell_bits = self.key_bits - self.cfg.jitter_bits;
+        // Both steady-state ranks read it: the seeded full rank skips its
+        // first counting pass, and the incremental repair's jitter
+        // histogram is the same first digit summed over the chunk rows —
+        // so the sweep seeds for either sort mode.
         let seeded = bounds_rank_supported(cell_bits) && self.parts.len() >= PAR_THRESHOLD;
         (seeded, first_pass_bits(cell_bits, self.cfg.jitter_bits))
     }
@@ -408,18 +432,50 @@ impl Simulation {
 
         let t = Instant::now();
         if withdraw {
+            // Withdrawal steps always take the full path: the refill just
+            // repositioned reservoir particles after the (key-less) sweep,
+            // so there are no packed pairs and no trustworthy mover count.
             self.sort_phase();
+            self.sort_full_steps += 1;
         } else {
+            // Temporal-coherence decision.  The sweep's mover count is the
+            // exact number of particles whose cell changed this step and
+            // the sole budget authority; the rank itself only re-checks
+            // that the previous structure covers this population (it does
+            // not on the first step after a resume, or after a two-step
+            // interlude), falling back to the full rank when it doesn't.
+            // Both paths consume the same sweep-seeded histogram.
+            let n = self.parts.len();
+            self.mover_sum += out.movers as u64;
+            self.mover_particle_sum += n as u64;
+            let budget = (self.mover_threshold * n as f64) as u32;
+            let total_cells = self.total_cells();
             let (seeded, _) = self.seed_plan();
-            sortstep::rank_and_send(
-                &mut self.parts,
-                self.key_bits,
-                self.cfg.jitter_bits,
-                seeded,
-                &mut self.sort_ws,
-                &mut self.bounds,
-                &mut self.order,
-            );
+            let took = self.cfg.sort_mode == SortMode::Incremental
+                && out.movers <= budget
+                && sortstep::rank_and_send_incremental(
+                    &mut self.parts,
+                    self.cfg.jitter_bits,
+                    total_cells,
+                    seeded,
+                    &mut self.sort_ws,
+                    &mut self.bounds,
+                    &mut self.order,
+                );
+            if took {
+                self.sort_incremental_steps += 1;
+            } else {
+                sortstep::rank_and_send(
+                    &mut self.parts,
+                    self.key_bits,
+                    self.cfg.jitter_bits,
+                    seeded,
+                    &mut self.sort_ws,
+                    &mut self.bounds,
+                    &mut self.order,
+                );
+                self.sort_full_steps += 1;
+            }
         }
         self.timings.add(Substep::Sort, t.elapsed());
     }
@@ -638,6 +694,31 @@ impl Simulation {
         caps
     }
 
+    /// Fused-step rank paths taken so far: `(incremental, full)`.  Full
+    /// counts withdrawal steps, threshold overruns, and first/resumed
+    /// steps with no previous structure; the two-step pipeline counts
+    /// nothing here.
+    pub fn sort_path_counts(&self) -> (u64, u64) {
+        (self.sort_incremental_steps, self.sort_full_steps)
+    }
+
+    /// Mover statistics from the fused move sweep: `(movers,
+    /// particle-steps)` summed over ordinary (non-withdrawal) steps —
+    /// divide for the mean mover fraction the threshold is judged
+    /// against.
+    pub fn mover_stats(&self) -> (u64, u64) {
+        (self.mover_sum, self.mover_particle_sum)
+    }
+
+    /// Override the mover-fraction ceiling above which the incremental
+    /// rank falls back to the full radix sort (default
+    /// [`DEFAULT_MOVER_THRESHOLD`]).  Outputs are pinned bit-identical on
+    /// both sides of the crossing, so this is a pure performance knob —
+    /// tests drive it to force path transitions.
+    pub fn set_mover_threshold(&mut self, threshold: f64) {
+        self.mover_threshold = threshold;
+    }
+
     /// The geometry-aware cell classification driving the move phase's
     /// dispatch (rebuilt only if the flow outgrows its halo bound).
     pub fn cell_classifier(&self) -> &CellClassifier {
@@ -830,6 +911,61 @@ mod tests {
         let mut c = Simulation::new(cfg);
         c.run(25);
         assert_ne!(a.particles().x, c.particles().x);
+    }
+
+    #[test]
+    fn incremental_sort_engages_and_matches_full() {
+        // A/B the two rank algorithms over enough steps to cross several
+        // plunger withdrawals: trajectories must be bitwise identical, and
+        // the incremental path must actually carry the steady-state steps
+        // (not silently fall back every time).
+        let mut cfg = SimConfig::small_test();
+        cfg.sort_mode = SortMode::Incremental;
+        let mut a = Simulation::new(cfg.clone());
+        cfg.sort_mode = SortMode::Full;
+        let mut b = Simulation::new(cfg);
+        a.run(60);
+        b.run(60);
+        assert_eq!(a.particles().x, b.particles().x);
+        assert_eq!(a.particles().y, b.particles().y);
+        assert_eq!(a.particles().u, b.particles().u);
+        assert_eq!(a.particles().v, b.particles().v);
+        assert_eq!(a.particles().w, b.particles().w);
+        assert_eq!(a.particles().cell, b.particles().cell);
+        assert_eq!(a.segment_bounds(), b.segment_bounds());
+        assert_eq!(a.last_sort_order(), b.last_sort_order());
+        assert_eq!(a.diagnostics().collisions, b.diagnostics().collisions);
+        let (inc_a, full_a) = a.sort_path_counts();
+        assert!(inc_a > 40, "incremental path barely engaged: {inc_a}");
+        assert_eq!(
+            full_a as usize + inc_a as usize,
+            60,
+            "every fused step takes exactly one rank path"
+        );
+        let (inc_b, full_b) = b.sort_path_counts();
+        assert_eq!(inc_b, 0, "Full mode must never take the repair path");
+        assert_eq!(full_b, 60);
+        // Mover accounting ran on every ordinary step, in both modes.
+        let (movers, psum) = a.mover_stats();
+        assert!(psum > 0 && movers > 0 && movers < psum);
+        assert_eq!(a.mover_stats(), b.mover_stats());
+    }
+
+    #[test]
+    fn threshold_zero_forces_the_full_path_without_changing_state() {
+        // Budget 0 rejects every step with at least one mover, driving the
+        // fallback; the trajectory must not notice.
+        let mut inc = Simulation::new(SimConfig::small_test());
+        inc.set_mover_threshold(0.0);
+        let mut full = Simulation::new(SimConfig::small_test());
+        inc.run(40);
+        full.run(40);
+        assert_eq!(inc.particles().x, full.particles().x);
+        assert_eq!(inc.particles().cell, full.particles().cell);
+        assert_eq!(inc.segment_bounds(), full.segment_bounds());
+        let (i, f) = inc.sort_path_counts();
+        assert_eq!(i, 0, "zero budget must reject the repair every step");
+        assert_eq!(f, 40);
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub mod sentinel;
 pub mod sortstep;
 pub mod surface;
 
-pub use config::{BodySpec, ConfigError, PipelineMode, RngMode, SimConfig};
+pub use config::{BodySpec, ConfigError, PipelineMode, RngMode, SimConfig, SortMode};
 pub use diag::{Diagnostics, StepTimings, Substep};
 pub use engine::shard::{Engine, ShardLayout, ShardedSimulation, REPARTITION_THRESHOLD};
 pub use engine::{FaultTarget, Simulation};

@@ -73,6 +73,7 @@ struct Run {
 struct ChunkStats {
     exited: u32,
     max_speed_raw: u32,
+    movers: u32,
 }
 
 /// Caller-owned working state of the move phase.
@@ -113,6 +114,12 @@ pub struct MoveOutcome {
     /// Particles dispatched per run kind `[Free, Walls, Full,
     /// Reservoir]`.
     pub by_kind: [u64; 4],
+    /// Particles whose cell index changed during this sweep ("movers") —
+    /// the temporal-coherence signal the incremental sort path keys its
+    /// full-radix fallback on.  Counted from the cell column the sweep
+    /// rewrites anyway, so the tally is near-free; like the other stats it
+    /// is an order-independent sum, identical for any thread count.
+    pub movers: u32,
 }
 
 /// Key-packing instructions for the sweep: the pair buffer and (when the
@@ -313,6 +320,7 @@ pub fn move_phase<B: Body + ?Sized>(
     for st in &scratch.stats {
         out.exited += st.exited;
         out.max_speed_raw = out.max_speed_raw.max(st.max_speed_raw);
+        out.movers += st.movers;
     }
     out
 }
@@ -447,7 +455,9 @@ unsafe fn free_loop<B: Body + ?Sized>(
             *x += u;
             *y += v;
             let cell = p.tunnel.cell_index(*x, *y);
-            *cols.cell.add(i) = cell;
+            let slot = cols.cell.add(i);
+            st.movers += (cell != *slot) as u32;
+            *slot = cell;
             emit_key(i, cell, *x, u, &mut *cols.rng.add(i), cols, cfg, hist_row);
         }
     }
@@ -515,6 +525,9 @@ unsafe fn geom_one<B: Body + ?Sized, const DO_BODY: bool>(
         let r2 = &mut *cols.r2.add(i);
         let rng = &mut *cols.rng.add(i);
         let cell = &mut *cols.cell.add(i);
+        // The previous cell, read before any path below rewrites the slot
+        // (the exit path redraws it in the reservoir).
+        let prev_cell = *cell;
         *x += *u;
         *y += *v;
         let (hit, exited) = resolve_flow_one::<B, DO_BODY>(p, plunger, cfg.diffuse, x, y, u, v, *w);
@@ -530,6 +543,7 @@ unsafe fn geom_one<B: Body + ?Sized, const DO_BODY: bool>(
             *cell = c;
             c
         };
+        st.movers += (c != prev_cell) as u32;
         emit_key(i, c, *x, *u, rng, cols, cfg, hist_row);
     }
 }
@@ -560,7 +574,9 @@ unsafe fn res_loop<B: Body + ?Sized>(
             *x = wrap(*x + u, cfg.res_w);
             *y = wrap(*y + v, cfg.res_h);
             let c = p.res_base + p.res.cell(*x, *y);
-            *cols.cell.add(i) = c;
+            let slot = cols.cell.add(i);
+            st.movers += (c != *slot) as u32;
+            *slot = c;
             emit_key(i, c, *x, u, &mut *cols.rng.add(i), cols, cfg, hist_row);
         }
     }

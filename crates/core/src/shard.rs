@@ -81,7 +81,7 @@
 use super::{FaultTarget, MonoBody, Simulation};
 use crate::boundary::BoundaryParams;
 use crate::collide;
-use crate::config::{ConfigError, SimConfig, WallModel};
+use crate::config::{ConfigError, SimConfig, SortMode, WallModel};
 use crate::diag::{Diagnostics, StepTimings, Substep};
 use crate::movephase::{self, MoveOutcome, MoveScratch};
 use crate::particles::ParticleStore;
@@ -309,6 +309,14 @@ pub struct ShardedSimulation {
     /// `routes[src][dst]`: (previous cell, source index) of every particle
     /// migrating src → dst, in source order.
     routes: Vec<Vec<Vec<(u32, u32)>>>,
+    /// Per-destination previous-order structure recorded while the
+    /// exchange merge drains: each drained equal-prev-cell run is one
+    /// segment of the rebuilt array (`exch_bounds[d]` has the run starts
+    /// plus a length sentinel, `exch_cells[d]` the runs' previous cells,
+    /// strictly ascending).  This is exactly the `(prev_bounds,
+    /// prev_cells)` contract the incremental rank repairs against.
+    exch_bounds: Vec<Vec<u32>>,
+    exch_cells: Vec<Vec<u32>>,
     /// Per-shard cursors for the k-way merges.
     merge_pos: Vec<usize>,
     /// Plunger-refill census: (shard, index) of reservoir-parked slots in
@@ -369,6 +377,8 @@ impl ShardedSimulation {
             shards: (0..n_shards).map(|_| Shard::new(total_cells)).collect(),
             inbox: (0..n_shards).map(|_| ParticleStore::default()).collect(),
             routes: vec![vec![Vec::new(); n_shards]; n_shards],
+            exch_bounds: vec![Vec::new(); n_shards],
+            exch_cells: vec![Vec::new(); n_shards],
             merge_pos: Vec::new(),
             census: Vec::new(),
             col_load,
@@ -521,7 +531,19 @@ impl ShardedSimulation {
         // bookkeeping exactly as the canonical front half orders it.
         let t = Instant::now();
         let withdraw = self.base.plunger.will_withdraw();
-        let (exited, max_speed, by_kind) = self.move_shards();
+        let (exited, max_speed, by_kind, movers) = self.move_shards();
+        let mut movers_over_budget = false;
+        if !withdraw {
+            // Same ledger as the canonical engine: per-particle sums, so
+            // the mover fraction is independent of the decomposition.
+            let pop = self.shard_populations().iter().sum::<usize>();
+            self.base.mover_sum += movers as u64;
+            self.base.mover_particle_sum += pop as u64;
+            // The global budget decision, made once from the summed sweep
+            // counts (exchange migrates particles between shards but never
+            // changes a cell index, so the sum is exact post-exchange too).
+            movers_over_budget = movers > (self.base.mover_threshold * pop as f64) as u32;
+        }
         self.base.exited += exited as u64;
         for (acc, n) in self.base.move_by_kind.iter_mut().zip(by_kind) {
             *acc += n;
@@ -540,10 +562,12 @@ impl ShardedSimulation {
 
         // 3a) Repartition check (free: cuts only steer the exchange that
         // runs next), the migration exchange, then per-shard sorts.
+        // Withdrawal, just-repartitioned and over-budget steps pin the
+        // full radix path, like the canonical engine's decision.
         let t = Instant::now();
-        self.maybe_repartition();
+        let repartitioned = self.maybe_repartition();
         self.exchange();
-        self.sort_shards();
+        self.sort_shards(withdraw || repartitioned || movers_over_budget);
         self.base.timings.add(Substep::Sort, t.elapsed());
 
         // 3b+4) Global pairing parity, then per-shard select + collide.
@@ -615,12 +639,13 @@ impl ShardedSimulation {
     /// canonical engine.  Returns (exited, max observed speed, dispatch
     /// counts) summed/maxed across shards — per-particle sums, so the
     /// totals are independent of the decomposition.
-    fn move_shards(&mut self) -> (u32, u32, [u64; 4]) {
+    fn move_shards(&mut self) -> (u32, u32, [u64; 4], u32) {
         let mono = self.base.body_mono.clone();
         let base = &self.base;
         let mut exited = 0u32;
         let mut max_speed = 0u32;
         let mut by_kind = [0u64; 4];
+        let mut movers = 0u32;
         for shard in &mut self.shards {
             let out = match &mono {
                 MonoBody::None(b) => move_one(base, shard, b),
@@ -631,11 +656,12 @@ impl ShardedSimulation {
             };
             exited += out.exited;
             max_speed = max_speed.max(out.max_speed_raw);
+            movers += out.movers;
             for (acc, n) in by_kind.iter_mut().zip(out.by_kind) {
                 *acc += n;
             }
         }
-        (exited, max_speed, by_kind)
+        (exited, max_speed, by_kind, movers)
     }
 
     /// The sharded plunger refill — bit-identical to
@@ -701,11 +727,13 @@ impl ShardedSimulation {
     /// re-draw the cuts if the measured imbalance exceeds the threshold.
     /// Runs *before* the exchange, whose merge is keyed by previous cells
     /// under the old sorted order — so new cuts reroute that exchange for
-    /// free and never touch the trajectory.
-    fn maybe_repartition(&mut self) {
+    /// free and never touch the trajectory.  Returns whether the cuts
+    /// actually changed — the signal that pins this step's sorts to the
+    /// full radix path.
+    fn maybe_repartition(&mut self) -> bool {
         let s_count = self.shards.len();
         if s_count <= 1 {
-            return;
+            return false;
         }
         let w = self.base.tunnel.width as usize;
         self.col_load.clear();
@@ -721,7 +749,7 @@ impl ShardedSimulation {
         }
         let total: u64 = self.col_load.iter().sum();
         if total == 0 {
-            return;
+            return false;
         }
         let mut max_load = 0u64;
         for s in 0..s_count {
@@ -730,13 +758,15 @@ impl ShardedSimulation {
             max_load = max_load.max(self.col_load[lo..hi].iter().sum());
         }
         if (max_load as f64) <= REPARTITION_THRESHOLD * (total as f64 / s_count as f64) {
-            return;
+            return false;
         }
         let cuts = balanced_cuts(&self.col_load, s_count);
         if cuts != self.layout.cuts {
             self.layout.cuts = cuts;
             self.repartitions += 1;
+            return true;
         }
+        false
     }
 
     /// The migration exchange: route every particle by the owner of its
@@ -768,6 +798,10 @@ impl ShardedSimulation {
         let pos = &mut self.merge_pos;
         for (d, dst_store) in inbox.iter_mut().enumerate() {
             clear_store(dst_store);
+            let eb = &mut self.exch_bounds[d];
+            let ec = &mut self.exch_cells[d];
+            eb.clear();
+            ec.clear();
             pos.clear();
             pos.resize(s_count, 0);
             loop {
@@ -781,6 +815,10 @@ impl ShardedSimulation {
                     }
                 }
                 let Some((cell, s)) = best else { break };
+                // The run about to drain becomes one previous-order
+                // segment of the rebuilt array.
+                eb.push(dst_store.len() as u32);
+                ec.push(cell);
                 // Drain the whole equal-cell run from this source: the
                 // run's previous cell lives in exactly one shard, so no
                 // other source can contribute to it.
@@ -799,6 +837,7 @@ impl ShardedSimulation {
                     pos[s] += 1;
                 }
             }
+            eb.push(dst_store.len() as u32);
         }
         for (shard, dst_store) in self.shards.iter_mut().zip(self.inbox.iter_mut()) {
             std::mem::swap(&mut shard.parts, dst_store);
@@ -809,27 +848,63 @@ impl ShardedSimulation {
     /// shard's segment-cell table.  Stability + the subsequence invariant
     /// on the input order make each output the canonical order restricted
     /// to the shard.
-    fn sort_shards(&mut self) {
-        let base = &self.base;
-        for shard in &mut self.shards {
+    ///
+    /// Ordinary incremental-mode steps repair the exchange-recorded
+    /// previous order instead of re-ranking from scratch; `force_full`
+    /// (withdrawal, just-repartitioned, or over-the-mover-budget steps —
+    /// the budget decision is the caller's, from the summed sweep counts)
+    /// pins the full radix path.  Both paths consume the per-shard jitter
+    /// draws identically and produce bit-identical orders.
+    fn sort_shards(&mut self, force_full: bool) {
+        let base = &mut self.base;
+        let total_cells = base.res_base + base.res.total();
+        let incremental = !force_full && base.cfg.sort_mode == SortMode::Incremental;
+        for (shard, (eb, ec)) in self
+            .shards
+            .iter_mut()
+            .zip(self.exch_bounds.iter().zip(self.exch_cells.iter()))
+        {
             if shard.parts.is_empty() {
                 shard.bounds.clear();
                 shard.order.clear();
                 shard.seg_cell.clear();
                 continue;
             }
-            sortstep::sort_particles_fused(
-                &mut shard.parts,
-                &base.tunnel,
-                base.res_base,
-                base.res,
-                base.cfg.jitter_bits,
-                base.key_bits,
-                base.rng_mode,
-                &mut shard.sort_ws,
-                &mut shard.bounds,
-                &mut shard.order,
-            );
+            let took = incremental
+                && sortstep::sort_particles_fused_incremental(
+                    &mut shard.parts,
+                    &base.tunnel,
+                    base.res_base,
+                    base.res,
+                    base.cfg.jitter_bits,
+                    base.key_bits,
+                    base.rng_mode,
+                    total_cells,
+                    eb,
+                    ec,
+                    &mut shard.sort_ws,
+                    &mut shard.bounds,
+                    &mut shard.order,
+                );
+            if took {
+                base.sort_incremental_steps += 1;
+            } else {
+                if !incremental {
+                    sortstep::sort_particles_fused(
+                        &mut shard.parts,
+                        &base.tunnel,
+                        base.res_base,
+                        base.res,
+                        base.cfg.jitter_bits,
+                        base.key_bits,
+                        base.rng_mode,
+                        &mut shard.sort_ws,
+                        &mut shard.bounds,
+                        &mut shard.order,
+                    );
+                }
+                base.sort_full_steps += 1;
+            }
             shard.seg_cell.clear();
             for j in 0..shard.bounds.len() - 1 {
                 shard
@@ -981,6 +1056,25 @@ impl ShardedSimulation {
     /// Reset the timing accumulators (e.g. after warm-up).
     pub fn reset_timings(&mut self) {
         self.base.reset_timings();
+    }
+
+    /// Rank paths taken so far, counted per shard-sort: `(incremental,
+    /// full)`.  A step contributes one count per non-empty shard.
+    pub fn sort_path_counts(&self) -> (u64, u64) {
+        self.base.sort_path_counts()
+    }
+
+    /// Mover statistics summed over ordinary steps (see
+    /// [`Simulation::mover_stats`]); per-particle sums, so identical to
+    /// the canonical engine's for the same trajectory.
+    pub fn mover_stats(&self) -> (u64, u64) {
+        self.base.mover_stats()
+    }
+
+    /// Override the incremental rank's mover-fraction ceiling (see
+    /// [`Simulation::set_mover_threshold`]).
+    pub fn set_mover_threshold(&mut self, threshold: f64) {
+        self.base.set_mover_threshold(threshold);
     }
 }
 
@@ -1162,6 +1256,31 @@ impl Engine {
             Engine::Sharded(s) => s.reset_timings(),
         }
     }
+
+    /// Rank paths taken so far: `(incremental, full)` — per fused step on
+    /// the single-domain path, per shard-sort on the sharded path.
+    pub fn sort_path_counts(&self) -> (u64, u64) {
+        match self {
+            Engine::Single(s) => s.sort_path_counts(),
+            Engine::Sharded(s) => s.sort_path_counts(),
+        }
+    }
+
+    /// Mover statistics: `(movers, particle-steps)` over ordinary steps.
+    pub fn mover_stats(&self) -> (u64, u64) {
+        match self {
+            Engine::Single(s) => s.mover_stats(),
+            Engine::Sharded(s) => s.mover_stats(),
+        }
+    }
+
+    /// Override the incremental rank's mover-fraction ceiling.
+    pub fn set_mover_threshold(&mut self, threshold: f64) {
+        match self {
+            Engine::Single(s) => s.set_mover_threshold(threshold),
+            Engine::Sharded(s) => s.set_mover_threshold(threshold),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1174,6 +1293,28 @@ mod tests {
         cfg.n_per_cell = 8.0;
         cfg.reservoir_fill = 16.0;
         cfg
+    }
+
+    #[test]
+    fn sharded_incremental_engages_and_matches_full_mode() {
+        let mut cfg = wedge_cfg();
+        cfg.sort_mode = SortMode::Incremental;
+        let mut a = ShardedSimulation::new(cfg.clone(), 3);
+        cfg.sort_mode = SortMode::Full;
+        let mut b = ShardedSimulation::new(cfg, 3);
+        a.run(50);
+        b.run(50);
+        assert_eq!(
+            a.state_hash(),
+            b.state_hash(),
+            "sharded rank paths must be bit-identical"
+        );
+        let (inc, full) = a.sort_path_counts();
+        assert!(inc > 0, "sharded repair path never engaged");
+        assert!(full > 0, "withdrawal steps must pin the full path");
+        let (inc_b, _) = b.sort_path_counts();
+        assert_eq!(inc_b, 0, "Full mode must never take the repair path");
+        assert_eq!(a.mover_stats(), b.mover_stats());
     }
 
     #[test]
@@ -1310,6 +1451,52 @@ mod tests {
             max / mean < 2.0,
             "populations still skewed after repartition: {pops:?}"
         );
+    }
+
+    #[test]
+    fn repartition_steps_pin_the_full_path_and_stay_bit_identical() {
+        // A maximally skewed start forces early repartitions; the
+        // just-repartitioned steps must take the full radix path (the
+        // incremental counter freezes while they do) and the trajectory
+        // must match the Full-mode run bit for bit through both
+        // transitions — incremental → full → incremental.
+        let mut cfg = wedge_cfg();
+        cfg.sort_mode = SortMode::Incremental;
+        let mut inc = ShardedSimulation::new(cfg.clone(), 4);
+        let w = inc.base.tunnel.width;
+        inc.layout.cuts = vec![0, 1, 2, 3, w];
+        inc.scatter();
+        cfg.sort_mode = SortMode::Full;
+        let mut full = ShardedSimulation::new(cfg, 4);
+        full.layout.cuts = vec![0, 1, 2, 3, w];
+        full.scatter();
+        let mut saw_repartition_fallback = false;
+        for _ in 0..30 {
+            let reparts_before = inc.repartitions();
+            let (inc_before, full_before) = inc.sort_path_counts();
+            inc.step();
+            full.step();
+            let (inc_after, full_after) = inc.sort_path_counts();
+            if inc.repartitions() > reparts_before {
+                assert_eq!(
+                    inc_after, inc_before,
+                    "a just-repartitioned step must not take the repair path"
+                );
+                assert!(full_after > full_before);
+                saw_repartition_fallback = true;
+            }
+        }
+        assert!(
+            saw_repartition_fallback,
+            "the skewed start never triggered a repartition step"
+        );
+        assert_eq!(
+            inc.state_hash(),
+            full.state_hash(),
+            "trajectories diverged across the repartition fallback"
+        );
+        let (inc_total, _) = inc.sort_path_counts();
+        assert!(inc_total > 0, "repair path never resumed after repartition");
     }
 
     #[test]

@@ -499,6 +499,26 @@ mod tests {
     }
 
     #[test]
+    fn sort_mode_is_outside_the_fingerprint() {
+        // Full and Incremental ranks are pinned bit-identical by the
+        // sort-identity suite, so a checkpoint is portable between them.
+        // The resumed step has no previous structure, which must fall
+        // back to the full path cleanly in either mode.
+        let mut sim = Simulation::new(SimConfig::small_test());
+        sim.run(10);
+        let bytes = sim.save_state();
+        let mut full = SimConfig::small_test();
+        full.sort_mode = crate::config::SortMode::Full;
+        let mut b = Simulation::resume(full, &bytes).unwrap();
+        let mut a = Simulation::resume(SimConfig::small_test(), &bytes).unwrap();
+        a.run(15);
+        b.run(15);
+        assert_eq!(a.state_hash(), b.state_hash());
+        let (inc, _) = a.sort_path_counts();
+        assert!(inc > 0, "repair path must re-engage after a resume");
+    }
+
+    #[test]
     fn corrupt_and_truncated_snapshots_are_rejected() {
         let mut sim = Simulation::new(SimConfig::small_test());
         sim.run(3);

@@ -11,9 +11,9 @@
 use crate::config::{ResLayout, RngMode};
 use crate::particles::ParticleStore;
 use dsmc_datapar::{
-    fill_cells_from_bounds, pack_pair, segment_bounds_from_sorted_into,
+    fill_cells_from_bounds, incremental_rank, pack_pair, segment_bounds_from_sorted_into,
     sort_order_and_bounds_from_pairs_cells, sort_order_from_pairs, sort_perm_by_key, BoundsScratch,
-    SortScratch, PAR_THRESHOLD,
+    IncrementalScratch, SortScratch, PAR_THRESHOLD,
 };
 use dsmc_geom::Tunnel;
 use rayon::prelude::*;
@@ -37,6 +37,13 @@ pub struct SortWorkspace {
     radix: SortScratch,
     bounds: BoundsScratch,
     seg_cells: Vec<u32>,
+    /// Double buffers for the incremental rank: on entry the caller's
+    /// `bounds`/`seg_cells` describe the *previous* order and must survive
+    /// as inputs while the fresh structure is written — the swap dance in
+    /// [`rank_and_send_incremental`] parks them here.
+    prev_bounds: Vec<u32>,
+    prev_cells: Vec<u32>,
+    inc: IncrementalScratch,
 }
 
 impl SortWorkspace {
@@ -46,10 +53,11 @@ impl SortWorkspace {
     }
 
     /// Capacities of the owned buffers `[pairs, pong, hists, offsets,
-    /// bounds-scratch, seg-cells]` — asserted stable by the
-    /// zero-allocation tests.
-    pub fn capacities(&self) -> [usize; 6] {
+    /// bounds-scratch, seg-cells, prev-bounds, prev-cells, inc-counts,
+    /// inc-jitter]` — asserted stable by the zero-allocation tests.
+    pub fn capacities(&self) -> [usize; 10] {
         let [pairs, pong, hists, offsets] = self.radix.capacities();
+        let [inc_counts, inc_jitter] = self.inc.capacities();
         [
             pairs,
             pong,
@@ -57,6 +65,10 @@ impl SortWorkspace {
             offsets,
             self.bounds.capacity(),
             self.seg_cells.capacity(),
+            self.prev_bounds.capacity(),
+            self.prev_cells.capacity(),
+            inc_counts,
+            inc_jitter,
         ]
     }
 
@@ -309,7 +321,136 @@ pub fn rank_and_send(
         sort_order_from_pairs(key_bits, &mut ws.radix, order);
         parts.apply_order(order);
         segment_bounds_from_sorted_into(&parts.cell, bounds, &mut ws.bounds);
+        // Keep the segment cell ids in sync with the bounds on this path
+        // too: the incremental rank trusts `(bounds, seg_cells)` as the
+        // previous step's structure, whichever path produced it.
+        ws.seg_cells.clear();
+        ws.seg_cells.extend(
+            bounds[..bounds.len() - 1]
+                .iter()
+                .map(|&b| parts.cell[b as usize]),
+        );
     }
+}
+
+/// The incremental (temporal-coherence) back half of the sort phase: repair
+/// last step's order instead of re-ranking from scratch.
+///
+/// On entry `bounds` and the workspace's segment cell ids describe the
+/// *previous* sorted order of `parts` (exactly what the previous
+/// [`rank_and_send`] left there), and the move sweep has already packed
+/// this step's pairs — and, when `seeded`, counted the first radix digit
+/// (the whole jitter field for the engine's layouts) — into the
+/// workspace's buffers.  The call replaces the radix rank with
+/// [`dsmc_datapar::incremental_rank`] — same `order`/`bounds`/seg-cells
+/// bit for bit — and runs the identical nine-column send.  The caller is
+/// the mover-budget authority: it decides from the sweep's own mover
+/// count whether to attempt the repair at all.
+///
+/// Returns `true` when the repair ran.  Returns `false`, leaving `parts`,
+/// `bounds` and `order` exactly as found, when the caller must fall back
+/// to [`rank_and_send`]: the previous structure does not cover this
+/// population (first step, just-resumed snapshot, two-step interlude).
+pub fn rank_and_send_incremental(
+    parts: &mut ParticleStore,
+    jitter_bits: u32,
+    total_cells: u32,
+    seeded: bool,
+    ws: &mut SortWorkspace,
+    bounds: &mut Vec<u32>,
+    order: &mut Vec<u32>,
+) -> bool {
+    let n = parts.len();
+    if bounds.len() != ws.seg_cells.len() + 1
+        || bounds.first() != Some(&0)
+        || bounds.last() != Some(&(n as u32))
+    {
+        return false;
+    }
+    // Park the previous structure in the double buffers; the rank reads it
+    // from there while writing the fresh structure into the caller's vecs.
+    core::mem::swap(bounds, &mut ws.prev_bounds);
+    core::mem::swap(&mut ws.seg_cells, &mut ws.prev_cells);
+    let took = incremental_rank(
+        jitter_bits,
+        total_cells,
+        &ws.prev_bounds,
+        &ws.prev_cells,
+        seeded,
+        &mut ws.radix,
+        &mut ws.inc,
+        order,
+        bounds,
+        &mut ws.seg_cells,
+    );
+    if !took {
+        // Bails never touch the outputs: swap the previous structure back
+        // so the fallback full rank sees the workspace exactly as before.
+        core::mem::swap(bounds, &mut ws.prev_bounds);
+        core::mem::swap(&mut ws.seg_cells, &mut ws.prev_cells);
+        return false;
+    }
+    parts.apply_order_no_cell(order);
+    fill_cells_from_bounds(bounds, &ws.seg_cells, &mut parts.cell);
+    true
+}
+
+/// The sharded engine's sort phase with the temporal-coherence first
+/// choice: pack this step's pairs (consuming jitter draws in array order
+/// exactly as [`sort_particles_fused`] would), try the incremental repair
+/// against the caller-recorded previous structure — for a shard, the run
+/// table its exchange merge drained, since each equal-prev-cell run is one
+/// previous segment of the post-exchange array — and fall back to the full
+/// (unseeded) radix rank when the repair bails.  The caller decides the
+/// mover budget before calling, from the move sweep's own mover count.
+///
+/// Returns `true` when the incremental path ranked, `false` when the full
+/// rank did; the sorted state is bit-identical either way.
+#[allow(clippy::too_many_arguments)]
+pub fn sort_particles_fused_incremental(
+    parts: &mut ParticleStore,
+    tunnel: &Tunnel,
+    res_base: u32,
+    res: ResLayout,
+    jitter_bits: u32,
+    key_bits: u32,
+    rng_mode: RngMode,
+    total_cells: u32,
+    prev_bounds: &[u32],
+    prev_cells: &[u32],
+    ws: &mut SortWorkspace,
+    bounds: &mut Vec<u32>,
+    order: &mut Vec<u32>,
+) -> bool {
+    let n = parts.len();
+    build_pairs(
+        parts,
+        tunnel,
+        res_base,
+        res,
+        jitter_bits,
+        rng_mode,
+        ws.radix.input_pairs(n),
+    );
+    let took = incremental_rank(
+        jitter_bits,
+        total_cells,
+        prev_bounds,
+        prev_cells,
+        false,
+        &mut ws.radix,
+        &mut ws.inc,
+        order,
+        bounds,
+        &mut ws.seg_cells,
+    );
+    if took {
+        parts.apply_order_no_cell(order);
+        fill_cells_from_bounds(bounds, &ws.seg_cells, &mut parts.cell);
+    } else {
+        rank_and_send(parts, key_bits, jitter_bits, false, ws, bounds, order);
+    }
+    took
 }
 
 /// Test-only access to the pair-build sweep (the move-phase equivalence

@@ -48,7 +48,8 @@ pub use segscan::{
     segment_bounds_from_sorted_into, segmented_broadcast_count, BoundsScratch,
 };
 pub use sort::{
-    bounds_rank_supported, fill_cells_from_bounds, first_pass_bits, pack_pair, radix_chunk_len,
-    sort_order_and_bounds_from_pairs, sort_order_and_bounds_from_pairs_cells, sort_order_by_key,
-    sort_order_from_pairs, sort_perm_by_key, DisjointWrites, SortScratch,
+    bounds_rank_supported, fill_cells_from_bounds, first_pass_bits, incremental_rank, pack_pair,
+    radix_chunk_len, sort_order_and_bounds_from_pairs, sort_order_and_bounds_from_pairs_cells,
+    sort_order_by_key, sort_order_from_pairs, sort_perm_by_key, DisjointWrites, IncrementalScratch,
+    SortScratch,
 };

@@ -560,6 +560,211 @@ fn rank_bounds_impl(
     true
 }
 
+/// Workspace of the incremental (temporal-coherence) rank: the per-cell
+/// population table that becomes the cell scatter's cursor table, plus the
+/// `1 << jitter_bits` jitter histogram for the low-digit pass.  Both are
+/// sized to the grid / digit width, not the particle count, so they are
+/// tiny next to [`SortScratch`] and stable after the first step.
+#[derive(Debug, Default)]
+pub struct IncrementalScratch {
+    counts: Vec<u32>,
+    jitter: Vec<u32>,
+}
+
+impl IncrementalScratch {
+    /// Fresh, empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current buffer capacities `[counts, jitter]` — the zero-allocation
+    /// tests assert these go quiescent.
+    pub fn capacities(&self) -> [usize; 2] {
+        [self.counts.capacity(), self.jitter.capacity()]
+    }
+}
+
+/// Temporal-coherence rank: repair the sorted order using the bookkeeping
+/// the move sweep already carried forward, instead of re-running the full
+/// radix rank.
+///
+/// DSMC order barely changes between steps, and the sweep that moved the
+/// particles has already touched every one of them: it counted the movers
+/// (the coherence measure the caller's budget gate runs on) and — when
+/// `seeded` — counted the first radix digit of every key into the
+/// chunk-major histogram of [`SortScratch::input_pairs_and_hist`].  For
+/// the engine's key layout (`jitter_bits <= 8`) that first digit *is* the
+/// whole jitter field, so the repair starts with both of its histograms
+/// essentially free and needs only two data passes:
+///
+/// 1. **Jitter scatter + cell count** — a stable counting-sort pass on
+///    the low `jitter_bits` digit into the pong buffer, accumulating the
+///    per-cell population table (`total_cells` counters, L2-resident) in
+///    the same read.  Unseeded callers prepay a light jitter-count sweep
+///    (256-entry L1 table) first.
+/// 2. **Cell scatter** — a stable counting-sort pass on the cell field
+///    that emits the 32-bit router addresses straight into `order`, with
+///    the segment bounds and cell ids falling out of the population
+///    table's prefix scan for free.
+///
+/// Two serial scatters with *global* cursor tables, versus the seeded full
+/// rank's three chunked passes with per-chunk × per-digit offset tables.
+/// Global cursors are the repair's licence to be cheap — a serial stable
+/// scatter needs no chunk dimension — and its scaling limit: the passes
+/// don't parallelise, which is why the caller's mover-budget ceiling keeps
+/// the path A/B-able against the parallel full rank.
+///
+/// The previous step's segment structure (`prev_bounds`, `prev_cells`) is
+/// the freshness gate: it must describe exactly `n` particles, which holds
+/// only when the order it describes is the array the sweep just packed —
+/// not on the first step, after a snapshot resume, or across a repartition.
+/// The repaired order itself never depends on it, so a well-shaped stale
+/// structure cannot corrupt the trajectory, only mis-gate the path choice.
+///
+/// **Order identity:** the full rank is a stable sort by
+/// `(cell << jitter_bits) | jitter`, which (indices being unique and
+/// ascending) equals an ascending sort of the raw pair words.  The pair
+/// buffer arrives in ascending-index order, so the stable jitter pass
+/// leaves equal-jitter particles in ascending index order, and the stable
+/// cell pass then orders each cell run by `(jitter, index)` ascending —
+/// exactly the ascending-word order the full rank produces.  `order`,
+/// `bounds` and `seg_cells` are therefore **bitwise identical** to what
+/// [`sort_order_and_bounds_from_pairs_cells`] emits, for every input, and
+/// the per-step choice between the two paths is unobservable in the
+/// trajectory (pinned by `incremental_rank_matches_full_rank` here and
+/// the `sort_identity` integration suite).
+///
+/// Returns `true` on success.  Returns `false` — having touched only its
+/// own scratch, never `order`/`bounds`/`seg_cells` or the packed pairs —
+/// when the caller must fall back to the full rank: the prev structure
+/// does not describe `n` particles, or a pair's cell field is out of
+/// `total_cells` range.  `seeded` is ignored (the repair counts for
+/// itself) when `jitter_bits` is 0 or wider than one radix digit.
+#[allow(clippy::too_many_arguments)]
+pub fn incremental_rank(
+    jitter_bits: u32,
+    total_cells: u32,
+    prev_bounds: &[u32],
+    prev_cells: &[u32],
+    seeded: bool,
+    scratch: &mut SortScratch,
+    inc: &mut IncrementalScratch,
+    order: &mut Vec<u32>,
+    bounds: &mut Vec<u32>,
+    seg_cells: &mut Vec<u32>,
+) -> bool {
+    let n = scratch.pairs.len();
+    if prev_bounds.len() != prev_cells.len() + 1
+        || prev_bounds.first() != Some(&0)
+        || prev_bounds.last() != Some(&(n as u32))
+    {
+        return false;
+    }
+    if n == 0 {
+        order.clear();
+        bounds.clear();
+        bounds.push(0);
+        seg_cells.clear();
+        return true;
+    }
+    let shift = 32 + jitter_bits;
+    inc.counts.clear();
+    inc.counts.resize(total_cells as usize, 0);
+    let SortScratch {
+        pairs, pong, hists, ..
+    } = scratch;
+
+    // Pass 1 — stable counting sort on the jitter digit into pong,
+    // accumulating the per-cell population table in the same read.  The
+    // jitter histogram comes from the seeded move sweep when available
+    // (global counts = the chunk-major rows summed; a serial stable
+    // scatter needs no chunk dimension); an out-of-range cell bails
+    // before any output is touched (pong and the tables are scratch).
+    // When jitter_bits is 0 every particle shares one digit and the pass
+    // degenerates to the count-and-check sweep alone.
+    let cell_src: &[u64] = if jitter_bits == 0 {
+        for &w in pairs.iter() {
+            let c = (w >> shift) as usize;
+            if c >= total_cells as usize {
+                return false;
+            }
+            inc.counts[c] += 1;
+        }
+        &pairs[..]
+    } else {
+        let n_digits = 1usize << jitter_bits;
+        let jitter_mask = (n_digits - 1) as u32;
+        inc.jitter.clear();
+        inc.jitter.resize(n_digits, 0);
+        if seeded && jitter_bits <= MAX_DIGIT_BITS {
+            debug_assert_eq!(
+                hists.len(),
+                n.div_ceil(radix_chunk_len(n)) * n_digits,
+                "seeded histogram not on the radix chunk grid"
+            );
+            for row in hists.chunks_exact(n_digits) {
+                for (slot, &h) in inc.jitter.iter_mut().zip(row.iter()) {
+                    *slot += h;
+                }
+            }
+        } else {
+            for &w in pairs.iter() {
+                inc.jitter[((w >> 32) as u32 & jitter_mask) as usize] += 1;
+            }
+        }
+        let mut acc = 0u32;
+        for slot in inc.jitter.iter_mut() {
+            let k = *slot;
+            *slot = acc;
+            acc += k;
+        }
+        debug_assert_eq!(acc as usize, n);
+        pong.resize(n, 0);
+        for &w in pairs.iter() {
+            let c = (w >> shift) as usize;
+            if c >= total_cells as usize {
+                return false;
+            }
+            inc.counts[c] += 1;
+            let j = ((w >> 32) as u32 & jitter_mask) as usize;
+            let dst = inc.jitter[j];
+            inc.jitter[j] = dst + 1;
+            pong[dst as usize] = w;
+        }
+        &pong[..]
+    };
+
+    // New bounds + segment cells from the population table; the table
+    // becomes the cell scatter's per-cell cursor in the same sweep.
+    bounds.clear();
+    seg_cells.clear();
+    let mut acc = 0u32;
+    for (c, slot) in inc.counts.iter_mut().enumerate() {
+        let k = *slot;
+        if k > 0 {
+            bounds.push(acc);
+            seg_cells.push(c as u32);
+        }
+        *slot = acc;
+        acc += k;
+    }
+    debug_assert_eq!(acc as usize, n);
+    bounds.push(n as u32);
+
+    // Pass 2 — stable counting sort on the cell field, emitting the
+    // 32-bit router addresses directly.  Stability over the jitter-sorted
+    // stream makes every cell run ascending by (jitter, index) — the
+    // exact full-rank order.
+    order.resize(n, 0);
+    for &w in cell_src {
+        let c = (w >> shift) as usize;
+        let dst = inc.counts[c];
+        inc.counts[c] = dst + 1;
+        order[dst as usize] = w as u32;
+    }
+    true
+}
+
 /// Reconstruct a sorted cell column from its segment bounds and cell ids
 /// (as emitted by [`sort_order_and_bounds_from_pairs_cells`]):
 /// `out[bounds[s]..bounds[s+1]] = seg_cells[s]` for every segment.
@@ -998,6 +1203,215 @@ mod tests {
         check_seeded_cells(97, 0, 20_000);
         check_seeded_cells(240, 6, 500);
         check_seeded_cells(3, 1, 17_000);
+    }
+
+    /// Build a "previous step" by full-ranking random keys, then perturb:
+    /// every particle draws fresh jitter and roughly `mover_pct`% change
+    /// cell — the incremental repair must reproduce the full rank of the
+    /// perturbed keys bit for bit (order, bounds, segment cells).
+    fn check_incremental(cells: u32, jitter_bits: u32, n: usize, mover_pct: u32) {
+        let cell_bits = 32 - (cells - 1).leading_zeros().min(31);
+        if !bounds_rank_supported(cell_bits) {
+            return;
+        }
+        let jmask = (1u32 << jitter_bits) - 1;
+        let mut state = 0x1234_5677u32;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            state
+        };
+        let keys0: Vec<u32> = (0..n)
+            .map(|_| {
+                let r = rng();
+                ((r % cells) << jitter_bits) | ((r >> 16) & jmask)
+            })
+            .collect();
+
+        // Previous step: full rank of keys0 gives the prev structure.
+        let mut scratch = SortScratch::new();
+        for (i, (p, &k)) in scratch.input_pairs(n).iter_mut().zip(&keys0).enumerate() {
+            *p = pack_pair(k, i);
+        }
+        let (mut order, mut prev_bounds, mut prev_cells) = (Vec::new(), Vec::new(), Vec::new());
+        assert!(sort_order_and_bounds_from_pairs_cells(
+            cell_bits,
+            jitter_bits,
+            &mut scratch,
+            &mut order,
+            &mut prev_bounds,
+            &mut prev_cells,
+            false,
+        ));
+
+        // This step's keys, indexed in the prev sorted order: mostly the
+        // same cell (read off the prev structure), always fresh jitter.
+        let mut sorted_cells = vec![0u32; n];
+        fill_cells_from_bounds(&prev_bounds, &prev_cells, &mut sorted_cells);
+        let keys1: Vec<u32> = sorted_cells
+            .iter()
+            .map(|&c| {
+                let r = rng();
+                let cell = if r % 100 < mover_pct {
+                    (r >> 8) % cells
+                } else {
+                    c
+                };
+                (cell << jitter_bits) | ((r >> 16) & jmask)
+            })
+            .collect();
+
+        // Reference: full rank of keys1.
+        let mut ref_scratch = SortScratch::new();
+        for (i, (p, &k)) in ref_scratch
+            .input_pairs(n)
+            .iter_mut()
+            .zip(&keys1)
+            .enumerate()
+        {
+            *p = pack_pair(k, i);
+        }
+        let (mut ref_order, mut ref_bounds, mut ref_cells) = (Vec::new(), Vec::new(), Vec::new());
+        assert!(sort_order_and_bounds_from_pairs_cells(
+            cell_bits,
+            jitter_bits,
+            &mut ref_scratch,
+            &mut ref_order,
+            &mut ref_bounds,
+            &mut ref_cells,
+            false,
+        ));
+
+        // Incremental repair of the same keys — unseeded first.
+        for (i, (p, &k)) in scratch.input_pairs(n).iter_mut().zip(&keys1).enumerate() {
+            *p = pack_pair(k, i);
+        }
+        let mut inc = IncrementalScratch::new();
+        let (mut bounds, mut seg_cells) = (Vec::new(), Vec::new());
+        assert!(incremental_rank(
+            jitter_bits,
+            cells,
+            &prev_bounds,
+            &prev_cells,
+            false,
+            &mut scratch,
+            &mut inc,
+            &mut order,
+            &mut bounds,
+            &mut seg_cells,
+        ));
+        assert_eq!(order, ref_order, "cells={cells} j={jitter_bits} n={n}");
+        assert_eq!(bounds, ref_bounds);
+        assert_eq!(seg_cells, ref_cells);
+
+        // Seeded repair: count the first radix digit chunk-major in the
+        // pack sweep — exactly as the move phase seeds it — and the
+        // repair must reproduce the same order from the summed rows.
+        if jitter_bits > 0 && jitter_bits <= 8 {
+            let chunk = radix_chunk_len(n);
+            {
+                let (pairs, hist) = scratch.input_pairs_and_hist(n, jitter_bits);
+                for (i, (p, &k)) in pairs.iter_mut().zip(&keys1).enumerate() {
+                    *p = pack_pair(k, i);
+                    hist[((i / chunk) << jitter_bits) + (k & jmask) as usize] += 1;
+                }
+            }
+            let (mut so, mut sb, mut sc) = (Vec::new(), Vec::new(), Vec::new());
+            assert!(incremental_rank(
+                jitter_bits,
+                cells,
+                &prev_bounds,
+                &prev_cells,
+                true,
+                &mut scratch,
+                &mut inc,
+                &mut so,
+                &mut sb,
+                &mut sc,
+            ));
+            assert_eq!(so, ref_order, "seeded repair diverged");
+            assert_eq!(sb, ref_bounds);
+            assert_eq!(sc, ref_cells);
+        }
+    }
+
+    #[test]
+    fn incremental_rank_matches_full_rank() {
+        // Small (comparison-sort reference) and large (radix reference)
+        // inputs, settled and churning mover fractions, jitterless layout,
+        // single-cell grid.
+        check_incremental(6912, 8, 60_000, 10);
+        check_incremental(6912, 8, 60_000, 60);
+        check_incremental(250, 6, 40_000, 25);
+        check_incremental(97, 0, 20_000, 10);
+        check_incremental(240, 6, 500, 30);
+        check_incremental(1, 3, 1000, 0);
+        check_incremental(3, 1, 17_000, 50);
+    }
+
+    #[test]
+    fn incremental_rank_rejects_inconsistent_prev_structure() {
+        let mut scratch = SortScratch::new();
+        for (i, p) in scratch.input_pairs(10).iter_mut().enumerate() {
+            *p = pack_pair(1 << 4, i); // all in cell 1, jitter_bits = 4
+        }
+        let mut inc = IncrementalScratch::new();
+        let (mut o, mut b, mut s) = (Vec::new(), Vec::new(), Vec::new());
+        // Sentinel does not cover n.
+        assert!(!incremental_rank(
+            4,
+            8,
+            &[0, 5],
+            &[1],
+            false,
+            &mut scratch,
+            &mut inc,
+            &mut o,
+            &mut b,
+            &mut s
+        ));
+        // bounds/cells length mismatch.
+        assert!(!incremental_rank(
+            4,
+            8,
+            &[0, 10],
+            &[1, 2],
+            false,
+            &mut scratch,
+            &mut inc,
+            &mut o,
+            &mut b,
+            &mut s
+        ));
+        // Cell field out of the stated grid.
+        assert!(!incremental_rank(
+            4,
+            1,
+            &[0, 10],
+            &[0],
+            false,
+            &mut scratch,
+            &mut inc,
+            &mut o,
+            &mut b,
+            &mut s
+        ));
+        // Well-formed structure works even when every particle moved.
+        assert!(incremental_rank(
+            4,
+            8,
+            &[0, 10],
+            &[0],
+            false,
+            &mut scratch,
+            &mut inc,
+            &mut o,
+            &mut b,
+            &mut s
+        ));
+        assert_eq!(b, vec![0, 10]);
+        assert_eq!(s, vec![1]);
     }
 
     #[test]

@@ -100,6 +100,12 @@ impl Object {
         self.push(key, format!("[{}]", items.join(", ")))
     }
 
+    /// Add an array of strings.
+    pub fn str_array(&mut self, key: &str, vs: &[&str]) -> &mut Self {
+        let items: Vec<String> = vs.iter().map(|v| format!("\"{}\"", escape(v))).collect();
+        self.push(key, format!("[{}]", items.join(", ")))
+    }
+
     /// Add an array of nested objects.
     pub fn obj_array(&mut self, key: &str, vs: Vec<Object>) -> &mut Self {
         let items: Vec<String> = vs.into_iter().map(|o| o.pretty()).collect();
@@ -135,8 +141,10 @@ mod tests {
             .bool("ok", true)
             .opt_num("missing", None)
             .obj("inner", inner)
-            .num_array("xs", &[1.0, 2.5]);
+            .num_array("xs", &[1.0, 2.5])
+            .str_array("names", &["a", "b\"c"]);
         let s = o.pretty();
+        assert!(s.contains("\"names\": [\"a\", \"b\\\"c\"]"));
         assert!(s.contains("\"name\": \"run \\\"a\\\"\""));
         assert!(s.contains("\"missing\": null"));
         assert!(s.contains("\"x\": 1.5"));

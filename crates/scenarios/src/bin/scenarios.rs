@@ -44,16 +44,33 @@
 //! simulates a crash, the checkpoint flags damage the newest on-disk
 //! checkpoint, `--chaos-seed` derives a mixed schedule); a supervised run
 //! must finish with the same goldens and `state_hash` as an uninterrupted
-//! one.  The recovery log is written to `BENCH_supervisor_<name>.log`;
-//! exit code 3 means the run was abandoned (recovery budget exhausted).
+//! one.  The recovery log is written to `BENCH_supervisor_<name>.log`.
+//!
+//! `campaign run|resume|status` drives a *fleet* of runs through the
+//! crash-safe campaign executor (process-isolated workers, timeout +
+//! retry + quarantine, resumable journal — see `campaign.rs` and the
+//! README "Campaigns" section).  `run` and `resume` are the same
+//! operation: an existing journal in `--dir` is picked up where it died.
+//!
+//! Exit codes (uniform across every mode):
+//!
+//! * `0` — everything ran and passed;
+//! * `1` — usage or configuration error (nothing was run);
+//! * `2` — runs finished but a golden metric drifted out of tolerance;
+//! * `3` — a supervised run was abandoned (recovery budget exhausted);
+//! * `4` — a campaign degraded: at least one run timed out or was
+//!   quarantined (partial results and the journal were still written).
 
 use dsmc_bench::{try_artifact_dir, try_write_artifact};
 use dsmc_flowfield::surface::{ascii_profile, surface_to_csv};
-use dsmc_scenarios::fault::{Fault, FaultPlan};
+use dsmc_scenarios::campaign::{campaign_json, check_sweep_goldens, load_journal, sweep_campaign};
+use dsmc_scenarios::fault::{CampaignFault, CampaignFaultPlan, Fault, FaultPlan};
 use dsmc_scenarios::{
-    outcome_json, registry, run_supervised, run_with, supervisor_json, RunOptions, RunOutcome,
-    Scale, Scenario, SuperviseError, SuperviseOptions, SupervisorReport,
+    outcome_json, registry, run_campaign, run_supervised, run_with, supervisor_json,
+    CampaignOptions, CampaignReport, CaseKind, RunOptions, RunOutcome, Scale, Scenario,
+    SuperviseError, SuperviseOptions, SupervisorReport,
 };
+use std::time::Duration;
 
 fn print_list() {
     println!("{} registered scenarios:\n", registry().len());
@@ -153,7 +170,7 @@ fn run_and_record(s: &Scenario, scale: Scale, opts: &RunOptions) -> bool {
         Ok(o) => o,
         Err(e) => {
             eprintln!("cannot run {}: {e}", s.name);
-            std::process::exit(2);
+            std::process::exit(1);
         }
     };
     record_outcome(s, &outcome, None);
@@ -193,7 +210,7 @@ fn supervise_and_record(s: &Scenario, scale: Scale, opts: &SuperviseOptions) -> 
         }
         Err(e) => {
             eprintln!("cannot supervise {}: {e}", s.name);
-            std::process::exit(2);
+            std::process::exit(1);
         }
     }
 }
@@ -203,13 +220,29 @@ fn parse_step(it: &mut std::slice::Iter<'_, String>, flag: &str, usage: &str) ->
         Some(v) => v,
         None => {
             eprintln!("{flag} needs a non-negative step count\n{usage}");
-            std::process::exit(2);
+            std::process::exit(1);
         }
     }
 }
 
+const EXIT_CODES_HELP: &str = "exit codes:\n\
+    \x20 0  everything ran and passed\n\
+    \x20 1  usage or configuration error (nothing was run)\n\
+    \x20 2  runs finished but a golden metric drifted out of tolerance\n\
+    \x20 3  a supervised run was abandoned (recovery budget exhausted)\n\
+    \x20 4  campaign degraded: a run timed out or was quarantined";
+
 fn main() {
+    // Child processes spawned by the campaign executor re-enter this very
+    // executable with their argv in the environment; nothing else in the
+    // process sets that variable, so this is a no-op for human callers.
+    if let Some(code) = dsmc_scenarios::campaign::maybe_worker_from_env() {
+        std::process::exit(code);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("campaign") {
+        campaign_main(&args[1..]);
+    }
     let mut scale = Scale::Quick;
     let mut names: Vec<String> = Vec::new();
     let mut list = false;
@@ -229,11 +262,15 @@ fn main() {
                  [--checkpoint-every <steps>] [--resume <file>] | scenarios <name> --supervise \
                  [--ckpt-dir <dir>] [--keep <k>] [--max-recoveries <n>] [--sentinel-every <steps>] \
                  [--die-at-step <s>] [--truncate-ckpt-at-step <s>] [--flip-ckpt-at-step <s>] \
-                 [--chaos-seed <seed>]";
+                 [--chaos-seed <seed>] | scenarios campaign run|resume|status … (--help for more)";
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--help" | "-h" => {
+                println!("{usage}\n\n{}\n\n{EXIT_CODES_HELP}", campaign_usage());
+                return;
+            }
             "--list" => list = true,
             "--all" => all = true,
             "--quick" => scale = Scale::Quick,
@@ -243,7 +280,7 @@ fn main() {
                 Some(d) => ckpt_dir = Some(d.clone()),
                 None => {
                     eprintln!("--ckpt-dir needs a directory\n{usage}");
-                    std::process::exit(2);
+                    std::process::exit(1);
                 }
             },
             "--keep" => keep = Some(parse_step(&mut it, "--keep", usage) as usize),
@@ -267,7 +304,7 @@ fn main() {
                     Some(n) if n > 0 => opts.shards = n,
                     _ => {
                         eprintln!("--shards needs a positive shard count\n{usage}");
-                        std::process::exit(2);
+                        std::process::exit(1);
                     }
                 }
             }
@@ -277,7 +314,7 @@ fn main() {
                     Some(k) if k > 0 => checkpoint_every_flag = Some(k),
                     _ => {
                         eprintln!("--checkpoint-every needs a positive step count\n{usage}");
-                        std::process::exit(2);
+                        std::process::exit(1);
                     }
                 }
             }
@@ -285,18 +322,18 @@ fn main() {
                 Some(Ok(bytes)) => opts.resume_from = Some(bytes),
                 Some(Err(e)) => {
                     eprintln!("cannot read --resume file: {e}");
-                    std::process::exit(2);
+                    std::process::exit(1);
                 }
                 None => {
                     eprintln!("--resume needs a snapshot path\n{usage}");
-                    std::process::exit(2);
+                    std::process::exit(1);
                 }
             },
             // A misspelled flag must not silently run (and pass) with the
             // wrong behaviour.
             flag if flag.starts_with("--") => {
                 eprintln!("unknown flag '{flag}'\n{usage}");
-                std::process::exit(2);
+                std::process::exit(1);
             }
             name => names.push(name.to_string()),
         }
@@ -309,21 +346,30 @@ fn main() {
     }
     if names.is_empty() && !all {
         eprintln!("{usage}");
-        std::process::exit(2);
+        std::process::exit(1);
     }
     let checkpointing = opts.checkpoint_every.is_some() || opts.resume_from.is_some();
     if (checkpointing || supervise) && (all || names.len() != 1) {
         eprintln!("--checkpoint-every/--resume/--supervise apply to exactly one named scenario");
-        std::process::exit(2);
+        std::process::exit(1);
     }
     if supervise && opts.resume_from.is_some() {
         eprintln!("--supervise auto-resumes from --ckpt-dir; --resume does not combine with it");
-        std::process::exit(2);
+        std::process::exit(1);
     }
 
     let mut ok = true;
     if all {
         for s in registry() {
+            // Sweep entries expand into whole campaigns; `--all` runs the
+            // single-process cases and points at the executor for the rest.
+            if matches!(s.kind, CaseKind::Sweep(_)) {
+                println!(
+                    "skipping {} (sweep; run it with: scenarios campaign run --sweep {})",
+                    s.name, s.name
+                );
+                continue;
+            }
             ok &= run_and_record(s, scale, &opts);
         }
     } else {
@@ -336,7 +382,7 @@ fn main() {
                             Ok(d) => d.join(format!("supervisor_{}_{}", s.name, scale.label())),
                             Err(e) => {
                                 eprintln!("cannot create checkpoint dir: {e}");
-                                std::process::exit(2);
+                                std::process::exit(1);
                             }
                         },
                     };
@@ -382,7 +428,7 @@ fn main() {
                             "scenario '{name}' owns its run shape; \
                              --checkpoint-every/--resume apply to steady tunnel cases"
                         );
-                        std::process::exit(2);
+                        std::process::exit(1);
                     }
                     ok &= run_and_record(s, scale, &opts);
                 }
@@ -395,12 +441,251 @@ fn main() {
                             .collect::<Vec<_>>()
                             .join(", ")
                     );
-                    std::process::exit(2);
+                    std::process::exit(1);
                 }
             }
         }
     }
     if !ok {
-        std::process::exit(1);
+        // Golden drift: the runs finished but a metric left its band.
+        std::process::exit(2);
     }
+}
+
+fn campaign_usage() -> &'static str {
+    "usage: scenarios campaign run|resume (--spec <file> | --sweep <scenario>) [--dir <dir>]\n\
+     \x20        [--quick|--full] [--max-workers <n>] [--timeout-secs <s>] [--max-attempts <n>]\n\
+     \x20        [--checkpoint-every <steps>] [--shards <n>] [--seed <u64>]\n\
+     \x20        [--campaign-kill <run:attempt:step>] [--campaign-stall <run:attempt:step>]\n\
+     \x20        [--campaign-corrupt <run:attempt>]\n\
+     \x20      scenarios campaign status --dir <dir>\n\
+     `run` and `resume` are the same operation: an existing journal in --dir resumes."
+}
+
+/// Die with a campaign usage message (exit 1: nothing was run).
+fn campaign_bail(msg: &str) -> ! {
+    eprintln!("{msg}\n{}", campaign_usage());
+    std::process::exit(1);
+}
+
+/// Parse `run:attempt[:step]` for the campaign fault flags.
+fn parse_fault_key(v: &str, want_step: bool) -> Option<(usize, u32, u64)> {
+    let parts: Vec<&str> = v.split(':').collect();
+    if parts.len() != if want_step { 3 } else { 2 } {
+        return None;
+    }
+    let run = parts[0].parse::<usize>().ok()?;
+    let attempt = parts[1].parse::<u32>().ok()?;
+    let step = if want_step {
+        parts[2].parse::<u64>().ok()?
+    } else {
+        0
+    };
+    Some((run, attempt, step))
+}
+
+fn campaign_main(args: &[String]) -> ! {
+    let Some(sub) = args.first().map(String::as_str) else {
+        campaign_bail("campaign needs a subcommand");
+    };
+    let mut spec_file: Option<String> = None;
+    let mut sweep_name: Option<String> = None;
+    let mut dir: Option<std::path::PathBuf> = None;
+    let mut scale: Option<Scale> = None;
+    let mut max_workers: Option<usize> = None;
+    let mut timeout_secs: Option<u64> = None;
+    let mut max_attempts: Option<u32> = None;
+    let mut checkpoint_every: Option<u64> = None;
+    let mut shards: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut faults = CampaignFaultPlan::none();
+
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| match it.next() {
+            Some(v) => v.clone(),
+            None => campaign_bail(&format!("{flag} needs a value")),
+        };
+        match a.as_str() {
+            "--help" | "-h" => {
+                println!("{}\n\n{EXIT_CODES_HELP}", campaign_usage());
+                std::process::exit(0);
+            }
+            "--spec" => spec_file = Some(next("--spec")),
+            "--sweep" => sweep_name = Some(next("--sweep")),
+            "--dir" => dir = Some(next("--dir").into()),
+            "--quick" => scale = Some(Scale::Quick),
+            "--full" => scale = Some(Scale::Full),
+            "--max-workers" => match next("--max-workers").parse::<usize>() {
+                Ok(n) if n > 0 => max_workers = Some(n),
+                _ => campaign_bail("--max-workers needs a positive count"),
+            },
+            "--timeout-secs" => match next("--timeout-secs").parse::<u64>() {
+                Ok(s) if s > 0 => timeout_secs = Some(s),
+                _ => campaign_bail("--timeout-secs needs a positive second count"),
+            },
+            "--max-attempts" => match next("--max-attempts").parse::<u32>() {
+                Ok(n) if n > 0 => max_attempts = Some(n),
+                _ => campaign_bail("--max-attempts needs a positive count"),
+            },
+            "--checkpoint-every" => match next("--checkpoint-every").parse::<u64>() {
+                Ok(k) if k > 0 => checkpoint_every = Some(k),
+                _ => campaign_bail("--checkpoint-every needs a positive step count"),
+            },
+            "--shards" => match next("--shards").parse::<usize>() {
+                Ok(n) if n > 0 => shards = Some(n),
+                _ => campaign_bail("--shards needs a positive shard count"),
+            },
+            "--seed" => match next("--seed").parse::<u64>() {
+                Ok(s) => seed = Some(s),
+                _ => campaign_bail("--seed needs a u64"),
+            },
+            "--campaign-kill" => match parse_fault_key(&next("--campaign-kill"), true) {
+                Some((r, at, step)) => {
+                    faults = faults.and(r, at, CampaignFault::Kill { at_step: step })
+                }
+                None => campaign_bail("--campaign-kill needs run:attempt:step"),
+            },
+            "--campaign-stall" => match parse_fault_key(&next("--campaign-stall"), true) {
+                Some((r, at, step)) => {
+                    faults = faults.and(r, at, CampaignFault::Stall { at_step: step })
+                }
+                None => campaign_bail("--campaign-stall needs run:attempt:step"),
+            },
+            "--campaign-corrupt" => match parse_fault_key(&next("--campaign-corrupt"), false) {
+                Some((r, at, _)) => faults = faults.and(r, at, CampaignFault::CorruptCheckpoint),
+                None => campaign_bail("--campaign-corrupt needs run:attempt"),
+            },
+            flag => campaign_bail(&format!("unknown campaign flag '{flag}'")),
+        }
+    }
+
+    if sub == "status" {
+        let Some(dir) = dir else {
+            campaign_bail("campaign status needs --dir");
+        };
+        let journal = dir.join("campaign.journal");
+        match load_journal(&journal) {
+            Ok((fp, name, _scale, runs)) => {
+                let report = CampaignReport {
+                    name,
+                    spec_fingerprint: fp,
+                    runs,
+                    wall_seconds: 0.0,
+                };
+                println!("journal {} ({:#018x})", journal.display(), fp);
+                print!("{}", report.render_table());
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("cannot read campaign journal {}: {e}", journal.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if sub != "run" && sub != "resume" {
+        campaign_bail(&format!("unknown campaign subcommand '{sub}'"));
+    }
+
+    // Build the spec: either a flat spec file or a registry sweep entry.
+    let (spec, sweep_scenario): (_, Option<&Scenario>) = match (&spec_file, &sweep_name) {
+        (Some(path), None) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => campaign_bail(&format!("cannot read spec file {path}: {e}")),
+            };
+            let mut spec = match dsmc_scenarios::CampaignSpec::parse(&text) {
+                Ok(s) => s,
+                Err(e) => campaign_bail(&format!("bad spec file {path}: {e}")),
+            };
+            if let Some(sc) = scale {
+                spec.scale = sc;
+            }
+            (spec, None)
+        }
+        (None, Some(name)) => {
+            let Some(s) = dsmc_scenarios::find(name) else {
+                campaign_bail(&format!("unknown sweep scenario '{name}'"));
+            };
+            let mut spec = match sweep_campaign(s, scale.unwrap_or(Scale::Quick)) {
+                Ok(spec) => spec,
+                Err(e) => campaign_bail(&format!("cannot expand sweep '{name}': {e}")),
+            };
+            for r in &mut spec.runs {
+                if let Some(n) = shards {
+                    r.shards = n;
+                }
+                if seed.is_some() {
+                    r.seed = seed;
+                }
+            }
+            (spec, Some(s))
+        }
+        _ => campaign_bail("campaign run needs exactly one of --spec or --sweep"),
+    };
+
+    let dir = match dir {
+        Some(d) => d,
+        None => match try_artifact_dir() {
+            Ok(d) => d.join(format!("campaign_{}", spec.name)),
+            Err(e) => campaign_bail(&format!("cannot create campaign dir: {e}")),
+        },
+    };
+    let mut copts = CampaignOptions::new(dir);
+    if let Some(n) = max_workers {
+        copts.max_workers = n;
+    }
+    if let Some(s) = timeout_secs {
+        copts.timeout = Duration::from_secs(s);
+    }
+    if let Some(n) = max_attempts {
+        copts.max_attempts = n;
+    }
+    if let Some(k) = checkpoint_every {
+        copts.checkpoint_every = k;
+    }
+    copts.faults = faults;
+
+    println!(
+        "campaign {} — {} runs, {} workers, journal in {}",
+        spec.name,
+        spec.runs.len(),
+        copts.max_workers,
+        copts.dir.display()
+    );
+    let report = match run_campaign(&spec, &copts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("campaign failed to run: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", report.render_table());
+
+    let mut code = report.exit_code();
+    let mut j = campaign_json(&report);
+    if let Some(s) = sweep_scenario {
+        let checks = check_sweep_goldens(s, spec.scale, &report.runs);
+        let mut all_ok = true;
+        for c in &checks {
+            println!(
+                "  {:<28} {:>12.4}   golden {:>9.4} ±{:<8.4} {}",
+                c.metric,
+                c.measured,
+                c.golden,
+                c.tol,
+                if c.ok { "ok" } else { "DRIFT" }
+            );
+            all_ok &= c.ok;
+        }
+        j.bool("sweep_goldens_ok", all_ok);
+        if spec.scale == Scale::Quick && !all_ok && code == 0 {
+            code = 2;
+        }
+    }
+    record_artifact(
+        &format!("BENCH_campaign_{}.json", spec.name),
+        j.pretty().as_bytes(),
+    );
+    std::process::exit(code);
 }

@@ -47,6 +47,15 @@ pub enum Fault {
     /// Flip one payload byte in the newest on-disk checkpoint — silent
     /// media corruption the container checksum must reject.
     FlipCheckpointByte,
+    /// Hard process death at the step boundary: the supervisor sends
+    /// itself `SIGKILL` (no unwinding, no cleanup — the real `kill -9`
+    /// shape).  Only the campaign executor's process isolation survives
+    /// this one; it is the worker-crash arm of [`CampaignFaultPlan`].
+    KillHard,
+    /// Park the step loop forever, simulating a hang (livelock, NFS
+    /// stall).  Nothing in-process recovers from it; the campaign
+    /// executor's wall-clock timeout must reap the worker.
+    Stall,
 }
 
 /// A step-stamped [`Fault`].
@@ -163,6 +172,105 @@ impl FaultPlan {
     }
 }
 
+/// One campaign-level failure, injected into a specific worker attempt.
+///
+/// `Kill` and `Stall` travel to the worker process as supervisor plan
+/// entries ([`Fault::KillHard`] / [`Fault::Stall`]) so they land at a
+/// deterministic step boundary; `CorruptCheckpoint` is executed by the
+/// *executor* itself, damaging the newest checkpoint in the run's cache
+/// directory just before the attempt launches (the retry must scan past
+/// it or cold-restart).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CampaignFault {
+    /// Worker self-`SIGKILL`s at this protocol step.
+    Kill {
+        /// Step boundary the process dies at.
+        at_step: u64,
+    },
+    /// Worker hangs at this protocol step until the timeout reaps it.
+    Stall {
+        /// Step boundary the process stalls at.
+        at_step: u64,
+    },
+    /// Flip a byte in the newest cached checkpoint before launching.
+    CorruptCheckpoint,
+}
+
+/// A [`CampaignFault`] pinned to one (run, attempt) cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlannedCampaignFault {
+    /// Zero-based index into the campaign's expanded run list.
+    pub run: usize,
+    /// One-based attempt number the fault strikes.
+    pub attempt: u32,
+    /// What happens to that attempt.
+    pub fault: CampaignFault,
+}
+
+/// A deterministic, fire-once schedule of campaign-level faults — the
+/// [`FaultPlan`] idea lifted to the executor: every robustness-policy
+/// branch (retry, timeout, quarantine, checkpoint-cache recovery) is
+/// pinned by a reproducible schedule, not by racing real failures.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignFaultPlan {
+    faults: Vec<PlannedCampaignFault>,
+}
+
+impl CampaignFaultPlan {
+    /// The empty plan (production default: inject nothing).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Single-fault plan.
+    pub fn at(run: usize, attempt: u32, fault: CampaignFault) -> Self {
+        Self {
+            faults: vec![PlannedCampaignFault {
+                run,
+                attempt,
+                fault,
+            }],
+        }
+    }
+
+    /// Add another fault (builder style).
+    pub fn and(mut self, run: usize, attempt: u32, fault: CampaignFault) -> Self {
+        self.faults.push(PlannedCampaignFault {
+            run,
+            attempt,
+            fault,
+        });
+        self
+    }
+
+    /// Whether any faults remain unfired.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The planned faults still pending, in insertion order.
+    pub fn pending(&self) -> &[PlannedCampaignFault] {
+        &self.faults
+    }
+
+    /// Remove and return every fault scheduled for exactly this (run,
+    /// attempt) cell.  Fire-once: a resumed campaign that re-launches the
+    /// same attempt number does re-take from *its own* plan copy — the
+    /// journal, not the plan, is what survives an executor crash.
+    pub fn take(&mut self, run: usize, attempt: u32) -> Vec<CampaignFault> {
+        let mut fired = Vec::new();
+        self.faults.retain(|p| {
+            if p.run == run && p.attempt == attempt {
+                fired.push(p.fault);
+                false
+            } else {
+                true
+            }
+        });
+        fired
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,5 +313,19 @@ mod tests {
                 assert_eq!(p.step % 25, 0, "cell faults pin to sentinel boundaries");
             }
         }
+    }
+
+    #[test]
+    fn campaign_faults_key_on_run_and_attempt() {
+        let mut plan = CampaignFaultPlan::at(0, 1, CampaignFault::Kill { at_step: 30 })
+            .and(0, 2, CampaignFault::CorruptCheckpoint)
+            .and(2, 1, CampaignFault::Stall { at_step: 10 });
+        assert!(plan.take(1, 1).is_empty(), "wrong run must not fire");
+        assert!(plan.take(0, 3).is_empty(), "wrong attempt must not fire");
+        assert_eq!(plan.take(0, 1), vec![CampaignFault::Kill { at_step: 30 }]);
+        assert!(plan.take(0, 1).is_empty(), "no re-fire");
+        assert_eq!(plan.take(0, 2), vec![CampaignFault::CorruptCheckpoint]);
+        assert_eq!(plan.take(2, 1).len(), 1);
+        assert!(plan.is_empty());
     }
 }

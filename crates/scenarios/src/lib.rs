@@ -29,16 +29,23 @@ use dsmc_engine::{
     Diagnostics, Engine, SampledField, SimConfig, Simulation, StateError, SurfaceField,
 };
 
+pub mod campaign;
 pub mod fault;
 pub mod registry;
 pub mod supervisor;
 
-pub use fault::{Fault, FaultPlan, PlannedFault};
+pub use campaign::{
+    run_campaign, CampaignError, CampaignOptions, CampaignReport, CampaignSpec, RunRecord, RunSpec,
+    RunStatus, Sweep,
+};
+pub use fault::{
+    CampaignFault, CampaignFaultPlan, Fault, FaultPlan, PlannedCampaignFault, PlannedFault,
+};
 pub use registry::registry;
 pub use supervisor::{
-    protocol_total_steps, run_supervised, supervise, supervisor_json, Protocol, RecoveryEvent,
-    SuperviseError, SuperviseOptions, SuperviseOutcome, SupervisorReport, TransientProtocol,
-    TunnelProtocol,
+    backoff_with_jitter, protocol_total_steps, run_supervised, run_supervised_config, supervise,
+    supervisor_json, Protocol, ProtocolOverride, RecoveryEvent, Sleeper, SuperviseError,
+    SuperviseOptions, SuperviseOutcome, SupervisorReport, TransientProtocol, TunnelProtocol,
 };
 
 /// Run scale of a scenario execution.
@@ -182,6 +189,31 @@ pub struct RestartCase {
     pub full_steps: (usize, usize, usize),
 }
 
+/// A parameter sweep over a base tunnel scenario — the registry's
+/// declarative form of a campaign.  Not directly runnable by [`run`]:
+/// the campaign executor expands it into `n` runs with `param` varied
+/// linearly over `[lo, hi]`, shares the fingerprint-keyed checkpoint
+/// cache across them, and reduces the family into the sweep's goldens
+/// (run-completion count plus the worst `curve_metric` across the
+/// curve).
+#[derive(Clone, Copy, Debug)]
+pub struct SweepCase {
+    /// Registry name of the tunnel scenario each point runs.
+    pub base: &'static str,
+    /// Config field varied across the sweep (a campaign override key,
+    /// e.g. `"mach"`).
+    pub param: &'static str,
+    /// First parameter value.
+    pub lo: f64,
+    /// Last parameter value (inclusive).
+    pub hi: f64,
+    /// Number of points, spaced linearly from `lo` to `hi`.
+    pub n: usize,
+    /// Per-run metric whose worst |value| across the sweep is golden-
+    /// checked (the curve-level regression pin).
+    pub curve_metric: &'static str,
+}
+
 /// What kind of run a scenario performs.
 #[derive(Clone, Copy, Debug)]
 pub enum CaseKind {
@@ -193,6 +225,8 @@ pub enum CaseKind {
     Transient(TransientCase),
     /// Checkpoint/restart bit-identity check.
     Restart(RestartCase),
+    /// Parameter sweep expanded and driven by the campaign executor.
+    Sweep(SweepCase),
 }
 
 /// One named, reproducible case.
@@ -216,7 +250,7 @@ impl Scenario {
             CaseKind::Tunnel(t) => (t.config, t.quick_density),
             CaseKind::Transient(t) => (t.config, t.quick_density),
             CaseKind::Restart(t) => (t.config, t.quick_density),
-            CaseKind::Relax(_) => return None,
+            CaseKind::Relax(_) | CaseKind::Sweep(_) => return None,
         };
         let cfg = config();
         Some(match scale {
@@ -548,6 +582,11 @@ pub fn run_with(s: &Scenario, scale: Scale, opts: &RunOptions) -> Result<RunOutc
                 },
             ]);
             (metrics, a.n_particles(), a.diagnostics().steps, None)
+        }
+        CaseKind::Sweep(_) => {
+            return Err(StateError::Malformed(
+                "sweep scenarios expand into campaign runs; use `scenarios campaign run --sweep`",
+            ));
         }
         CaseKind::Relax(r) => {
             let steps = match scale {

@@ -11,7 +11,7 @@
 //! physics-preserving refactors while catching real drift.
 
 use crate::{
-    BoxSpec, CaseKind, Golden, Metric, RelaxCase, RestartCase, Scenario, TransientCase,
+    BoxSpec, CaseKind, Golden, Metric, RelaxCase, RestartCase, Scenario, SweepCase, TransientCase,
     TransientPoint, TunnelCase,
 };
 use dsmc_engine::{BodySpec, SampledField, SimConfig, Simulation, SurfaceField};
@@ -603,6 +603,26 @@ static WEDGE_RESTART_GOLDEN: &[Golden] = tunnel_goldens![
     },
 ];
 
+static WEDGE_MACH_SWEEP_GOLDEN: &[Golden] = &[
+    // Every point of the curve must finish (the campaign executor's
+    // graceful degradation is *not* license for holes in the sweep).
+    Golden {
+        metric: "sweep_runs_ok",
+        value: 4.0,
+        tol: 0.0,
+    },
+    // The worst |shock-angle error| anywhere on the Mach 3-6 curve.  The
+    // range starts at 3 because the 30-degree wedge detaches its shock
+    // below M ~ 2.7 (no theta-beta-M solution to compare against).
+    // Pinned to zero error with the same ±3° band as the per-point wedge
+    // pins; the measured QUICK value on the reference seed is 1.03°.
+    Golden {
+        metric: "curve_worst_abs",
+        value: 0.0,
+        tol: 3.0,
+    },
+];
+
 static RELAX_BOX_GOLDEN: &[Golden] = &[
     Golden {
         metric: "kurtosis_final",
@@ -706,6 +726,19 @@ static REGISTRY: &[Scenario] = &[
             full_steps: (1200, 500, 1500),
         }),
         golden: WEDGE_RESTART_GOLDEN,
+    },
+    Scenario {
+        name: "wedge-mach-sweep",
+        about: "campaign sweep: the wedge shock-angle curve over Mach 3-6 (run via `campaign run --sweep`)",
+        kind: CaseKind::Sweep(SweepCase {
+            base: "wedge-paper",
+            param: "mach",
+            lo: 3.0,
+            hi: 6.0,
+            n: 4,
+            curve_metric: "shock_angle_err_deg",
+        }),
+        golden: WEDGE_MACH_SWEEP_GOLDEN,
     },
     Scenario {
         name: "relax-box",

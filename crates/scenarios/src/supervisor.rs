@@ -41,6 +41,71 @@ const SEC_SIM: [u8; 4] = *b"SIMS";
 /// Section tag: the protocol journal (baselines + completed windows).
 const SEC_JOURNAL: [u8; 4] = *b"JRNL";
 
+/// How the supervisor (and the campaign executor) sleeps between
+/// recovery attempts.  Injectable so retry tests assert the computed
+/// backoff schedule without paying real `thread::sleep` waits.
+#[derive(Clone)]
+pub struct Sleeper(std::sync::Arc<dyn Fn(u64) + Send + Sync>);
+
+impl Sleeper {
+    /// Production sleeper: really sleeps for the given milliseconds.
+    pub fn real() -> Self {
+        Self(std::sync::Arc::new(|ms| {
+            std::thread::sleep(std::time::Duration::from_millis(ms))
+        }))
+    }
+
+    /// Test clock: never sleeps, appends each requested duration to the
+    /// shared log so a test can assert the backoff schedule.
+    pub fn recording() -> (Self, std::sync::Arc<std::sync::Mutex<Vec<u64>>>) {
+        let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let writer = log.clone();
+        let sleeper = Self(std::sync::Arc::new(move |ms| {
+            writer.lock().expect("sleeper log poisoned").push(ms)
+        }));
+        (sleeper, log)
+    }
+
+    /// Sleep (or record) `ms` milliseconds.
+    pub fn sleep(&self, ms: u64) {
+        (self.0)(ms)
+    }
+}
+
+impl Default for Sleeper {
+    fn default() -> Self {
+        Self::real()
+    }
+}
+
+impl std::fmt::Debug for Sleeper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Sleeper(..)")
+    }
+}
+
+/// Exponential backoff with deterministic half-jitter: attempt `n`
+/// (1-based) doubles the base up to `cap_ms`, then the lower half of the
+/// window is kept and the upper half is replaced by a splitmix64 draw
+/// keyed on `(salt, n)` — decorrelated enough that a fleet of retrying
+/// workers does not stampede in lockstep, deterministic enough that the
+/// schedule is testable and reproducible.
+pub fn backoff_with_jitter(base_ms: u64, cap_ms: u64, attempt: u32, salt: u64) -> u64 {
+    let full = base_ms
+        .saturating_mul(1u64 << attempt.saturating_sub(1).min(16))
+        .min(cap_ms);
+    let half = full / 2;
+    // splitmix64 over (salt, attempt): not a stream the engine shares,
+    // so jitter cannot perturb trajectories.
+    let mut z = salt
+        .wrapping_add(attempt as u64)
+        .wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    half + if half > 0 { z % (half + 1) } else { full }
+}
+
 /// How a supervised run is driven and protected.
 #[derive(Clone, Debug)]
 pub struct SuperviseOptions {
@@ -71,6 +136,9 @@ pub struct SuperviseOptions {
     /// restores checkpoints back into the same shard count; the final
     /// metrics and `state_hash` are shard-count invariant either way.
     pub shards: usize,
+    /// How backoff waits are slept ([`Sleeper::real`] in production; a
+    /// recording test clock in the retry tests).
+    pub sleeper: Sleeper,
 }
 
 impl SuperviseOptions {
@@ -88,6 +156,7 @@ impl SuperviseOptions {
             thresholds: SentinelThresholds::default(),
             faults: FaultPlan::none(),
             shards: 1,
+            sleeper: Sleeper::real(),
         }
     }
 }
@@ -304,9 +373,15 @@ impl TunnelProtocol {
             Scale::Quick => case.quick_steps,
             Scale::Full => case.full_steps,
         };
+        Self::with_steps(settle as u64, average as u64)
+    }
+
+    /// Protocol with explicit step counts (campaign workers overriding
+    /// the registry protocol lengths).
+    pub fn with_steps(settle: u64, average: u64) -> Self {
         Self {
-            settle: settle as u64,
-            total: (settle + average) as u64,
+            settle,
+            total: settle + average,
             d0: None,
         }
     }
@@ -362,9 +437,15 @@ impl TransientProtocol {
             Scale::Quick => case.quick_windows,
             Scale::Full => case.full_windows,
         };
+        Self::with_windows(case, windows as u64)
+    }
+
+    /// Protocol with an explicit window count (campaign workers
+    /// overriding the registry protocol length).
+    pub fn with_windows(case: TransientCase, windows: u64) -> Self {
         Self {
             case,
-            windows: windows as u64,
+            windows,
             d0: None,
             points: Vec::new(),
         }
@@ -449,6 +530,20 @@ impl Protocol for TransientProtocol {
     }
 }
 
+/// Die like `kill -9`: raise SIGKILL against our own pid (no unwinding,
+/// no atexit, no flushed buffers), falling back to `abort` where no
+/// `kill` binary exists.  Used only by [`Fault::KillHard`] chaos.
+fn die_hard() -> ! {
+    #[cfg(unix)]
+    {
+        let _ = std::process::Command::new("kill")
+            .arg("-9")
+            .arg(std::process::id().to_string())
+            .status();
+    }
+    std::process::abort();
+}
+
 enum CheckpointDamage {
     Truncate,
     FlipByte,
@@ -506,9 +601,18 @@ fn try_restore(
     protocol: &mut dyn Protocol,
     sentinel: Option<&Sentinel>,
     shards: usize,
+    max_step: u64,
     report: &mut SupervisorReport,
 ) -> Option<(u64, Engine)> {
     for (step, path) in store.candidates().unwrap_or_default() {
+        // The store may be a fingerprint-keyed cache shared with runs of
+        // a *longer* protocol (the campaign's warm-start cache): a
+        // checkpoint past this run's final step can never be stepped to
+        // completion, so skip it rather than adopt an over-run state.
+        if step > max_step {
+            report.note(step, "recovery: candidate is past this run's end, skipping");
+            continue;
+        }
         let Ok(bytes) = std::fs::read(&path) else {
             report.note(step, "recovery: candidate unreadable, skipping");
             continue;
@@ -576,7 +680,15 @@ pub fn supervise(
 
     // Startup: adopt a half-finished previous run if a valid checkpoint
     // survives (the crash-recovery path after kill -9), else cold-start.
-    let mut sim = match try_restore(&store, &cfg, protocol, None, opts.shards, &mut report) {
+    let mut sim = match try_restore(
+        &store,
+        &cfg,
+        protocol,
+        None,
+        opts.shards,
+        total,
+        &mut report,
+    ) {
         Some((step, sim)) => {
             report.resumed_at_start = Some(step);
             report.note(step, "startup: resumed from checkpoint");
@@ -617,6 +729,21 @@ pub fn supervise(
                 Fault::FlipCheckpointByte => {
                     let what = damage_newest(&store, CheckpointDamage::FlipByte);
                     report.note(s, format!("injected: {what}"));
+                }
+                Fault::KillHard => {
+                    // The real kill -9 shape: no unwinding, no cleanup.
+                    // Only the campaign executor's process isolation
+                    // survives this — in-process recovery never sees it.
+                    eprintln!("injected hard kill at step {s}: terminating process");
+                    die_hard();
+                }
+                Fault::Stall => {
+                    // Simulated hang: park forever; the campaign
+                    // executor's wall-clock timeout must reap us.
+                    eprintln!("injected stall at step {s}: parking the step loop");
+                    loop {
+                        std::thread::sleep(std::time::Duration::from_secs(3600));
+                    }
                 }
             }
         }
@@ -669,17 +796,20 @@ pub fn supervise(
                 report.final_step = s;
                 return Err(SuperviseError::Abandoned(Box::new(report)));
             }
-            let backoff_ms = opts
-                .backoff_base_ms
-                .saturating_mul(1u64 << (n - 1).min(16))
-                .min(opts.backoff_cap_ms);
-            std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+            let backoff_ms = backoff_with_jitter(
+                opts.backoff_base_ms,
+                opts.backoff_cap_ms,
+                n,
+                cfg.fingerprint(),
+            );
+            opts.sleeper.sleep(backoff_ms);
             let restored = try_restore(
                 &store,
                 &cfg,
                 protocol,
                 Some(&sentinel),
                 opts.shards,
+                total,
                 &mut report,
             );
             let (restored_step, new_s) = match restored {
@@ -724,6 +854,20 @@ pub fn supervise(
     Ok((sim, report))
 }
 
+/// Protocol-length overrides a campaign run may apply on top of the
+/// registry defaults (shorter settle/average phases for debug-budget
+/// chaos tests, longer averaging for production sweeps).  `None` fields
+/// keep the registry value for the chosen [`Scale`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProtocolOverride {
+    /// Tunnel settle steps before sampling begins.
+    pub settle: Option<u64>,
+    /// Tunnel averaging steps after sampling begins.
+    pub average: Option<u64>,
+    /// Transient window count (each window is `window_steps` long).
+    pub windows: Option<u64>,
+}
+
 /// Run a scenario under supervision and produce the same [`RunOutcome`]
 /// an unsupervised [`crate::run_with`] would — identical metrics, golden
 /// checks, and `state_hash` — plus the supervisor's report.
@@ -735,13 +879,37 @@ pub fn run_supervised(
     scale: Scale,
     opts: &SuperviseOptions,
 ) -> Result<(RunOutcome, SupervisorReport), SuperviseError> {
-    let t0 = std::time::Instant::now();
     let cfg = s.tunnel_config(scale).ok_or(SuperviseError::Unsupported(
         "relaxation boxes have no step loop to supervise",
     ))?;
+    run_supervised_config(s, scale, &cfg, ProtocolOverride::default(), true, opts)
+}
+
+/// [`run_supervised`] with an explicit configuration, protocol-length
+/// overrides, and an opt-out for golden checks — the campaign worker's
+/// entry point, where the config may carry parameter overrides that make
+/// the registry goldens meaningless.
+///
+/// With `check` false, `checks` is empty and `passed` is `true`.
+pub fn run_supervised_config(
+    s: &Scenario,
+    scale: Scale,
+    cfg: &dsmc_engine::SimConfig,
+    po: ProtocolOverride,
+    check: bool,
+    opts: &SuperviseOptions,
+) -> Result<(RunOutcome, SupervisorReport), SuperviseError> {
+    let t0 = std::time::Instant::now();
+    let cfg = cfg.clone().validated();
     match &s.kind {
         CaseKind::Tunnel(t) => {
-            let mut protocol = TunnelProtocol::new(*t, scale);
+            let (ds, da) = match scale {
+                Scale::Quick => t.quick_steps,
+                Scale::Full => t.full_steps,
+            };
+            let settle = po.settle.unwrap_or(ds as u64);
+            let average = po.average.unwrap_or(da as u64);
+            let mut protocol = TunnelProtocol::with_steps(settle, average);
             let (mut sim, report) = supervise(&cfg, &mut protocol, opts)?;
             let d0 = protocol.d0.expect("tunnel protocol captured its baseline");
             let field = sim.finish_sampling();
@@ -751,7 +919,11 @@ pub fn run_supervised(
                 metrics.extend(surface_metrics(sim.canonical(), surf));
             }
             metrics.extend((t.extract)(sim.canonical(), &field, surface.as_ref()));
-            let checks = check_goldens(s, scale, &metrics);
+            let checks = if check {
+                check_goldens(s, scale, &metrics)
+            } else {
+                Vec::new()
+            };
             let outcome = RunOutcome {
                 scenario: s.name,
                 scale,
@@ -768,14 +940,23 @@ pub fn run_supervised(
             Ok((outcome, report))
         }
         CaseKind::Transient(t) => {
-            let mut protocol = TransientProtocol::new(*t, scale);
+            let dw = match scale {
+                Scale::Quick => t.quick_windows,
+                Scale::Full => t.full_windows,
+            };
+            let windows = po.windows.unwrap_or(dw as u64);
+            let mut protocol = TransientProtocol::with_windows(*t, windows);
             let (mut sim, report) = supervise(&cfg, &mut protocol, opts)?;
             let d0 = protocol
                 .d0
                 .expect("transient protocol captured its baseline");
             let mut metrics = conservation_metrics(sim.canonical(), &d0);
             metrics.extend((t.extract)(&protocol.points));
-            let checks = check_goldens(s, scale, &metrics);
+            let checks = if check {
+                check_goldens(s, scale, &metrics)
+            } else {
+                Vec::new()
+            };
             let outcome = RunOutcome {
                 scenario: s.name,
                 scale,
@@ -796,6 +977,9 @@ pub fn run_supervised(
         )),
         CaseKind::Relax(_) => Err(SuperviseError::Unsupported(
             "relaxation boxes have no step loop to supervise",
+        )),
+        CaseKind::Sweep(_) => Err(SuperviseError::Unsupported(
+            "sweep scenarios expand into campaign runs; supervise those",
         )),
     }
 }
@@ -819,7 +1003,7 @@ pub fn protocol_total_steps(s: &Scenario, scale: Scale) -> Option<u64> {
             };
             Some((windows * t.window_steps) as u64)
         }
-        CaseKind::Restart(_) | CaseKind::Relax(_) => None,
+        CaseKind::Restart(_) | CaseKind::Relax(_) | CaseKind::Sweep(_) => None,
     }
 }
 

@@ -354,6 +354,12 @@ impl Section<'_> {
         self.u64(vs.len() as u64);
         self.bytes(vs);
     }
+
+    /// Append a length-prefixed UTF-8 string (journal labels, error
+    /// text).  Read back with [`Cursor::str`].
+    pub fn str(&mut self, s: &str) {
+        self.vec_u8(s.as_bytes());
+    }
 }
 
 impl Drop for Section<'_> {
@@ -539,6 +545,12 @@ impl Cursor<'_> {
         Ok(self.take(n)?.to_vec())
     }
 
+    /// Read a length-prefixed UTF-8 string written by [`Section::str`].
+    pub fn str(&mut self) -> Result<String, StateError> {
+        String::from_utf8(self.vec_u8()?)
+            .map_err(|_| StateError::Malformed("string field is not UTF-8"))
+    }
+
     /// Assert the whole payload was consumed — a schema/length mismatch
     /// must fail loudly, not leave silently-ignored bytes behind.
     pub fn done(self) -> Result<(), StateError> {
@@ -585,6 +597,23 @@ mod tests {
         assert_eq!(b.vec_i32().unwrap(), vec![i32::MIN, 0, i32::MAX]);
         assert_eq!(b.vec_u64().unwrap(), vec![u64::MAX]);
         b.done().unwrap();
+    }
+
+    #[test]
+    fn strings_round_trip_and_reject_bad_utf8() {
+        let mut w = Writer::new(1);
+        {
+            let mut s = w.section(*b"STRS");
+            s.str("wedge-paper");
+            s.str("");
+            s.vec_u8(&[0xFF, 0xFE]); // not UTF-8
+        }
+        let bytes = w.finish();
+        let r = Reader::new(&bytes).unwrap();
+        let mut c = r.section(*b"STRS").unwrap();
+        assert_eq!(c.str().unwrap(), "wedge-paper");
+        assert_eq!(c.str().unwrap(), "");
+        assert!(matches!(c.str(), Err(StateError::Malformed(_))));
     }
 
     #[test]

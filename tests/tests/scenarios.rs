@@ -33,6 +33,7 @@ fn registry_covers_the_expected_workloads() {
         "cylinder-startup",
         "wedge-restart",
         "relax-box",
+        "wedge-mach-sweep",
     ] {
         assert!(find(name).is_some(), "scenario {name} missing");
     }
@@ -104,6 +105,11 @@ fn all_scenarios_reproduce_their_goldens_at_quick_scale() {
     for s in registry() {
         if s.name == "cylinder" {
             continue; // covered (with extra assertions) above
+        }
+        // Sweep entries are not single runs: they expand into whole
+        // campaigns, golden-checked by the campaign tests and CI job.
+        if matches!(s.kind, CaseKind::Sweep(_)) {
+            continue;
         }
         // Every wind-tunnel-backed kind (steady, transient, restart) is
         // release-only here: a debug tunnel run costs ~a minute each, and

@@ -234,6 +234,84 @@ pub enum SortMode {
     Incremental,
 }
 
+/// How the sharded engine drives its per-shard phase work.
+///
+/// Both modes produce **bitwise-identical** trajectories (see
+/// `tests/tests/shard_exec.rs`): every per-shard phase (move, sort,
+/// collide, sample) touches only shard-private state plus exact
+/// integer-atomic accumulators, and every cross-shard reduction happens on
+/// the coordinator in shard-index order at the existing phase barriers.
+/// The choice is therefore a pure execution knob — the same contract
+/// [`PipelineMode::TwoStep`] and [`SortMode::Full`] have with their fused
+/// counterparts — and it is *excluded* from [`SimConfig::fingerprint`] so
+/// checkpoints stay portable between modes.  Only the sharded engine
+/// consults it; the single-domain [`crate::Simulation`] is inherently
+/// serial.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Step every shard on the coordinator thread, in shard order — the
+    /// executable specification the threaded path is pinned against.
+    /// Worker panics unwind normally.
+    Serial,
+    /// Fan each per-shard phase out over a pool of scoped worker threads
+    /// (`std::thread::scope`, so it composes with the rayon pool), joining
+    /// at the phase barriers.  Worker panics are caught and surfaced as a
+    /// typed `ShardExecError` carrying the shard id.
+    Threaded {
+        /// Worker-thread count; `0` means "one per available core",
+        /// clamped to the shard count either way.
+        workers: usize,
+    },
+}
+
+impl ExecMode {
+    /// The environment-aware default: `DSMC_EXEC_THREADS=serial` forces
+    /// [`ExecMode::Serial`], `DSMC_EXEC_THREADS=n` forces
+    /// `Threaded { workers: n }`, and with the variable unset the mode is
+    /// `Threaded` with auto workers on a multi-core host and `Serial` on a
+    /// single-core one (where fan-out could only add overhead).
+    pub fn from_env_or_auto() -> Self {
+        match std::env::var("DSMC_EXEC_THREADS") {
+            Ok(v) if v.eq_ignore_ascii_case("serial") => ExecMode::Serial,
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => ExecMode::Threaded { workers: n },
+                _ => ExecMode::Serial,
+            },
+            Err(_) => {
+                if std::thread::available_parallelism().map_or(1, |n| n.get()) > 1 {
+                    ExecMode::Threaded { workers: 0 }
+                } else {
+                    ExecMode::Serial
+                }
+            }
+        }
+    }
+
+    /// Resolve the worker count this mode uses for `n_shards` shards:
+    /// `Serial` is one worker (the coordinator); `Threaded` resolves
+    /// `workers == 0` to the available core count, then clamps to
+    /// `[1, n_shards]` — a worker per shard is the maximum useful width.
+    pub fn resolved_workers(&self, n_shards: usize) -> usize {
+        match self {
+            ExecMode::Serial => 1,
+            ExecMode::Threaded { workers } => {
+                let w = if *workers == 0 {
+                    std::thread::available_parallelism().map_or(1, |n| n.get())
+                } else {
+                    *workers
+                };
+                w.clamp(1, n_shards.max(1))
+            }
+        }
+    }
+}
+
+impl Default for ExecMode {
+    fn default() -> Self {
+        Self::from_env_or_auto()
+    }
+}
+
 /// Where the per-particle random bits come from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RngMode {
@@ -287,6 +365,9 @@ pub struct SimConfig {
     /// Rank algorithm for steady-state fused steps (full radix vs
     /// incremental repair); bit-identical outputs either way.
     pub sort_mode: SortMode,
+    /// Per-shard phase execution for the sharded engine (serial coordinator
+    /// vs scoped worker threads); bit-identical outputs either way.
+    pub exec: ExecMode,
     /// Molecular interaction model (the paper: Maxwell molecules).
     pub model: MolecularModel,
     /// Tunnel-wall interaction (the paper: specular; diffuse is the
@@ -321,6 +402,7 @@ impl SimConfig {
             rng_mode: RngMode::Explicit,
             pipeline: PipelineMode::Fused,
             sort_mode: SortMode::Incremental,
+            exec: ExecMode::default(),
             model: MolecularModel::Maxwell,
             walls: WallModel::Specular,
             seed: 0xD5_4C_19_89,
@@ -362,6 +444,7 @@ impl SimConfig {
             rng_mode: RngMode::Explicit,
             pipeline: PipelineMode::Fused,
             sort_mode: SortMode::Incremental,
+            exec: ExecMode::default(),
             model: MolecularModel::Maxwell,
             walls: WallModel::Specular,
             seed: 1,
@@ -600,7 +683,10 @@ impl SimConfig {
         // checkpoint is portable between them.  SortMode is excluded for
         // the same reason: Full and Incremental ranks are pinned
         // bit-identical by the sort-identity suite, so a checkpoint is
-        // portable between them too.
+        // portable between them too.  ExecMode is excluded for the same
+        // reason again: Serial and Threaded shard execution are pinned
+        // bit-identical by the shard_exec suite, so a checkpoint is
+        // portable between any worker counts.
         match self.model {
             MolecularModel::Maxwell => h.u32(0),
             MolecularModel::HardSphere => h.u32(1),

@@ -69,8 +69,9 @@ pub mod sentinel;
 pub mod sortstep;
 pub mod surface;
 
-pub use config::{BodySpec, ConfigError, PipelineMode, RngMode, SimConfig, SortMode};
+pub use config::{BodySpec, ConfigError, ExecMode, PipelineMode, RngMode, SimConfig, SortMode};
 pub use diag::{Diagnostics, StepTimings, Substep};
+pub use engine::shard::exec::ShardExecError;
 pub use engine::shard::{Engine, ShardLayout, ShardedSimulation, REPARTITION_THRESHOLD};
 pub use engine::{FaultTarget, Simulation};
 pub use sample::SampledField;

@@ -66,6 +66,21 @@
 //! it just reroutes the exchange that was about to run anyway — and has no
 //! effect on the trajectory, only on balance.
 //!
+//! # Threaded execution
+//!
+//! [`crate::config::ExecMode`] selects how the per-shard phases run:
+//! `Serial` steps every shard on the coordinator thread (the executable
+//! spec), `Threaded` fans each phase out over scoped worker threads,
+//! joining at the four existing coordinator barriers — the census merge,
+//! the cross-shard exchange, the global sort-budget decision and the
+//! segment-parity prefix.  Determinism survives because phase work only
+//! touches shard-private state (plus exact integer-atomic accumulators)
+//! and every trajectory-bearing reduction happens on the coordinator in
+//! shard-index order; `tests/tests/shard_exec.rs` pins Serial ≡ Threaded
+//! bit-identity across shard × worker matrices.  Worker panics surface as
+//! a typed [`exec::ShardExecError`] from [`ShardedSimulation::try_step`]
+//! instead of unwinding through (or aborting) the coordinator.
+//!
 //! # Checkpoints
 //!
 //! [`ShardedSimulation::save_state`] writes the canonical sections
@@ -77,6 +92,12 @@
 //! resumes bit-exactly at S′ — including S′ = 1 via [`Simulation::resume`],
 //! which skips the unknown section.  The manifest is outside both the
 //! config fingerprint and the state hash, exactly like `PipelineMode`.
+
+// The per-shard phase executor (scoped worker threads + typed panic
+// propagation) is a child module for the same reason this module is a
+// child of `engine`: its closures borrow the private `Shard` state.
+#[path = "shard_exec.rs"]
+pub mod exec;
 
 use super::{FaultTarget, MonoBody, Simulation};
 use crate::boundary::BoundaryParams;
@@ -91,6 +112,7 @@ use crate::surface::SurfaceField;
 use dsmc_fixed::Fx;
 use dsmc_geom::{Body, PlungerEvent};
 use dsmc_state::{Reader, StateError, Writer};
+use exec::{ShardExec, ShardExecError};
 use std::path::Path;
 use std::time::{Duration, Instant};
 
@@ -327,6 +349,8 @@ pub struct ShardedSimulation {
     /// True when the shards have stepped past the canonical view.
     dirty: bool,
     repartitions: u64,
+    /// The per-shard phase executor (resolved from `cfg.exec`).
+    exec: ShardExec,
 }
 
 impl ShardedSimulation {
@@ -371,6 +395,7 @@ impl ShardedSimulation {
             res_base: base.res_base,
         };
         let total_cells = (base.res_base + base.res.total()) as usize;
+        let exec = ShardExec::new(base.cfg.exec, n_shards);
         let mut sharded = Self {
             base,
             layout,
@@ -384,6 +409,7 @@ impl ShardedSimulation {
             col_load,
             dirty: false,
             repartitions: 0,
+            exec,
         };
         sharded.scatter();
         sharded
@@ -524,14 +550,20 @@ impl ShardedSimulation {
 
     /// Advance one time step — the same four sub-steps as
     /// [`Simulation::step`], each decomposed per shard (see module docs).
-    pub fn step(&mut self) {
+    ///
+    /// Under [`crate::config::ExecMode::Threaded`] a shard-worker panic
+    /// is converted into the returned [`ShardExecError`]; the simulation
+    /// is then in an unspecified mid-step state and should be discarded
+    /// (supervisors recover from the last checkpoint).  Under `Serial`
+    /// worker panics unwind normally and this never returns `Err`.
+    pub fn try_step(&mut self) -> Result<(), ShardExecError> {
         self.dirty = true;
 
         // 1+2) Per-shard key-less move sweeps, then the global boundary
         // bookkeeping exactly as the canonical front half orders it.
         let t = Instant::now();
         let withdraw = self.base.plunger.will_withdraw();
-        let (exited, max_speed, by_kind, movers) = self.move_shards();
+        let (exited, max_speed, by_kind, movers) = self.move_shards()?;
         let mut movers_over_budget = false;
         if !withdraw {
             // Same ledger as the canonical engine: per-particle sums, so
@@ -567,10 +599,14 @@ impl ShardedSimulation {
         let t = Instant::now();
         let repartitioned = self.maybe_repartition();
         self.exchange();
-        self.sort_shards(withdraw || repartitioned || movers_over_budget);
+        self.sort_shards(withdraw || repartitioned || movers_over_budget)?;
         self.base.timings.add(Substep::Sort, t.elapsed());
 
         // 3b+4) Global pairing parity, then per-shard select + collide.
+        // Collision RNG streams travel with the particles and the global
+        // parities were fixed above, so the phase is shard-private; the
+        // candidate/collision ledgers reduce from the returned outcomes
+        // in shard order.
         let t = Instant::now();
         self.compute_parities();
         let mut cand = 0u64;
@@ -579,16 +615,20 @@ impl ShardedSimulation {
         let mut collide_cpu = Duration::ZERO;
         {
             let base = &self.base;
-            for shard in &mut self.shards {
-                let out = collide::select_and_collide_with_parity(
-                    &mut shard.parts,
-                    &shard.bounds,
-                    &base.sel,
-                    base.rounding,
-                    base.rng_mode,
-                    &mut shard.decisions,
-                    Some(&shard.seg_parity),
-                );
+            let outs = self
+                .exec
+                .run_phase(&mut self.shards, "collide", |_i, shard| {
+                    collide::select_and_collide_with_parity(
+                        &mut shard.parts,
+                        &shard.bounds,
+                        &base.sel,
+                        base.rounding,
+                        base.rng_mode,
+                        &mut shard.decisions,
+                        Some(&shard.seg_parity),
+                    )
+                })?;
+            for out in outs {
                 cand += out.stats.candidates;
                 cols += out.stats.collisions;
                 select_cpu += out.select;
@@ -610,13 +650,16 @@ impl ShardedSimulation {
             .add(Substep::Collide, wall.saturating_sub(select_wall));
 
         // Optional sampling pass: per-shard partial sums into the shared
-        // relaxed-atomic accumulator, one step bump.
+        // accumulator, one step bump.  Cells partition across shards and
+        // the sums are integer atomics, so concurrent workers are exact.
         if self.base.sampler.is_some() {
             let t = Instant::now();
-            if let Some(acc) = &self.base.sampler {
-                for shard in &self.shards {
-                    acc.accumulate_partial(&shard.parts, &shard.bounds, self.base.res_base);
-                }
+            let base = &self.base;
+            if let Some(acc) = &base.sampler {
+                self.exec
+                    .run_phase(&mut self.shards, "sample", |_i, shard| {
+                        acc.accumulate_partial(&shard.parts, &shard.bounds, base.res_base);
+                    })?;
             }
             if let Some(acc) = self.base.sampler.as_mut() {
                 acc.bump_step();
@@ -626,6 +669,14 @@ impl ShardedSimulation {
 
         self.base.steps += 1;
         self.base.timings.steps += 1;
+        Ok(())
+    }
+
+    /// Advance one time step, panicking on a shard-worker failure (the
+    /// non-Result convenience wrapper around
+    /// [`ShardedSimulation::try_step`]).
+    pub fn step(&mut self) {
+        self.try_step().unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Run `n` steps.
@@ -637,23 +688,26 @@ impl ShardedSimulation {
 
     /// The per-shard move sweeps, monomorphised over the body like the
     /// canonical engine.  Returns (exited, max observed speed, dispatch
-    /// counts) summed/maxed across shards — per-particle sums, so the
-    /// totals are independent of the decomposition.
-    fn move_shards(&mut self) -> (u32, u32, [u64; 4], u32) {
+    /// counts) summed/maxed across shards — per-particle sums reduced in
+    /// shard order from the workers' outcomes, so the totals are
+    /// independent of both the decomposition and the scheduling.
+    fn move_shards(&mut self) -> Result<(u32, u32, [u64; 4], u32), ShardExecError> {
         let mono = self.base.body_mono.clone();
         let base = &self.base;
-        let mut exited = 0u32;
-        let mut max_speed = 0u32;
-        let mut by_kind = [0u64; 4];
-        let mut movers = 0u32;
-        for shard in &mut self.shards {
-            let out = match &mono {
+        let outs = self
+            .exec
+            .run_phase(&mut self.shards, "move", |_i, shard| match &mono {
                 MonoBody::None(b) => move_one(base, shard, b),
                 MonoBody::Wedge(b) => move_one(base, shard, b),
                 MonoBody::Step(b) => move_one(base, shard, b),
                 MonoBody::Plate(b) => move_one(base, shard, b),
                 MonoBody::Cylinder(b) => move_one(base, shard, b),
-            };
+            })?;
+        let mut exited = 0u32;
+        let mut max_speed = 0u32;
+        let mut by_kind = [0u64; 4];
+        let mut movers = 0u32;
+        for out in outs {
             exited += out.exited;
             max_speed = max_speed.max(out.max_speed_raw);
             movers += out.movers;
@@ -661,7 +715,7 @@ impl ShardedSimulation {
                 *acc += n;
             }
         }
-        (exited, max_speed, by_kind, movers)
+        Ok((exited, max_speed, by_kind, movers))
     }
 
     /// The sharded plunger refill — bit-identical to
@@ -855,20 +909,22 @@ impl ShardedSimulation {
     /// the budget decision is the caller's, from the summed sweep counts)
     /// pins the full radix path.  Both paths consume the per-shard jitter
     /// draws identically and produce bit-identical orders.
-    fn sort_shards(&mut self, force_full: bool) {
-        let base = &mut self.base;
+    ///
+    /// Each worker returns which rank path its shard took (`None` for an
+    /// empty shard); the path counters reduce on the coordinator in shard
+    /// order, so the ledgers match the serial executor exactly.
+    fn sort_shards(&mut self, force_full: bool) -> Result<(), ShardExecError> {
+        let base = &self.base;
         let total_cells = base.res_base + base.res.total();
         let incremental = !force_full && base.cfg.sort_mode == SortMode::Incremental;
-        for (shard, (eb, ec)) in self
-            .shards
-            .iter_mut()
-            .zip(self.exch_bounds.iter().zip(self.exch_cells.iter()))
-        {
+        let exch_bounds = &self.exch_bounds;
+        let exch_cells = &self.exch_cells;
+        let outs = self.exec.run_phase(&mut self.shards, "sort", |i, shard| {
             if shard.parts.is_empty() {
                 shard.bounds.clear();
                 shard.order.clear();
                 shard.seg_cell.clear();
-                continue;
+                return None;
             }
             let took = incremental
                 && sortstep::sort_particles_fused_incremental(
@@ -880,30 +936,25 @@ impl ShardedSimulation {
                     base.key_bits,
                     base.rng_mode,
                     total_cells,
-                    eb,
-                    ec,
+                    &exch_bounds[i],
+                    &exch_cells[i],
                     &mut shard.sort_ws,
                     &mut shard.bounds,
                     &mut shard.order,
                 );
-            if took {
-                base.sort_incremental_steps += 1;
-            } else {
-                if !incremental {
-                    sortstep::sort_particles_fused(
-                        &mut shard.parts,
-                        &base.tunnel,
-                        base.res_base,
-                        base.res,
-                        base.cfg.jitter_bits,
-                        base.key_bits,
-                        base.rng_mode,
-                        &mut shard.sort_ws,
-                        &mut shard.bounds,
-                        &mut shard.order,
-                    );
-                }
-                base.sort_full_steps += 1;
+            if !took && !incremental {
+                sortstep::sort_particles_fused(
+                    &mut shard.parts,
+                    &base.tunnel,
+                    base.res_base,
+                    base.res,
+                    base.cfg.jitter_bits,
+                    base.key_bits,
+                    base.rng_mode,
+                    &mut shard.sort_ws,
+                    &mut shard.bounds,
+                    &mut shard.order,
+                );
             }
             shard.seg_cell.clear();
             for j in 0..shard.bounds.len() - 1 {
@@ -911,7 +962,16 @@ impl ShardedSimulation {
                     .seg_cell
                     .push(shard.parts.cell[shard.bounds[j] as usize]);
             }
+            Some(took)
+        })?;
+        for took in outs.into_iter().flatten() {
+            if took {
+                self.base.sort_incremental_steps += 1;
+            } else {
+                self.base.sort_full_steps += 1;
+            }
         }
+        Ok(())
     }
 
     /// Merge all shards' fresh segment tables by cell into a running
@@ -1043,6 +1103,31 @@ impl ShardedSimulation {
         self.repartitions
     }
 
+    /// Resolved shard-worker count for this run (`1` on the serial path).
+    pub fn exec_workers(&self) -> usize {
+        self.exec.workers()
+    }
+
+    /// Replace the column cuts (a test/experimentation hook: e.g. start
+    /// maximally skewed to force the weighted repartition mid-run).  Like
+    /// the repartition itself this is trajectory-neutral — the canonical
+    /// view is synced, re-cut and re-scattered, a pure copy that consumes
+    /// no RNG.  Returns `false` (and changes nothing) unless `cuts` has
+    /// `n_shards + 1` strictly-ascending entries spanning `0..=tunnel_w`.
+    pub fn set_cuts(&mut self, cuts: &[u32]) -> bool {
+        let valid = cuts.len() == self.layout.n_shards() + 1
+            && cuts.first() == Some(&0)
+            && cuts.last() == Some(&self.base.tunnel.width)
+            && cuts.windows(2).all(|p| p[0] < p[1]);
+        if !valid {
+            return false;
+        }
+        self.sync_canonical();
+        self.layout.cuts = cuts.to_vec();
+        self.scatter();
+        true
+    }
+
     /// Current per-shard populations (flow + reservoir).
     pub fn shard_populations(&self) -> Vec<usize> {
         self.shards.iter().map(|s| s.parts.len()).collect()
@@ -1133,6 +1218,28 @@ impl Engine {
         match self {
             Engine::Single(s) => s.step(),
             Engine::Sharded(s) => s.step(),
+        }
+    }
+
+    /// Advance one time step, surfacing a sharded-worker panic as a typed
+    /// [`ShardExecError`] instead of unwinding (see
+    /// [`ShardedSimulation::try_step`]).  The single-domain path is
+    /// inherently serial and never returns `Err`.
+    pub fn try_step(&mut self) -> Result<(), ShardExecError> {
+        match self {
+            Engine::Single(s) => {
+                s.step();
+                Ok(())
+            }
+            Engine::Sharded(s) => s.try_step(),
+        }
+    }
+
+    /// Resolved shard-worker count (`1` for the single-domain path).
+    pub fn exec_workers(&self) -> usize {
+        match self {
+            Engine::Single(_) => 1,
+            Engine::Sharded(s) => s.exec_workers(),
         }
     }
 
@@ -1524,6 +1631,39 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn threaded_execution_is_bit_identical_to_serial_per_worker_count() {
+        let mut cfg = wedge_cfg();
+        cfg.exec = crate::config::ExecMode::Serial;
+        let mut reference = ShardedSimulation::new(cfg.clone(), 3);
+        reference.run(40);
+        let (want_hash, want_diag) = (reference.state_hash(), reference.diagnostics());
+        for workers in [1usize, 2, 4] {
+            cfg.exec = crate::config::ExecMode::Threaded { workers };
+            let mut t = ShardedSimulation::new(cfg.clone(), 3);
+            assert_eq!(t.exec_workers(), workers.min(3));
+            t.run(40);
+            assert_eq!(t.state_hash(), want_hash, "{workers} workers diverged");
+            assert_eq!(t.diagnostics(), want_diag);
+            assert_eq!(t.sort_path_counts(), reference.sort_path_counts());
+        }
+    }
+
+    #[test]
+    fn set_cuts_rejects_malformed_layouts_and_stays_trajectory_neutral() {
+        let mut sharded = ShardedSimulation::new(wedge_cfg(), 3);
+        let w = sharded.base.tunnel.width;
+        sharded.run(10);
+        assert!(!sharded.set_cuts(&[0, 5, w]), "wrong arity must be refused");
+        assert!(!sharded.set_cuts(&[0, 9, 5, w]), "non-ascending refused");
+        assert!(!sharded.set_cuts(&[1, 5, 9, w]), "must start at 0");
+        assert!(sharded.set_cuts(&[0, 1, 2, w]));
+        sharded.run(20);
+        let mut single = Simulation::new(wedge_cfg());
+        single.run(30);
+        assert_eq!(sharded.state_hash(), single.state_hash());
     }
 
     #[test]

@@ -519,6 +519,26 @@ mod tests {
     }
 
     #[test]
+    fn exec_mode_is_outside_the_fingerprint() {
+        // Serial and Threaded shard execution are pinned bit-identical
+        // by the shard_exec suite, so a checkpoint saved under one mode
+        // resumes under the other — including into a sharded engine at
+        // any worker count.
+        let mut serial_cfg = SimConfig::small_test();
+        serial_cfg.exec = crate::config::ExecMode::Serial;
+        let mut sim = Simulation::new(serial_cfg.clone());
+        sim.run(10);
+        let bytes = sim.save_state();
+        let mut threaded_cfg = serial_cfg.clone();
+        threaded_cfg.exec = crate::config::ExecMode::Threaded { workers: 2 };
+        let mut a = Simulation::resume(serial_cfg, &bytes).unwrap();
+        let mut b = crate::engine::shard::Engine::resume(threaded_cfg, &bytes, 2).unwrap();
+        a.run(15);
+        b.run(15);
+        assert_eq!(a.state_hash(), b.state_hash());
+    }
+
+    #[test]
     fn corrupt_and_truncated_snapshots_are_rejected() {
         let mut sim = Simulation::new(SimConfig::small_test());
         sim.run(3);

@@ -259,7 +259,8 @@ fn main() {
     let mut flip_at: Option<u64> = None;
     let mut chaos_seed: Option<u64> = None;
     let usage = "usage: scenarios --list | scenarios <name>|--all [--quick|--full] [--shards <n>] \
-                 [--checkpoint-every <steps>] [--resume <file>] | scenarios <name> --supervise \
+                 [--exec-threads <n|auto|serial>] [--checkpoint-every <steps>] [--resume <file>] | \
+                 scenarios <name> --supervise \
                  [--ckpt-dir <dir>] [--keep <k>] [--max-recoveries <n>] [--sentinel-every <steps>] \
                  [--die-at-step <s>] [--truncate-ckpt-at-step <s>] [--flip-ckpt-at-step <s>] \
                  [--chaos-seed <seed>] | scenarios campaign run|resume|status … (--help for more)";
@@ -314,6 +315,19 @@ fn main() {
                     Some(k) if k > 0 => checkpoint_every_flag = Some(k),
                     _ => {
                         eprintln!("--checkpoint-every needs a positive step count\n{usage}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "--exec-threads" => {
+                match it
+                    .next()
+                    .ok_or_else(|| "--exec-threads needs a value".to_string())
+                    .and_then(|v| dsmc_scenarios::parse_exec_threads(v))
+                {
+                    Ok(mode) => opts.exec = mode,
+                    Err(e) => {
+                        eprintln!("{e}\n{usage}");
                         std::process::exit(1);
                     }
                 }
@@ -389,6 +403,7 @@ fn main() {
                     let mut sopts =
                         SuperviseOptions::new(dir, format!("{}_{}", s.name, scale.label()));
                     sopts.shards = opts.shards.max(1);
+                    sopts.exec = opts.exec;
                     if let Some(k) = checkpoint_every_flag {
                         sopts.checkpoint_every = k;
                     }
@@ -456,6 +471,7 @@ fn campaign_usage() -> &'static str {
     "usage: scenarios campaign run|resume (--spec <file> | --sweep <scenario>) [--dir <dir>]\n\
      \x20        [--quick|--full] [--max-workers <n>] [--timeout-secs <s>] [--max-attempts <n>]\n\
      \x20        [--checkpoint-every <steps>] [--shards <n>] [--seed <u64>]\n\
+     \x20        [--exec-threads <n|auto|serial>]\n\
      \x20        [--campaign-kill <run:attempt:step>] [--campaign-stall <run:attempt:step>]\n\
      \x20        [--campaign-corrupt <run:attempt>]\n\
      \x20      scenarios campaign status --dir <dir>\n\
@@ -498,6 +514,7 @@ fn campaign_main(args: &[String]) -> ! {
     let mut checkpoint_every: Option<u64> = None;
     let mut shards: Option<usize> = None;
     let mut seed: Option<u64> = None;
+    let mut exec: Option<dsmc_engine::ExecMode> = None;
     let mut faults = CampaignFaultPlan::none();
 
     let mut it = args[1..].iter();
@@ -539,6 +556,10 @@ fn campaign_main(args: &[String]) -> ! {
             "--seed" => match next("--seed").parse::<u64>() {
                 Ok(s) => seed = Some(s),
                 _ => campaign_bail("--seed needs a u64"),
+            },
+            "--exec-threads" => match dsmc_scenarios::parse_exec_threads(&next("--exec-threads")) {
+                Ok(mode) => exec = Some(mode),
+                Err(e) => campaign_bail(&e),
             },
             "--campaign-kill" => match parse_fault_key(&next("--campaign-kill"), true) {
                 Some((r, at, step)) => {
@@ -643,6 +664,9 @@ fn campaign_main(args: &[String]) -> ! {
     }
     if let Some(k) = checkpoint_every {
         copts.checkpoint_every = k;
+    }
+    if let Some(mode) = exec {
+        copts.exec = mode;
     }
     copts.faults = faults;
 

@@ -745,6 +745,11 @@ pub struct CampaignOptions {
     pub backoff_cap_ms: u64,
     /// Checkpoint cadence workers run with (the warm-start cache grain).
     pub checkpoint_every: u64,
+    /// Per-shard phase execution every worker runs under (forwarded as
+    /// `--exec-threads`).  Execution layout, not work identity: outside
+    /// both the spec fingerprint and the journal, and bit-identical at
+    /// any setting, so resuming a campaign under a different mode is safe.
+    pub exec: dsmc_engine::ExecMode,
     /// Deterministic campaign-level fault schedule (empty in production).
     pub faults: CampaignFaultPlan,
     /// How retry backoffs are slept (injectable test clock).
@@ -771,6 +776,7 @@ impl CampaignOptions {
             backoff_base_ms: 10,
             backoff_cap_ms: 500,
             checkpoint_every: 100,
+            exec: dsmc_engine::ExecMode::default(),
             faults: CampaignFaultPlan::none(),
             sleeper: Sleeper::real(),
             worker_exe: None,
@@ -1219,6 +1225,8 @@ fn spawn_attempt(
         cache_dir.display().to_string(),
         "--checkpoint-every".into(),
         opts.checkpoint_every.max(1).to_string(),
+        "--exec-threads".into(),
+        crate::exec_threads_value(opts.exec),
         "--out".into(),
         result_path.display().to_string(),
     ];
@@ -1436,6 +1444,7 @@ fn worker_inner(args: &[String]) -> Result<i32, String> {
     let mut ckpt_dir: Option<PathBuf> = None;
     let mut out: Option<PathBuf> = None;
     let mut checkpoint_every = 100u64;
+    let mut exec = dsmc_engine::ExecMode::default();
     let mut faults = FaultPlan::none();
     let mut it = args.iter();
     let next = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
@@ -1483,6 +1492,7 @@ fn worker_inner(args: &[String]) -> Result<i32, String> {
                     .parse()
                     .map_err(|_| "bad --checkpoint-every".to_string())?
             }
+            "--exec-threads" => exec = crate::parse_exec_threads(&next(&mut it, a)?)?,
             "--out" => out = Some(PathBuf::from(next(&mut it, a)?)),
             "--kill-at-step" => {
                 let s: u64 = next(&mut it, a)?
@@ -1509,6 +1519,7 @@ fn worker_inner(args: &[String]) -> Result<i32, String> {
     let mut sopts = SuperviseOptions::new(ckpt_dir, "run");
     sopts.checkpoint_every = checkpoint_every.max(1);
     sopts.shards = run.shards.max(1);
+    sopts.exec = exec;
     sopts.faults = faults;
     match run_supervised_config(s, scale, &cfg, po, pristine, &sopts) {
         Ok((outcome, report)) => {

@@ -26,7 +26,7 @@ use dsmc_baselines::nanbu::pairwise_step;
 use dsmc_baselines::UniformBox;
 use dsmc_bench::json;
 use dsmc_engine::{
-    Diagnostics, Engine, SampledField, SimConfig, Simulation, StateError, SurfaceField,
+    Diagnostics, Engine, ExecMode, SampledField, SimConfig, Simulation, StateError, SurfaceField,
 };
 
 pub mod campaign;
@@ -352,6 +352,42 @@ pub struct RunOptions {
     /// are bit-identical for any value here — the CI determinism matrix
     /// holds the registry to that contract (see `SHARDING.md`).
     pub shards: usize,
+    /// How the sharded engine executes its per-shard phases (serial
+    /// coordinator vs scoped worker threads).  Bit-identical either way —
+    /// the `shard_exec` suite pins Serial ≡ Threaded at every worker
+    /// count — so this is a pure execution knob, applied on top of the
+    /// scenario's config like `shards`.  Defaults to the environment-aware
+    /// [`ExecMode::from_env_or_auto`].
+    pub exec: ExecMode,
+}
+
+/// Parse a `--exec-threads` value: `serial` → [`ExecMode::Serial`],
+/// `auto` → threaded with one worker per core, `n ≥ 1` → threaded with
+/// exactly `n` workers.
+pub fn parse_exec_threads(v: &str) -> Result<ExecMode, String> {
+    if v.eq_ignore_ascii_case("serial") {
+        return Ok(ExecMode::Serial);
+    }
+    if v.eq_ignore_ascii_case("auto") {
+        return Ok(ExecMode::Threaded { workers: 0 });
+    }
+    match v.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(ExecMode::Threaded { workers: n }),
+        _ => Err(format!(
+            "--exec-threads wants `serial`, `auto` or a worker count >= 1, got `{v}`"
+        )),
+    }
+}
+
+/// Render an [`ExecMode`] back into the `--exec-threads` value
+/// [`parse_exec_threads`] accepts (the campaign executor hands the mode
+/// to its workers through this round-trip).
+pub fn exec_threads_value(exec: ExecMode) -> String {
+    match exec {
+        ExecMode::Serial => "serial".to_string(),
+        ExecMode::Threaded { workers: 0 } => "auto".to_string(),
+        ExecMode::Threaded { workers } => workers.to_string(),
+    }
 }
 
 /// Atomically write a checkpoint artifact; an I/O failure is reported
@@ -465,7 +501,8 @@ pub fn run_with(s: &Scenario, scale: Scale, opts: &RunOptions) -> Result<RunOutc
     let mut state_hash = None;
     let (metrics, n_particles, steps, surface) = match &s.kind {
         CaseKind::Tunnel(t) => {
-            let cfg = s.tunnel_config(scale).expect("tunnel case");
+            let mut cfg = s.tunnel_config(scale).expect("tunnel case");
+            cfg.exec = opts.exec;
             let (settle, average) = match scale {
                 Scale::Quick => t.quick_steps,
                 Scale::Full => t.full_steps,
@@ -508,7 +545,8 @@ pub fn run_with(s: &Scenario, scale: Scale, opts: &RunOptions) -> Result<RunOutc
                     "transient cases always run from the cold start they measure",
                 ));
             }
-            let cfg = s.tunnel_config(scale).expect("transient case");
+            let mut cfg = s.tunnel_config(scale).expect("transient case");
+            cfg.exec = opts.exec;
             let windows = match scale {
                 Scale::Quick => t.quick_windows,
                 Scale::Full => t.full_windows,
@@ -540,7 +578,8 @@ pub fn run_with(s: &Scenario, scale: Scale, opts: &RunOptions) -> Result<RunOutc
                     "restart cases drive save/resume themselves",
                 ));
             }
-            let cfg = s.tunnel_config(scale).expect("restart case");
+            let mut cfg = s.tunnel_config(scale).expect("restart case");
+            cfg.exec = opts.exec;
             let (settle, open, tail) = match scale {
                 Scale::Quick => rc.quick_steps,
                 Scale::Full => rc.full_steps,

@@ -136,6 +136,12 @@ pub struct SuperviseOptions {
     /// restores checkpoints back into the same shard count; the final
     /// metrics and `state_hash` are shard-count invariant either way.
     pub shards: usize,
+    /// How the sharded engine executes its per-shard phases (serial
+    /// coordinator vs scoped worker threads).  Applied onto the validated
+    /// config before every engine construction — startup, restore and
+    /// cold restart — and bit-identical either way, so recovery at a
+    /// different worker count reproduces the same trajectory.
+    pub exec: dsmc_engine::ExecMode,
     /// How backoff waits are slept ([`Sleeper::real`] in production; a
     /// recording test clock in the retry tests).
     pub sleeper: Sleeper,
@@ -156,6 +162,7 @@ impl SuperviseOptions {
             thresholds: SentinelThresholds::default(),
             faults: FaultPlan::none(),
             shards: 1,
+            exec: dsmc_engine::ExecMode::default(),
             sleeper: Sleeper::real(),
         }
     }
@@ -666,10 +673,13 @@ pub fn supervise(
     protocol: &mut dyn Protocol,
     opts: &SuperviseOptions,
 ) -> Result<(Engine, SupervisorReport), SuperviseError> {
-    let cfg = cfg
+    let mut cfg = cfg
         .clone()
         .try_validated()
         .map_err(SuperviseError::Config)?;
+    // Execution layout, not physics: outside the fingerprint, so restored
+    // checkpoints accept it and the trajectory is unchanged.
+    cfg.exec = opts.exec;
     let store = CheckpointStore::new(&opts.ckpt_dir, &*opts.stem, opts.keep)
         .map_err(SuperviseError::Store)?;
     let ckpt_every = opts.checkpoint_every.max(1);
